@@ -1,0 +1,213 @@
+package occamy
+
+// The benchmarks in this file regenerate every table and figure of the
+// paper's evaluation (§7); each prints the same rows/series the paper
+// reports via testing.B metrics and -v logs. Run the full set with
+//
+//	go test -bench=. -benchmem
+//
+// and see cmd/occamy-bench for the formatted report (EXPERIMENTS.md records
+// the paper-vs-measured comparison).
+
+import (
+	"testing"
+
+	"occamy/internal/arch"
+	"occamy/internal/area"
+	"occamy/internal/experiments"
+	"occamy/internal/isa"
+	"occamy/internal/lanemgr"
+	"occamy/internal/roofline"
+)
+
+// benchCfg keeps bench iterations affordable while preserving shape; the
+// committed EXPERIMENTS.md numbers come from full-scale occamy-bench runs.
+func benchCfg() experiments.Config {
+	c := experiments.Default()
+	c.Scale = 0.25
+	return c
+}
+
+// BenchmarkFigure2_MotivatingExample regenerates the §2 example: the four
+// architectures on WL#0 (memory, two phases) + WL#1 (compute).
+func BenchmarkFigure2_MotivatingExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := benchCfg().Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := f.Results[arch.Private]
+		occ := f.Results[arch.Occamy]
+		b.ReportMetric(float64(base.Cores[1].Cycles)/float64(occ.Cores[1].Cycles), "occamy-WL1-speedup")
+		b.ReportMetric(100*occ.Utilization, "occamy-util-%")
+	}
+}
+
+// BenchmarkFigure10_Speedups regenerates the 25-pair speedup sweep.
+func BenchmarkFigure10_Speedups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw, err := benchCfg().Sweep(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sw.GeomeanSpeedup(arch.FTS, 1), "FTS-c1-GM-x")
+		b.ReportMetric(sw.GeomeanSpeedup(arch.VLS, 1), "VLS-c1-GM-x")
+		b.ReportMetric(sw.GeomeanSpeedup(arch.Occamy, 1), "Occamy-c1-GM-x")
+		b.ReportMetric(sw.GeomeanSpeedup(arch.Occamy, 0), "Occamy-c0-GM-x")
+		if b.N == 1 {
+			b.Log("\n" + experiments.RenderFigure10(sw))
+		}
+	}
+}
+
+// BenchmarkFigure11_SIMDUtilization regenerates the utilization sweep.
+func BenchmarkFigure11_SIMDUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw, err := benchCfg().Sweep(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range arch.Kinds {
+			b.ReportMetric(100*sw.GeomeanUtilization(k), k.String()+"-util-%")
+		}
+	}
+}
+
+// BenchmarkFigure12_AreaBreakdown regenerates the area model (analytical;
+// the "workload" is the model evaluation itself).
+func BenchmarkFigure12_AreaBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := area.Figure12()
+		b.ReportMetric(f[arch.Private], "private-mm2")
+		b.ReportMetric(f[arch.Occamy], "occamy-mm2")
+	}
+}
+
+// BenchmarkFigure13_RenameStalls regenerates the register-stall study.
+func BenchmarkFigure13_RenameStalls(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw, err := benchCfg().Sweep(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*sw.GeomeanRenameStalls(arch.FTS), "FTS-stall-%")
+		b.ReportMetric(100*sw.GeomeanRenameStalls(arch.Private), "Private-stall-%")
+	}
+}
+
+// BenchmarkFigure14_CaseStudy regenerates the WL20+WL17 case study.
+func BenchmarkFigure14_CaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := benchCfg().Figure14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The knee: WL17 keeps scaling at 28 lanes, the memory phases
+		// flatten (normalized time at 28 vs 16 lanes).
+		wl17 := f.NormalizedTimes["WL17(wsm52)"]
+		p1 := f.NormalizedTimes["WL20.p1(sff2)"]
+		b.ReportMetric(p1[3]/p1[6], "WL20p1-flatness")
+		b.ReportMetric(wl17[3]/wl17[6], "WL17-scaling")
+		if b.N == 1 {
+			b.Log("\n" + f.Render())
+		}
+	}
+}
+
+// BenchmarkTable5_AttainablePerformance regenerates the roofline table.
+func BenchmarkTable5_AttainablePerformance(b *testing.B) {
+	m := roofline.Default()
+	oi := isa.OIPair{Issue: 1.0 / 6.0, Mem: 0.25}
+	for i := 0; i < b.N; i++ {
+		for g := 1; g <= 8; g++ {
+			_ = m.Attainable(g, oi)
+		}
+	}
+	b.ReportMetric(m.Attainable(1, oi), "AP-4lanes-GFLOPs")
+	b.ReportMetric(m.Attainable(3, oi), "AP-12lanes-GFLOPs")
+}
+
+// BenchmarkFigure15_Overhead regenerates the elastic-sharing overhead sweep.
+func BenchmarkFigure15_Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw, err := benchCfg().Sweep(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, g := sw.MeanOverhead()
+		b.ReportMetric(100*m, "monitor-%")
+		b.ReportMetric(100*g, "reconfig-%")
+	}
+}
+
+// BenchmarkFigure16_FourCoreScalability regenerates the §7.6 study.
+func BenchmarkFigure16_FourCoreScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := benchCfg().Figure16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Occamy's compute-core win on the second group (two pairs).
+		b.ReportMetric(f.Speedup("4c:WL21+20+17+17", arch.Occamy, 2), "occamy-c2-x")
+		b.ReportMetric(f.Speedup("4c:WL21+20+17+17", arch.Occamy, 3), "occamy-c3-x")
+		if b.N == 1 {
+			b.Log("\n" + f.Render())
+		}
+	}
+}
+
+// BenchmarkAblation_MonitorPeriod measures the Fig. 9 monitor polling knob.
+func BenchmarkAblation_MonitorPeriod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchCfg().AblationMonitorPeriod([]int{1, 4, 16, 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_IssueCeiling measures lane plans with/without Eq. 2.
+func BenchmarkAblation_IssueCeiling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.AblationIssueCeiling()
+	}
+}
+
+// BenchmarkDSE_MachineSweeps regenerates the design-space exploration
+// tables: DRAM bandwidth, vector-cache capacity and FP pipeline depth swept
+// around the Table 4 point on the motivating pair (see EXPERIMENTS.md
+// "Extensions").
+func BenchmarkDSE_MachineSweeps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := benchCfg().DSEDefaults(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLanePartitioner measures the §5.2 greedy planner itself (the
+// hardware does this at every phase-changing point, so it must be cheap).
+func BenchmarkLanePartitioner(b *testing.B) {
+	m := roofline.Default()
+	ois := []isa.OIPair{{Issue: 0.09, Mem: 0.12}, {Issue: 1, Mem: 1}, {Issue: 0.25, Mem: 0.25}, {Issue: 0.5, Mem: 0.6}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = lanemgr.Plan(m, ois, 16)
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (cycles/s) on
+// the motivating pair under Occamy.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := DefaultConfig(Elastic)
+	cfg.Scale = 0.25
+	cfg.Verify = false
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(cfg, MotivatingPair())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += rep.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}

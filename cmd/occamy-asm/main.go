@@ -1,0 +1,77 @@
+// Command occamy-asm assembles and runs hand-written EM-SIMD programs on
+// the bare simulated machine: one .s file per core, sharing the elastic
+// co-processor. See the isa package's Assemble documentation for the syntax
+// and examples/assembly for a protocol walkthrough.
+//
+// Usage:
+//
+//	occamy-asm core0.s core1.s            # run two programs
+//	occamy-asm -check core0.s             # assemble + disassemble only
+//	occamy-asm -events core0.s core1.s    # also dump the lane-event log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"occamy"
+	"occamy/internal/isa"
+)
+
+func main() {
+	var (
+		check     = flag.Bool("check", false, "assemble and print the disassembly without running")
+		events    = flag.Bool("events", false, "print the lane-management event log after the run")
+		maxCycles = flag.Uint64("max-cycles", 10_000_000, "simulation budget")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: occamy-asm [flags] core0.s [core1.s ...]")
+		os.Exit(2)
+	}
+
+	var sources []string
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "occamy-asm:", err)
+			os.Exit(1)
+		}
+		sources = append(sources, string(data))
+	}
+
+	if *check {
+		for i, src := range sources {
+			prog, err := isa.Assemble(flag.Arg(i), src)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "occamy-asm:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("; %s — %d instructions\n%s\n", flag.Arg(i), prog.Len(), prog.Disassemble())
+		}
+		return
+	}
+
+	asm, err := occamy.NewAssembly(sources...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occamy-asm:", err)
+		os.Exit(1)
+	}
+	cycles, err := asm.Run(*maxCycles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occamy-asm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("completed in %d cycles\n", cycles)
+	for c := range sources {
+		fmt.Printf("core%d: VL=%d granules, X0=%d X1=%d X2=%d\n",
+			c, asm.VL(c), asm.X(c, 0), asm.X(c, 1), asm.X(c, 2))
+	}
+	if *events {
+		for _, e := range asm.LaneEvents() {
+			fmt.Printf("cycle %6d core%d %-12s vl=%d decisions=%v\n",
+				e.Cycle, e.Core, e.Kind, e.VL, e.Decisions)
+		}
+	}
+}

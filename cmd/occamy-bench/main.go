@@ -1,0 +1,153 @@
+// Command occamy-bench regenerates every table and figure of the paper's
+// evaluation (§7) and prints a consolidated report — the source of the
+// numbers recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	occamy-bench                 # everything, full scale
+//	occamy-bench -exp fig10      # one experiment
+//	occamy-bench -scale 0.25     # quick approximate pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"occamy/internal/area"
+	"occamy/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table3|table4|fig2|fig10|fig11|fig12|fig13|fig14|table5|fig15|fig16|ablations|dse|all")
+		scale = flag.Float64("scale", 1.0, "trip-count scale")
+		seed  = flag.Uint64("seed", 1, "workload data seed")
+		html  = flag.String("html", "", "write a self-contained HTML report (SVG charts) to this file and exit")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+
+	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "occamy-bench:", err)
+		os.Exit(1)
+	}
+
+	if *html != "" {
+		file, err := os.Create(*html)
+		if err != nil {
+			fail(err)
+		}
+		if err := cfg.HTMLReport(file); err != nil {
+			fail(err)
+		}
+		if err := file.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", *html)
+		return
+	}
+	section := func(s string) { fmt.Printf("\n%s\n%s\n\n", s, strings.Repeat("=", len(s))) }
+
+	if want("table3") {
+		section("Table 3 — workloads")
+		fmt.Println(experiments.RenderTable3())
+	}
+	if want("table4") {
+		section("Table 4 — configuration")
+		fmt.Println(experiments.RenderTable4())
+	}
+
+	if want("fig2") {
+		section("Figure 2 — motivating example")
+		f, err := cfg.Figure2()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f.Render())
+	}
+
+	needSweep := want("fig10") || want("fig11") || want("fig13") || want("fig15")
+	if needSweep {
+		section("Figures 10/11/13/15 — 25-pair sweep (4 architectures, verified)")
+		sw, err := cfg.Sweep(true)
+		if err != nil {
+			fail(err)
+		}
+		if want("fig10") {
+			fmt.Println(experiments.RenderFigure10(sw))
+		}
+		if want("fig11") {
+			fmt.Println(experiments.RenderFigure11(sw))
+		}
+		if want("fig13") {
+			fmt.Println(experiments.RenderFigure13(sw))
+		}
+		if want("fig15") {
+			fmt.Println(experiments.RenderFigure15(sw))
+		}
+	}
+
+	if want("fig12") {
+		section("Figure 12 — area breakdown")
+		fmt.Println(area.Render(2, false))
+		fmt.Println(area.Render(4, true))
+	}
+
+	if want("fig14") || want("table5") {
+		section("Figure 14 / Table 5 — case study WL20+WL17")
+		if want("fig14") {
+			f, err := cfg.Figure14()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(f.Render())
+		}
+		if want("table5") {
+			fmt.Println(experiments.Table5())
+		}
+	}
+
+	if want("fig16") {
+		section("Figure 16 — four-core scalability")
+		f, err := cfg.Figure16()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(f.Render())
+	}
+
+	if want("ablations") {
+		section("Ablations")
+		s, err := cfg.AblationMonitorPeriod([]int{1, 4, 16, 64})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(s)
+		fmt.Println(experiments.AblationIssueCeiling())
+		s, err = cfg.AblationFTSRegisters([]int{128, 160, 224, 320})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(s)
+		s, err = cfg.AblationDefaultVL([]int{1, 2, 4})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(s)
+	}
+
+	if want("dse") {
+		section("Design-space exploration (machine-parameter sweeps)")
+		s, err := cfg.DSEDefaults()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(s)
+	}
+}

@@ -1,0 +1,122 @@
+// Command occamy-sim runs one pair of co-scheduled workloads on one of the
+// four SIMD sharing architectures and prints the paper's per-run metrics.
+//
+// Usage:
+//
+//	occamy-sim -arch occamy -w0 spec/WL20 -w1 spec/WL17
+//	occamy-sim -arch all -w0 cv/WL6 -w1 cv/WL1 -timeline
+//	occamy-sim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"occamy"
+)
+
+// resolveWorkload accepts a Table 3 name or "@file.json" for a custom
+// workload definition.
+func resolveWorkload(spec string) (occamy.WorkloadRef, error) {
+	if strings.HasPrefix(spec, "@") {
+		data, err := os.ReadFile(strings.TrimPrefix(spec, "@"))
+		if err != nil {
+			return occamy.WorkloadRef{}, err
+		}
+		return occamy.WorkloadFromJSON(data)
+	}
+	return occamy.WorkloadByName(spec), nil
+}
+
+func main() {
+	var (
+		archName = flag.String("arch", "occamy", "architecture: private|fts|vls|occamy|all")
+		w0       = flag.String("w0", "spec/WL20", "workload for Core0 (memory side); @file.json for a custom definition")
+		w1       = flag.String("w1", "spec/WL17", "workload for Core1 (compute side); @file.json for a custom definition")
+		scale    = flag.Float64("scale", 1.0, "trip-count scale (use <1 for quick runs)")
+		seed     = flag.Uint64("seed", 1, "workload data seed")
+		timeline = flag.Bool("timeline", false, "print busy-lane timelines")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+		traceDir = flag.String("trace", "", "directory to write JSON/CSV traces into")
+		oiTable  = flag.Bool("oi", false, "print each workload's per-phase operational intensities")
+		machine  = flag.String("machine", "", "JSON file overriding Table 4 hardware parameters (dram_latency_cycles, vec_cache_kb, phys_regs, ...)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range occamy.Workloads() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	archs := map[string]occamy.Arch{
+		"private": occamy.Private, "fts": occamy.Temporal,
+		"vls": occamy.StaticSpatial, "occamy": occamy.Elastic,
+	}
+	var kinds []occamy.Arch
+	if strings.ToLower(*archName) == "all" {
+		kinds = occamy.Architectures()
+	} else {
+		k, ok := archs[strings.ToLower(*archName)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *archName)
+			os.Exit(2)
+		}
+		kinds = []occamy.Arch{k}
+	}
+
+	var tuning *occamy.MachineTuning
+	if *machine != "" {
+		data, err := os.ReadFile(*machine)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "machine: %v\n", err)
+			os.Exit(2)
+		}
+		tuning = new(occamy.MachineTuning)
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(tuning); err != nil {
+			fmt.Fprintf(os.Stderr, "machine %s: %v\n", *machine, err)
+			os.Exit(2)
+		}
+	}
+
+	r0, err := resolveWorkload(*w0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "w0: %v\n", err)
+		os.Exit(2)
+	}
+	r1, err := resolveWorkload(*w1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "w1: %v\n", err)
+		os.Exit(2)
+	}
+	sched := occamy.NewSchedule(fmt.Sprintf("%s+%s", r0.Name(), r1.Name()), r0, r1)
+	if *oiTable {
+		for _, ref := range []occamy.WorkloadRef{r0, r1} {
+			fmt.Printf("%s phases (oi_issue, oi_mem): %v\n", ref.Name(), ref.PhaseOIs())
+		}
+	}
+	for _, kind := range kinds {
+		cfg := occamy.DefaultConfig(kind)
+		cfg.Scale = *scale
+		cfg.Seed = *seed
+		cfg.TraceDir = *traceDir
+		cfg.Machine = tuning
+		rep, err := occamy.Run(cfg, sched)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", kind, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Summary())
+		if *timeline {
+			for c := range rep.Cores {
+				fmt.Printf("  core%d |%s|\n", c, rep.AsciiTimeline(c, 32))
+			}
+		}
+	}
+}

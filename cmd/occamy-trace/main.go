@@ -1,0 +1,60 @@
+// Command occamy-trace turns trace exports into a self-contained HTML page
+// with inline SVG charts: the busy-lane timelines, the allocated-lane
+// staircase (Figure 2(e)), the per-phase issue rates and the lane manager's
+// event log. Traces come from `occamy-sim -trace <dir>` or the library's
+// Config.TraceDir.
+//
+// Usage:
+//
+//	occamy-sim -w0 spec/WL20 -w1 spec/WL17 -trace out/
+//	occamy-trace -o report.html out/*.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"occamy/internal/htmlreport"
+	"occamy/internal/trace"
+)
+
+func main() {
+	out := flag.String("o", "trace.html", "output HTML file")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: occamy-trace [-o report.html] run1.json [run2.json ...]")
+		os.Exit(2)
+	}
+
+	page := htmlreport.New("Occamy trace viewer")
+	for _, path := range flag.Args() {
+		file, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "occamy-trace:", err)
+			os.Exit(1)
+		}
+		run, err := trace.ReadJSON(file)
+		file.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "occamy-trace: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		run.AddSections(page)
+	}
+
+	file, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occamy-trace:", err)
+		os.Exit(1)
+	}
+	if err := page.Write(file); err != nil {
+		fmt.Fprintln(os.Stderr, "occamy-trace:", err)
+		os.Exit(1)
+	}
+	if err := file.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "occamy-trace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d runs)\n", *out, flag.NArg())
+}

@@ -1,0 +1,128 @@
+// Assembly walks through the EM-SIMD protocol at the ISA level with two
+// hand-written programs (the Figure 9 code shape, by hand): core 0 runs a
+// memory-ish loop and publishes a low operational intensity; core 1 runs a
+// compute loop with a high one. The lane manager splits the 8 ExeBUs
+// accordingly, and when core 0 finishes, its epilogue releases the lanes and
+// core 1's partition monitor grabs them.
+//
+//	go run ./examples/assembly
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"occamy"
+)
+
+// Core 0: a[i] = a[i] (copy) over 4096 elements with oi ≈ 0.06 — memory-
+// intensive, so the lane manager gives it few lanes.
+const core0 = `
+	; phase prologue: publish OI (packed pair ~0.06) and take a default lane
+	MOVI X1, #1048592      ; PackOI(0.0625, 0.0625) = 16<<16 | 16
+	MSR <OI>, X1
+	MOVI X2, #1
+setvl:	MSR <VL>, X2
+	MRS X3, <status>
+	B.NEI X3, #1, setvl
+
+	MOVI X25, #4096        ; trip count
+	MOVI X8, #65536        ; input base
+	MOVI X9, #131072       ; output base
+	MOVI X0, #0
+loop:	MRS X4, <decision>     ; partition monitor
+	B.EQ X4, X2, body
+	B.EQI X4, #0, body
+	MSR <VL>, X4
+	MRS X3, <status>
+	B.NEI X3, #1, loop
+	MOV X2, X4
+body:	RDELEMS X5
+	ADD X6, X0, X5
+	B.LT X25, X6, done
+	VLD1W Z1, [X8, X0]
+	VFADD Z2, Z1, Z1       ; out = 2*a
+	VST1W Z2, [X9, X0]
+	MOV X0, X6
+	B loop
+done:	MSR <OI>, #0           ; phase epilogue: release everything
+rel:	MSR <VL>, #0
+	MRS X3, <status>
+	B.NEI X3, #1, rel
+	HALT
+`
+
+// Core 1: a long dependent compute loop with oi = 1.0 — it wants every lane
+// it can get.
+const core1 = `
+	MOVI X1, #16777472     ; PackOI(1.0, 1.0) = 256<<16 | 256
+	MSR <OI>, X1
+	MOVI X2, #1
+setvl:	MSR <VL>, X2
+	MRS X3, <status>
+	B.NEI X3, #1, setvl
+
+	MOVI X25, #8192
+	MOVI X8, #4194304
+	MOVI X9, #8388608
+	VDUPI Z24, #1.0009765625
+	MOVI X0, #0
+loop:	MRS X4, <decision>
+	B.EQ X4, X2, body
+	B.EQI X4, #0, body
+	MSR <VL>, X4
+	MRS X3, <status>
+	B.NEI X3, #1, loop
+	MOV X2, X4
+	VDUPI Z24, #1.0009765625  ; re-init the hoisted invariant (§6.4)
+body:	RDELEMS X5
+	ADD X6, X0, X5
+	B.LT X25, X6, done
+	VLD1W Z1, [X8, X0]
+	VFMUL Z2, Z1, Z24
+	VFMUL Z3, Z2, Z24
+	VFMUL Z4, Z3, Z24
+	VFMUL Z5, Z4, Z24
+	VFADD Z6, Z5, Z1
+	VFADD Z7, Z6, Z2
+	VFADD Z1, Z7, Z3
+	VST1W Z1, [X9, X0]
+	MOV X0, X6
+	B loop
+done:	MSR <OI>, #0
+rel:	MSR <VL>, #0
+	MRS X3, <status>
+	B.NEI X3, #1, rel
+	HALT
+`
+
+func main() {
+	asm, err := occamy.NewAssembly(core0, core1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Seed input arrays.
+	for i := 0; i < 4096; i++ {
+		asm.WriteF32(uint64(65536+4*i), float32(i%7)+1)
+	}
+	for i := 0; i < 8192; i++ {
+		asm.WriteF32(uint64(4194304+4*i), 1)
+	}
+
+	cycles, err := asm.Run(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("finished in %d cycles\n\n", cycles)
+
+	fmt.Println("lane-management log (the EM-SIMD protocol in action):")
+	for _, e := range asm.LaneEvents() {
+		fmt.Printf("  cycle %6d  core%d %-12s vl=%d  decisions=%v\n",
+			e.Cycle, e.Core, e.Kind, e.VL, e.Decisions)
+	}
+
+	fmt.Printf("\ncore0 output[5] = %v (want %v)\n", asm.ReadF32(131072+20), 2*asm.ReadF32(65536+20))
+	fmt.Printf("core1 output[0] = %v\n", asm.ReadF32(8388608))
+	fmt.Println("\nNote the staircase: core1 starts at 1 granule, grows to 7 while core0")
+	fmt.Println("holds 1, then takes all 8 once core0's epilogue releases its lanes.")
+}

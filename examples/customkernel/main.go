@@ -1,0 +1,73 @@
+// Customkernel shows the library's user-defined workload support: loop
+// kernels described in JSON (load slots, statements in the compact
+// expression syntax, trip counts) run through the full compiler + simulator
+// stack — including elastic lane sharing and functional verification —
+// exactly like the built-in Table 3 workloads.
+//
+//	go run ./examples/customkernel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"occamy"
+)
+
+// A streaming SAXPY phase followed by a 3-point stencil blur: the first is
+// memory-intensive (oi_mem = 0.17), the second has data reuse
+// (oi_issue < oi_mem), so the lane manager treats them differently.
+const customJSON = `{
+  "name": "saxpy-blur",
+  "phases": [
+    {
+      "kernel": "saxpy",
+      "elems": 24576,
+      "loads": [{"stream": 0}, {"stream": 1},
+                {"stream": 2}, {"stream": 3}],
+      "statements": [
+        {"out": 4, "expr": "add(mul(s0, c2.5), s1)"},
+        {"out": 5, "expr": "add(mul(s2, c0.5), s3)"}
+      ]
+    },
+    {
+      "kernel": "blur3",
+      "elems": 2048,
+      "repeats": 48,
+      "loads": [{"stream": 0, "offset": -1}, {"stream": 0}, {"stream": 0, "offset": 1}],
+      "statements": [
+        {"out": 1, "expr": "mul(add(add(add(mul(s0,c0.25), mul(s1,c0.5)), mul(s2,c0.25)), c0.001), c1.0)"}
+      ]
+    }
+  ]
+}`
+
+func main() {
+	custom, err := occamy.WorkloadFromJSON([]byte(customJSON))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom workload %q phases (oi_issue, oi_mem): %v\n",
+		custom.Name(), custom.PhaseOIs())
+
+	// Co-run the custom workload against a Table 3 compute kernel on the
+	// elastic architecture, and against the private baseline.
+	peer := occamy.WorkloadByName("spec/WL16") // wsm51, compute-intensive
+	sched := occamy.NewSchedule("custom+wsm51", custom, peer)
+
+	for _, a := range []occamy.Arch{occamy.Private, occamy.Elastic} {
+		cfg := occamy.DefaultConfig(a)
+		cfg.Scale = 0.5
+		rep, err := occamy.Run(cfg, sched) // Verify=true: results checked
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(rep.Summary())
+		fmt.Printf("peer busy lanes |%s|\n", rep.AsciiTimeline(1, 32))
+	}
+
+	fmt.Println("\nThe lane manager reads the custom phases' <OI> just like the")
+	fmt.Println("built-in ones: the saxpy phase frees lanes for the peer, the blur")
+	fmt.Println("phase's reuse earns it extra issue-bandwidth lanes (§7.4 Case 4).")
+}

@@ -1,0 +1,44 @@
+// Quickstart: run one co-scheduled pair on the elastic (Occamy) architecture
+// and print the paper's per-run metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"occamy"
+)
+
+func main() {
+	// WL20 (two memory-intensive SPEC phases: sff2, sff5) co-runs with
+	// WL17 (the compute-intensive wsm52 loop) — the §7.4 Case 1 pair.
+	// The memory-intensive workload goes on Core0, as in the paper.
+	sched := occamy.PairByName("spec/WL20", "spec/WL17")
+
+	cfg := occamy.DefaultConfig(occamy.Elastic)
+	cfg.Scale = 0.5 // half-size trip counts: quick but representative
+
+	report, err := occamy.Run(cfg, sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.Summary())
+
+	// Compare against the core-private baseline (Figure 1(a)).
+	cfgP := occamy.DefaultConfig(occamy.Private)
+	cfgP.Scale = cfg.Scale
+	baseline, err := occamy.Run(cfgP, sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for c := range report.Cores {
+		speedup := float64(baseline.Cores[c].Cycles) / float64(report.Cores[c].Cycles)
+		fmt.Printf("core%d speedup over Private: %.2fx\n", c, speedup)
+	}
+
+	// The elastic lane allocation over time (Figure 2(e)-style).
+	fmt.Println("\nWL17 busy lanes over time (' '..'%' = 0..32):")
+	fmt.Printf("|%s|\n", report.AsciiTimeline(1, 32))
+}

@@ -1,0 +1,38 @@
+// Roofline explores the paper's vector-length-aware roofline model (§5.1)
+// and the hardware lane manager's greedy partitioning (§5.2) without running
+// the simulator: for each Table 3 kernel it prints the attainable
+// performance across vector lengths and the lane split the manager would
+// choose against a compute-intensive peer.
+//
+//	go run ./examples/roofline
+package main
+
+import (
+	"fmt"
+
+	"occamy"
+)
+
+func main() {
+	fmt.Println("Attainable performance AP_vl (GFLOP/s, Eq. 4) per vector length,")
+	fmt.Println("and the lane split vs a compute-intensive peer (granules of 8):")
+	fmt.Printf("\n%-16s %6s %6s | %6s %6s %6s %6s | %s\n",
+		"kernel", "oi_is", "oi_mem", "AP(4)", "AP(8)", "AP(16)", "AP(32)", "plan [kernel, peer]")
+	for _, name := range occamy.Kernels() {
+		issue, mem := occamy.KernelOI(name)
+		plan := occamy.LanePlan([][2]float64{{issue, mem}, {10, 10}}, 8)
+		fmt.Printf("%-16s %6.2f %6.2f | %6.1f %6.1f %6.1f %6.1f | [%d, %d]\n",
+			name, issue, mem,
+			occamy.Roofline(1, issue, mem),
+			occamy.Roofline(2, issue, mem),
+			occamy.Roofline(4, issue, mem),
+			occamy.Roofline(8, issue, mem),
+			plan[0], plan[1])
+	}
+
+	fmt.Println("\nTable 5 (WL8.p1, oi_issue=0.17 oi_mem=0.25): the issue-bandwidth ceiling")
+	fmt.Println("binds below 12 lanes, so the manager grants 12 — not the memory-only 8:")
+	for g := 1; g <= 8; g++ {
+		fmt.Printf("  VL=%2d lanes: AP = %5.1f GFLOP/s\n", 4*g, occamy.Roofline(g, 1.0/6.0, 0.25))
+	}
+}

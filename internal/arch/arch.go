@@ -1,0 +1,343 @@
+// Package arch assembles complete simulated systems for the four SIMD
+// architectures of Figure 1 and runs co-scheduled workloads on them:
+//
+//	Private — core-private SIMD lanes (Figure 1(a), e.g. Intel Xeon)
+//	FTS     — temporal sharing of the full array (Figure 1(b), e.g. Apple M1)
+//	VLS     — static spatial sharing (Figure 1(c))
+//	Occamy  — elastic spatial sharing (Figure 1(d), this paper)
+//
+// All four share the same scalar cores, memory hierarchy and co-processor
+// structure; only the sharing policy (vector lengths, issue arbitration, VRF
+// namespace, EM-SIMD enablement) differs, mirroring §7.1's "same amount of
+// SIMD resources for fair comparison".
+package arch
+
+import (
+	"fmt"
+
+	"occamy/internal/compiler"
+	"occamy/internal/coproc"
+	"occamy/internal/cpu"
+	"occamy/internal/isa"
+	"occamy/internal/lanemgr"
+	"occamy/internal/mem"
+	"occamy/internal/roofline"
+	"occamy/internal/sim"
+	"occamy/internal/workload"
+)
+
+// Kind selects the sharing architecture.
+type Kind uint8
+
+// The four architectures of Figure 1.
+const (
+	Private Kind = iota
+	FTS
+	VLS
+	Occamy
+)
+
+// Kinds lists all four, in the paper's presentation order.
+var Kinds = []Kind{Private, FTS, VLS, Occamy}
+
+func (k Kind) String() string {
+	switch k {
+	case Private:
+		return "Private"
+	case FTS:
+		return "FTS"
+	case VLS:
+		return "VLS"
+	case Occamy:
+		return "Occamy"
+	}
+	return "Kind?"
+}
+
+// Options tunes a system build.
+type Options struct {
+	// ExeBUs overrides the granule count (default: 4 per core = Table 4's
+	// 32 lanes for two cores).
+	ExeBUs int
+	// MonitorPeriod is passed to the compiler (Occamy only).
+	MonitorPeriod int
+	// DefaultVL is the compiler-selected prologue default (Occamy only).
+	DefaultVL int
+	// Seed initializes workload data.
+	Seed uint64
+	// Model overrides the roofline model used by the lane manager and the
+	// VLS static planner.
+	Model *roofline.Model
+	// FTSPhysRegs overrides the shared physical register pool size for
+	// FTS (ablation; default coproc.DefaultConfig().PhysRegs).
+	FTSPhysRegs int
+	// StaticVLs overrides VLS's roofline-derived partition (granules per
+	// core); used by the Figure 14(a) fixed-lane sweeps.
+	StaticVLs []int
+	// Machine overrides selected hardware parameters (nil = Table 4).
+	Machine *MachineTuning
+}
+
+// MachineTuning overrides hardware parameters relative to the Table 4
+// defaults; zero fields keep the default. It exists so experiments (and the
+// occamy-sim -machine flag) can explore the design space without rebuilding.
+type MachineTuning struct {
+	// Memory system.
+	DRAMLatencyCycles uint64  `json:"dram_latency_cycles,omitempty"`
+	DRAMBytesPerCycle float64 `json:"dram_bytes_per_cycle,omitempty"`
+	VecCacheKB        int     `json:"vec_cache_kb,omitempty"`
+	VecPrefetchDegree int     `json:"vec_prefetch_degree,omitempty"`
+	L2MB              int     `json:"l2_mb,omitempty"`
+	// Co-processor.
+	PhysRegs     int    `json:"phys_regs,omitempty"`
+	LHQ          int    `json:"lhq,omitempty"`
+	STQ          int    `json:"stq,omitempty"`
+	ComputeLat   uint64 `json:"compute_lat,omitempty"`
+	DivLat       uint64 `json:"div_lat,omitempty"`
+	ComputeIssue int    `json:"compute_issue,omitempty"`
+	MemIssue     int    `json:"mem_issue,omitempty"`
+}
+
+// Validate rejects overrides the machine cannot realize: capacities must
+// keep power-of-two set counts (the vector cache is 8-way with 128 B lines,
+// so VecCacheKB must be a power of two; the L2 is 16-way with 64 B lines, so
+// L2MB must be), the physical-register file must leave rename headroom over
+// the 32 architectural registers, and nothing may go negative.
+func (m *MachineTuning) Validate() error {
+	if m == nil {
+		return nil
+	}
+	pow2 := func(v int) bool { return v&(v-1) == 0 }
+	if m.VecCacheKB > 0 && !pow2(m.VecCacheKB) {
+		return fmt.Errorf("arch: vec_cache_kb %d must be a power of two", m.VecCacheKB)
+	}
+	if m.L2MB > 0 && !pow2(m.L2MB) {
+		return fmt.Errorf("arch: l2_mb %d must be a power of two", m.L2MB)
+	}
+	if m.PhysRegs > 0 && m.PhysRegs < 64 {
+		return fmt.Errorf("arch: phys_regs %d leaves no rename headroom (need >= 64)", m.PhysRegs)
+	}
+	if m.LHQ < 0 || m.STQ < 0 || m.ComputeIssue < 0 || m.MemIssue < 0 ||
+		m.VecCacheKB < 0 || m.L2MB < 0 || m.VecPrefetchDegree < 0 || m.PhysRegs < 0 {
+		return fmt.Errorf("arch: negative machine override")
+	}
+	if m.DRAMBytesPerCycle < 0 {
+		return fmt.Errorf("arch: negative DRAM bandwidth")
+	}
+	return nil
+}
+
+// apply merges the non-zero overrides into the hierarchy and co-processor
+// configurations.
+func (m *MachineTuning) apply(h *mem.HierarchyConfig, c *coproc.Config) {
+	if m == nil {
+		return
+	}
+	if m.DRAMLatencyCycles > 0 {
+		h.DRAM.LatencyCycles = m.DRAMLatencyCycles
+	}
+	if m.DRAMBytesPerCycle > 0 {
+		h.DRAM.BytesPerCycle = m.DRAMBytesPerCycle
+	}
+	if m.VecCacheKB > 0 {
+		h.VecCache.SizeBytes = m.VecCacheKB << 10
+	}
+	if m.VecPrefetchDegree > 0 {
+		h.VecCache.PrefetchDegree = m.VecPrefetchDegree
+	}
+	if m.L2MB > 0 {
+		h.L2.SizeBytes = m.L2MB << 20
+	}
+	if m.PhysRegs > 0 {
+		c.PhysRegs = m.PhysRegs
+	}
+	if m.LHQ > 0 {
+		c.LHQ = m.LHQ
+	}
+	if m.STQ > 0 {
+		c.STQ = m.STQ
+	}
+	if m.ComputeLat > 0 {
+		c.ComputeLat = m.ComputeLat
+	}
+	if m.DivLat > 0 {
+		c.DivLat = m.DivLat
+	}
+	if m.ComputeIssue > 0 {
+		c.ComputeIssue = m.ComputeIssue
+	}
+	if m.MemIssue > 0 {
+		c.MemIssue = m.MemIssue
+	}
+}
+
+// System is a fully wired simulated machine executing one co-schedule.
+type System struct {
+	Kind     Kind
+	Engine   *sim.Engine
+	Hier     *mem.Hierarchy
+	Coproc   *coproc.Coproc
+	Cores    []*cpu.Core
+	Compiled []*compiler.Compiled
+	Sched    workload.CoSchedule
+	Stats    *sim.Stats
+	// StaticVLs records the VLS partition (granules per core) for reports.
+	StaticVLs []int
+}
+
+// Build compiles the co-schedule's workloads for kind and wires the system.
+func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) {
+	n := sched.Cores()
+	if n == 0 {
+		return nil, fmt.Errorf("arch: empty co-schedule")
+	}
+	if opts.ExeBUs == 0 {
+		opts.ExeBUs = 4 * n
+	}
+	model := roofline.Default()
+	if opts.Model != nil {
+		model = *opts.Model
+	}
+
+	if err := opts.Machine.Validate(); err != nil {
+		return nil, err
+	}
+
+	engine := sim.NewEngine()
+	stats := engine.Stats()
+	hcfg := mem.DefaultHierarchyConfig(n)
+	ccfg := coproc.DefaultConfig(n)
+	opts.Machine.apply(&hcfg, &ccfg)
+	hier := mem.NewHierarchy(hcfg, stats)
+	ccfg.ExeBUs = opts.ExeBUs
+	var staticVLs []int
+	switch kind {
+	case Private:
+		ccfg.Elastic = false
+		ccfg.FixedVLs = make([]int, n)
+		for c := range ccfg.FixedVLs {
+			ccfg.FixedVLs[c] = opts.ExeBUs / n
+		}
+		staticVLs = ccfg.FixedVLs
+	case FTS:
+		ccfg.Elastic = false
+		ccfg.SharedIssue = true
+		ccfg.SharedVRF = true
+		if opts.FTSPhysRegs > 0 {
+			ccfg.PhysRegs = opts.FTSPhysRegs
+		}
+	case VLS:
+		ccfg.Elastic = false
+		if len(opts.StaticVLs) == n {
+			ccfg.FixedVLs = opts.StaticVLs
+		} else {
+			ccfg.FixedVLs = staticPlan(model, sched, opts.ExeBUs)
+		}
+		staticVLs = ccfg.FixedVLs
+	case Occamy:
+		ccfg.Elastic = true
+	}
+
+	cp := coproc.New(ccfg, hier.VecCache, hier.Mem, model, stats)
+
+	mode := compiler.ModeFixed
+	if kind == Occamy {
+		mode = compiler.ModeElastic
+	}
+	sys := &System{
+		Kind: kind, Engine: engine, Hier: hier, Coproc: cp,
+		Sched: sched, Stats: stats, StaticVLs: staticVLs,
+	}
+	for c, w := range sched.W {
+		comp, err := compiler.Compile(w, compiler.Options{
+			Mode:          mode,
+			MonitorPeriod: opts.MonitorPeriod,
+			DefaultVL:     opts.DefaultVL,
+			BaseAddr:      uint64(c+1) << 32,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("arch: compile %s for core %d: %w", w.Name, c, err)
+		}
+		comp.InitData(hier.Mem, opts.Seed+uint64(c)*7919+1)
+		core := cpu.New(c, cpu.DefaultConfig(), comp.Program, cp, hier.L1D[c], hier.Mem, stats)
+		sys.Compiled = append(sys.Compiled, comp)
+		sys.Cores = append(sys.Cores, core)
+		engine.Register(core)
+	}
+	engine.Register(cp)
+	cp.SetResponder(func(core int, reg isa.Reg, val uint64, ready uint64) {
+		sys.Cores[core].HandleResult(core, reg, val, ready)
+	})
+	return sys, nil
+}
+
+// staticPlan computes VLS's one-off partition: the roofline plan over each
+// workload's trip-count-weighted mean operational intensity, with any lanes
+// the plan leaves free handed out round-robin (a static policy has no reason
+// to idle silicon for the whole run).
+func staticPlan(model roofline.Model, sched workload.CoSchedule, total int) []int {
+	ois := make([]isa.OIPair, sched.Cores())
+	for c, w := range sched.W {
+		var issue, memOI, weight float64
+		for _, k := range w.Phases {
+			oi := k.OI()
+			f := float64(k.Elems) * float64(k.Repeats)
+			issue += oi.Issue * f
+			memOI += oi.Mem * f
+			weight += f
+		}
+		ois[c] = isa.OIPair{Issue: issue / weight, Mem: memOI / weight}
+	}
+	plan := lanemgr.Plan(model, ois, total)
+	used := 0
+	for _, vl := range plan {
+		used += vl
+	}
+	for c := 0; used < total; c = (c + 1) % len(plan) {
+		plan[c]++
+		used++
+	}
+	return plan
+}
+
+// Done reports whether every core has halted AND the co-processor has
+// drained its backlog (the scalar cores halt while transmitted instructions
+// may still be queued).
+func (s *System) Done() bool {
+	now := s.Engine.Cycle()
+	for c, core := range s.Cores {
+		if !core.Halted() || !s.Coproc.Quiescent(c, now) {
+			return false
+		}
+	}
+	return true
+}
+
+// Run simulates until every core halts or maxCycles elapse.
+func (s *System) Run(maxCycles uint64) (*Result, error) {
+	if _, err := s.Engine.RunUntil(s.Done, maxCycles); err != nil {
+		return nil, fmt.Errorf("arch: %s on %s: %w (pcs: %s)", s.Sched.Name, s.Kind, err, s.pcDump())
+	}
+	return s.collect(), nil
+}
+
+func (s *System) pcDump() string {
+	out := ""
+	for c, core := range s.Cores {
+		out += fmt.Sprintf("core%d pc=%d halted=%v vl=%d ", c, core.PC(), core.Halted(), s.Coproc.VL(c))
+	}
+	return out
+}
+
+// CheckResults verifies every phase's functional output against the host
+// reference (see compiler.Phase.CheckResults).
+func (s *System) CheckResults(relTol float64) error {
+	for c, comp := range s.Compiled {
+		for i := range comp.Phases {
+			if err := comp.Phases[i].CheckResults(s.Hier.Mem, relTol); err != nil {
+				return fmt.Errorf("core %d (%s): %w", c, s.Sched.W[c].Name, err)
+			}
+		}
+	}
+	return nil
+}

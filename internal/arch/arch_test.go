@@ -1,0 +1,47 @@
+package arch
+
+import (
+	"testing"
+
+	"occamy/internal/workload"
+)
+
+const testScale = 0.25 // shrink trip counts so the full matrix stays fast
+
+func testSched(t *testing.T) workload.CoSchedule {
+	t.Helper()
+	r := workload.NewRegistry()
+	return workload.MotivatingPair(r).Scaled(testScale)
+}
+
+func runOn(t *testing.T, kind Kind, sched workload.CoSchedule) *Result {
+	t.Helper()
+	sys, err := Build(kind, sched, Options{Seed: 7})
+	if err != nil {
+		t.Fatalf("Build(%s): %v", kind, err)
+	}
+	res, err := sys.Run(40_000_000)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", kind, err)
+	}
+	if err := sys.CheckResults(2e-3); err != nil {
+		t.Fatalf("%s: functional check failed: %v", kind, err)
+	}
+	return res
+}
+
+func TestAllArchitecturesRunMotivatingPair(t *testing.T) {
+	sched := testSched(t)
+	for _, kind := range Kinds {
+		res := runOn(t, kind, sched)
+		if res.Cycles == 0 {
+			t.Fatalf("%s: zero makespan", kind)
+		}
+		if res.Utilization <= 0 || res.Utilization > 1 {
+			t.Fatalf("%s: utilization %v out of range", kind, res.Utilization)
+		}
+		t.Logf("%s: makespan=%d util=%.1f%% core0=%d core1=%d issue1=%.2f",
+			kind, res.Cycles, 100*res.Utilization,
+			res.Cores[0].Cycles, res.Cores[1].Cycles, res.Cores[1].IssueRate)
+	}
+}

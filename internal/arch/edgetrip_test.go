@@ -1,0 +1,97 @@
+package arch
+
+import (
+	"testing"
+
+	"occamy/internal/workload"
+)
+
+// edgeTrips are trip counts around every code-generation boundary: the
+// multi-version scalar threshold (128), the 32-lane full-width strip, the
+// 4-lane granule, and the degenerate single-element loop.
+var edgeTrips = []int{1, 2, 3, 4, 5, 31, 32, 33, 127, 128, 129, 255, 256, 257, 511, 513}
+
+// edgeKernel is a two-input elementwise kernel with a non-trivial expression
+// so wrong-lane or wrong-tail bugs change the output.
+func edgeKernel(elems int) *workload.Kernel {
+	return &workload.Kernel{
+		Name:  "edge",
+		Slots: []workload.LoadSlot{{Stream: 0}, {Stream: 1}},
+		Stmts: []workload.Stmt{{Out: 2, E: workload.Add(
+			workload.Mul(workload.Slot(0), workload.Const(1.5)),
+			workload.Div(workload.Slot(1), workload.Const(3)),
+		)}},
+		Elems: elems, Repeats: 2,
+	}
+}
+
+// TestEdgeTripCountsAllArchitectures runs every boundary trip count on every
+// architecture and verifies the results numerically — the predicated tail,
+// the scalar fallback and the full-strip paths all have to agree.
+func TestEdgeTripCountsAllArchitectures(t *testing.T) {
+	for _, elems := range edgeTrips {
+		w := &workload.Workload{Name: "edge", Phases: []*workload.Kernel{edgeKernel(elems)}}
+		for _, kind := range Kinds {
+			sys := runMode(t, kind, w)
+			if err := sys.Compiled[0].Phases[0].CheckResults(sys.Hier.Mem, 2e-3); err != nil {
+				t.Errorf("elems=%d on %s: %v", elems, kind, err)
+			}
+		}
+	}
+}
+
+// TestEdgeTripReductions runs the same boundaries through the reduction
+// path, whose fix-up code is the most VL-sensitive part of the compiler.
+func TestEdgeTripReductions(t *testing.T) {
+	for _, elems := range edgeTrips {
+		k := &workload.Kernel{
+			Name:      "edgered",
+			Reduction: true,
+			Slots:     []workload.LoadSlot{{Stream: 0}, {Stream: 1}},
+			Stmts: []workload.Stmt{{Out: -1, E: workload.Mul(
+				workload.Slot(0), workload.Slot(1))}},
+			Elems: elems, Repeats: 2,
+		}
+		w := &workload.Workload{Name: "edgered", Phases: []*workload.Kernel{k}}
+		for _, kind := range []Kind{Private, Occamy} {
+			sys := runMode(t, kind, w)
+			if err := sys.Compiled[0].Phases[0].CheckResults(sys.Hier.Mem, 2e-3); err != nil {
+				t.Errorf("reduction elems=%d on %s: %v", elems, kind, err)
+			}
+		}
+	}
+}
+
+// TestEdgeTripCoRunning pairs a single-element loop with a long peer on the
+// elastic architecture: the tiny phase's prologue/epilogue must leave the
+// lane pool consistent for the survivor.
+func TestEdgeTripCoRunning(t *testing.T) {
+	tiny := &workload.Workload{Name: "tiny", Phases: []*workload.Kernel{edgeKernel(1)}}
+	r := workload.NewRegistry()
+	peer := r.Workload("spec/WL17").Scaled(0.25)
+	sched := workload.CoSchedule{Name: "tiny+peer", W: []*workload.Workload{tiny, peer}}
+	sys, err := Build(Occamy, sched, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckResults(2e-3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroTripRejected pins that degenerate kernels are rejected up front
+// rather than miscompiled.
+func TestZeroTripRejected(t *testing.T) {
+	k := edgeKernel(0)
+	if err := k.Validate(); err == nil {
+		t.Fatal("zero-trip kernel accepted")
+	}
+	k = edgeKernel(4)
+	k.Repeats = 0
+	if err := k.Validate(); err == nil {
+		t.Fatal("zero-repeat kernel accepted")
+	}
+}

@@ -1,0 +1,196 @@
+package arch
+
+import (
+	"testing"
+
+	"occamy/internal/isa"
+	"occamy/internal/workload"
+)
+
+// intKernels builds integer-lane kernels exercising every integer vector
+// operation with real value semantics.
+func intKernels() []*workload.Kernel {
+	// threshold: out = min(max(x + 16, 32), 224) — a saturating add, the
+	// classic image-processing clamp.
+	thresh := &workload.Kernel{
+		Name:    "int_thresh",
+		IntData: true,
+		Slots:   []workload.LoadSlot{{Stream: 0}},
+		Stmts: []workload.Stmt{{Out: 1, E: workload.IMin(
+			workload.IMax(workload.IAdd(workload.Slot(0), workload.IConst(16)), workload.IConst(32)),
+			workload.IConst(224))}},
+		Elems: 517, Repeats: 2,
+	}
+	// mix: out = ((a ^ b) & 255) | (a << 1 >> 2 pattern) exercising
+	// logic, shifts and multiply.
+	mix := &workload.Kernel{
+		Name:    "int_mix",
+		IntData: true,
+		Slots:   []workload.LoadSlot{{Stream: 0}, {Stream: 1}},
+		Stmts: []workload.Stmt{{Out: 2, E: workload.IOr(
+			workload.IAnd(workload.IXor(workload.Slot(0), workload.Slot(1)), workload.IConst(255)),
+			workload.IShl(workload.IShr(workload.IMul(workload.Slot(0), workload.IConst(3)), workload.IConst(2)), workload.IConst(1)),
+		)}},
+		Elems: 301, Repeats: 3,
+	}
+	// diff: out = a - b (may go negative; arithmetic semantics).
+	diff := &workload.Kernel{
+		Name:    "int_diff",
+		IntData: true,
+		Slots:   []workload.LoadSlot{{Stream: 0}, {Stream: 1}},
+		Stmts:   []workload.Stmt{{Out: 2, E: workload.ISub(workload.Slot(0), workload.Slot(1))}},
+		Elems:   233, Repeats: 1,
+	}
+	return []*workload.Kernel{thresh, mix, diff}
+}
+
+// TestIntegerKernelsBitExactOnAllArchitectures runs the integer kernels end
+// to end on every architecture; results must match the host reference
+// bit-exactly (no FP tolerance).
+func TestIntegerKernelsBitExactOnAllArchitectures(t *testing.T) {
+	for _, k := range intKernels() {
+		w := &workload.Workload{Name: "int/" + k.Name, Phases: []*workload.Kernel{k}}
+		for _, kind := range Kinds {
+			sys := runMode(t, kind, w)
+			if err := sys.Compiled[0].Phases[0].CheckResults(sys.Hier.Mem, 0); err != nil {
+				t.Errorf("%s on %s: %v", k.Name, kind, err)
+			}
+		}
+	}
+}
+
+// TestIntegerScalarVersionBitExact takes the multi-version scalar path.
+func TestIntegerScalarVersionBitExact(t *testing.T) {
+	for _, k := range intKernels() {
+		kc := *k
+		kc.Elems = 77 // below the scalar threshold
+		w := &workload.Workload{Name: "ints/" + k.Name, Phases: []*workload.Kernel{&kc}}
+		sys := runMode(t, Private, w)
+		if err := sys.Compiled[0].Phases[0].CheckResults(sys.Hier.Mem, 0); err != nil {
+			t.Errorf("%s scalar: %v", k.Name, err)
+		}
+	}
+}
+
+// TestIntegerElasticUnderReconfiguration co-runs an integer kernel with a
+// churning peer: integer lanes must survive vector-length changes bit-
+// exactly (the §6.4 obligations apply to every data type).
+func TestIntegerElasticUnderReconfiguration(t *testing.T) {
+	r := workload.NewRegistry()
+	ks := intKernels()
+	for i := range ks {
+		k := *ks[i]
+		k.Elems = 2000
+		k.Repeats = 2
+		ks[i] = &k
+	}
+	w0 := &workload.Workload{Name: "intchurn", Phases: ks}
+	peer := r.Workload("spec/WL16").Scaled(0.2)
+	sched := workload.CoSchedule{Name: "int+peer", W: []*workload.Workload{w0, peer}}
+	sys, err := Build(Occamy, sched, Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(400_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconfigures == 0 {
+		t.Fatal("expected reconfigurations during the integer run")
+	}
+	for p := range sys.Compiled[0].Phases {
+		if err := sys.Compiled[0].Phases[p].CheckResults(sys.Hier.Mem, 0); err != nil {
+			t.Errorf("phase %d: %v", p, err)
+		}
+	}
+}
+
+// TestIntegerJSONRoundTrip defines an integer kernel via JSON and verifies
+// the whole path including the expression syntax.
+func TestIntegerJSONRoundTrip(t *testing.T) {
+	src := `{
+	  "name": "json-int",
+	  "phases": [{
+	    "kernel": "clamp",
+	    "elems": 400,
+	    "int_data": true,
+	    "loads": [{"stream": 0}],
+	    "statements": [{"out": 1, "expr": "imin(imax(iadd(s0, i10), i0), i200)"}]
+	  }]
+	}`
+	w, err := workload.ParseWorkloadJSON([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := runMode(t, Occamy, w)
+	if err := sys.Compiled[0].Phases[0].CheckResults(sys.Hier.Mem, 0); err != nil {
+		t.Fatal(err)
+	}
+	// And the values are sane integers in [10, 200].
+	ph := sys.Compiled[0].Phases[0]
+	out := ph.Streams[1]
+	for i := 0; i < 10; i++ {
+		v := isa.LaneInt(sys.Hier.Mem.ReadF32(out.Base + uint64(4*(workload.Halo+i))))
+		if v < 10 || v > 200 {
+			t.Fatalf("elem %d = %d outside the clamp range", i, v)
+		}
+	}
+}
+
+// TestIntegerReductionRejected pins the validation rule.
+func TestIntegerReductionRejected(t *testing.T) {
+	k := &workload.Kernel{
+		Name: "bad", IntData: true, Reduction: true,
+		Slots: []workload.LoadSlot{{Stream: 0}},
+		Stmts: []workload.Stmt{{Out: -1, E: workload.Slot(0)}},
+		Elems: 64, Repeats: 1,
+	}
+	if err := k.Validate(); err == nil {
+		t.Fatal("integer reductions must be rejected")
+	}
+}
+
+// TestRegistryIntegerKernelsEndToEnd runs the registry's OpenCV-style
+// integer kernels (threshold, absdiff, bitwise, clamp+scale) on Private and
+// Occamy with bit-exact verification, including semantic spot checks.
+func TestRegistryIntegerKernelsEndToEnd(t *testing.T) {
+	r := workload.NewRegistry()
+	for _, name := range []string{"int_threshold", "int_absdiff", "int_bitwise", "int_clamp_scale"} {
+		k := *r.Kernel(name)
+		k.Elems = 600
+		if k.Repeats > 3 {
+			k.Repeats = 3
+		}
+		w := &workload.Workload{Name: "reg/" + name, Phases: []*workload.Kernel{&k}}
+		for _, kind := range []Kind{Private, Occamy} {
+			sys := runMode(t, kind, w)
+			if err := sys.Compiled[0].Phases[0].CheckResults(sys.Hier.Mem, 0); err != nil {
+				t.Errorf("%s on %s: %v", name, kind, err)
+			}
+		}
+	}
+	// Spot-check int_threshold semantics: inputs are 0..255, outputs must
+	// be exactly 0 or 255.
+	k := *r.Kernel("int_threshold")
+	k.Elems = 256
+	k.Repeats = 1
+	w := &workload.Workload{Name: "spot", Phases: []*workload.Kernel{&k}}
+	sys := runMode(t, Private, w)
+	ph := sys.Compiled[0].Phases[0]
+	out := ph.Streams[1]
+	zeros, maxes := 0, 0
+	for i := 0; i < 256; i++ {
+		v := isa.LaneInt(sys.Hier.Mem.ReadF32(out.Base + uint64(4*(workload.Halo+i))))
+		switch v {
+		case 0:
+			zeros++
+		case 255:
+			maxes++
+		default:
+			t.Fatalf("threshold output %d at elem %d", v, i)
+		}
+	}
+	if zeros == 0 || maxes == 0 {
+		t.Fatalf("degenerate threshold: %d zeros, %d maxes", zeros, maxes)
+	}
+}

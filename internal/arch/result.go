@@ -1,0 +1,104 @@
+package arch
+
+import "fmt"
+
+// CoreResult carries one core's measurements from a run.
+type CoreResult struct {
+	Workload string
+	// Cycles is the core's completion time (cycle of HALT).
+	Cycles uint64
+	// ComputeIssued / MemIssued are SIMD instruction counts.
+	ComputeIssued uint64
+	MemIssued     uint64
+	// IssueRate is ComputeIssued per execution cycle — the paper's "SIMD
+	// issue rate" over the whole run.
+	IssueRate float64
+	// PhaseIssueRates and PhaseCycles break the issue rate down per
+	// compiler phase (Figure 2(f), Figure 14(c)).
+	PhaseIssueRates []float64
+	PhaseCycles     []uint64
+	// RenameStalls is the number of cycles with issue blocked waiting for
+	// free physical registers; RenameStallFrac normalizes by the core's
+	// execution time (Figure 13).
+	RenameStalls    uint64
+	RenameStallFrac float64
+	// MonitorInsts / ReconfigInsts / DrainWait feed the Figure 15
+	// overhead accounting; OverheadMonitorFrac and OverheadReconfigFrac
+	// are fractions of the core's execution time.
+	MonitorInsts         uint64
+	ReconfigInsts        uint64
+	DrainWait            uint64
+	OverheadMonitorFrac  float64
+	OverheadReconfigFrac float64
+}
+
+// Result carries a full run's measurements.
+type Result struct {
+	Arch  Kind
+	Sched string
+	// Cycles is the makespan (last core's completion).
+	Cycles uint64
+	// Utilization is the paper's SIMD_util over the whole run (§2).
+	Utilization float64
+	Cores       []CoreResult
+	// Repartitions and Reconfigures count lane-manager plan computations
+	// and successful <VL> changes (Occamy only).
+	Repartitions uint64
+	Reconfigures uint64
+	// StaticVLs echoes the VLS partition used, when applicable.
+	StaticVLs []int
+}
+
+func (s *System) collect() *Result {
+	res := &Result{
+		Arch:         s.Kind,
+		Sched:        s.Sched.Name,
+		Utilization:  s.Coproc.Utilization(),
+		Repartitions: s.Stats.Get("coproc.repartitions"),
+		Reconfigures: s.Stats.Get("coproc.reconfigures"),
+		StaticVLs:    s.StaticVLs,
+	}
+	width := float64(8) // cpu.DefaultConfig().Width
+	for c, core := range s.Cores {
+		snap := s.Coproc.CoreSnapshot(c)
+		cycles := core.HaltCycle()
+		if la := s.Coproc.LastActive(c); la > cycles {
+			cycles = la
+		}
+		if cycles > res.Cycles {
+			res.Cycles = cycles
+		}
+		cr := CoreResult{
+			Workload:      s.Sched.W[c].Name,
+			Cycles:        cycles,
+			ComputeIssued: snap.ComputeIssued,
+			MemIssued:     snap.MemIssued,
+			RenameStalls:  snap.RenameStalls,
+			MonitorInsts:  s.Stats.Get(fmt.Sprintf("cpu%d.monitor_insts", c)),
+			ReconfigInsts: s.Stats.Get(fmt.Sprintf("cpu%d.reconfig_insts", c)),
+			DrainWait:     snap.DrainWait,
+		}
+		if cycles > 0 {
+			cr.IssueRate = float64(snap.ComputeIssued) / float64(cycles)
+			cr.RenameStallFrac = float64(snap.RenameStalls) / float64(cycles)
+			cr.OverheadMonitorFrac = float64(cr.MonitorInsts) / width / float64(cycles)
+			cr.OverheadReconfigFrac = (float64(cr.ReconfigInsts)/width + float64(cr.DrainWait)) / float64(cycles)
+		}
+		nPhases := len(s.Compiled[c].Phases)
+		for p := 0; p < nPhases; p++ {
+			pc := s.Stats.Get(fmt.Sprintf("cpu%d.phase%d.cycles", c, p))
+			var issued uint64
+			if p+1 < len(snap.ComputeByPhase) {
+				issued = snap.ComputeByPhase[p+1]
+			}
+			rate := 0.0
+			if pc > 0 {
+				rate = float64(issued) / float64(pc)
+			}
+			cr.PhaseCycles = append(cr.PhaseCycles, pc)
+			cr.PhaseIssueRates = append(cr.PhaseIssueRates, rate)
+		}
+		res.Cores = append(res.Cores, cr)
+	}
+	return res
+}

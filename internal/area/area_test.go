@@ -1,0 +1,110 @@
+package area
+
+import (
+	"math"
+	"testing"
+
+	"occamy/internal/arch"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestFigure12_Totals checks the published 2-core totals: 1.263 mm² for
+// Private and ≈1.265 mm² for the sharing architectures (Table 4).
+func TestFigure12_Totals(t *testing.T) {
+	f := Figure12()
+	if !approx(f[arch.Private], 1.263, 0.003) {
+		t.Errorf("Private total = %.3f, want 1.263", f[arch.Private])
+	}
+	for _, k := range []arch.Kind{arch.FTS, arch.VLS, arch.Occamy} {
+		if !approx(f[k], 1.265, 0.004) {
+			t.Errorf("%s total = %.3f, want ~1.265", k, f[k])
+		}
+	}
+}
+
+// TestFigure12_BigThreeShares checks the breakdown shape: SIMD execution
+// units ≈46%, LSU ≈23%, register file ≈15% of the total.
+func TestFigure12_BigThreeShares(t *testing.T) {
+	b := Breakdown(arch.Occamy, 2, false)
+	total := Total(b)
+	shares := map[string]float64{"SIMDExeUnits": 0.46, "LSU": 0.23, "RegisterFile": 0.15}
+	for name, want := range shares {
+		got := b[name] / total
+		if !approx(got, want, 0.01) {
+			t.Errorf("%s share = %.1f%%, want %.0f%%", name, 100*got, 100*want)
+		}
+	}
+}
+
+// TestManagerUnderOnePercent checks §7.3: the Manager takes less than 1% of
+// Occamy's total area.
+func TestManagerUnderOnePercent(t *testing.T) {
+	b := Breakdown(arch.Occamy, 2, false)
+	if share := b["Manager"] / Total(b); share <= 0 || share >= 0.01 {
+		t.Fatalf("Manager share = %.2f%%, want (0, 1%%)", 100*share)
+	}
+	if Breakdown(arch.Private, 2, false)["Manager"] != 0 {
+		t.Fatal("Private must have no Manager")
+	}
+}
+
+// TestScaling2To4Cores checks §4.2.1: growing the tables and pipelines from
+// 2 to 4 cores adds ≈3% area.
+func TestScaling2To4Cores(t *testing.T) {
+	for _, k := range arch.Kinds {
+		t2 := Total(Breakdown(k, 2, false))
+		t4 := Total(Breakdown(k, 4, false))
+		growth := t4/t2 - 1
+		if growth < 0.02 || growth > 0.045 {
+			t.Errorf("%s 2->4 core growth = %.1f%%, want ~3%%", k, 100*growth)
+		}
+	}
+}
+
+// TestFTSPerCoreVRFCosts33Percent checks §7.6: FTS keeping the two-core
+// register capacity per core at 4 cores costs ≈33.5% more area than the
+// other architectures.
+func TestFTSPerCoreVRFCosts33Percent(t *testing.T) {
+	others := Total(Breakdown(arch.Occamy, 4, false))
+	fts := Total(Breakdown(arch.FTS, 4, true))
+	extra := fts/others - 1
+	if !approx(extra, 0.335, 0.03) {
+		t.Errorf("FTS per-core-VRF overhead = %.1f%%, want ~33.5%%", 100*extra)
+	}
+	// Without the per-core VRF option, FTS stays in family.
+	plain := Total(Breakdown(arch.FTS, 4, false))
+	if plain/others > 1.01 {
+		t.Errorf("plain FTS at 4 cores = %.3f vs %.3f, want parity", plain, others)
+	}
+}
+
+func TestBreakdownCoversAllComponents(t *testing.T) {
+	b := Breakdown(arch.Occamy, 2, false)
+	for _, name := range Components {
+		if _, ok := b[name]; !ok {
+			t.Errorf("component %s missing from breakdown", name)
+		}
+	}
+}
+
+func TestRenderMentionsEveryArch(t *testing.T) {
+	out := Render(2, false)
+	for _, k := range arch.Kinds {
+		if !contains(out, k.String()) {
+			t.Errorf("render missing %s", k)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}

@@ -1,0 +1,404 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"occamy/internal/isa"
+	"occamy/internal/workload"
+)
+
+// Scalar-register conventions used by generated code. X31 is XZR.
+const (
+	regIdx     = isa.Reg(0)  // X0: element index
+	regOIVal   = isa.Reg(1)  // X1: packed <OI> value / zero for epilogue
+	regReqVL   = isa.Reg(2)  // X2: requested vector length (granules)
+	regStatus  = isa.Reg(3)  // X3: <status> readback
+	regDec     = isa.Reg(4)  // X4: <decision> readback
+	regElems   = isa.Reg(5)  // X5: elements per full strip (RDELEMS)
+	regBound   = isa.Reg(6)  // X6: scratch / strip bound
+	regTail    = isa.Reg(7)  // X7: tail active-element count
+	regAddr0   = isa.Reg(8)  // X8..X23: stream address registers
+	regRepeat  = isa.Reg(24) // X24: repeat counter
+	regTrip    = isa.Reg(25) // X25: total trip count
+	regThresh  = isa.Reg(26) // X26: multi-version threshold
+	regMonCnt  = isa.Reg(27) // X27: monitor period counter
+	regRedSave = isa.Reg(28) // X28: reduction partial across VL changes
+)
+
+// Vector-register conventions.
+const (
+	zSlot0       = isa.Reg(0)  // Z0..Z15: one per load slot
+	zTemp0       = isa.Reg(16) // Z16..Z23: expression temporaries
+	zConst0      = isa.Reg(24) // Z24..Z30: hoisted loop-invariant constants
+	zAcc         = isa.Reg(31) // Z31: reduction accumulator
+	maxSlotRegs  = 16
+	maxTempRegs  = 8
+	maxConstRegs = 7
+)
+
+// Scalar-float conventions for the non-vectorized version.
+const (
+	fTemp0 = isa.Reg(0) // F0..F7: temporaries
+	fSlot0 = isa.Reg(8) // F8..F23: loaded slot values
+	fAcc   = isa.Reg(31)
+)
+
+// codegen drives program emission for one workload.
+type codegen struct {
+	b   *isa.Builder
+	c   *Compiled
+	err error
+}
+
+func newCodegen(name string, c *Compiled) *codegen {
+	return &codegen{b: isa.NewBuilder(name + "." + c.Opts.Mode.String()), c: c}
+}
+
+func (g *codegen) fail(err error) {
+	if g.err == nil {
+		g.err = err
+	}
+}
+
+func (g *codegen) run() (*isa.Program, error) {
+	for i := range g.c.Phases {
+		g.emitPhase(i)
+	}
+	g.b.SetPhase(-1)
+	g.b.Emit(isa.Inst{Op: isa.OpHalt})
+	if g.err != nil {
+		return nil, g.err
+	}
+	return g.b.Finalize()
+}
+
+// phaseCtx holds per-phase emission state.
+type phaseCtx struct {
+	idx    int
+	ph     *Phase
+	k      *workload.Kernel
+	outIdx map[int]int // output stream id -> address-register slot after loads
+	consts []float32   // hoisted constant pool, indexed by zConst0 offset
+}
+
+func (g *codegen) emitPhase(i int) {
+	ph := &g.c.Phases[i]
+	k := ph.Kernel
+	ctx := &phaseCtx{idx: i, ph: ph, k: k, outIdx: make(map[int]int)}
+	for n, os := range k.OutStreams() {
+		ctx.outIdx[os] = len(k.Slots) + n
+	}
+	if len(k.Slots)+len(k.OutStreams()) > maxSlotRegs {
+		g.fail(fmt.Errorf("compiler: %s: %d address registers needed, have %d",
+			k.Name, len(k.Slots)+len(k.OutStreams()), maxSlotRegs))
+		return
+	}
+	g.collectConsts(ctx)
+	g.b.SetPhase(i)
+
+	lbl := func(s string) string { return fmt.Sprintf("p%d_%s", i, s) }
+
+	// Trip count and multi-version dispatch (§6.3).
+	g.b.Emit(isa.Inst{Op: isa.OpMovI, Dst: regTrip, Imm: int64(k.Elems)})
+	switch g.c.Opts.Mode {
+	case ModeScalar:
+		g.emitScalarVersion(ctx, lbl)
+		return
+	default:
+		g.b.Emit(isa.Inst{Op: isa.OpMovI, Dst: regThresh, Imm: int64(g.c.Opts.ScalarThreshold)})
+		g.b.Branch(isa.Inst{Op: isa.OpBLT, Src1: regTrip, Src2: regThresh}, lbl("scalar"))
+	}
+
+	elastic := g.c.Opts.Mode == ModeElastic
+	if elastic {
+		g.emitPrologue(ctx, lbl)
+	}
+
+	// Reset the tail predicate BEFORE the hoisted invariants: the previous
+	// phase's remainder leaves a partial (possibly zero) predicate behind,
+	// which would silently mask the VDUPIs off.
+	g.b.Emit(isa.Inst{Op: isa.OpVWhile, Dst: isa.RegNone, Imm: 1})
+
+	// Hoisted loop invariants and the reduction accumulator.
+	g.emitInvariants(ctx)
+	if k.Reduction {
+		g.b.Emit(isa.Inst{Op: isa.OpVDupI, Dst: zAcc, FImm: 0})
+	}
+	if elastic && g.c.Opts.MonitorPeriod > 1 {
+		g.b.Emit(isa.Inst{Op: isa.OpMovI, Dst: regMonCnt, Imm: int64(g.c.Opts.MonitorPeriod)})
+	}
+	g.b.Emit(isa.Inst{Op: isa.OpMovI, Dst: regRepeat, Imm: int64(k.Repeats)})
+
+	g.emitAddrInit(ctx) // stream bases are loop invariants (indexed addressing)
+	g.b.Label(lbl("repeat"))
+	g.b.Emit(isa.Inst{Op: isa.OpVWhile, Dst: isa.RegNone, Imm: 1}) // full predicate
+	g.b.Emit(isa.Inst{Op: isa.OpMovI, Dst: regIdx, Imm: 0})
+
+	g.b.Label(lbl("vecloop"))
+	if elastic {
+		g.emitMonitor(ctx, lbl)
+	}
+	g.b.Emit(isa.Inst{Op: isa.OpRdElems, Dst: regElems})
+	g.b.Emit(isa.Inst{Op: isa.OpAdd, Dst: regBound, Src1: regIdx, Src2: regElems})
+	g.b.Branch(isa.Inst{Op: isa.OpBLT, Src1: regTrip, Src2: regBound}, lbl("tail"))
+	g.emitVectorBody(ctx, true)
+	g.b.Emit(isa.Inst{Op: isa.OpMov, Dst: regIdx, Src1: regBound})
+	g.b.Branch(isa.Inst{Op: isa.OpB}, lbl("vecloop"))
+
+	// Remainder: one predicated iteration (Fig. 9's Loop Remainder).
+	g.b.Label(lbl("tail"))
+	g.b.Emit(isa.Inst{Op: isa.OpVWhile, Dst: regTail, Src1: regTrip, Src2: regIdx})
+	g.b.Branch(isa.Inst{Op: isa.OpBEQI, Src1: regTail, Imm: 0}, lbl("tailend"))
+	g.emitVectorBody(ctx, false)
+	g.b.Label(lbl("tailend"))
+	g.b.Emit(isa.Inst{Op: isa.OpSubI, Dst: regRepeat, Src1: regRepeat, Imm: 1})
+	g.b.Branch(isa.Inst{Op: isa.OpBNEI, Src1: regRepeat, Imm: 0}, lbl("repeat"))
+
+	if k.Reduction {
+		// Fold the accumulator and deposit lane 0 at the result slot.
+		g.b.Emit(isa.Inst{Op: isa.OpVWhile, Dst: isa.RegNone, Imm: 1})
+		g.b.Emit(isa.Inst{Op: isa.OpVFAddV, Dst: zAcc, Src1: zAcc})
+		g.b.Emit(isa.Inst{Op: isa.OpMovI, Dst: regBound, Imm: int64(ph.ResultAddr)})
+		g.b.Emit(isa.Inst{Op: isa.OpVStore, Dst: zAcc, Src1: regBound, Src2: isa.XZR})
+	}
+	if elastic {
+		g.emitEpilogue(lbl)
+	}
+	g.b.Branch(isa.Inst{Op: isa.OpB}, lbl("end"))
+
+	g.emitScalarVersion(ctx, lbl)
+	g.b.Label(lbl("end"))
+}
+
+// emitPrologue is Fig. 9's Phase Prologue: publish the phase's operational
+// intensity (triggering the lane manager) and spin a compiler-selected
+// default vector length into <VL>.
+func (g *codegen) emitPrologue(ctx *phaseCtx, lbl func(string) string) {
+	g.b.Emit(isa.Inst{Op: isa.OpMovI, Dst: regOIVal, Imm: int64(isa.PackOI(ctx.ph.OI))})
+	g.b.Emit(isa.Inst{Op: isa.OpMSR, Sys: isa.SysOI, Src1: regOIVal})
+	g.b.Emit(isa.Inst{Op: isa.OpMovI, Dst: regReqVL, Imm: int64(g.c.Opts.DefaultVL)})
+	g.b.Label(lbl("setvl"))
+	g.b.Emit(isa.Inst{Op: isa.OpMSR, Sys: isa.SysVL, Src1: regReqVL})
+	g.b.Emit(isa.Inst{Op: isa.OpMRS, Dst: regStatus, Sys: isa.SysStatus})
+	g.b.Branch(isa.Inst{Op: isa.OpBNEI, Src1: regStatus, Imm: 1}, lbl("setvl"))
+}
+
+// emitEpilogue is Fig. 9's Phase Epilogue: clear <OI> (triggering a
+// repartition for the peers) and release all lanes.
+func (g *codegen) emitEpilogue(lbl func(string) string) {
+	g.b.Emit(isa.Inst{Op: isa.OpMSR, Sys: isa.SysOI, Src1: isa.RegNone, Imm: 0})
+	g.b.Label(lbl("release"))
+	g.b.Emit(isa.Inst{Op: isa.OpMSR, Sys: isa.SysVL, Src1: isa.RegNone, Imm: 0})
+	g.b.Emit(isa.Inst{Op: isa.OpMRS, Dst: regStatus, Sys: isa.SysStatus})
+	g.b.Branch(isa.Inst{Op: isa.OpBNEI, Src1: regStatus, Imm: 1}, lbl("release"))
+	// The next vector use requires a fresh <VL>; reset the request so the
+	// following prologue re-negotiates.
+	g.b.Emit(isa.Inst{Op: isa.OpMovI, Dst: regReqVL, Imm: 0})
+}
+
+// emitMonitor is Fig. 9's Partition Monitor plus Vector Length
+// Reconfiguration: read <decision> (speculatively transmitted, §4.1.1) and,
+// if it differs from the current request, spin the new length into <VL> and
+// re-establish loop invariants and the reduction partial (§6.4).
+//
+// One deliberate deviation from Figure 9's listing: a failed <VL> write
+// branches back to the *decision read*, not to the MSR. Retrying a stale
+// request verbatim can deadlock — if the plan changes between the failure
+// and the retry (e.g. the peer entered a new phase), two cores can spin
+// forever on mutually unsatisfiable stale requests. Re-reading <decision>
+// each retry guarantees progress: shrink requests always succeed, and the
+// lane manager's plans are jointly feasible.
+func (g *codegen) emitMonitor(ctx *phaseCtx, lbl func(string) string) {
+	period := g.c.Opts.MonitorPeriod
+	if period > 1 {
+		g.b.Emit(isa.Inst{Op: isa.OpSubI, Dst: regMonCnt, Src1: regMonCnt, Imm: 1})
+		g.b.Branch(isa.Inst{Op: isa.OpBNEI, Src1: regMonCnt, Imm: 0}, lbl("body"))
+		g.b.Emit(isa.Inst{Op: isa.OpMovI, Dst: regMonCnt, Imm: int64(period)})
+	}
+	g.b.Label(lbl("mon"))
+	g.b.Emit(isa.Inst{Op: isa.OpMRS, Dst: regDec, Sys: isa.SysDecision})
+	g.b.Branch(isa.Inst{Op: isa.OpBEQ, Src1: regDec, Src2: regReqVL}, lbl("body"))
+	// A zero decision means the manager has (transiently) nothing for us;
+	// the current length stays valid, so skip.
+	g.b.Branch(isa.Inst{Op: isa.OpBEQI, Src1: regDec, Imm: 0}, lbl("body"))
+	if ctx.k.Reduction {
+		// Save the running partial: freed RegBlks lose their contents.
+		// Re-executing this on a retry is safe: the fold is
+		// idempotent while no other SVE instruction intervenes.
+		g.b.Emit(isa.Inst{Op: isa.OpVFAddV, Dst: zAcc, Src1: zAcc})
+		g.b.Emit(isa.Inst{Op: isa.OpVMovX0, Dst: regRedSave, Src1: zAcc})
+	}
+	g.b.Emit(isa.Inst{Op: isa.OpMSR, Sys: isa.SysVL, Src1: regDec})
+	g.b.Emit(isa.Inst{Op: isa.OpMRS, Dst: regStatus, Sys: isa.SysStatus})
+	g.b.Branch(isa.Inst{Op: isa.OpBNEI, Src1: regStatus, Imm: 1}, lbl("mon"))
+	// Commit the granted length as current only on success, so the
+	// monitor's comparison always reflects the configured <VL>.
+	g.b.Emit(isa.Inst{Op: isa.OpMov, Dst: regReqVL, Src1: regDec})
+	// Re-initialize hoisted invariants and restore the reduction partial
+	// under the new vector length.
+	g.emitInvariants(ctx)
+	if ctx.k.Reduction {
+		g.b.Emit(isa.Inst{Op: isa.OpVInsX0, Dst: zAcc, Src1: regRedSave})
+	}
+	g.b.Label(lbl("body"))
+}
+
+// collectConsts hoists every distinct floating-point literal of the phase
+// into the constant pool (the loop invariants of §6.4).
+func (g *codegen) collectConsts(ctx *phaseCtx) {
+	seen := make(map[float32]bool)
+	var walk func(e *workload.Expr)
+	walk = func(e *workload.Expr) {
+		if e == nil {
+			return
+		}
+		if e.Kind == workload.KindConst && !seen[e.Val] {
+			seen[e.Val] = true
+			ctx.consts = append(ctx.consts, e.Val)
+		}
+		walk(e.L)
+		walk(e.R)
+	}
+	for _, s := range ctx.k.Stmts {
+		walk(s.E)
+	}
+	sort.Slice(ctx.consts, func(a, b int) bool { return ctx.consts[a] < ctx.consts[b] })
+	if len(ctx.consts) > maxConstRegs {
+		g.fail(fmt.Errorf("compiler: %s: %d constants exceed the %d-register pool",
+			ctx.k.Name, len(ctx.consts), maxConstRegs))
+	}
+}
+
+func (ctx *phaseCtx) constReg(v float32) isa.Reg {
+	for i, c := range ctx.consts {
+		if c == v {
+			return zConst0 + isa.Reg(i)
+		}
+	}
+	panic(fmt.Sprintf("compiler: constant %v not hoisted", v))
+}
+
+func (g *codegen) emitInvariants(ctx *phaseCtx) {
+	for i, v := range ctx.consts {
+		g.b.Emit(isa.Inst{Op: isa.OpVDupI, Dst: zConst0 + isa.Reg(i), FImm: v})
+	}
+}
+
+// emitAddrInit points every slot/output address register at element 0 of its
+// stream (plus stencil offset).
+func (g *codegen) emitAddrInit(ctx *phaseCtx) {
+	for j, slot := range ctx.k.Slots {
+		s := ctx.ph.Streams[slot.Stream]
+		addr := s.Base + uint64(workload.ElemBytes*(workload.Halo+slot.Offset))
+		g.b.Emit(isa.Inst{Op: isa.OpMovI, Dst: regAddr0 + isa.Reg(j), Imm: int64(addr)})
+	}
+	for _, os := range ctx.k.OutStreams() {
+		s := ctx.ph.Streams[os]
+		addr := s.Base + uint64(workload.ElemBytes*workload.Halo)
+		g.b.Emit(isa.Inst{Op: isa.OpMovI, Dst: regAddr0 + isa.Reg(ctx.outIdx[os]), Imm: int64(addr)})
+	}
+}
+
+// emitVectorBody emits one strip: loads, statement computations and stores,
+// all using base + scaled-index addressing off the element counter (no
+// per-iteration address arithmetic — the form a vectorizer emits for
+// unit-stride streams).
+func (g *codegen) emitVectorBody(ctx *phaseCtx, bump bool) {
+	_ = bump
+	for j := range ctx.k.Slots {
+		g.b.Emit(isa.Inst{Op: isa.OpVLoad, Dst: zSlot0 + isa.Reg(j), Src1: regAddr0 + isa.Reg(j), Src2: regIdx})
+	}
+	for _, st := range ctx.k.Stmts {
+		if ctx.k.Reduction {
+			g.emitAccumulate(ctx, st.E)
+			continue
+		}
+		res := g.vectorExpr(ctx, st.E, newTempAlloc(zTemp0, maxTempRegs))
+		g.b.Emit(isa.Inst{Op: isa.OpVStore, Dst: res, Src1: regAddr0 + isa.Reg(ctx.outIdx[st.Out]), Src2: regIdx})
+	}
+}
+
+// emitAccumulate folds a reduction statement into the accumulator, fusing
+// acc += a*b into a single VFMLA when the kernel allows (§ Kernel.FuseMAC).
+func (g *codegen) emitAccumulate(ctx *phaseCtx, e *workload.Expr) {
+	ta := newTempAlloc(zTemp0, maxTempRegs)
+	if ctx.k.FuseMAC && e.Kind == workload.KindBin && e.Op == isa.OpVFMul {
+		l := g.vectorExpr(ctx, e.L, ta)
+		r := g.vectorExpr(ctx, e.R, ta)
+		g.b.Emit(isa.Inst{Op: isa.OpVFMla, Dst: zAcc, Src1: l, Src2: r})
+		return
+	}
+	v := g.vectorExpr(ctx, e, ta)
+	g.b.Emit(isa.Inst{Op: isa.OpVFAdd, Dst: zAcc, Src1: zAcc, Src2: v})
+}
+
+// tempAlloc is a stack allocator for expression temporaries. Every subtree
+// evaluation returns with at most one live temporary (its result), so after
+// evaluating both operands of a binary node the stack top is the right
+// operand's temp — which lets results reuse operand registers in place,
+// keeping the live count at the expression's Ershov number.
+type tempAlloc struct {
+	base isa.Reg
+	max  int
+	used int
+}
+
+func newTempAlloc(base isa.Reg, max int) *tempAlloc {
+	return &tempAlloc{base: base, max: max}
+}
+
+func (t *tempAlloc) push() isa.Reg {
+	if t.used >= t.max {
+		panic("compiler: expression needs too many temporaries")
+	}
+	r := t.base + isa.Reg(t.used)
+	t.used++
+	return r
+}
+
+func (t *tempAlloc) isTemp(r isa.Reg) bool {
+	return r >= t.base && r < t.base+isa.Reg(t.max)
+}
+
+func (t *tempAlloc) pop1() { t.used-- }
+
+// vectorExpr emits code computing e and returns the register holding the
+// result. Slot and constant references return their dedicated registers
+// without copying; operation nodes write into a reused operand temporary
+// when possible, otherwise a fresh one.
+func (g *codegen) vectorExpr(ctx *phaseCtx, e *workload.Expr, ta *tempAlloc) isa.Reg {
+	switch e.Kind {
+	case workload.KindSlot:
+		return zSlot0 + isa.Reg(e.Slot)
+	case workload.KindConst:
+		return ctx.constReg(e.Val)
+	case workload.KindUn:
+		src := g.vectorExpr(ctx, e.L, ta)
+		dst := src
+		if !ta.isTemp(src) {
+			dst = ta.push()
+		}
+		g.b.Emit(isa.Inst{Op: e.Op, Dst: dst, Src1: src})
+		return dst
+	case workload.KindBin:
+		l := g.vectorExpr(ctx, e.L, ta)
+		r := g.vectorExpr(ctx, e.R, ta)
+		var dst isa.Reg
+		switch {
+		case ta.isTemp(l):
+			dst = l
+			if ta.isTemp(r) {
+				ta.pop1() // r is the stack top; it dies here
+			}
+		case ta.isTemp(r):
+			dst = r
+		default:
+			dst = ta.push()
+		}
+		g.b.Emit(isa.Inst{Op: e.Op, Dst: dst, Src1: l, Src2: r})
+		return dst
+	default:
+		panic("compiler: bad expr kind")
+	}
+}

@@ -1,0 +1,260 @@
+// Package compiler implements the Occamy compiler of §6: it turns a workload
+// (a sequence of loop kernels) into an executable program for the simulated
+// ISA, inserting the EM-SIMD instructions that describe phase behaviour and
+// request vector-length reconfiguration.
+//
+// The generated code follows Figure 9 exactly:
+//
+//	Phase Prologue          MSR <OI>, then a spin loop setting a
+//	                        compiler-selected default <VL>
+//	Partition Monitor       per-iteration MRS <decision> + comparison
+//	VL Reconfiguration      spin loop writing <VL> until <status> == 1,
+//	                        followed by re-initialization of hoisted loop
+//	                        invariants and the reduction fix-up of §6.4
+//	Vec-loop / Remainder    strip-mined vector-length-agnostic body plus a
+//	                        predicated tail iteration
+//	Phase Epilogue          MSR <OI>, 0 and release of all lanes
+//
+// Multi-version code generation (§6.3) emits a non-vectorized variant and a
+// runtime trip-count check choosing between the two.
+package compiler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"occamy/internal/isa"
+	"occamy/internal/mem"
+	"occamy/internal/sim"
+	"occamy/internal/workload"
+)
+
+// Mode selects the code shape for the target sharing architecture.
+type Mode uint8
+
+const (
+	// ModeElastic emits full EM-SIMD elastic vectorization (Occamy).
+	ModeElastic Mode = iota
+	// ModeFixed emits plain vector-length-agnostic SVE code with no
+	// EM-SIMD instructions; the architecture fixes each core's vector
+	// length (Private, FTS, VLS).
+	ModeFixed
+	// ModeScalar emits only the non-vectorized variant (the multi-version
+	// fallback), used for ablations and correctness cross-checks.
+	ModeScalar
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeElastic:
+		return "elastic"
+	case ModeFixed:
+		return "fixed"
+	case ModeScalar:
+		return "scalar"
+	}
+	return "mode?"
+}
+
+// Options configures compilation.
+type Options struct {
+	Mode Mode
+	// DefaultVL is the compiler-selected default vector length (in
+	// granules) requested by the phase prologue before the first
+	// partition decision arrives. Defaults to 1.
+	DefaultVL int
+	// MonitorPeriod is the number of loop iterations between partition-
+	// monitor checks (Fig. 9 places the monitor at every iteration;
+	// larger periods are the §ablation knob). Defaults to 1.
+	MonitorPeriod int
+	// ScalarThreshold is the trip count below which the generated runtime
+	// check takes the non-vectorized version (§6.3 multi-version code
+	// generation). Defaults to 128 elements.
+	ScalarThreshold int
+	// BaseAddr is where this workload's data segment starts. Each core's
+	// workload must use a disjoint region.
+	BaseAddr uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.DefaultVL <= 0 {
+		o.DefaultVL = 1
+	}
+	if o.MonitorPeriod <= 0 {
+		o.MonitorPeriod = 1
+	}
+	if o.ScalarThreshold <= 0 {
+		o.ScalarThreshold = 128
+	}
+	return o
+}
+
+// StreamInfo locates one data stream of a phase in simulated memory. The
+// array spans [Base, Base+4*(Elems+2*Halo)); element i of the stream lives at
+// Base + 4*(Halo+i) so stencil offsets stay in bounds.
+type StreamInfo struct {
+	Base   uint64
+	Elems  int
+	Output bool
+}
+
+// Phase is the compiler's record of one identified phase (§6.3).
+type Phase struct {
+	Kernel *workload.Kernel
+	// OI is the Eq. 5 operational-intensity pair the prologue writes to
+	// the <OI> register.
+	OI isa.OIPair
+	// Streams maps the kernel's stream indices to memory.
+	Streams map[int]StreamInfo
+	// ResultAddr is where a reduction phase deposits its final scalar
+	// (lane 0 of the folded accumulator); zero for non-reductions.
+	ResultAddr uint64
+}
+
+// Compiled is a fully compiled workload.
+type Compiled struct {
+	Program *isa.Program
+	Phases  []Phase
+	Opts    Options
+	// EndAddr is the first address past the workload's data segment.
+	EndAddr uint64
+}
+
+// Compile lowers w according to opts.
+func Compile(w *workload.Workload, opts Options) (*Compiled, error) {
+	opts = opts.withDefaults()
+	c := &Compiled{Opts: opts}
+
+	// Lay out the data segment: per phase, per stream, 64-byte aligned.
+	next := align(opts.BaseAddr, mem.LineBytes)
+	for _, k := range w.Phases {
+		if err := k.Validate(); err != nil {
+			return nil, err
+		}
+		ph := Phase{Kernel: k, OI: k.OI(), Streams: make(map[int]StreamInfo)}
+		alloc := func(stream int, output bool) {
+			if s, ok := ph.Streams[stream]; ok {
+				if output {
+					s.Output = true
+					ph.Streams[stream] = s
+				}
+				return
+			}
+			bytes := uint64(workload.ElemBytes * (k.Elems + 2*workload.Halo))
+			ph.Streams[stream] = StreamInfo{Base: next, Elems: k.Elems, Output: output}
+			next = align(next+bytes, mem.LineBytes)
+		}
+		for _, s := range k.InStreams() {
+			alloc(s, false)
+		}
+		for _, s := range k.OutStreams() {
+			alloc(s, true)
+		}
+		if k.Reduction {
+			ph.ResultAddr = next
+			// Room for a full-width vector store of the folded
+			// accumulator (sum in lane 0, zeros beyond).
+			next = align(next+uint64(workload.ElemBytes*64), mem.LineBytes)
+		}
+		c.Phases = append(c.Phases, ph)
+	}
+	c.EndAddr = next
+
+	g := newCodegen(w.Name, c)
+	prog, err := g.run()
+	if err != nil {
+		return nil, err
+	}
+	c.Program = prog
+	return c, nil
+}
+
+func align(a, to uint64) uint64 { return (a + to - 1) &^ (to - 1) }
+
+// InitData fills every input stream (including its halo) with deterministic
+// values in [0.5, 1.5), a range that keeps all kernel math (including
+// divisions and square roots) well conditioned.
+func (c *Compiled) InitData(m *mem.Memory, seed uint64) {
+	rng := sim.NewRNG(seed)
+	for _, ph := range c.Phases {
+		ids := make([]int, 0, len(ph.Streams))
+		for id := range ph.Streams {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			s := ph.Streams[id]
+			if s.Output {
+				continue
+			}
+			n := s.Elems + 2*workload.Halo
+			if ph.Kernel.IntData {
+				// Small int32 lane values (0..255, image-like).
+				m.FillF32(s.Base, n, func(int) float32 { return isa.IntBits(int32(rng.Intn(256))) })
+			} else {
+				m.FillF32(s.Base, n, func(int) float32 { return 0.5 + rng.Float32() })
+			}
+		}
+	}
+}
+
+// HostInputs reads a phase's input streams back from simulated memory in the
+// layout Kernel.Reference expects.
+func (p *Phase) HostInputs(m *mem.Memory) map[int][]float32 {
+	in := make(map[int][]float32)
+	for id, s := range p.Streams {
+		if s.Output {
+			continue
+		}
+		in[id] = m.ReadF32Slice(s.Base, s.Elems+2*workload.Halo)
+	}
+	return in
+}
+
+// CheckResults recomputes the phase on the host and compares the simulator's
+// memory against it. relTol is the allowed relative error (vectorized
+// reductions legitimately re-associate floating-point sums).
+func (p *Phase) CheckResults(m *mem.Memory, relTol float64) error {
+	wantOut, wantAcc := p.Kernel.Reference(p.HostInputs(m))
+	for id, s := range p.Streams {
+		if !s.Output {
+			continue
+		}
+		got := m.ReadF32Slice(s.Base+uint64(workload.ElemBytes*workload.Halo), s.Elems)
+		want := wantOut[id]
+		for i := range want {
+			if p.Kernel.IntData {
+				// Integer kernels must match bit-exactly.
+				if isa.LaneInt(got[i]) != isa.LaneInt(want[i]) {
+					return fmt.Errorf("%s: stream %d elem %d = %d, want %d (int lanes)",
+						p.Kernel.Name, id, i, isa.LaneInt(got[i]), isa.LaneInt(want[i]))
+				}
+				continue
+			}
+			if !close64(float64(got[i]), float64(want[i]), relTol) {
+				return fmt.Errorf("%s: stream %d elem %d = %v, want %v",
+					p.Kernel.Name, id, i, got[i], want[i])
+			}
+		}
+	}
+	if p.Kernel.Reduction {
+		got := m.ReadF32(p.ResultAddr)
+		if !close64(float64(got), float64(wantAcc), relTol) {
+			return fmt.Errorf("%s: reduction = %v, want %v", p.Kernel.Name, got, wantAcc)
+		}
+	}
+	return nil
+}
+
+func close64(a, b, relTol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= relTol*scale
+}

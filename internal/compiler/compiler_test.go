@@ -1,0 +1,339 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"occamy/internal/isa"
+	"occamy/internal/mem"
+	"occamy/internal/workload"
+)
+
+func reg() *workload.Registry { return workload.NewRegistry() }
+
+func compileWL(t *testing.T, name string, opts Options) *Compiled {
+	t.Helper()
+	c, err := Compile(reg().Workload(name), opts)
+	if err != nil {
+		t.Fatalf("Compile(%s): %v", name, err)
+	}
+	return c
+}
+
+func TestCompileAllWorkloadsAllModes(t *testing.T) {
+	r := reg()
+	for _, name := range r.WorkloadNames() {
+		for _, mode := range []Mode{ModeElastic, ModeFixed, ModeScalar} {
+			if _, err := Compile(r.Workload(name), Options{Mode: mode}); err != nil {
+				t.Errorf("%s/%s: %v", name, mode, err)
+			}
+		}
+	}
+}
+
+// countOps tallies opcode occurrences in a program.
+func countOps(p *isa.Program) map[isa.Opcode]int {
+	m := make(map[isa.Opcode]int)
+	for _, in := range p.Insts {
+		m[in.Op]++
+	}
+	return m
+}
+
+// sysWrites tallies MSR targets.
+func sysWrites(p *isa.Program, sys isa.SysReg) int {
+	n := 0
+	for _, in := range p.Insts {
+		if in.Op == isa.OpMSR && in.Sys == sys {
+			n++
+		}
+	}
+	return n
+}
+
+// TestElasticCodeShapeMatchesFigure9 checks the generated structure against
+// Figure 9: per phase one <OI> write in the prologue and one zero-write in
+// the epilogue, a default-VL spin loop, a per-iteration partition monitor
+// reading <decision>, a reconfiguration spin loop, and a lane release.
+func TestElasticCodeShapeMatchesFigure9(t *testing.T) {
+	c := compileWL(t, "spec/WL1", Options{Mode: ModeElastic}) // two phases
+	p := c.Program
+
+	if got := sysWrites(p, isa.SysOI); got != 4 { // 2 phases x (prologue + epilogue)
+		t.Errorf("<OI> writes = %d, want 4", got)
+	}
+	// Each phase writes <VL> in: prologue spin, monitor reconfig spin,
+	// epilogue release = 3 static sites.
+	if got := sysWrites(p, isa.SysVL); got != 6 {
+		t.Errorf("<VL> write sites = %d, want 6", got)
+	}
+	ops := countOps(p)
+	if ops[isa.OpMRS] < 8 { // 2x(status spins x2 + decision + release status)
+		t.Errorf("MRS sites = %d, want >= 8", ops[isa.OpMRS])
+	}
+	// Monitor exists: an MRS <decision> per phase.
+	dec := 0
+	for _, in := range p.Insts {
+		if in.Op == isa.OpMRS && in.Sys == isa.SysDecision {
+			dec++
+		}
+	}
+	if dec != 2 {
+		t.Errorf("MRS <decision> sites = %d, want 2 (one monitor per phase)", dec)
+	}
+	// Figure 9's labels exist per phase.
+	for _, lbl := range []string{"p0_setvl", "p0_vecloop", "p0_tail", "p0_release", "p1_setvl", "p1_scalar"} {
+		if _, ok := p.Labels[lbl]; !ok {
+			t.Errorf("label %q missing", lbl)
+		}
+	}
+}
+
+func TestFixedModeHasNoEMSIMD(t *testing.T) {
+	c := compileWL(t, "spec/WL8", Options{Mode: ModeFixed})
+	for _, in := range c.Program.Insts {
+		if in.Op.IsEMSIMD() {
+			t.Fatalf("fixed-mode program contains EM-SIMD instruction %s", in)
+		}
+	}
+}
+
+func TestScalarModeHasNoVectorInsts(t *testing.T) {
+	c := compileWL(t, "cv/WL6", Options{Mode: ModeScalar})
+	for _, in := range c.Program.Insts {
+		if in.Op.IsVector() || in.Op.IsEMSIMD() {
+			t.Fatalf("scalar-mode program contains %s", in)
+		}
+	}
+}
+
+func TestStatusSpinFollowsEveryVLWrite(t *testing.T) {
+	// Table 2's <EM-SIMD, SVE> ordering is compiler-managed: every MSR
+	// <VL> must be followed by MRS <status> + a BNEI retry whose target is
+	// at or before the MSR (the monitor's retry re-reads <decision>, so
+	// its target precedes the MSR; prologue/epilogue spins target it
+	// exactly).
+	c := compileWL(t, "spec/WL20", Options{Mode: ModeElastic})
+	insts := c.Program.Insts
+	for i, in := range insts {
+		if in.Op != isa.OpMSR || in.Sys != isa.SysVL {
+			continue
+		}
+		if i+2 >= len(insts) {
+			t.Fatalf("MSR <VL> at %d has no room for spin", i)
+		}
+		if insts[i+1].Op != isa.OpMRS || insts[i+1].Sys != isa.SysStatus {
+			t.Fatalf("inst %d after MSR <VL> is %s, want MRS <status>", i+1, insts[i+1])
+		}
+		if insts[i+2].Op != isa.OpBNEI || insts[i+2].Target > i {
+			t.Fatalf("inst %d is %s (target %d), want BNEI retrying at or before %d", i+2, insts[i+2], insts[i+2].Target, i)
+		}
+	}
+}
+
+func TestReductionFixupAcrossVLChange(t *testing.T) {
+	// §6.4: before a VL change the partial sum must be folded and saved
+	// (VFADDV + VMOVX0), and restored after (VINSX0).
+	c := compileWL(t, "cv/WL6", Options{Mode: ModeElastic}) // accProd + dotProd
+	ops := countOps(c.Program)
+	if ops[isa.OpVMovX0] == 0 || ops[isa.OpVInsX0] == 0 {
+		t.Fatalf("reduction workload missing VL-change fix-up: VMOVX0=%d VINSX0=%d",
+			ops[isa.OpVMovX0], ops[isa.OpVInsX0])
+	}
+	// Non-reduction workloads need no fix-up.
+	c2 := compileWL(t, "spec/WL1", Options{Mode: ModeElastic})
+	ops2 := countOps(c2.Program)
+	if ops2[isa.OpVMovX0] != 0 || ops2[isa.OpVInsX0] != 0 {
+		t.Fatal("non-reduction workload has spurious reduction fix-up")
+	}
+}
+
+func TestInvariantsReinitializedAfterReconfig(t *testing.T) {
+	// The VDUPI constants must appear at least twice per constant-using
+	// phase: hoisted before the loop and re-initialized in the reconfig
+	// block (§6.4 re-initializing SIMD registers containing loop
+	// invariants).
+	c := compileWL(t, "cv/WL2", Options{Mode: ModeElastic}) // addWeight has 3 constants
+	dupsByPhase := map[int]int{}
+	for _, in := range c.Program.Insts {
+		if in.Op == isa.OpVDupI && in.Dst >= zConst0 && in.Dst < zConst0+maxConstRegs {
+			dupsByPhase[in.Phase]++
+		}
+	}
+	if dupsByPhase[0] < 6 { // 3 constants x (hoist + reconfig re-init)
+		t.Errorf("phase 0 constant initializations = %d, want >= 6", dupsByPhase[0])
+	}
+}
+
+func TestMonitorPeriodEmitsCounter(t *testing.T) {
+	c1 := compileWL(t, "spec/WL16", Options{Mode: ModeElastic, MonitorPeriod: 1})
+	c8 := compileWL(t, "spec/WL16", Options{Mode: ModeElastic, MonitorPeriod: 8})
+	has := func(c *Compiled, r isa.Reg) bool {
+		for _, in := range c.Program.Insts {
+			if in.Op == isa.OpSubI && in.Dst == r {
+				return true
+			}
+		}
+		return false
+	}
+	if has(c1, regMonCnt) {
+		t.Error("period-1 monitor must not use a counter")
+	}
+	if !has(c8, regMonCnt) {
+		t.Error("period-8 monitor must decrement a counter")
+	}
+}
+
+func TestLayoutDisjointAndAligned(t *testing.T) {
+	c := compileWL(t, "spec/WL4", Options{Mode: ModeElastic, BaseAddr: 1 << 28})
+	type span struct{ lo, hi uint64 }
+	var spans []span
+	for _, ph := range c.Phases {
+		for _, s := range ph.Streams {
+			if s.Base%mem.LineBytes != 0 {
+				t.Errorf("stream base %#x not line aligned", s.Base)
+			}
+			if s.Base < 1<<28 {
+				t.Errorf("stream base %#x below workload base", s.Base)
+			}
+			spans = append(spans, span{s.Base, s.Base + uint64(workload.ElemBytes*(s.Elems+2*workload.Halo))})
+		}
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.lo < b.hi && b.lo < a.hi {
+				t.Fatalf("streams overlap: %#x-%#x vs %#x-%#x", a.lo, a.hi, b.lo, b.hi)
+			}
+		}
+	}
+	if c.EndAddr <= 1<<28 {
+		t.Error("EndAddr must advance past the base")
+	}
+}
+
+func TestPhaseOIMatchesKernel(t *testing.T) {
+	c := compileWL(t, "spec/WL8", Options{Mode: ModeElastic})
+	for i, ph := range c.Phases {
+		if ph.OI != ph.Kernel.OI() {
+			t.Errorf("phase %d OI %+v != kernel OI %+v", i, ph.OI, ph.Kernel.OI())
+		}
+	}
+	// The prologue's MOVI immediate must be the packed OI of the phase.
+	found := 0
+	for _, in := range c.Program.Insts {
+		if in.Op == isa.OpMovI && in.Dst == regOIVal && in.Imm != 0 {
+			oi := isa.UnpackOI(uint32(in.Imm))
+			if oi.IsZero() {
+				t.Errorf("prologue OI immediate decodes to zero")
+			}
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("found %d prologue OI immediates, want 2", found)
+	}
+}
+
+func TestInitDataFillsInputsOnly(t *testing.T) {
+	c := compileWL(t, "spec/WL1", Options{Mode: ModeElastic})
+	m := mem.NewMemory()
+	c.InitData(m, 42)
+	for _, ph := range c.Phases {
+		for id, s := range ph.Streams {
+			v := m.ReadF32(s.Base)
+			if s.Output {
+				if v != 0 {
+					t.Errorf("output stream %d pre-filled", id)
+				}
+			} else {
+				if v < 0.5 || v >= 1.5 {
+					t.Errorf("input stream %d value %v outside [0.5,1.5)", id, v)
+				}
+			}
+		}
+	}
+	// Deterministic per seed.
+	m2 := mem.NewMemory()
+	c.InitData(m2, 42)
+	for _, ph := range c.Phases {
+		for _, s := range ph.Streams {
+			if m.ReadF32(s.Base+4) != m2.ReadF32(s.Base+4) {
+				t.Fatal("InitData must be deterministic for a seed")
+			}
+		}
+	}
+}
+
+func TestProgramEndsWithHalt(t *testing.T) {
+	c := compileWL(t, "cv/WL1", Options{Mode: ModeFixed})
+	last := c.Program.Insts[len(c.Program.Insts)-1]
+	if last.Op != isa.OpHalt {
+		t.Fatalf("last instruction is %s, want HALT", last)
+	}
+}
+
+func TestDisassemblyIsReadable(t *testing.T) {
+	c := compileWL(t, "spec/WL1", Options{Mode: ModeElastic})
+	d := c.Program.Disassemble()
+	for _, frag := range []string{"MSR <OI>", "MSR <VL>", "MRS X4, <decision>", "VLD1W", "VST1W", "HALT"} {
+		if !strings.Contains(d, frag) {
+			t.Errorf("disassembly missing %q", frag)
+		}
+	}
+}
+
+func TestBranchTargetsResolved(t *testing.T) {
+	r := reg()
+	for _, name := range r.WorkloadNames() {
+		c, err := Compile(r.Workload(name), Options{Mode: ModeElastic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pc, in := range c.Program.Insts {
+			if in.Op.IsBranch() && (in.Target < 0 || in.Target >= c.Program.Len()) {
+				t.Fatalf("%s: branch at %d has target %d", name, pc, in.Target)
+			}
+		}
+	}
+}
+
+func TestPhaseAttributionCoversLoopCode(t *testing.T) {
+	c := compileWL(t, "spec/WL1", Options{Mode: ModeElastic})
+	counts := map[int]int{}
+	for _, in := range c.Program.Insts {
+		counts[in.Phase]++
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("phase attribution missing: %v", counts)
+	}
+}
+
+// TestGeneratedCodeReassembles round-trips every compiled workload through
+// the disassembler and assembler: the textual ISA carries the complete
+// program, and both tools agree on the syntax.
+func TestGeneratedCodeReassembles(t *testing.T) {
+	r := reg()
+	for _, name := range r.WorkloadNames() {
+		for _, mode := range []Mode{ModeElastic, ModeFixed, ModeScalar} {
+			c, err := Compile(r.Workload(name), Options{Mode: mode, BaseAddr: 1 << 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := isa.Assemble(name, c.Program.Disassemble())
+			if err != nil {
+				t.Fatalf("%s/%s: reassembly failed: %v", name, mode, err)
+			}
+			if p2.Len() != c.Program.Len() {
+				t.Fatalf("%s/%s: lengths differ: %d vs %d", name, mode, p2.Len(), c.Program.Len())
+			}
+			for i := range p2.Insts {
+				a, b := c.Program.Insts[i], p2.Insts[i]
+				a.Phase, b.Phase = 0, 0
+				if a.String() != b.String() {
+					t.Fatalf("%s/%s inst %d: %q vs %q", name, mode, i, a.String(), b.String())
+				}
+			}
+		}
+	}
+}

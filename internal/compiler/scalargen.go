@@ -1,0 +1,140 @@
+package compiler
+
+import (
+	"fmt"
+
+	"occamy/internal/isa"
+	"occamy/internal/workload"
+)
+
+// scalarOpFor maps a vector operation onto its scalar floating-point
+// equivalent, for the multi-version non-vectorized variant (§6.3).
+func scalarOpFor(op isa.Opcode) isa.Opcode {
+	switch op {
+	case isa.OpVFAdd:
+		return isa.OpSFAdd
+	case isa.OpVFSub:
+		return isa.OpSFSub
+	case isa.OpVFMul:
+		return isa.OpSFMul
+	case isa.OpVFDiv:
+		return isa.OpSFDiv
+	case isa.OpVFMax:
+		return isa.OpSFMax
+	case isa.OpVFMin:
+		return isa.OpSFMin
+	case isa.OpVFAbs:
+		return isa.OpSFAbs
+	case isa.OpVFNeg:
+		return isa.OpSFNeg
+	case isa.OpVFSqrt:
+		return isa.OpSFSqrt
+	case isa.OpVIAdd:
+		return isa.OpSIAdd
+	case isa.OpVISub:
+		return isa.OpSISub
+	case isa.OpVIMul:
+		return isa.OpSIMul
+	case isa.OpVIAnd:
+		return isa.OpSIAnd
+	case isa.OpVIOr:
+		return isa.OpSIOr
+	case isa.OpVIXor:
+		return isa.OpSIXor
+	case isa.OpVIShl:
+		return isa.OpSIShl
+	case isa.OpVIShr:
+		return isa.OpSIShr
+	case isa.OpVIMax:
+		return isa.OpSIMax
+	case isa.OpVIMin:
+		return isa.OpSIMin
+	default:
+		panic(fmt.Sprintf("compiler: no scalar equivalent for %s", op))
+	}
+}
+
+// emitScalarVersion emits the complete non-vectorized variant of the phase:
+// a plain element-at-a-time loop on the scalar core's FP pipes. It contains
+// no EM-SIMD instructions — a workload running this version holds no SIMD
+// lanes at all.
+func (g *codegen) emitScalarVersion(ctx *phaseCtx, lbl func(string) string) {
+	k := ctx.k
+	g.b.Label(lbl("scalar"))
+	if k.Reduction {
+		g.b.Emit(isa.Inst{Op: isa.OpSFMovI, Dst: fAcc, FImm: 0})
+	}
+	g.b.Emit(isa.Inst{Op: isa.OpMovI, Dst: regRepeat, Imm: int64(k.Repeats)})
+	g.b.Label(lbl("srepeat"))
+	g.b.Emit(isa.Inst{Op: isa.OpMovI, Dst: regIdx, Imm: 0})
+	g.emitAddrInit(ctx)
+
+	g.b.Label(lbl("sloop"))
+	for j := range k.Slots {
+		g.b.Emit(isa.Inst{Op: isa.OpSLoadF, Dst: fSlot0 + isa.Reg(j), Src1: regAddr0 + isa.Reg(j)})
+	}
+	for _, st := range k.Stmts {
+		ta := newTempAlloc(fTemp0, maxTempRegs)
+		res := g.scalarExpr(st.E, ta)
+		if k.Reduction {
+			g.b.Emit(isa.Inst{Op: isa.OpSFAdd, Dst: fAcc, Src1: fAcc, Src2: res})
+		} else {
+			g.b.Emit(isa.Inst{Op: isa.OpSStoreF, Dst: res, Src1: regAddr0 + isa.Reg(ctx.outIdx[st.Out])})
+		}
+	}
+	n := len(k.Slots) + len(k.OutStreams())
+	for j := 0; j < n; j++ {
+		r := regAddr0 + isa.Reg(j)
+		g.b.Emit(isa.Inst{Op: isa.OpAddI, Dst: r, Src1: r, Imm: workload.ElemBytes})
+	}
+	g.b.Emit(isa.Inst{Op: isa.OpAddI, Dst: regIdx, Src1: regIdx, Imm: 1})
+	g.b.Branch(isa.Inst{Op: isa.OpBLT, Src1: regIdx, Src2: regTrip}, lbl("sloop"))
+	g.b.Emit(isa.Inst{Op: isa.OpSubI, Dst: regRepeat, Src1: regRepeat, Imm: 1})
+	g.b.Branch(isa.Inst{Op: isa.OpBNEI, Src1: regRepeat, Imm: 0}, lbl("srepeat"))
+
+	if k.Reduction {
+		g.b.Emit(isa.Inst{Op: isa.OpMovI, Dst: regBound, Imm: int64(ctx.ph.ResultAddr)})
+		g.b.Emit(isa.Inst{Op: isa.OpSStoreF, Dst: fAcc, Src1: regBound})
+	}
+}
+
+// scalarExpr mirrors vectorExpr on the scalar FP register file. Constants
+// are materialized inline (the scalar path is cold, hoisting is not worth
+// the bookkeeping).
+func (g *codegen) scalarExpr(e *workload.Expr, ta *tempAlloc) isa.Reg {
+	switch e.Kind {
+	case workload.KindSlot:
+		return fSlot0 + isa.Reg(e.Slot)
+	case workload.KindConst:
+		dst := ta.push()
+		g.b.Emit(isa.Inst{Op: isa.OpSFMovI, Dst: dst, FImm: e.Val})
+		return dst
+	case workload.KindUn:
+		src := g.scalarExpr(e.L, ta)
+		dst := src
+		if !ta.isTemp(src) {
+			dst = ta.push()
+		}
+		g.b.Emit(isa.Inst{Op: scalarOpFor(e.Op), Dst: dst, Src1: src})
+		return dst
+	case workload.KindBin:
+		l := g.scalarExpr(e.L, ta)
+		r := g.scalarExpr(e.R, ta)
+		var dst isa.Reg
+		switch {
+		case ta.isTemp(l):
+			dst = l
+			if ta.isTemp(r) {
+				ta.pop1()
+			}
+		case ta.isTemp(r):
+			dst = r
+		default:
+			dst = ta.push()
+		}
+		g.b.Emit(isa.Inst{Op: scalarOpFor(e.Op), Dst: dst, Src1: l, Src2: r})
+		return dst
+	default:
+		panic("compiler: bad expr kind")
+	}
+}

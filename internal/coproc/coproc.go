@@ -1,0 +1,783 @@
+package coproc
+
+import (
+	"fmt"
+	"math"
+
+	"occamy/internal/isa"
+	"occamy/internal/lanemgr"
+	"occamy/internal/mem"
+	"occamy/internal/roofline"
+	"occamy/internal/sim"
+)
+
+// XInst is an instruction transmitted from a scalar core to the
+// co-processor, with every scalar operand already resolved (§4.1.1:
+// instructions are transmitted once non-speculative, in program order).
+// The co-processor's renamer fills the seq/dep fields at transmit.
+type XInst struct {
+	Op   isa.Opcode
+	Core int
+	// Dst is the destination Z register (or the data source for stores).
+	Dst  isa.Reg
+	Src1 isa.Reg
+	Src2 isa.Reg
+	// XDst is the scalar destination register for MRS/VMOVX0 responses.
+	XDst isa.Reg
+	// Sys is the system register for EM-SIMD instructions.
+	Sys isa.SysReg
+	// Val is the resolved MSR write value (or VINSX0/VDUPX payload bits).
+	Val uint32
+	// Addr is the resolved byte address for vector loads/stores.
+	Addr uint64
+	// Active is the element count resolved at transmit time (tail
+	// predicate and the vector length configured when the instruction
+	// was transmitted — §4.2.2: pre-change SVE instructions execute
+	// under the old vector length).
+	Active int
+	// Width is the data-path width in granules the instruction occupies.
+	Width int
+	// FImm is the broadcast literal for VDUPI.
+	FImm float32
+	// Phase attributes the instruction for per-phase statistics.
+	Phase int
+
+	// Renamer-assigned fields.
+	seq              uint64
+	dep1, dep2, dep3 uint64
+	issued           bool
+	// respVal is the precomputed scalar response for VMOVX0 (the value
+	// is architecturally determined at transmit; timing at issue).
+	respVal uint64
+}
+
+// ScalarResponder receives scalar results flowing back from the co-processor
+// (MRS reads and VMOVX0 lane transfers): Figure 5's "2 Scalar Results/Cycle"
+// path. ready is the cycle at which the value may be consumed.
+type ScalarResponder func(core int, reg isa.Reg, val uint64, ready uint64)
+
+const (
+	// queueCap is the pre-rename instruction-pool depth per core
+	// (Figure 5's Instruction Pool; entries hold no physical registers).
+	queueCap = 192
+	// window caps the renamed, in-flight region per core (ROB size);
+	// physical-register availability bounds it further.
+	window = 120
+)
+
+type coreState struct {
+	queue []XInst
+	head  int
+	// renamed is the index one past the last renamed instruction: the
+	// region [head, renamed) holds physical destination registers and is
+	// eligible for out-of-order issue.
+	renamed int
+
+	// z is the functional architectural vector state: 32 registers of
+	// Lanes() float32 elements, updated in program order at transmit.
+	z [][]float32
+
+	// Renamer state: sequence numbers and the last writer of each
+	// architectural vector register.
+	seqCounter uint64
+	lastWriter [isa.NumZRegs]uint64
+	// done is a ring of completion cycles indexed by sequence number.
+	done doneRing
+
+	inflight holdTracker // issued, not yet written back (drain check)
+	lhq      holdTracker // outstanding loads
+	stq      holdTracker // outstanding stores
+	pool     regPool     // per-core physical-register namespace
+
+	computeIssued  uint64
+	memIssued      uint64
+	computeByPhase []uint64
+	renameStalls   uint64
+	mshrRetries    uint64
+
+	// drainWait counts cycles an MSR <VL> sat at the queue head waiting
+	// for the pipeline to drain (Figure 15's reconfiguration overhead).
+	drainWait uint64
+
+	// lastActive is the latest cycle with queued or in-flight work, i.e.
+	// the core's true completion time (the scalar core halts before the
+	// co-processor finishes its backlog).
+	lastActive uint64
+
+	busyTimeline *sim.Timeline // average busy lanes per 1000 cycles
+}
+
+// LaneEvent records one lane-management action, for the allocated-lanes
+// timelines of Figures 2 and 14(b) and for trace export.
+type LaneEvent struct {
+	Cycle uint64
+	Core  int
+	// Kind is "repartition" (an <OI> write produced a new plan),
+	// "reconfigure" (a successful <VL> write) or "reject".
+	Kind string
+	// VL is the configured length in granules after the event (for
+	// reconfigure) or the requested length (for reject).
+	VL int
+	// Decisions snapshots every core's <decision> after the event.
+	Decisions []int
+}
+
+// Coproc is the co-processor instance shared by all scalar cores.
+type Coproc struct {
+	cfg   Config
+	tbl   *lanemgr.ResourceTbl
+	mgr   *lanemgr.Manager
+	vec   mem.SharedPort
+	data  *mem.Memory
+	stats *sim.Stats
+	cores []*coreState
+
+	respond ScalarResponder
+
+	emsimdBusyUntil uint64 // LaneMgr plan-computation occupancy
+
+	// renameStallNow marks, per core, whether this cycle's issue was
+	// blocked on physical registers (Figure 13's metric).
+	renameStallNow []bool
+
+	// busyLaneCycles accumulates the whole-array busy fraction for the
+	// SIMD-utilization metric of §2.
+	busyLaneCycles float64
+	cycles         uint64
+
+	cycleBusyLanes []float64 // per-core busy lanes this cycle
+
+	// events is the lane-management log (bounded; see laneEventCap).
+	events []LaneEvent
+}
+
+// laneEventCap bounds the event log (repartitions are rare; this is a
+// safety net for pathological runs).
+const laneEventCap = 1 << 16
+
+func (cp *Coproc) logEvent(e LaneEvent) {
+	if len(cp.events) >= laneEventCap {
+		return
+	}
+	e.Decisions = make([]int, cp.cfg.Cores)
+	for c := range e.Decisions {
+		e.Decisions[c] = cp.tbl.Decision(c)
+	}
+	cp.events = append(cp.events, e)
+}
+
+// LaneEvents returns the lane-management log in cycle order.
+func (cp *Coproc) LaneEvents() []LaneEvent { return cp.events }
+
+// New builds a co-processor over the given vector-cache port and functional
+// memory. Stats must not be nil.
+func New(cfg Config, vecPort mem.SharedPort, data *mem.Memory, model roofline.Model, stats *sim.Stats) *Coproc {
+	if cfg.Cores <= 0 || cfg.ExeBUs <= 0 {
+		panic(fmt.Sprintf("coproc: bad config %+v", cfg))
+	}
+	tbl := lanemgr.NewResourceTbl(cfg.Cores, cfg.ExeBUs)
+	cp := &Coproc{
+		cfg:            cfg,
+		tbl:            tbl,
+		mgr:            lanemgr.NewManager(model, tbl),
+		vec:            vecPort,
+		data:           data,
+		stats:          stats,
+		renameStallNow: make([]bool, cfg.Cores),
+		cycleBusyLanes: make([]float64, cfg.Cores),
+	}
+	lanes := cfg.Lanes()
+	for c := 0; c < cfg.Cores; c++ {
+		st := &coreState{busyTimeline: sim.NewTimeline(1000)}
+		st.done.init()
+		st.z = make([][]float32, isa.NumZRegs)
+		backing := make([]float32, isa.NumZRegs*lanes)
+		for r := range st.z {
+			st.z[r], backing = backing[:lanes], backing[lanes:]
+		}
+		cp.cores = append(cp.cores, st)
+	}
+	if !cfg.Elastic && !cfg.SharedIssue {
+		// Spatial policies pin each core's partition at reset; temporal
+		// sharing (SharedIssue) leaves the table empty because every
+		// core runs full width.
+		if len(cfg.FixedVLs) != cfg.Cores {
+			panic("coproc: non-elastic spatial config needs FixedVLs per core")
+		}
+		for c, vl := range cfg.FixedVLs {
+			if !tbl.TryReconfigure(c, vl) {
+				panic(fmt.Sprintf("coproc: fixed VL %d for core %d infeasible", vl, c))
+			}
+		}
+	}
+	return cp
+}
+
+// SetResponder wires the scalar-result return path.
+func (cp *Coproc) SetResponder(r ScalarResponder) { cp.respond = r }
+
+// Manager exposes the lane manager (for tests and reports).
+func (cp *Coproc) Manager() *lanemgr.Manager { return cp.mgr }
+
+// Tbl exposes the resource table.
+func (cp *Coproc) Tbl() *lanemgr.ResourceTbl { return cp.tbl }
+
+// VL returns core c's configured vector length in granules. Under temporal
+// sharing (FTS) every instruction occupies the full-width data path, so the
+// effective length is the whole array.
+func (cp *Coproc) VL(c int) int {
+	if cp.cfg.SharedIssue {
+		return cp.cfg.ExeBUs
+	}
+	return cp.tbl.VL(c)
+}
+
+// ReadSysNow reads a system register combinationally — the speculative MRS
+// transmission of §4.1.1 (reads of <decision>, <AL>, <VL>, <OI> do not wait
+// for older SVE instructions).
+func (cp *Coproc) ReadSysNow(c int, sys isa.SysReg) uint32 { return cp.tbl.ReadRaw(c, sys) }
+
+// MemInFlight reports outstanding vector memory operations for core c — the
+// scalar cores' MOB consults it before issuing scalar memory ops (Table 2,
+// <SVE, Scalar> ordering).
+func (cp *Coproc) MemInFlight(c int, now uint64) int {
+	st := cp.cores[c]
+	pending := 0
+	for i := st.head; i < len(st.queue); i++ {
+		if !st.queue[i].issued && st.queue[i].Op.IsVectorMem() {
+			pending++
+		}
+	}
+	return pending + st.lhq.Count(now) + st.stq.Count(now)
+}
+
+// TransmitStatus reports why a Transmit was refused.
+type TransmitStatus uint8
+
+// Transmit outcomes.
+const (
+	TransmitOK TransmitStatus = iota
+	TransmitQueueFull
+)
+
+// Transmit enqueues an instruction into core c's pre-rename instruction
+// pool, records its RAW dependencies and applies its functional semantics in
+// program order. Only a full pool refuses the instruction (physical
+// registers are allocated later, at rename).
+func (cp *Coproc) Transmit(x XInst) TransmitStatus {
+	st := cp.cores[x.Core]
+	if len(st.queue)-st.head >= queueCap {
+		return TransmitQueueFull
+	}
+	st.seqCounter++
+	x.seq = st.seqCounter
+	if !x.Op.IsEMSIMD() {
+		cp.renameAndApply(&x, st)
+	}
+	st.queue = append(st.queue, x)
+	return TransmitOK
+}
+
+// renameTick advances core c's rename pointer in program order, allocating
+// one physical register per destination-writing instruction. It stops at the
+// window bound or when no register can be allocated — the renamer blocking
+// of Figure 13, dominant on FTS where the full-width pool is shared by all
+// cores.
+func (cp *Coproc) renameTick(c int, now uint64) {
+	st := cp.cores[c]
+	for st.renamed < len(st.queue) && st.renamed-st.head < window {
+		x := &st.queue[st.renamed]
+		if !x.Op.IsEMSIMD() && hasZDst(x.Op) {
+			if !cp.canRename(c, now) {
+				cp.renameStallNow[c] = true
+				return
+			}
+			st.pool.queued++
+		}
+		st.renamed++
+	}
+}
+
+// canRename checks physical-register availability for core c. With a
+// per-core namespace the core renames against its own 160-register RegBlk
+// file. With the shared full-width pool (FTS) two limits apply: the global
+// free list (total minus all cores' architectural contexts) and a per-core
+// rename-buffer quota — one core's long-latency backlog cannot consume the
+// entire free list, but the combined demand of co-running cores still
+// overwhelms it (Figure 13).
+func (cp *Coproc) canRename(c int, now uint64) bool {
+	if !cp.cfg.SharedVRF {
+		return cp.cfg.ArchRegs+cp.cores[c].pool.held(now) < cp.cfg.PhysRegs
+	}
+	committed := cp.cfg.ArchRegs * cp.cfg.Cores
+	free := cp.cfg.PhysRegs - committed
+	quota := free / cp.cfg.Cores
+	if cp.cores[c].pool.held(now) >= quota {
+		return false
+	}
+	total := 0
+	for _, st := range cp.cores {
+		total += st.pool.held(now)
+	}
+	return committed+total < cp.cfg.PhysRegs
+}
+
+// renameAndApply assigns RAW dependencies from the renamer's last-writer
+// table and executes the instruction's value semantics against the
+// architectural vector state (program order = transmit order).
+func (cp *Coproc) renameAndApply(x *XInst, st *coreState) {
+	dep := func(r isa.Reg) uint64 {
+		if r == isa.RegNone || int(r) >= len(st.lastWriter) {
+			return 0
+		}
+		return st.lastWriter[r]
+	}
+	switch x.Op {
+	case isa.OpVLoad, isa.OpVDupI, isa.OpVDupX, isa.OpVInsX0:
+		// No vector register sources (addresses and scalar payloads
+		// were resolved at the core).
+	case isa.OpVStore:
+		x.dep1 = dep(x.Dst) // store data
+	case isa.OpVFMla:
+		x.dep1, x.dep2, x.dep3 = dep(x.Src1), dep(x.Src2), dep(x.Dst)
+	case isa.OpVFAddV, isa.OpVMovX0, isa.OpVFNeg, isa.OpVFAbs, isa.OpVFSqrt:
+		x.dep1 = dep(x.Src1)
+	default:
+		x.dep1, x.dep2 = dep(x.Src1), dep(x.Src2)
+	}
+	if hasZDst(x.Op) {
+		st.lastWriter[x.Dst] = x.seq
+	}
+	cp.applyFunctional(x, st)
+}
+
+func hasZDst(op isa.Opcode) bool {
+	switch op {
+	case isa.OpVStore, isa.OpVMovX0:
+		return false
+	default:
+		return true
+	}
+}
+
+// applyFunctional performs the value semantics over the active lanes.
+func (cp *Coproc) applyFunctional(x *XInst, st *coreState) {
+	active := x.Active
+	z := st.z
+	switch x.Op {
+	case isa.OpVLoad:
+		for i := 0; i < active; i++ {
+			z[x.Dst][i] = cp.data.ReadF32(x.Addr + uint64(4*i))
+		}
+	case isa.OpVStore:
+		for i := 0; i < active; i++ {
+			cp.data.WriteF32(x.Addr+uint64(4*i), z[x.Dst][i])
+		}
+	case isa.OpVDupI:
+		for i := 0; i < active; i++ {
+			z[x.Dst][i] = x.FImm
+		}
+	case isa.OpVDupX:
+		v := math.Float32frombits(x.Val)
+		for i := 0; i < active; i++ {
+			z[x.Dst][i] = v
+		}
+	case isa.OpVInsX0:
+		z[x.Dst][0] = math.Float32frombits(x.Val)
+		for i := 1; i < active; i++ {
+			z[x.Dst][i] = 0
+		}
+	case isa.OpVMovX0:
+		x.respVal = uint64(math.Float32bits(z[x.Src1][0]))
+	case isa.OpVFAddV:
+		var sum float32
+		for i := 0; i < active; i++ {
+			sum += z[x.Src1][i]
+		}
+		z[x.Dst][0] = sum
+		for i := 1; i < active; i++ {
+			z[x.Dst][i] = 0
+		}
+	case isa.OpVFNeg, isa.OpVFAbs, isa.OpVFSqrt:
+		for i := 0; i < active; i++ {
+			z[x.Dst][i] = unFn(x.Op, z[x.Src1][i])
+		}
+	case isa.OpVFMla:
+		for i := 0; i < active; i++ {
+			z[x.Dst][i] += z[x.Src1][i] * z[x.Src2][i]
+		}
+	default:
+		for i := 0; i < active; i++ {
+			z[x.Dst][i] = binFn(x.Op, z[x.Src1][i], z[x.Src2][i])
+		}
+	}
+}
+
+// QueueLen reports the occupancy of core c's instruction pool.
+func (cp *Coproc) QueueLen(c int) int {
+	st := cp.cores[c]
+	return len(st.queue) - st.head
+}
+
+// Name implements sim.Component.
+func (cp *Coproc) Name() string { return "coproc" }
+
+// Tick implements sim.Component: one cycle of the co-processor.
+func (cp *Coproc) Tick(now uint64) {
+	em := 2 // EM-SIMD data path: 2 insts/cycle (Figure 5)
+	for c := range cp.cores {
+		cp.cycleBusyLanes[c] = 0
+	}
+	// Rotate core priority every cycle so one core cannot monopolize
+	// shared structures (MSHRs, cache ports) through tick ordering.
+	n := cp.cfg.Cores
+	start := int(now) % n
+	if cp.cfg.SharedIssue {
+		budget := issueBudget{compute: cp.cfg.ComputeIssue, mem: cp.cfg.MemIssue, emsimd: &em}
+		for i := 0; i < n; i++ {
+			cp.tickCore((start+i)%n, now, &budget)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			budget := issueBudget{compute: cp.cfg.ComputeIssue, mem: cp.cfg.MemIssue, emsimd: &em}
+			cp.tickCore((start+i)%n, now, &budget)
+		}
+	}
+	lanes := float64(cp.cfg.Lanes())
+	totalBusy := 0.0
+	for c, st := range cp.cores {
+		if st.head < len(st.queue) || st.inflight.Count(now) > 0 {
+			st.lastActive = now
+		}
+		st.busyTimeline.Record(now, cp.cycleBusyLanes[c])
+		totalBusy += cp.cycleBusyLanes[c]
+		if cp.renameStallNow[c] {
+			st.renameStalls++
+			cp.renameStallNow[c] = false
+		}
+		// Compact the queue backing array occasionally.
+		if st.head > 2*queueCap {
+			st.queue = append(st.queue[:0], st.queue[st.head:]...)
+			st.renamed -= st.head
+			st.head = 0
+		}
+	}
+	cp.busyLaneCycles += totalBusy / lanes
+	cp.cycles++
+}
+
+// addPhaseCompute bumps the per-phase compute-issue counter (phase -1 maps
+// to slot 0).
+func (st *coreState) addPhaseCompute(phase int) {
+	idx := phase + 1
+	for len(st.computeByPhase) <= idx {
+		st.computeByPhase = append(st.computeByPhase, 0)
+	}
+	st.computeByPhase[idx]++
+}
+
+// depReady reports whether dependency seq has completed.
+func (st *coreState) depReady(seq, now uint64) bool {
+	if seq == 0 {
+		return true
+	}
+	done, state := st.done.get(seq)
+	switch state {
+	case ringHit:
+		return done <= now
+	case ringOlder:
+		// Overwritten: the writer issued at least ringSize sequence
+		// numbers ago and has long completed.
+		return true
+	default:
+		return false // writer not yet issued
+	}
+}
+
+func (x *XInst) depsReady(st *coreState, now uint64) bool {
+	return st.depReady(x.dep1, now) && st.depReady(x.dep2, now) && st.depReady(x.dep3, now)
+}
+
+// tickCore scans core c's issue window in age order and issues every ready
+// instruction within the cycle budgets — the out-of-order dispatcher of
+// Figure 5. Renaming is in-order: a physical-register shortage stalls the
+// whole window (the Figure 13 effect on FTS).
+func (cp *Coproc) tickCore(c int, now uint64, budget *issueBudget) {
+	st := cp.cores[c]
+	for st.head < len(st.queue) && st.queue[st.head].issued {
+		st.head++
+	}
+	cp.renameTick(c, now)
+	end := st.renamed
+	memBlocked := false   // LHQ/MSHR structural stall: no younger memory op may issue
+	storeBlocked := false // stores issue in order among themselves
+	for i := st.head; i < end; i++ {
+		x := &st.queue[i]
+		if x.issued {
+			continue
+		}
+		if budget.compute == 0 && budget.mem == 0 && *budget.emsimd == 0 {
+			return
+		}
+		switch {
+		case x.Op.IsEMSIMD():
+			// The EM-SIMD path is in-order and fences the window:
+			// nothing younger issues past an unexecuted EM-SIMD
+			// instruction.
+			if i != st.head || *budget.emsimd == 0 {
+				return
+			}
+			if !cp.execEMSIMD(c, x, now) {
+				return
+			}
+			*budget.emsimd--
+			x.issued = true
+			st.head++
+		case x.Op.IsVectorMem():
+			if memBlocked || budget.mem == 0 {
+				continue
+			}
+			if x.Op == isa.OpVStore && storeBlocked {
+				continue
+			}
+			switch cp.issueMem(c, x, now) {
+			case issueOK:
+				budget.mem--
+				x.issued = true
+			case issueStructural:
+				memBlocked = true
+			case issueDataWait:
+				if x.Op == isa.OpVStore {
+					storeBlocked = true
+				}
+			case issueRenameStall:
+				return
+			}
+		default: // vector compute
+			if budget.compute == 0 {
+				continue
+			}
+			switch cp.issueCompute(c, x, now) {
+			case issueOK:
+				budget.compute--
+				x.issued = true
+			case issueRenameStall:
+				return
+			case issueDataWait, issueStructural:
+				// Not ready: younger independent work may issue.
+			}
+		}
+	}
+}
+
+type issueStatus uint8
+
+const (
+	issueOK issueStatus = iota
+	issueDataWait
+	issueStructural
+	issueRenameStall
+)
+
+// issuePhys moves a renamed destination register from the queued state to
+// the issued state, to be released at writeback.
+func (cp *Coproc) issuePhys(c int, release uint64) {
+	cp.cores[c].pool.queued--
+	cp.cores[c].pool.issued.Add(release)
+}
+
+func (cp *Coproc) latFor(op isa.Opcode) uint64 {
+	switch op {
+	case isa.OpVFDiv, isa.OpVFSqrt:
+		return cp.cfg.DivLat
+	case isa.OpVIAdd, isa.OpVISub, isa.OpVIAnd, isa.OpVIOr, isa.OpVIXor,
+		isa.OpVIShl, isa.OpVIShr, isa.OpVIMax, isa.OpVIMin:
+		return cp.cfg.IntLat
+	}
+	return cp.cfg.ComputeLat
+}
+
+// issueCompute issues one SIMD compute micro-op (every granule of the core's
+// partition receives the same µop; each ExeBU has two pipes, so the
+// busy-lane accounting charges half the lanes per instruction, saturating at
+// two issues per cycle).
+func (cp *Coproc) issueCompute(c int, x *XInst, now uint64) issueStatus {
+	st := cp.cores[c]
+	if !x.depsReady(st, now) {
+		return issueDataWait
+	}
+	done := now + cp.latFor(x.Op)
+	if hasZDst(x.Op) {
+		cp.issuePhys(c, done)
+	}
+	st.done.set(x.seq, done)
+	st.inflight.Add(done)
+	st.computeIssued++
+	st.addPhaseCompute(x.Phase)
+	if x.Op == isa.OpVMovX0 && cp.respond != nil {
+		cp.respond(c, x.XDst, x.respVal, done+cp.cfg.EMSIMDLat)
+	}
+	cp.cycleBusyLanes[c] += 2 * float64(x.Width)
+	if m := 4 * float64(x.Width); cp.cycleBusyLanes[c] > m {
+		cp.cycleBusyLanes[c] = m
+	}
+	return issueOK
+}
+
+// issueMem issues one vector load or store micro-op through the LSU.
+func (cp *Coproc) issueMem(c int, x *XInst, now uint64) issueStatus {
+	st := cp.cores[c]
+	size := 4 * x.Active
+	if size == 0 {
+		// Fully predicated off: completes instantly.
+		if hasZDst(x.Op) {
+			cp.issuePhys(c, now)
+		}
+		st.done.set(x.seq, now)
+		st.memIssued++
+		return issueOK
+	}
+	if x.Op == isa.OpVLoad {
+		if st.lhq.Count(now) >= cp.cfg.LHQ {
+			return issueStructural
+		}
+		done, accepted := cp.vec.AccessFrom(now, x.Addr, size, false, c)
+		if !accepted {
+			st.mshrRetries++
+			return issueStructural
+		}
+		cp.issuePhys(c, done)
+		st.done.set(x.seq, done)
+		st.lhq.Add(done)
+		st.inflight.Add(done)
+	} else { // store
+		if st.stq.Count(now) >= cp.cfg.STQ {
+			return issueStructural
+		}
+		if !x.depsReady(st, now) { // store data
+			return issueDataWait
+		}
+		done, accepted := cp.vec.AccessFrom(now, x.Addr, size, true, c)
+		if !accepted {
+			st.mshrRetries++
+			return issueStructural
+		}
+		st.done.set(x.seq, done)
+		st.stq.Add(done)
+		st.inflight.Add(done)
+	}
+	st.memIssued++
+	return issueOK
+}
+
+func unFn(op isa.Opcode, v float32) float32 {
+	switch op {
+	case isa.OpVFNeg:
+		return -v
+	case isa.OpVFAbs:
+		return float32(math.Abs(float64(v)))
+	case isa.OpVFSqrt:
+		return float32(math.Sqrt(float64(v)))
+	}
+	panic("coproc: bad unary op")
+}
+
+func binFn(op isa.Opcode, a, b float32) float32 {
+	switch op {
+	case isa.OpVFAdd:
+		return a + b
+	case isa.OpVFSub:
+		return a - b
+	case isa.OpVFMul:
+		return a * b
+	case isa.OpVFDiv:
+		return a / b
+	case isa.OpVFMax:
+		return float32(math.Max(float64(a), float64(b)))
+	case isa.OpVFMin:
+		return float32(math.Min(float64(a), float64(b)))
+	}
+	if out, ok := isa.IntBinFn(op, a, b); ok {
+		return out
+	}
+	panic(fmt.Sprintf("coproc: bad binary op %s", op))
+}
+
+// Snapshot is a read-only copy of one core's co-processor counters.
+type Snapshot struct {
+	ComputeIssued  uint64
+	MemIssued      uint64
+	RenameStalls   uint64
+	MSHRRetries    uint64
+	DrainWait      uint64
+	ComputeByPhase []uint64 // index 0 = outside any phase, i+1 = phase i
+}
+
+// CoreSnapshot returns core c's counters.
+func (cp *Coproc) CoreSnapshot(c int) Snapshot {
+	st := cp.cores[c]
+	phases := make([]uint64, len(st.computeByPhase))
+	copy(phases, st.computeByPhase)
+	return Snapshot{
+		ComputeIssued:  st.computeIssued,
+		MemIssued:      st.memIssued,
+		RenameStalls:   st.renameStalls,
+		MSHRRetries:    st.mshrRetries,
+		DrainWait:      st.drainWait,
+		ComputeByPhase: phases,
+	}
+}
+
+// Utilization returns the paper's SIMD_util over all cycles simulated so
+// far: the mean fraction of busy lanes across the whole array (§2).
+func (cp *Coproc) Utilization() float64 {
+	if cp.cycles == 0 {
+		return 0
+	}
+	return cp.busyLaneCycles / float64(cp.cycles)
+}
+
+// Cycles returns how many cycles the co-processor has simulated.
+func (cp *Coproc) Cycles() uint64 { return cp.cycles }
+
+// Quiescent reports whether core c has no queued or in-flight work.
+func (cp *Coproc) Quiescent(c int, now uint64) bool {
+	st := cp.cores[c]
+	return st.head >= len(st.queue) && st.inflight.Count(now) == 0
+}
+
+// LastActive returns the latest cycle core c had queued or in-flight work.
+func (cp *Coproc) LastActive(c int) uint64 { return cp.cores[c].lastActive }
+
+// Z returns the functional value of lane i of register r on core c (tests).
+func (cp *Coproc) Z(c int, r isa.Reg, i int) float32 { return cp.cores[c].z[r][i] }
+
+// BusyTimeline returns core c's busy-lane timeline (Figures 2 and 14(b)).
+func (cp *Coproc) BusyTimeline(c int) *sim.Timeline { return cp.cores[c].busyTimeline }
+
+// ComputeIssued returns the number of SIMD compute instructions core c has
+// issued (the numerator of the paper's SIMD issue rate).
+func (cp *Coproc) ComputeIssued(c int) uint64 { return cp.cores[c].computeIssued }
+
+// DrainWaitCycles returns cycles core c's MSR <VL> spent waiting for its
+// pipeline to drain (Figure 15's reconfiguration overhead).
+func (cp *Coproc) DrainWaitCycles(c int) uint64 { return cp.cores[c].drainWait }
+
+// SaveVecState copies core c's architectural vector registers, for OS
+// context switching (§5). The caller must ensure quiescence.
+func (cp *Coproc) SaveVecState(c int) [][]float32 {
+	st := cp.cores[c]
+	out := make([][]float32, len(st.z))
+	for r := range st.z {
+		out[r] = append([]float32(nil), st.z[r]...)
+	}
+	return out
+}
+
+// RestoreVecState installs previously saved vector registers on core c.
+func (cp *Coproc) RestoreVecState(c int, z [][]float32) {
+	st := cp.cores[c]
+	for r := range st.z {
+		copy(st.z[r], z[r])
+	}
+}

@@ -1,0 +1,47 @@
+package coproc
+
+// doneRing records issued instructions' completion cycles, indexed by their
+// monotonically increasing per-core sequence numbers. It replaces a map that
+// would otherwise need periodic pruning: a slot overwritten by a newer
+// sequence number means its previous occupant issued at least ringSize
+// instructions earlier, far past any realistic completion latency.
+const (
+	ringBits = 14
+	ringSize = 1 << ringBits
+	ringMask = ringSize - 1
+)
+
+type doneRing struct {
+	seqs  []uint64
+	dones []uint64
+}
+
+func (r *doneRing) init() {
+	r.seqs = make([]uint64, ringSize)
+	r.dones = make([]uint64, ringSize)
+}
+
+func (r *doneRing) set(seq, done uint64) {
+	slot := seq & ringMask
+	r.seqs[slot] = seq
+	r.dones[slot] = done
+}
+
+// Lookup outcomes.
+const (
+	ringMiss  = iota // sequence number not issued yet
+	ringHit          // completion cycle available
+	ringOlder        // overwritten by a newer entry: completed long ago
+)
+
+func (r *doneRing) get(seq uint64) (done uint64, state int) {
+	slot := seq & ringMask
+	switch {
+	case r.seqs[slot] == seq:
+		return r.dones[slot], ringHit
+	case r.seqs[slot] > seq:
+		return 0, ringOlder
+	default:
+		return 0, ringMiss
+	}
+}

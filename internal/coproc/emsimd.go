@@ -1,0 +1,101 @@
+package coproc
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"occamy/internal/isa"
+)
+
+var traceEMSIMD = os.Getenv("OCCAMY_TRACE") != ""
+
+// execEMSIMD executes one EM-SIMD instruction at the head of core c's pool.
+// It returns false when the instruction must retry next cycle (an MSR <VL>
+// waiting for the pipeline to drain, or the manager still computing a plan).
+//
+// The EM-SIMD data path is shared and in-order (§4.2.2); per-core program
+// order is preserved because instructions sit in the same pool as SVE
+// instructions, which realizes Table 2's <SVE, EM-SIMD> and
+// <EM-SIMD, EM-SIMD> rows in hardware.
+func (cp *Coproc) execEMSIMD(c int, x *XInst, now uint64) bool {
+	st := cp.cores[c]
+	switch x.Op {
+	case isa.OpMSR:
+		switch x.Sys {
+		case isa.SysOI:
+			// A phase-changing point: store the behaviour and have
+			// LaneMgr produce a fresh plan (§5). The manager is
+			// busy for PlanLat cycles.
+			if cp.emsimdBusyUntil > now {
+				return false
+			}
+			cp.mgr.OnOIWrite(c, isa.UnpackOI(x.Val))
+			if traceEMSIMD {
+				fmt.Printf("[%d] core%d MSR OI %v -> dec0=%d dec1=%d\n",
+					now, c, isa.UnpackOI(x.Val), cp.tbl.Decision(0), cp.tbl.Decision(1))
+			}
+			cp.emsimdBusyUntil = now + cp.cfg.PlanLat
+			cp.stats.Inc("coproc.repartitions")
+			cp.logEvent(LaneEvent{Cycle: now, Core: c, Kind: "repartition"})
+			return true
+		case isa.SysVL:
+			if !cp.cfg.Elastic {
+				// Non-elastic policies reject reconfiguration;
+				// generated fixed-mode code never asks.
+				cp.tbl.TryReconfigure(c, -1) // sets <status> to 0
+				return true
+			}
+			// §4.2.2 precondition: the SIMD pipeline associated
+			// with core c must be drained.
+			if st.inflight.Count(now) > 0 {
+				st.drainWait++
+				cp.stats.Inc("coproc.drain_wait_cycles")
+				return false
+			}
+			ok := cp.tbl.TryReconfigure(c, int(x.Val))
+			if traceEMSIMD {
+				fmt.Printf("[%d] core%d MSR VL %d -> ok=%v (VL0=%d VL1=%d AL=%d dec0=%d dec1=%d)\n",
+					now, c, x.Val, ok, cp.tbl.VL(0), cp.tbl.VL(1), cp.tbl.AL(), cp.tbl.Decision(0), cp.tbl.Decision(1))
+			}
+			if ok {
+				cp.stats.Inc("coproc.reconfigures")
+				cp.logEvent(LaneEvent{Cycle: now, Core: c, Kind: "reconfigure", VL: int(x.Val)})
+				if cp.cfg.PoisonOnReconfigure {
+					cp.poison(c)
+				}
+			} else {
+				cp.stats.Inc("coproc.reconfigure_rejects")
+				cp.logEvent(LaneEvent{Cycle: now, Core: c, Kind: "reject", VL: int(x.Val)})
+			}
+			return true
+		default:
+			// Writes to read-only registers are ignored (defensive;
+			// the compiler never emits them).
+			return true
+		}
+	case isa.OpMRS:
+		// Ordered reads (only <status> takes this path from generated
+		// code; other reads are transmitted speculatively and resolved
+		// combinationally via ReadSysNow).
+		if cp.respond != nil {
+			cp.respond(c, x.XDst, uint64(cp.tbl.ReadRaw(c, x.Sys)), now+cp.cfg.EMSIMDLat)
+		}
+		return true
+	default:
+		panic("coproc: non-EM-SIMD instruction routed to EM-SIMD path")
+	}
+}
+
+// poison fills every lane of every vector register of core c with NaN:
+// freed RegBlk contents are not preserved across reconfiguration (§4.2.2),
+// and poisoning makes any compiler violation of the §6.4 obligations visible
+// as NaN in the workload's results.
+func (cp *Coproc) poison(c int) {
+	nan := float32(math.NaN())
+	for _, reg := range cp.cores[c].z {
+		for i := range reg {
+			reg[i] = nan
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package coproc
+
+// holdTracker counts resources held by in-flight operations: each entry is a
+// release cycle; Count reports how many are still held at a given cycle.
+// Used for physical-register occupancy, load/store queue occupancy and the
+// pipeline-drain check.
+type holdTracker struct {
+	releases []uint64
+}
+
+func (t *holdTracker) drain(now uint64) {
+	live := t.releases[:0]
+	for _, r := range t.releases {
+		if r > now {
+			live = append(live, r)
+		}
+	}
+	t.releases = live
+}
+
+// Count returns the number of entries still held at cycle now.
+func (t *holdTracker) Count(now uint64) int {
+	t.drain(now)
+	return len(t.releases)
+}
+
+// Add records a resource held until cycle release.
+func (t *holdTracker) Add(release uint64) {
+	t.releases = append(t.releases, release)
+}
+
+// regPool tracks physical-register occupancy for one rename namespace:
+// destinations are allocated at rename (transmit) and released at writeback,
+// so both queued and issued-but-incomplete instructions hold registers —
+// the pressure that collapses FTS in Figure 13.
+type regPool struct {
+	queued int         // renamed, not yet issued
+	issued holdTracker // issued, released at completion
+}
+
+func (p *regPool) held(now uint64) int { return p.queued + p.issued.Count(now) }
+
+// issueBudget carries the per-cycle slot counts. With SharedIssue the same
+// struct is consumed by every core; otherwise each core gets a fresh one.
+type issueBudget struct {
+	compute int
+	mem     int
+	emsimd  *int // EM-SIMD path slots are always global (one shared path)
+}

@@ -1,0 +1,567 @@
+// Package cpu models the scalar CPU cores of Table 4: 8-issue superscalar
+// pipelines (TaiShan V110-class) that execute scalar instructions locally
+// and transmit SVE and EM-SIMD instructions to the shared co-processor in
+// program order (§4.1.1).
+//
+// Simplifications relative to a full out-of-order core, and why they are
+// safe for the paper's experiments:
+//
+//   - The core is in-order with register scoreboarding and perfect
+//     prediction of loop branches. The evaluation's loops are short,
+//     perfectly predictable streams, so the OoO front end of the paper's
+//     core contributes no reordering that matters here; transmitting at
+//     execute equals the paper's transmit-at-retire because an in-order
+//     core never squashes.
+//   - Speculative transmission of MRS <decision> (§4.1.1) is modeled as a
+//     combinational read of the resource table with the EM-SIMD latency —
+//     the paper's motivation (the monitor must not wait for the SIMD
+//     backlog) is preserved, and correctness under stale reads is the
+//     compiler's obligation, exactly as in §6.4.
+//   - The Memory Ordering Buffer is a per-core "vector memory quiescent"
+//     check: scalar memory operations wait until the co-processor has no
+//     outstanding vector accesses for this core (Table 2's conservative
+//     ordering; scalar and vector code never interleave finer than a phase
+//     in generated programs).
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"occamy/internal/coproc"
+	"occamy/internal/isa"
+	"occamy/internal/mem"
+	"occamy/internal/sim"
+)
+
+// Config sets the scalar core parameters.
+type Config struct {
+	Width     int    // issue width (Table 4: 8)
+	IntLat    uint64 // simple integer ops
+	FPLat     uint64 // scalar FP ops
+	EMSIMDLat uint64 // combinational system-register reads
+}
+
+// DefaultConfig returns the Table 4 scalar core. IntLat of zero means
+// integer results forward within the same issue group: together with the
+// 8-wide front end this approximates the paper's 8-issue out-of-order core,
+// whose loop-overhead instructions never gate the vector pipeline.
+func DefaultConfig() Config {
+	return Config{Width: 8, IntLat: 0, FPLat: 4, EMSIMDLat: 0}
+}
+
+const notReady = math.MaxUint64
+
+// Core is one scalar CPU core executing a compiled program.
+type Core struct {
+	id    int
+	cfg   Config
+	prog  *isa.Program
+	cp    *coproc.Coproc
+	l1    mem.Port
+	data  *mem.Memory
+	stats *sim.Stats
+
+	pc     int
+	x      [isa.NumXRegs]int64
+	f      [isa.NumFRegs]float32
+	xReady [isa.NumXRegs]uint64
+	fReady [isa.NumFRegs]uint64
+	halted bool
+	parked bool
+
+	// tailActive is the transmit-side predicate set by VWHILE; -1 means
+	// full vector length.
+	tailActive int
+
+	// phase tracks the current compiler phase for attribution.
+	phase           int
+	phaseCycleNames []string
+	poolFullName    string
+	renameBlockName string
+	haltCycle       uint64
+}
+
+// New builds a core. l1 is the core's private L1D port; data the functional
+// memory.
+func New(id int, cfg Config, prog *isa.Program, cp *coproc.Coproc, l1 mem.Port, data *mem.Memory, stats *sim.Stats) *Core {
+	c := &Core{
+		id: id, cfg: cfg, prog: prog, cp: cp, l1: l1, data: data, stats: stats,
+		tailActive: -1, phase: -1,
+	}
+	// Pre-build per-phase counter names to keep the tick path
+	// allocation-free.
+	c.phaseCycleNames = make([]string, prog.NumPhases+1)
+	for p := 0; p <= prog.NumPhases; p++ {
+		c.phaseCycleNames[p] = fmt.Sprintf("cpu%d.phase%d.cycles", id, p-1)
+	}
+	c.poolFullName = fmt.Sprintf("cpu%d.pool_full_stall", id)
+	c.renameBlockName = fmt.Sprintf("cpu%d.rename_block_stall", id)
+	return c
+}
+
+// Halted reports whether the program has executed HALT.
+func (c *Core) Halted() bool { return c.halted }
+
+// HaltCycle returns the cycle at which HALT executed.
+func (c *Core) HaltCycle() uint64 { return c.haltCycle }
+
+// PC returns the current program counter (diagnostics).
+func (c *Core) PC() int { return c.pc }
+
+// X returns scalar register r (tests).
+func (c *Core) X(r isa.Reg) int64 { return c.x[r] }
+
+// F returns scalar FP register r (tests).
+func (c *Core) F(r isa.Reg) float32 { return c.f[r] }
+
+// HandleResult is the coproc.ScalarResponder for this core.
+func (c *Core) HandleResult(core int, reg isa.Reg, val uint64, ready uint64) {
+	if core != c.id {
+		return
+	}
+	c.x[reg] = int64(val)
+	c.xReady[reg] = ready
+}
+
+// Name implements sim.Component.
+func (c *Core) Name() string { return fmt.Sprintf("cpu%d", c.id) }
+
+// Tick executes up to Width instructions in order; it stops at the first
+// hazard (operand not ready, memory reject, full co-processor pool).
+func (c *Core) Tick(now uint64) {
+	if c.halted || c.parked {
+		return
+	}
+	c.stats.Inc(c.phaseCycleNames[c.phase+1])
+	for slot := 0; slot < c.cfg.Width && !c.halted; slot++ {
+		in := c.prog.At(c.pc)
+		if in.Phase != c.phase {
+			c.phase = in.Phase
+			c.stats.Set(fmt.Sprintf("cpu%d.phase%d.entered_cycle", c.id, c.phase), now)
+		}
+		if !c.execute(&in, now) {
+			return
+		}
+	}
+}
+
+// xr reads scalar register r honouring XZR.
+func (c *Core) xr(r isa.Reg) int64 {
+	if r == isa.XZR || r == isa.RegNone {
+		return 0
+	}
+	return c.x[r]
+}
+
+func (c *Core) xw(r isa.Reg, v int64, ready uint64) {
+	if r == isa.XZR || r == isa.RegNone {
+		return
+	}
+	c.x[r] = v
+	c.xReady[r] = ready
+}
+
+func (c *Core) xReadyAt(r isa.Reg, now uint64) bool {
+	if r == isa.XZR || r == isa.RegNone {
+		return true
+	}
+	return c.xReady[r] <= now
+}
+
+func (c *Core) fReadyAt(r isa.Reg, now uint64) bool {
+	if r == isa.RegNone {
+		return true
+	}
+	return c.fReady[r] <= now
+}
+
+// execute runs one instruction; it returns false when the instruction
+// stalled (pc unchanged) and the cycle's issue must stop.
+func (c *Core) execute(in *isa.Inst, now uint64) bool {
+	op := in.Op
+	switch {
+	case op.Class() == isa.ClassSVE:
+		return c.transmitVector(in, now)
+	case op.IsEMSIMD():
+		return c.execEMSIMD(in, now)
+	}
+
+	switch op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		c.halted = true
+		c.haltCycle = now
+		c.stats.Set(fmt.Sprintf("cpu%d.halt_cycle", c.id), now)
+		return true
+	case isa.OpMovI:
+		c.xw(in.Dst, in.Imm, now+c.cfg.IntLat)
+	case isa.OpMov:
+		if !c.xReadyAt(in.Src1, now) {
+			return false
+		}
+		c.xw(in.Dst, c.xr(in.Src1), now+c.cfg.IntLat)
+	case isa.OpAddI, isa.OpSubI, isa.OpMulI:
+		if !c.xReadyAt(in.Src1, now) {
+			return false
+		}
+		v := c.xr(in.Src1)
+		switch op {
+		case isa.OpAddI:
+			v += in.Imm
+		case isa.OpSubI:
+			v -= in.Imm
+		case isa.OpMulI:
+			v *= in.Imm
+		}
+		c.xw(in.Dst, v, now+c.cfg.IntLat)
+	case isa.OpAdd, isa.OpSub:
+		if !c.xReadyAt(in.Src1, now) || !c.xReadyAt(in.Src2, now) {
+			return false
+		}
+		v := c.xr(in.Src1)
+		if op == isa.OpAdd {
+			v += c.xr(in.Src2)
+		} else {
+			v -= c.xr(in.Src2)
+		}
+		c.xw(in.Dst, v, now+c.cfg.IntLat)
+	case isa.OpB, isa.OpBLT, isa.OpBGE, isa.OpBEQ, isa.OpBNE, isa.OpBEQI, isa.OpBNEI:
+		return c.execBranch(in, now)
+	case isa.OpRdElems:
+		c.xw(in.Dst, int64(4*c.cp.VL(c.id)), now+c.cfg.IntLat)
+	case isa.OpIncVL:
+		if !c.xReadyAt(in.Src1, now) {
+			return false
+		}
+		c.xw(in.Dst, c.xr(in.Src1)+in.Imm*int64(4*c.cp.VL(c.id)), now+c.cfg.IntLat)
+	case isa.OpVWhile:
+		return c.execVWhile(in, now)
+	case isa.OpSLoadF, isa.OpSStoreF:
+		return c.execScalarMem(in, now)
+	case isa.OpSFMovI:
+		c.f[in.Dst] = in.FImm
+		c.fReady[in.Dst] = now + c.cfg.FPLat
+	case isa.OpSFAdd, isa.OpSFSub, isa.OpSFMul, isa.OpSFDiv, isa.OpSFMax, isa.OpSFMin, isa.OpSFMla:
+		return c.execScalarFP(in, now)
+	case isa.OpSIAdd, isa.OpSISub, isa.OpSIMul, isa.OpSIAnd, isa.OpSIOr, isa.OpSIXor,
+		isa.OpSIShl, isa.OpSIShr, isa.OpSIMax, isa.OpSIMin:
+		if !c.fReadyAt(in.Src1, now) || !c.fReadyAt(in.Src2, now) {
+			return false
+		}
+		v, ok := isa.IntBinFn(op, c.f[in.Src1], c.f[in.Src2])
+		if !ok {
+			panic("cpu: bad scalar integer op")
+		}
+		c.f[in.Dst] = v
+		c.fReady[in.Dst] = now + c.cfg.IntLat + 1
+		c.pc++
+		return true
+	case isa.OpSFAbs, isa.OpSFNeg, isa.OpSFSqrt:
+		if !c.fReadyAt(in.Src1, now) {
+			return false
+		}
+		v := c.f[in.Src1]
+		switch op {
+		case isa.OpSFAbs:
+			v = float32(math.Abs(float64(v)))
+		case isa.OpSFNeg:
+			v = -v
+		case isa.OpSFSqrt:
+			v = float32(math.Sqrt(float64(v)))
+		}
+		c.f[in.Dst] = v
+		c.fReady[in.Dst] = now + c.cfg.FPLat
+	default:
+		panic(fmt.Sprintf("cpu: unimplemented opcode %s", op))
+	}
+	c.pc++
+	return true
+}
+
+func (c *Core) execBranch(in *isa.Inst, now uint64) bool {
+	if !c.xReadyAt(in.Src1, now) {
+		return false
+	}
+	taken := false
+	switch in.Op {
+	case isa.OpB:
+		taken = true
+	case isa.OpBEQI:
+		taken = c.xr(in.Src1) == in.Imm
+	case isa.OpBNEI:
+		taken = c.xr(in.Src1) != in.Imm
+	default:
+		if !c.xReadyAt(in.Src2, now) {
+			return false
+		}
+		a, b := c.xr(in.Src1), c.xr(in.Src2)
+		switch in.Op {
+		case isa.OpBLT:
+			taken = a < b
+		case isa.OpBGE:
+			taken = a >= b
+		case isa.OpBEQ:
+			taken = a == b
+		case isa.OpBNE:
+			taken = a != b
+		}
+	}
+	if taken {
+		c.pc = in.Target
+	} else {
+		c.pc++
+	}
+	return true
+}
+
+func (c *Core) execVWhile(in *isa.Inst, now uint64) bool {
+	if in.Imm == 1 { // reset to full predicate
+		c.tailActive = -1
+		c.pc++
+		return true
+	}
+	if !c.xReadyAt(in.Src1, now) || !c.xReadyAt(in.Src2, now) {
+		return false
+	}
+	rem := c.xr(in.Src1) - c.xr(in.Src2)
+	lim := int64(4 * c.cp.VL(c.id))
+	if rem < 0 {
+		rem = 0
+	}
+	if rem > lim {
+		rem = lim
+	}
+	c.tailActive = int(rem)
+	c.xw(in.Dst, rem, now+c.cfg.IntLat)
+	c.pc++
+	return true
+}
+
+func (c *Core) execScalarMem(in *isa.Inst, now uint64) bool {
+	if !c.xReadyAt(in.Src1, now) {
+		return false
+	}
+	// MOB: wait for vector memory quiescence (Table 2).
+	if c.cp.MemInFlight(c.id, now) > 0 {
+		c.stats.Inc(fmt.Sprintf("cpu%d.mob_stall", c.id))
+		return false
+	}
+	addr := uint64(c.xr(in.Src1)) + uint64(in.Imm)
+	if in.Op == isa.OpSLoadF {
+		done, ok := c.l1.Access(now, addr, 4, false)
+		if !ok {
+			return false
+		}
+		c.f[in.Dst] = c.data.ReadF32(addr)
+		c.fReady[in.Dst] = done
+	} else {
+		if !c.fReadyAt(in.Dst, now) { // store data
+			return false
+		}
+		if _, ok := c.l1.Access(now, addr, 4, true); !ok {
+			return false
+		}
+		c.data.WriteF32(addr, c.f[in.Dst])
+	}
+	c.pc++
+	return true
+}
+
+func (c *Core) execScalarFP(in *isa.Inst, now uint64) bool {
+	if !c.fReadyAt(in.Src1, now) || !c.fReadyAt(in.Src2, now) {
+		return false
+	}
+	if in.Op == isa.OpSFMla && !c.fReadyAt(in.Dst, now) {
+		return false
+	}
+	a, b := c.f[in.Src1], c.f[in.Src2]
+	var v float32
+	switch in.Op {
+	case isa.OpSFAdd:
+		v = a + b
+	case isa.OpSFSub:
+		v = a - b
+	case isa.OpSFMul:
+		v = a * b
+	case isa.OpSFDiv:
+		v = a / b
+	case isa.OpSFMax:
+		v = float32(math.Max(float64(a), float64(b)))
+	case isa.OpSFMin:
+		v = float32(math.Min(float64(a), float64(b)))
+	case isa.OpSFMla:
+		v = c.f[in.Dst] + a*b
+	}
+	c.f[in.Dst] = v
+	c.fReady[in.Dst] = now + c.cfg.FPLat
+	c.pc++
+	return true
+}
+
+// execEMSIMD handles MSR/MRS at the core side: resolve operands and either
+// read combinationally (speculative reads) or transmit to the EM-SIMD path.
+func (c *Core) execEMSIMD(in *isa.Inst, now uint64) bool {
+	if in.Op == isa.OpMRS {
+		if in.Sys == isa.SysStatus {
+			// Must order after the preceding MSR <VL>: go through
+			// the in-order pool and wait for the response.
+			if !c.transmit(coproc.XInst{
+				Op: isa.OpMRS, Core: c.id, Sys: in.Sys, XDst: in.Dst, Phase: in.Phase,
+			}) {
+				return false
+			}
+			c.xReady[in.Dst] = notReady // response will unblock
+			c.stats.Inc(fmt.Sprintf("cpu%d.reconfig_insts", c.id))
+			c.pc++
+			return true
+		}
+		// Speculative read (§4.1.1): combinational, low latency.
+		c.xw(in.Dst, int64(c.cp.ReadSysNow(c.id, in.Sys)), now+c.cfg.EMSIMDLat)
+		if in.Sys == isa.SysDecision {
+			c.stats.Inc(fmt.Sprintf("cpu%d.monitor_insts", c.id))
+		}
+		c.pc++
+		return true
+	}
+	// MSR: resolve the value and transmit.
+	val := uint32(in.Imm)
+	if in.Src1 != isa.RegNone {
+		if !c.xReadyAt(in.Src1, now) {
+			return false
+		}
+		val = uint32(c.xr(in.Src1))
+	}
+	if !c.transmit(coproc.XInst{
+		Op: isa.OpMSR, Core: c.id, Sys: in.Sys, Val: val, Phase: in.Phase,
+	}) {
+		return false
+	}
+	if in.Sys == isa.SysVL {
+		c.stats.Inc(fmt.Sprintf("cpu%d.reconfig_insts", c.id))
+	}
+	c.pc++
+	return true
+}
+
+// transmitVector resolves a vector instruction's scalar operands and sends
+// it to the co-processor pool. The active element count and data-path width
+// are captured here: pre-reconfiguration instructions execute under the old
+// vector length (§4.2.2).
+func (c *Core) transmitVector(in *isa.Inst, now uint64) bool {
+	vl := c.cp.VL(c.id)
+	active := 4 * vl
+	if c.tailActive >= 0 && c.tailActive < active {
+		active = c.tailActive
+	}
+	x := coproc.XInst{
+		Op: in.Op, Core: c.id, Dst: in.Dst, Src1: in.Src1, Src2: in.Src2,
+		FImm: in.FImm, Active: active, Width: vl, Phase: in.Phase,
+	}
+	switch in.Op {
+	case isa.OpVLoad, isa.OpVStore:
+		// Base + scaled-index addressing: addr = Xbase + 4*Xindex.
+		if !c.xReadyAt(in.Src1, now) || !c.xReadyAt(in.Src2, now) {
+			return false
+		}
+		x.Addr = uint64(c.xr(in.Src1) + 4*c.xr(in.Src2))
+		x.Src1, x.Src2 = isa.RegNone, isa.RegNone
+	case isa.OpVDupX, isa.OpVInsX0:
+		if !c.xReadyAt(in.Src1, now) {
+			return false
+		}
+		x.Val = uint32(c.xr(in.Src1))
+		x.Src1 = isa.RegNone
+	case isa.OpVMovX0:
+		x.XDst = in.Dst
+		x.Dst = isa.RegNone
+	}
+	if !c.transmit(x) {
+		return false
+	}
+	if in.Op == isa.OpVMovX0 {
+		c.xReady[in.Dst] = notReady
+	}
+	c.pc++
+	return true
+}
+
+func (c *Core) transmit(x coproc.XInst) bool {
+	if c.cp.Transmit(x) != coproc.TransmitOK {
+		c.stats.Inc(c.poolFullName)
+		return false
+	}
+	return true
+}
+
+// State is a complete architectural snapshot of the core, for OS context
+// switching (§5). It captures everything program-visible: the program and
+// its counter, the scalar integer and FP register files, and the
+// transmit-side tail predicate. Vector registers live in the co-processor
+// and are saved separately.
+type State struct {
+	Prog       *isa.Program
+	PC         int
+	X          [isa.NumXRegs]int64
+	F          [isa.NumFRegs]float32
+	TailActive int
+	Halted     bool
+	HaltCycle  uint64
+	Phase      int
+}
+
+// Snapshot captures the core's architectural state. The caller must ensure
+// the core is quiescent (parked and the co-processor drained), mirroring
+// §5's "when all the pipelines are drained".
+func (c *Core) Snapshot() State {
+	return State{
+		Prog:       c.prog,
+		PC:         c.pc,
+		X:          c.x,
+		F:          c.f,
+		TailActive: c.tailActive,
+		Halted:     c.halted,
+		HaltCycle:  c.haltCycle,
+		Phase:      c.phase,
+	}
+}
+
+// Restore installs a previously captured state (possibly of a different
+// task/program). Pending scoreboard entries are cleared: quiescence
+// guarantees no results are in flight.
+func (c *Core) Restore(s State) {
+	c.prog = s.Prog
+	c.pc = s.PC
+	c.x = s.X
+	c.f = s.F
+	c.tailActive = s.TailActive
+	c.halted = s.Halted
+	c.haltCycle = s.HaltCycle
+	c.phase = s.Phase
+	for i := range c.xReady {
+		c.xReady[i] = 0
+	}
+	for i := range c.fReady {
+		c.fReady[i] = 0
+	}
+	// Rebuild per-phase counter names for the (possibly new) program.
+	c.phaseCycleNames = make([]string, s.Prog.NumPhases+1)
+	for p := 0; p <= s.Prog.NumPhases; p++ {
+		c.phaseCycleNames[p] = fmt.Sprintf("cpu%d.phase%d.cycles", c.id, p-1)
+	}
+}
+
+// NewState builds the boot state for a fresh task.
+func NewState(prog *isa.Program) State {
+	return State{Prog: prog, TailActive: -1, Phase: -1}
+}
+
+// Park stops the core from fetching (the OS descheduled it); Unpark resumes.
+// A parked core still holds its architectural state.
+func (c *Core) Park() { c.parked = true }
+
+// Unpark resumes fetching.
+func (c *Core) Unpark() { c.parked = false }
+
+// Parked reports whether the core is parked.
+func (c *Core) Parked() bool { return c.parked }

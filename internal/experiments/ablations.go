@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"occamy/internal/arch"
+	"occamy/internal/isa"
+	"occamy/internal/lanemgr"
+	"occamy/internal/metrics"
+	"occamy/internal/roofline"
+	"occamy/internal/workload"
+)
+
+// AblationMonitorPeriod measures the motivating pair on Occamy with the
+// partition monitor polling every k iterations (Fig. 9 uses k=1): the
+// responsiveness/overhead trade-off DESIGN.md calls out.
+func (c Config) AblationMonitorPeriod(periods []int) (string, error) {
+	var b strings.Builder
+	b.WriteString("Ablation: partition-monitor polling period (motivating pair, Occamy)\n\n")
+	t := &metrics.Table{Header: []string{"Period", "Makespan", "Core1 cycles", "Reconfigs", "Monitor ovh"}}
+	for _, p := range periods {
+		_, res, err := c.runOne(arch.Occamy, workload.MotivatingPair(reg), arch.Options{MonitorPeriod: p})
+		if err != nil {
+			return "", err
+		}
+		t.Add(fmt.Sprintf("%d", p),
+			fmt.Sprintf("%d", res.Cycles),
+			fmt.Sprintf("%d", res.Cores[1].Cycles),
+			fmt.Sprintf("%d", res.Reconfigures),
+			pct3(res.Cores[0].OverheadMonitorFrac+res.Cores[1].OverheadMonitorFrac),
+		)
+	}
+	b.WriteString(t.String())
+	return b.String(), nil
+}
+
+// AblationIssueCeiling compares lane plans with and without the paper's
+// novel SIMD-issue-bandwidth ceiling (§5.1) across every Table 3 kernel
+// paired with a compute-intensive peer — the Case 4 effect.
+func AblationIssueCeiling() string {
+	var b strings.Builder
+	b.WriteString("Ablation: roofline with vs without the SIMD-issue-bandwidth ceiling (Eq. 2)\n\n")
+	with := roofline.Default()
+	without := roofline.Default()
+	without.IssueUopsPerCycle = 1000 // ceiling never binds
+	comp := isa.OIPair{Issue: 10, Mem: 10}
+	t := &metrics.Table{Header: []string{"Kernel", "oi_issue", "oi_mem", "plan with", "plan without"}}
+	changed := 0
+	for _, name := range reg.KernelNames() {
+		oi := reg.Kernel(name).OI()
+		pw := lanemgr.Plan(with, []isa.OIPair{oi, comp}, 8)
+		po := lanemgr.Plan(without, []isa.OIPair{oi, comp}, 8)
+		if pw[0] != po[0] {
+			changed++
+			t.Add(name, fmt.Sprintf("%.2f", oi.Issue), fmt.Sprintf("%.2f", oi.Mem),
+				fmt.Sprintf("%d lanes", 4*pw[0]), fmt.Sprintf("%d lanes", 4*po[0]))
+		}
+	}
+	b.WriteString(t.String())
+	b.WriteString(fmt.Sprintf("\n%d kernels get a different allocation; reuse kernels (oi_issue < oi_mem)\n", changed))
+	b.WriteString("trade extra lanes for issue bandwidth, exactly as §7.4 Case 4 describes.\n")
+	return b.String()
+}
+
+// AblationFTSRegisters sweeps the shared physical-register pool size for
+// FTS on the motivating pair: the Figure 13 pathology appears as the pool
+// shrinks toward the two architectural contexts.
+func (c Config) AblationFTSRegisters(pools []int) (string, error) {
+	var b strings.Builder
+	b.WriteString("Ablation: FTS shared physical-register pool size (motivating pair)\n\n")
+	t := &metrics.Table{Header: []string{"PhysRegs", "Makespan", "Core1 issue", "Stall c0", "Stall c1"}}
+	for _, n := range pools {
+		_, res, err := c.runOne(arch.FTS, workload.MotivatingPair(reg), arch.Options{FTSPhysRegs: n})
+		if err != nil {
+			return "", err
+		}
+		t.Add(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", res.Cycles),
+			fmt.Sprintf("%.2f", res.Cores[1].IssueRate),
+			metrics.FormatPct(res.Cores[0].RenameStallFrac),
+			metrics.FormatPct(res.Cores[1].RenameStallFrac),
+		)
+	}
+	b.WriteString(t.String())
+	return b.String(), nil
+}
+
+// AblationDefaultVL sweeps the compiler-selected prologue default vector
+// length (Fig. 9's X2): larger defaults grab lanes before the first monitor
+// hit but risk spinning when the pool is contended.
+func (c Config) AblationDefaultVL(defaults []int) (string, error) {
+	var b strings.Builder
+	b.WriteString("Ablation: compiler-selected default vector length (motivating pair, Occamy)\n\n")
+	t := &metrics.Table{Header: []string{"DefaultVL", "Makespan", "Core0", "Core1", "Reconfigs"}}
+	for _, d := range defaults {
+		_, res, err := c.runOne(arch.Occamy, workload.MotivatingPair(reg), arch.Options{DefaultVL: d})
+		if err != nil {
+			return "", err
+		}
+		t.Add(fmt.Sprintf("%d", d),
+			fmt.Sprintf("%d", res.Cycles),
+			fmt.Sprintf("%d", res.Cores[0].Cycles),
+			fmt.Sprintf("%d", res.Cores[1].Cycles),
+			fmt.Sprintf("%d", res.Reconfigures),
+		)
+	}
+	b.WriteString(t.String())
+	return b.String(), nil
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"occamy/internal/arch"
+	"occamy/internal/metrics"
+	"occamy/internal/workload"
+)
+
+// This file is a design-space exploration beyond the paper's fixed Table 4
+// machine: it re-runs the motivating pair while sweeping one hardware
+// parameter at a time (through arch.MachineTuning), asking how robust the
+// elastic-sharing win is to the surrounding machine. The paper's own
+// sensitivity analysis stops at lane count (Fig. 14) and core count
+// (Fig. 16); these sweeps cover the memory system and the pipelines.
+
+// dseRow runs the motivating pair on every architecture with one tuning and
+// returns the per-architecture makespans plus Occamy's speedup over Private
+// on the compute core (the paper's headline metric).
+func (c Config) dseRow(m *arch.MachineTuning) (map[arch.Kind]*arch.Result, float64, error) {
+	pair := workload.MotivatingPair(reg)
+	results := make(map[arch.Kind]*arch.Result, len(arch.Kinds))
+	for _, kind := range arch.Kinds {
+		_, res, err := c.runOne(kind, pair, arch.Options{Machine: m})
+		if err != nil {
+			return nil, 0, fmt.Errorf("dse on %s: %w", kind, err)
+		}
+		results[kind] = res
+	}
+	speedup := float64(results[arch.Private].Cores[1].Cycles) /
+		float64(results[arch.Occamy].Cores[1].Cycles)
+	return results, speedup, nil
+}
+
+// dseTable renders one parameter sweep: a row per setting with every
+// architecture's makespan and the Core1 Occamy-vs-Private speedup.
+func (c Config) dseTable(title, unit string, settings []string, tunings []*arch.MachineTuning) (string, error) {
+	var b strings.Builder
+	b.WriteString(title + "\n\n")
+	t := &metrics.Table{Header: []string{unit, "Private", "FTS", "VLS", "Occamy", "C1 speedup"}}
+	for i, m := range tunings {
+		results, speedup, err := c.dseRow(m)
+		if err != nil {
+			return "", err
+		}
+		t.Add(settings[i],
+			fmt.Sprintf("%d", results[arch.Private].Cycles),
+			fmt.Sprintf("%d", results[arch.FTS].Cycles),
+			fmt.Sprintf("%d", results[arch.VLS].Cycles),
+			fmt.Sprintf("%d", results[arch.Occamy].Cycles),
+			fmt.Sprintf("%.2fx", speedup),
+		)
+	}
+	b.WriteString(t.String())
+	return b.String(), nil
+}
+
+// DSEDRAMBandwidth sweeps the DRAM bandwidth (Table 4 uses 32 B/cycle ≙
+// 64 GB/s): elastic sharing must keep its compute-side win as the memory
+// system is starved or widened, because the roofline model adapts the
+// partition to the moving memory ceiling.
+func (c Config) DSEDRAMBandwidth(bytesPerCycle []float64) (string, error) {
+	settings := make([]string, len(bytesPerCycle))
+	tunings := make([]*arch.MachineTuning, len(bytesPerCycle))
+	for i, bw := range bytesPerCycle {
+		settings[i] = fmt.Sprintf("%.0f B/cy", bw)
+		tunings[i] = &arch.MachineTuning{DRAMBytesPerCycle: bw}
+	}
+	return c.dseTable("DSE: DRAM bandwidth sweep (motivating pair; Table 4 default 32 B/cy)",
+		"DRAM BW", settings, tunings)
+}
+
+// DSEVecCache sweeps the shared vector cache capacity (Table 4: 128 KB).
+func (c Config) DSEVecCache(sizesKB []int) (string, error) {
+	settings := make([]string, len(sizesKB))
+	tunings := make([]*arch.MachineTuning, len(sizesKB))
+	for i, kb := range sizesKB {
+		settings[i] = fmt.Sprintf("%d KB", kb)
+		tunings[i] = &arch.MachineTuning{VecCacheKB: kb}
+	}
+	return c.dseTable("DSE: shared vector-cache capacity sweep (motivating pair; Table 4 default 128 KB)",
+		"VecCache", settings, tunings)
+}
+
+// DSEComputeLatency sweeps the ExeBU FP pipeline depth (default 4 cycles):
+// deeper pipes stretch dependence chains, which hurts the narrow-VL
+// architectures more than the wide elastic allocation.
+func (c Config) DSEComputeLatency(lats []uint64) (string, error) {
+	settings := make([]string, len(lats))
+	tunings := make([]*arch.MachineTuning, len(lats))
+	for i, l := range lats {
+		settings[i] = fmt.Sprintf("%d cy", l)
+		tunings[i] = &arch.MachineTuning{ComputeLat: l}
+	}
+	return c.dseTable("DSE: ExeBU FP pipeline depth sweep (motivating pair; default 4 cycles)",
+		"FP lat", settings, tunings)
+}
+
+// DSEDefaults are the sweeps cmd/occamy-bench -exp dse runs.
+func (c Config) DSEDefaults() (string, error) {
+	var b strings.Builder
+	bw, err := c.DSEDRAMBandwidth([]float64{8, 16, 32, 64})
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(bw + "\n")
+	vc, err := c.DSEVecCache([]int{16, 64, 128, 256})
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(vc + "\n")
+	lat, err := c.DSEComputeLatency([]uint64{2, 4, 8, 16})
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(lat)
+	return b.String(), nil
+}

@@ -1,0 +1,135 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7) on the simulator: the motivating example (Figure 2), the
+// 25-pair speedup/utilization sweep (Figures 10/11), the area model
+// (Figure 12), the rename-stall study (Figure 13), the WL20+WL17 case study
+// (Figure 14), the attainable-performance table (Table 5), the overhead
+// accounting (Figure 15) and the four-core scalability groups (Figure 16) —
+// plus the ablations DESIGN.md calls out.
+//
+// Both cmd/occamy-bench and the root-level testing.B benchmarks drive this
+// package; EXPERIMENTS.md is generated from its renderers.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"occamy/internal/arch"
+	"occamy/internal/metrics"
+	"occamy/internal/workload"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Scale multiplies workload trip counts; 1.0 is the calibrated full
+	// size, smaller values give quick approximate runs.
+	Scale float64
+	// Seed initializes workload data.
+	Seed uint64
+	// MaxCycles bounds each simulation.
+	MaxCycles uint64
+}
+
+// Default returns the full-size configuration.
+func Default() Config {
+	return Config{Scale: 1.0, Seed: 1, MaxCycles: 400_000_000}
+}
+
+// Quick returns a reduced configuration for smoke tests (~10x faster).
+func Quick() Config {
+	return Config{Scale: 0.25, Seed: 1, MaxCycles: 100_000_000}
+}
+
+func (c Config) sched(s workload.CoSchedule) workload.CoSchedule {
+	if c.Scale > 0 && c.Scale != 1.0 {
+		return s.Scaled(c.Scale)
+	}
+	return s
+}
+
+// runOne builds and runs one (architecture, schedule) combination.
+func (c Config) runOne(kind arch.Kind, s workload.CoSchedule, opts arch.Options) (*arch.System, *arch.Result, error) {
+	opts.Seed = c.Seed
+	sys, err := arch.Build(kind, c.sched(s), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := sys.Run(c.MaxCycles)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, res, nil
+}
+
+// runAllArchs runs a schedule on all four architectures.
+func (c Config) runAllArchs(s workload.CoSchedule, opts arch.Options) (map[arch.Kind]*arch.Result, map[arch.Kind]*arch.System, error) {
+	results := make(map[arch.Kind]*arch.Result, 4)
+	systems := make(map[arch.Kind]*arch.System, 4)
+	for _, kind := range arch.Kinds {
+		sys, res, err := c.runOne(kind, s, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s on %s: %w", s.Name, kind, err)
+		}
+		results[kind] = res
+		systems[kind] = sys
+	}
+	return results, systems, nil
+}
+
+// Registry returns the shared Table 3 registry.
+func Registry() *workload.Registry { return reg }
+
+var reg = workload.NewRegistry()
+
+// Sweep runs every Figure 10 pair on every architecture. Pairs execute in
+// parallel across the host's CPUs — every simulated system is fully
+// independent and deterministic, so the results are identical to a serial
+// sweep.
+func (c Config) Sweep(verify bool) (*metrics.Sweep, error) {
+	pairs := workload.Figure10Pairs(reg)
+	rows := make([]metrics.PairRow, len(pairs))
+	errs := make([]error, len(pairs))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i, p := range pairs {
+		wg.Add(1)
+		go func(i int, p workload.CoSchedule) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results, systems, err := c.runAllArchs(p, arch.Options{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if verify {
+				for kind, sys := range systems {
+					if err := sys.CheckResults(2e-3); err != nil {
+						errs[i] = fmt.Errorf("%s on %s: %w", p.Name, kind, err)
+						return
+					}
+				}
+			}
+			rows[i] = metrics.PairRow{Name: p.Name, Results: results}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &metrics.Sweep{Rows: rows}, nil
+}
+
+// maxParallel bounds concurrent simulations (each uses one goroutine and a
+// few hundred MB-cycles of work).
+func maxParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"occamy/internal/arch"
+	"occamy/internal/metrics"
+)
+
+// RenderFigure10 produces the per-pair Core0/Core1 speedups of FTS, VLS and
+// Occamy over Private, plus the geometric means (Figure 10).
+func RenderFigure10(sw *metrics.Sweep) string {
+	var b strings.Builder
+	b.WriteString("Figure 10: speedups over Private (Core0 = memory side, Core1 = compute side)\n\n")
+	t := &metrics.Table{Header: []string{
+		"Pair", "FTS c0", "FTS c1", "VLS c0", "VLS c1", "Occamy c0", "Occamy c1",
+	}}
+	for _, row := range sw.Rows {
+		t.Add(row.Name,
+			metrics.FormatX(row.Speedup(arch.FTS, 0)), metrics.FormatX(row.Speedup(arch.FTS, 1)),
+			metrics.FormatX(row.Speedup(arch.VLS, 0)), metrics.FormatX(row.Speedup(arch.VLS, 1)),
+			metrics.FormatX(row.Speedup(arch.Occamy, 0)), metrics.FormatX(row.Speedup(arch.Occamy, 1)),
+		)
+	}
+	t.Add("GM",
+		metrics.FormatX(sw.GeomeanSpeedup(arch.FTS, 0)), metrics.FormatX(sw.GeomeanSpeedup(arch.FTS, 1)),
+		metrics.FormatX(sw.GeomeanSpeedup(arch.VLS, 0)), metrics.FormatX(sw.GeomeanSpeedup(arch.VLS, 1)),
+		metrics.FormatX(sw.GeomeanSpeedup(arch.Occamy, 0)), metrics.FormatX(sw.GeomeanSpeedup(arch.Occamy, 1)),
+	)
+	b.WriteString(t.String())
+	b.WriteString("\nPaper (GM Core1): FTS 1.20x, VLS 1.11x, Occamy 1.39x; Core0 ~1.00x for all.\n")
+	return b.String()
+}
+
+// RenderFigure11 produces the per-pair SIMD utilization (Figure 11).
+func RenderFigure11(sw *metrics.Sweep) string {
+	var b strings.Builder
+	b.WriteString("Figure 11: SIMD utilization\n\n")
+	t := &metrics.Table{Header: []string{"Pair", "Private", "FTS", "VLS", "Occamy"}}
+	for _, row := range sw.Rows {
+		t.Add(row.Name,
+			metrics.FormatPct(row.Utilization(arch.Private)),
+			metrics.FormatPct(row.Utilization(arch.FTS)),
+			metrics.FormatPct(row.Utilization(arch.VLS)),
+			metrics.FormatPct(row.Utilization(arch.Occamy)),
+		)
+	}
+	t.Add("GM",
+		metrics.FormatPct(sw.GeomeanUtilization(arch.Private)),
+		metrics.FormatPct(sw.GeomeanUtilization(arch.FTS)),
+		metrics.FormatPct(sw.GeomeanUtilization(arch.VLS)),
+		metrics.FormatPct(sw.GeomeanUtilization(arch.Occamy)),
+	)
+	b.WriteString(t.String())
+	b.WriteString("\nPaper (GM): Private 63.2%, FTS 72.5%, VLS 70.8%, Occamy 84.2%.\n")
+	return b.String()
+}
+
+// RenderFigure13 produces the fraction of cycles blocked waiting for free
+// registers (Figure 13): the FTS pathology.
+func RenderFigure13(sw *metrics.Sweep) string {
+	var b strings.Builder
+	b.WriteString("Figure 13: cycles stalled waiting for free registers (per pair, mean of cores)\n\n")
+	t := &metrics.Table{Header: []string{"Pair", "Private", "FTS", "VLS", "Occamy"}}
+	for _, row := range sw.Rows {
+		t.Add(row.Name,
+			metrics.FormatPct(row.RenameStallFrac(arch.Private)),
+			metrics.FormatPct(row.RenameStallFrac(arch.FTS)),
+			metrics.FormatPct(row.RenameStallFrac(arch.VLS)),
+			metrics.FormatPct(row.RenameStallFrac(arch.Occamy)),
+		)
+	}
+	t.Add("Mean",
+		metrics.FormatPct(sw.GeomeanRenameStalls(arch.Private)),
+		metrics.FormatPct(sw.GeomeanRenameStalls(arch.FTS)),
+		metrics.FormatPct(sw.GeomeanRenameStalls(arch.VLS)),
+		metrics.FormatPct(sw.GeomeanRenameStalls(arch.Occamy)),
+	)
+	b.WriteString(t.String())
+	b.WriteString("\nPaper: renaming stalls in over 70% of cycles on FTS, hardly any elsewhere.\n")
+	return b.String()
+}
+
+// RenderFigure15 produces Occamy's runtime overhead split into partition
+// monitoring and vector-length reconfiguration (Figure 15).
+func RenderFigure15(sw *metrics.Sweep) string {
+	var b strings.Builder
+	b.WriteString("Figure 15: elastic-sharing runtime overhead (fraction of execution time)\n\n")
+	t := &metrics.Table{Header: []string{"Pair", "Monitoring", "Reconfiguring", "Total"}}
+	for _, row := range sw.Rows {
+		m, g := row.OverheadFrac()
+		t.Add(row.Name, pct3(m), pct3(g), pct3(m+g))
+	}
+	m, g := sw.MeanOverhead()
+	t.Add("Mean", pct3(m), pct3(g), pct3(m+g))
+	b.WriteString(t.String())
+	b.WriteString("\nPaper (mean): monitoring 0.3% + reconfiguring 0.2% = 0.5%.\n")
+	return b.String()
+}
+
+func pct3(f float64) string { return fmt.Sprintf("%.3f%%", 100*f) }

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"occamy/internal/arch"
+	"occamy/internal/area"
+	"occamy/internal/htmlreport"
+	"occamy/internal/metrics"
+	"occamy/internal/trace"
+	"occamy/internal/workload"
+)
+
+// HTMLReport runs the full evaluation and renders it as a self-contained
+// HTML page with SVG charts (the visual companion to EXPERIMENTS.md).
+func (c Config) HTMLReport(w io.Writer) error {
+	page := htmlreport.New("Occamy — elastic SIMD sharing, reproduced")
+
+	// Figure 2: motivating example with allocated-lane staircases.
+	f2, err := c.Figure2()
+	if err != nil {
+		return err
+	}
+	if err := c.addFigure2(page, f2); err != nil {
+		return err
+	}
+
+	// Figures 10/11/13/15 from the sweep.
+	sw, err := c.Sweep(false)
+	if err != nil {
+		return err
+	}
+	addSweep(page, sw)
+
+	// Figure 12: area model.
+	addArea(page)
+
+	// Figure 14 + Table 5.
+	f14, err := c.Figure14()
+	if err != nil {
+		return err
+	}
+	addFigure14(page, f14)
+
+	// Figure 16.
+	f16, err := c.Figure16()
+	if err != nil {
+		return err
+	}
+	page.Section("Figure 16 — four-core scalability", htmlreport.PreTable(f16.Render()))
+
+	return page.Write(w)
+}
+
+// addFigure2 renders the motivating example: per-architecture busy-lane
+// curves plus the elastic run's allocated-lane staircase.
+func (c Config) addFigure2(page *htmlreport.Page, f *Fig2) error {
+	var blocks []string
+	blocks = append(blocks, htmlreport.P(
+		"WL#0 (two memory-intensive phases of rising operational intensity, Core0) "+
+			"co-runs with WL#1 (compute-intensive, Core1) on all four architectures. "+
+			"The busy-lane curves are the Figure 2(b)-(e) panels; the staircase is the "+
+			"elastic run's configured vector length per core."))
+	for _, kind := range arch.Kinds {
+		var series []htmlreport.Series
+		for core, tl := range f.Timelines[kind] {
+			series = append(series, htmlreport.Series{
+				Name:   fmt.Sprintf("core%d busy lanes", core),
+				Values: tl,
+			})
+		}
+		blocks = append(blocks, htmlreport.LineChart(
+			fmt.Sprintf("%s: busy lanes per 1000 cycles", kind), series, "kilocycles", 1000))
+	}
+	// Allocated-lane staircase from a traced elastic run.
+	sys, res, err := c.runOne(arch.Occamy, workload.MotivatingPair(reg), arch.Options{})
+	if err != nil {
+		return err
+	}
+	run := trace.Capture(sys, res)
+	stairs := run.AllocatedLanes()
+	var names []string
+	var stepSeries [][]htmlreport.Step
+	for core, ss := range stairs {
+		names = append(names, fmt.Sprintf("core%d allocated lanes", core))
+		var hs []htmlreport.Step
+		for _, s := range ss {
+			hs = append(hs, htmlreport.Step{X: float64(s.Cycle), Y: float64(s.Lanes)})
+		}
+		stepSeries = append(stepSeries, hs)
+	}
+	blocks = append(blocks, htmlreport.StepChart(
+		"Occamy: configured lanes over time (Figure 2(e) staircase)",
+		names, stepSeries, float64(res.Cycles), 32, "cycles"))
+	blocks = append(blocks, htmlreport.PreTable(f.Render()))
+	page.Section("Figure 2 — motivating example", blocks...)
+	return nil
+}
+
+func addSweep(page *htmlreport.Page, sw *metrics.Sweep) {
+	labels := make([]string, 0, len(sw.Rows))
+	for _, r := range sw.Rows {
+		labels = append(labels, r.Name)
+	}
+	speedups := func(kind arch.Kind, core int) []float64 {
+		out := make([]float64, 0, len(sw.Rows))
+		for _, r := range sw.Rows {
+			out = append(out, r.Speedup(kind, core))
+		}
+		return out
+	}
+	page.Section("Figure 10 — Core1 speedups over Private",
+		htmlreport.BarChart("Core1 speedup over Private", labels, []htmlreport.Series{
+			{Name: "FTS", Values: speedups(arch.FTS, 1)},
+			{Name: "VLS", Values: speedups(arch.VLS, 1)},
+			{Name: "Occamy", Values: speedups(arch.Occamy, 1)},
+		}, 1.0, "%.1f"),
+		htmlreport.BarChart("Core0 speedup over Private", labels, []htmlreport.Series{
+			{Name: "FTS", Values: speedups(arch.FTS, 0)},
+			{Name: "VLS", Values: speedups(arch.VLS, 0)},
+			{Name: "Occamy", Values: speedups(arch.Occamy, 0)},
+		}, 1.0, "%.1f"),
+		htmlreport.PreTable(RenderFigure10(sw)),
+	)
+
+	utils := func(kind arch.Kind) []float64 {
+		out := make([]float64, 0, len(sw.Rows))
+		for _, r := range sw.Rows {
+			out = append(out, 100*r.Utilization(kind))
+		}
+		return out
+	}
+	page.Section("Figure 11 — SIMD utilization",
+		htmlreport.BarChart("SIMD utilization (%)", labels, []htmlreport.Series{
+			{Name: "Private", Values: utils(arch.Private)},
+			{Name: "FTS", Values: utils(arch.FTS)},
+			{Name: "VLS", Values: utils(arch.VLS)},
+			{Name: "Occamy", Values: utils(arch.Occamy)},
+		}, 100, "%.0f"),
+	)
+
+	stalls := func(kind arch.Kind) []float64 {
+		out := make([]float64, 0, len(sw.Rows))
+		for _, r := range sw.Rows {
+			out = append(out, 100*r.RenameStallFrac(kind))
+		}
+		return out
+	}
+	page.Section("Figure 13 — rename stalls",
+		htmlreport.BarChart("cycles stalled waiting for free registers (%)", labels, []htmlreport.Series{
+			{Name: "Private", Values: stalls(arch.Private)},
+			{Name: "FTS", Values: stalls(arch.FTS)},
+			{Name: "Occamy", Values: stalls(arch.Occamy)},
+		}, 70, "%.0f"),
+	)
+
+	monitors := make([]float64, 0, len(sw.Rows))
+	reconfigs := make([]float64, 0, len(sw.Rows))
+	for _, r := range sw.Rows {
+		m, g := r.OverheadFrac()
+		monitors = append(monitors, 100*m)
+		reconfigs = append(reconfigs, 100*g)
+	}
+	page.Section("Figure 15 — elastic-sharing overhead",
+		htmlreport.BarChart("runtime overhead (% of execution)", labels, []htmlreport.Series{
+			{Name: "monitoring", Values: monitors},
+			{Name: "reconfiguring", Values: reconfigs},
+		}, 0.5, "%.1f"),
+	)
+}
+
+func addArea(page *htmlreport.Page) {
+	labels := []string{"Private", "FTS", "VLS", "Occamy"}
+	values := make([][]float64, len(arch.Kinds))
+	for i, kind := range arch.Kinds {
+		b := area.Breakdown(kind, 2, false)
+		col := make([]float64, len(area.Components))
+		for j, comp := range area.Components {
+			col[j] = b[comp]
+		}
+		values[i] = col
+	}
+	page.Section("Figure 12 — area breakdown (2 cores, mm²)",
+		htmlreport.StackedBarChart("area (mm^2)", labels, area.Components, values, "%.1f"),
+		htmlreport.PreTable(area.Render(2, false)+"\n"+area.Render(4, true)),
+	)
+}
+
+func addFigure14(page *htmlreport.Page, f *Fig14) {
+	var series []htmlreport.Series
+	for _, label := range f.PhaseOrder {
+		series = append(series, htmlreport.Series{Name: label, Values: f.NormalizedTimes[label]})
+	}
+	var wlSeries []htmlreport.Series
+	for _, kind := range []arch.Kind{arch.Private, arch.VLS, arch.Occamy} {
+		wlSeries = append(wlSeries, htmlreport.Series{
+			Name: kind.String(), Values: f.WL17Timelines[kind],
+		})
+	}
+	page.Section("Figure 14 — case study WL20+WL17",
+		htmlreport.LineChart("solo time vs lanes (normalized to 4 lanes; x = 4,8,...,28)", series, "lane step", 1),
+		htmlreport.LineChart("WL17 busy lanes over time", wlSeries, "kilocycles", 1000),
+		htmlreport.PreTable(f.Render()+"\n"+Table5()),
+	)
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"occamy/internal/coproc"
+	"occamy/internal/cpu"
+	"occamy/internal/mem"
+	"occamy/internal/metrics"
+	"occamy/internal/roofline"
+)
+
+// RenderTable3 prints the workload registry in Table 3's shape: every kernel
+// with its instruction mix and Eq. 5 operational intensities (published
+// value alongside), then the 34 workload compositions.
+func RenderTable3() string {
+	var b strings.Builder
+	b.WriteString("Table 3: workload kernels (synthesized equivalents; oi_mem matches the published values)\n\n")
+	t := &metrics.Table{Header: []string{
+		"Kernel", "Loads", "Stores", "Compute", "oi_issue", "oi_mem", "published",
+	}}
+	for _, name := range reg.KernelNames() {
+		k := reg.Kernel(name)
+		oi := k.OI()
+		pub := "-"
+		if k.PublishedOI > 0 {
+			pub = fmt.Sprintf("%.3g", k.PublishedOI)
+		}
+		t.Add(name,
+			fmt.Sprintf("%d", k.NumLoads()),
+			fmt.Sprintf("%d", k.NumStores()),
+			fmt.Sprintf("%d", k.NumCompute()),
+			fmt.Sprintf("%.3f", oi.Issue),
+			fmt.Sprintf("%.3f", oi.Mem),
+			pub,
+		)
+	}
+	b.WriteString(t.String())
+
+	b.WriteString("\nWorkloads (phases):\n")
+	wt := &metrics.Table{Header: []string{"Workload", "Class", "Phases"}}
+	for _, name := range reg.WorkloadNames() {
+		w := reg.Workload(name)
+		var phases []string
+		for _, k := range w.Phases {
+			phases = append(phases, fmt.Sprintf("%s(%.2f)", k.Name, k.OI().Mem))
+		}
+		wt.Add(name, w.Class.String(), strings.Join(phases, " + "))
+	}
+	b.WriteString(wt.String())
+	return b.String()
+}
+
+// RenderTable4 prints the micro-architectural configuration actually used by
+// the simulator, in Table 4's shape.
+func RenderTable4() string {
+	h := mem.DefaultHierarchyConfig(2)
+	cc := coproc.DefaultConfig(2)
+	sc := cpu.DefaultConfig()
+	m := roofline.Default()
+	var b strings.Builder
+	b.WriteString("Table 4: micro-architectural parameters (2-core configuration)\n\n")
+	row := func(k, v string) { fmt.Fprintf(&b, "  %-34s %s\n", k, v) }
+	row("Scalar cores", fmt.Sprintf("%d-issue in-order-front pipeline (OoO-equivalent forwarding)", sc.Width))
+	row("SIMD lanes", fmt.Sprintf("%d total (%d ExeBUs x 4 fp32 lanes)", cc.Lanes(), cc.ExeBUs))
+	row("Vector issue width (per core)", fmt.Sprintf("%d compute + %d ld/st", cc.ComputeIssue, cc.MemIssue))
+	row("Physical vector registers", fmt.Sprintf("%d per rename namespace (8R4W 128-bit, per RegBlk)", cc.PhysRegs))
+	row("Architectural vector registers", fmt.Sprintf("%d per core", cc.ArchRegs))
+	row("LHQ / STQ per core", fmt.Sprintf("%d / %d", cc.LHQ, cc.STQ))
+	row("FP latency (simple / div-sqrt)", fmt.Sprintf("%d / %d cycles", cc.ComputeLat, cc.DivLat))
+	row("EM-SIMD path", fmt.Sprintf("2 insts/cycle, %d-cycle latency, plan in %d cycles", cc.EMSIMDLat, cc.PlanLat))
+	row("L1 D-cache (per scalar core)", fmt.Sprintf("%d KB, %d-way, %d-cycle, 64B lines",
+		h.L1D.SizeBytes>>10, h.L1D.Ways, h.L1D.LatencyCycles))
+	row("Vector cache (shared)", fmt.Sprintf("%d KB, %d-way, %d-cycle, %d B/cycle ports, %d MSHRs, prefetch degree %d",
+		h.VecCache.SizeBytes>>10, h.VecCache.Ways, h.VecCache.LatencyCycles,
+		int(h.VecCache.BytesPerCycle), h.VecCache.MissSlots, h.VecCache.PrefetchDegree))
+	row("L2 (shared unified)", fmt.Sprintf("%d MB, %d-way, %d-cycle, %d B/cycle",
+		h.L2.SizeBytes>>20, h.L2.Ways, h.L2.LatencyCycles, int(h.L2.BytesPerCycle)))
+	row("DRAM", fmt.Sprintf("%d B/cycle (64 GB/s at 2 GHz), %d-cycle streaming latency",
+		int(h.DRAM.BytesPerCycle), h.DRAM.LatencyCycles))
+	row("Roofline ceilings", fmt.Sprintf("FP %g GFLOP/s per granule; issue %g uops/cycle; L2 %g / DRAM %g GB/s",
+		m.FlopsPerGranulePerCycle, m.IssueUopsPerCycle, m.L2BWGBs, m.DRAMBWGBs))
+	return b.String()
+}

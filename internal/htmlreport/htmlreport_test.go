@@ -1,0 +1,99 @@
+package htmlreport
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBarChartRendersBarsAndLegend(t *testing.T) {
+	svg := BarChart("t", []string{"a", "b"}, []Series{
+		{Name: "s1", Values: []float64{1, 2}},
+		{Name: "s2", Values: []float64{2, 0.5}},
+	}, 1.0, "%.1f")
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatal("not an svg")
+	}
+	if strings.Count(svg, "<rect") < 5 { // frame + 4 bars
+		t.Fatalf("too few rects:\n%s", svg)
+	}
+	for _, frag := range []string{"s1", "s2", ">a<", ">b<", "stroke-dasharray"} {
+		if !strings.Contains(svg, frag) {
+			t.Errorf("missing %q", frag)
+		}
+	}
+}
+
+func TestBarChartOmitsNaNReference(t *testing.T) {
+	svg := BarChart("t", []string{"a"}, []Series{{Name: "s", Values: []float64{1}}}, math.NaN(), "%.1f")
+	if strings.Contains(svg, "stroke-dasharray") {
+		t.Fatal("NaN reference must be omitted")
+	}
+}
+
+func TestLineChartPolylines(t *testing.T) {
+	svg := LineChart("t", []Series{
+		{Name: "x", Values: []float64{0, 1, 2, 1}},
+		{Name: "y", Values: []float64{2, 2, 2, 2}},
+	}, "cycles", 1)
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Fatal("want 2 polylines")
+	}
+}
+
+func TestStepChartExtendsFinalStep(t *testing.T) {
+	svg := StepChart("t", []string{"c0"}, [][]Step{{{X: 0, Y: 8}, {X: 50, Y: 24}}}, 100, 32, "cycles")
+	if strings.Count(svg, "<polyline") != 1 {
+		t.Fatal("want 1 polyline")
+	}
+	if !strings.Contains(svg, "c0") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestStackedBarChart(t *testing.T) {
+	svg := StackedBarChart("t", []string{"A", "B"}, []string{"p", "q"},
+		[][]float64{{1, 2}, {3, 0.5}}, "%.1f")
+	if strings.Count(svg, "<rect") < 5 {
+		t.Fatal("too few rects")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	svg := BarChart(`<&">`, []string{`<b>`}, []Series{{Name: `"q"`, Values: []float64{1}}}, math.NaN(), "%.0f")
+	if strings.Contains(svg, "<b>") || strings.Contains(svg, `"q"`) {
+		t.Fatal("unescaped user text leaked into markup")
+	}
+	p := P(`<script>`)
+	if strings.Contains(p, "<script>") {
+		t.Fatal("paragraph not escaped")
+	}
+}
+
+func TestNiceMax(t *testing.T) {
+	cases := map[float64]float64{0: 1, 0.9: 1, 1.2: 1.5, 3.7: 4, 88: 100, 101: 150}
+	for in, want := range cases {
+		if got := niceMax(in); got != want {
+			t.Errorf("niceMax(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestPageStructure(t *testing.T) {
+	p := New("Report & Title")
+	p.Section("Sec<1>", P("hello"), PreTable("a  b\n1  2"))
+	p.Section("Sec2", BarChart("c", []string{"x"}, []Series{{Name: "s", Values: []float64{1}}}, math.NaN(), "%.0f"))
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"<!DOCTYPE html>", "Report &amp; Title", "Sec&lt;1&gt;", "<pre>", "<svg",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("page missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package htmlreport
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Page accumulates sections of a self-contained HTML report.
+type Page struct {
+	title    string
+	sections []section
+}
+
+type section struct {
+	heading string
+	blocks  []string
+}
+
+// New returns an empty page.
+func New(title string) *Page {
+	return &Page{title: title}
+}
+
+// Section appends a heading followed by pre-rendered blocks (SVG charts,
+// paragraphs from P, tables from PreTable).
+func (p *Page) Section(heading string, blocks ...string) {
+	p.sections = append(p.sections, section{heading: heading, blocks: blocks})
+}
+
+// P renders an escaped paragraph.
+func P(text string) string {
+	return "<p>" + esc(text) + "</p>"
+}
+
+// PreTable renders a fixed-width text table (the metrics.Table output)
+// verbatim in a <pre> block.
+func PreTable(text string) string {
+	return "<pre>" + esc(text) + "</pre>"
+}
+
+const pageCSS = `body{font-family:sans-serif;max-width:960px;margin:2em auto;color:#222}
+h1{border-bottom:2px solid #4472c4;padding-bottom:.3em}
+h2{margin-top:2em;color:#333}
+pre{background:#f6f6f6;padding:.8em;overflow-x:auto;font-size:12px;line-height:1.35}
+svg{width:100%;height:auto;background:#fff;border:1px solid #ddd;margin:.5em 0}
+p{line-height:1.5}`
+
+// Write renders the page.
+func (p *Page) Write(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">")
+	fmt.Fprintf(&b, "<title>%s</title>", esc(p.title))
+	fmt.Fprintf(&b, "<style>%s</style></head><body>", pageCSS)
+	fmt.Fprintf(&b, "<h1>%s</h1>", esc(p.title))
+	for _, s := range p.sections {
+		fmt.Fprintf(&b, "<h2>%s</h2>", esc(s.heading))
+		for _, blk := range s.blocks {
+			b.WriteString(blk)
+		}
+	}
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,553 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembly text into a Program. The syntax is exactly what
+// Program.Disassemble emits, plus conveniences for hand-written code:
+//
+//   - one instruction per line; blank lines are skipped
+//   - comments start with ';' or '//'
+//   - an optional leading "N:" instruction index (as printed by the
+//     disassembler) is ignored
+//   - "label:" on its own line defines a label
+//   - branch targets are "@N" (absolute instruction index) or a label name
+//   - ".phase N" attributes following instructions to phase N (-1 to clear)
+//
+// Example:
+//
+//	        MOVI X0, #0
+//	        MOVI X1, #10
+//	loop:   ADDI X0, X0, #1
+//	        B.LT X0, X1, loop
+//	        HALT
+func Assemble(name, src string) (*Program, error) {
+	a := &assembler{b: NewBuilder(name)}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		if err := a.line(raw); err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w (%q)", lineNo+1, err, strings.TrimSpace(raw))
+		}
+	}
+	return a.b.Finalize()
+}
+
+// MustAssemble panics on error (for statically known-good test programs).
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	b *Builder
+}
+
+// mnemonics maps names to opcodes, built from the opcode table.
+var mnemonics = func() map[string]Opcode {
+	m := make(map[string]Opcode, int(opcodeCount))
+	for op := Opcode(1); op < opcodeCount; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func (a *assembler) line(raw string) error {
+	// Strip comments.
+	if i := strings.Index(raw, ";"); i >= 0 {
+		raw = raw[:i]
+	}
+	if i := strings.Index(raw, "//"); i >= 0 {
+		raw = raw[:i]
+	}
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil
+	}
+	// Optional "N:" index prefix from disassembler output (digits only).
+	if i := strings.Index(s, ":"); i >= 0 {
+		head := strings.TrimSpace(s[:i])
+		if isAllDigits(head) {
+			s = strings.TrimSpace(s[i+1:])
+			if s == "" {
+				return nil
+			}
+		}
+	}
+	// Directive.
+	if strings.HasPrefix(s, ".phase") {
+		n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(s, ".phase")))
+		if err != nil {
+			return fmt.Errorf("bad .phase directive")
+		}
+		a.b.SetPhase(n)
+		return nil
+	}
+	// Label definition (possibly followed by an instruction).
+	if i := strings.Index(s, ":"); i >= 0 && !strings.Contains(s[:i], " ") && !isAllDigits(s[:i]) {
+		a.b.Label(strings.TrimSpace(s[:i]))
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	// Mnemonic and operand list.
+	mn, rest, _ := strings.Cut(s, " ")
+	op, ok := mnemonics[mn]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	ops := splitOperands(rest)
+	return a.encode(op, ops)
+}
+
+func isAllDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits on commas, folding memory operands "[Xn, X0]" back
+// together.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	cur := strings.Builder{}
+	for _, c := range s {
+		switch c {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(cur.String()))
+				cur.Reset()
+				continue
+			}
+		}
+		cur.WriteRune(c)
+	}
+	if t := strings.TrimSpace(cur.String()); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func (a *assembler) encode(op Opcode, ops []string) error {
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s takes %d operands, got %d", op, n, len(ops))
+		}
+		return nil
+	}
+	switch op {
+	case OpNop, OpHalt:
+		if err := need(0); err != nil {
+			return err
+		}
+		a.b.Emit(Inst{Op: op})
+	case OpMSR:
+		if err := need(2); err != nil {
+			return err
+		}
+		sys, err := parseSys(ops[0])
+		if err != nil {
+			return err
+		}
+		if strings.HasPrefix(ops[1], "#") {
+			imm, err := parseImm(ops[1])
+			if err != nil {
+				return err
+			}
+			a.b.Emit(Inst{Op: op, Sys: sys, Src1: RegNone, Imm: imm})
+		} else {
+			r, err := parseX(ops[1])
+			if err != nil {
+				return err
+			}
+			a.b.Emit(Inst{Op: op, Sys: sys, Src1: r})
+		}
+	case OpMRS:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := parseX(ops[0])
+		if err != nil {
+			return err
+		}
+		sys, err := parseSys(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Inst{Op: op, Dst: d, Sys: sys})
+	case OpB:
+		if err := need(1); err != nil {
+			return err
+		}
+		return a.branch(Inst{Op: op}, ops[0])
+	case OpBEQI, OpBNEI:
+		if err := need(3); err != nil {
+			return err
+		}
+		s1, err := parseX(ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(ops[1])
+		if err != nil {
+			return err
+		}
+		return a.branch(Inst{Op: op, Src1: s1, Imm: imm}, ops[2])
+	case OpBLT, OpBGE, OpBEQ, OpBNE:
+		if err := need(3); err != nil {
+			return err
+		}
+		s1, err := parseX(ops[0])
+		if err != nil {
+			return err
+		}
+		s2, err := parseX(ops[1])
+		if err != nil {
+			return err
+		}
+		return a.branch(Inst{Op: op, Src1: s1, Src2: s2}, ops[2])
+	case OpMovI:
+		return a.dstImm(op, ops)
+	case OpMov:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := parseX(ops[0])
+		if err != nil {
+			return err
+		}
+		s1, err := parseX(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Inst{Op: op, Dst: d, Src1: s1})
+	case OpAddI, OpSubI, OpMulI, OpIncVL:
+		if err := need(3); err != nil {
+			return err
+		}
+		d, err := parseX(ops[0])
+		if err != nil {
+			return err
+		}
+		s1, err := parseX(ops[1])
+		if err != nil {
+			return err
+		}
+		imm, err := parseImm(ops[2])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Inst{Op: op, Dst: d, Src1: s1, Imm: imm})
+	case OpAdd, OpSub:
+		if err := need(3); err != nil {
+			return err
+		}
+		d, _ := parseX(ops[0])
+		s1, _ := parseX(ops[1])
+		s2, err := parseX(ops[2])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Inst{Op: op, Dst: d, Src1: s1, Src2: s2})
+	case OpRdElems:
+		if err := need(1); err != nil {
+			return err
+		}
+		d, err := parseX(ops[0])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Inst{Op: op, Dst: d})
+	case OpVWhile:
+		if len(ops) == 1 && ops[0] == "full" {
+			a.b.Emit(Inst{Op: op, Dst: RegNone, Imm: 1})
+			return nil
+		}
+		if err := need(3); err != nil {
+			return err
+		}
+		d, _ := parseX(ops[0])
+		s1, _ := parseX(ops[1])
+		s2, err := parseX(ops[2])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Inst{Op: op, Dst: d, Src1: s1, Src2: s2})
+	case OpSLoadF, OpSStoreF:
+		if err := need(2); err != nil {
+			return err
+		}
+		f, err := parseF(ops[0])
+		if err != nil {
+			return err
+		}
+		base, imm, _, err := parseMem(ops[1], false)
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Inst{Op: op, Dst: f, Src1: base, Imm: imm})
+	case OpSFMovI:
+		if err := need(2); err != nil {
+			return err
+		}
+		f, err := parseF(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseFImm(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Inst{Op: op, Dst: f, FImm: v})
+	case OpSFAbs, OpSFNeg, OpSFSqrt:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, _ := parseF(ops[0])
+		s1, err := parseF(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Inst{Op: op, Dst: d, Src1: s1})
+	case OpSFAdd, OpSFSub, OpSFMul, OpSFDiv, OpSFMax, OpSFMin, OpSFMla,
+		OpSIAdd, OpSISub, OpSIMul, OpSIAnd, OpSIOr, OpSIXor, OpSIShl, OpSIShr, OpSIMax, OpSIMin:
+		if err := need(3); err != nil {
+			return err
+		}
+		d, _ := parseF(ops[0])
+		s1, _ := parseF(ops[1])
+		s2, err := parseF(ops[2])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Inst{Op: op, Dst: d, Src1: s1, Src2: s2})
+	case OpVLoad, OpVStore:
+		if err := need(2); err != nil {
+			return err
+		}
+		z, err := parseZ(ops[0])
+		if err != nil {
+			return err
+		}
+		base, _, idx, err := parseMem(ops[1], true)
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Inst{Op: op, Dst: z, Src1: base, Src2: idx})
+	case OpVDupI:
+		if err := need(2); err != nil {
+			return err
+		}
+		z, err := parseZ(ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseFImm(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Inst{Op: op, Dst: z, FImm: v})
+	case OpVDupX, OpVInsX0:
+		if err := need(2); err != nil {
+			return err
+		}
+		z, _ := parseZ(ops[0])
+		x, err := parseX(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Inst{Op: op, Dst: z, Src1: x})
+	case OpVMovX0:
+		if err := need(2); err != nil {
+			return err
+		}
+		x, _ := parseX(ops[0])
+		z, err := parseZ(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Inst{Op: op, Dst: x, Src1: z})
+	case OpVFAddV, OpVFAbs, OpVFNeg, OpVFSqrt:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, _ := parseZ(ops[0])
+		s1, err := parseZ(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Emit(Inst{Op: op, Dst: d, Src1: s1})
+	default:
+		if op.IsVectorCompute() {
+			if err := need(3); err != nil {
+				return err
+			}
+			d, _ := parseZ(ops[0])
+			s1, _ := parseZ(ops[1])
+			s2, err := parseZ(ops[2])
+			if err != nil {
+				return err
+			}
+			a.b.Emit(Inst{Op: op, Dst: d, Src1: s1, Src2: s2})
+			return nil
+		}
+		return fmt.Errorf("cannot encode %s", op)
+	}
+	return nil
+}
+
+func (a *assembler) dstImm(op Opcode, ops []string) error {
+	if len(ops) != 2 {
+		return fmt.Errorf("%s takes 2 operands", op)
+	}
+	d, err := parseX(ops[0])
+	if err != nil {
+		return err
+	}
+	imm, err := parseImm(ops[1])
+	if err != nil {
+		return err
+	}
+	a.b.Emit(Inst{Op: op, Dst: d, Imm: imm})
+	return nil
+}
+
+// branch resolves "@N" absolute targets directly and label names through the
+// builder's fixup mechanism.
+func (a *assembler) branch(in Inst, target string) error {
+	if strings.HasPrefix(target, "@") {
+		n, err := strconv.Atoi(target[1:])
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad branch target %q", target)
+		}
+		// Absolute targets skip label resolution: emit then patch.
+		in.Target = n
+		a.b.EmitResolved(in)
+		return nil
+	}
+	a.b.Branch(in, target)
+	return nil
+}
+
+func parseX(s string) (Reg, error) {
+	switch s {
+	case "XZR":
+		return XZR, nil
+	case "XNONE":
+		return RegNone, nil
+	}
+	if !strings.HasPrefix(s, "X") {
+		return 0, fmt.Errorf("expected X register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumXRegs {
+		return 0, fmt.Errorf("bad X register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseF(s string) (Reg, error) {
+	if !strings.HasPrefix(s, "F") {
+		return 0, fmt.Errorf("expected F register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumFRegs {
+		return 0, fmt.Errorf("bad F register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseZ(s string) (Reg, error) {
+	if !strings.HasPrefix(s, "Z") {
+		return 0, fmt.Errorf("expected Z register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumZRegs {
+		return 0, fmt.Errorf("bad Z register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	if !strings.HasPrefix(s, "#") {
+		return 0, fmt.Errorf("expected immediate, got %q", s)
+	}
+	return strconv.ParseInt(s[1:], 10, 64)
+}
+
+// parseFImm accepts "#1.5", "#1e-3" and "#bits:0x3f800000".
+func parseFImm(s string) (float32, error) {
+	if !strings.HasPrefix(s, "#") {
+		return 0, fmt.Errorf("expected float immediate, got %q", s)
+	}
+	body := s[1:]
+	if strings.HasPrefix(body, "bits:") {
+		bits, err := strconv.ParseUint(strings.TrimPrefix(body, "bits:"), 0, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad bit-pattern immediate %q", s)
+		}
+		return math.Float32frombits(uint32(bits)), nil
+	}
+	v, err := strconv.ParseFloat(body, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad float immediate %q", s)
+	}
+	return float32(v), nil
+}
+
+// parseMem parses "[Xbase, #imm]" (scalar, indexed=false) or "[Xbase, Xidx]"
+// (vector, indexed=true); the second element is optional for scalar form.
+func parseMem(s string, indexed bool) (base Reg, imm int64, idx Reg, err error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, 0, fmt.Errorf("expected memory operand, got %q", s)
+	}
+	parts := strings.Split(s[1:len(s)-1], ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	base, err = parseX(parts[0])
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if indexed {
+		if len(parts) != 2 {
+			return 0, 0, 0, fmt.Errorf("vector memory operand needs an index register: %q", s)
+		}
+		idx, err = parseX(parts[1])
+		return base, 0, idx, err
+	}
+	if len(parts) == 2 {
+		imm, err = parseImm(parts[1])
+		if err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	return base, imm, 0, nil
+}
+
+// parseSys resolves a "<name>" system-register operand.
+func parseSys(s string) (SysReg, error) {
+	for r := SysReg(1); r < sysRegCount; r++ {
+		if r.String() == s {
+			return r, nil
+		}
+	}
+	return SysNone, fmt.Errorf("unknown system register %q", s)
+}

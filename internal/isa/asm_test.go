@@ -1,0 +1,180 @@
+package isa
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	p := MustAssemble("sum", `
+		; sum 1..10
+		MOVI X0, #0
+		MOVI X1, #0
+		MOVI X2, #10
+	loop:	ADDI X0, X0, #1
+		ADD X1, X1, X0
+		B.LT X0, X2, loop
+		HALT
+	`)
+	if p.Len() != 7 {
+		t.Fatalf("len = %d, want 7", p.Len())
+	}
+	if p.Insts[5].Op != OpBLT || p.Insts[5].Target != 3 {
+		t.Fatalf("branch = %v", p.Insts[5])
+	}
+	if _, ok := p.Labels["loop"]; !ok {
+		t.Fatal("label lost")
+	}
+}
+
+func TestAssembleEMSIMDAndVector(t *testing.T) {
+	p := MustAssemble("em", `
+		MOVI X1, #1000
+		MSR <OI>, X1
+		MSR <VL>, #2
+		MRS X3, <status>
+		B.NEI X3, #1, @2
+		VDUPI Z1, #1.5
+		VDUPI Z9, #bits:0x000000ff
+		VLD1W Z2, [X8, X0]
+		VFADD Z3, Z1, Z2
+		VIADD Z4, Z3, Z9
+		VFADDV Z3, Z3
+		VMOVX0 X6, Z3
+		VINSX0 Z3, X6
+		VST1W Z3, [X9, X0]
+		VWHILE X7, X25, X0
+		VWHILE full
+		HALT
+	`)
+	checks := []struct {
+		idx int
+		op  Opcode
+	}{
+		{1, OpMSR}, {3, OpMRS}, {4, OpBNEI}, {5, OpVDupI}, {7, OpVLoad},
+		{9, OpVIAdd}, {10, OpVFAddV}, {11, OpVMovX0}, {12, OpVInsX0},
+		{14, OpVWhile}, {15, OpVWhile},
+	}
+	for _, c := range checks {
+		if p.Insts[c.idx].Op != c.op {
+			t.Errorf("inst %d = %s, want %s", c.idx, p.Insts[c.idx].Op, c.op)
+		}
+	}
+	if p.Insts[4].Target != 2 {
+		t.Errorf("@2 target = %d", p.Insts[4].Target)
+	}
+	if p.Insts[6].FImm != IntBits(255) {
+		t.Errorf("bit-pattern immediate lost: %v", p.Insts[6].FImm)
+	}
+	if p.Insts[15].Imm != 1 {
+		t.Error("VWHILE full must set Imm 1")
+	}
+}
+
+func TestAssemblePhaseDirective(t *testing.T) {
+	p := MustAssemble("ph", `
+		.phase 0
+		NOP
+		.phase 1
+		NOP
+		.phase -1
+		HALT
+	`)
+	if p.Insts[0].Phase != 0 || p.Insts[1].Phase != 1 || p.Insts[2].Phase != -1 {
+		t.Fatalf("phases = %d %d %d", p.Insts[0].Phase, p.Insts[1].Phase, p.Insts[2].Phase)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"FOO X1, X2",
+		"MOVI X1",
+		"MOVI X99, #1",
+		"MSR <bogus>, X1",
+		"VLD1W Z1, [X8]", // vector loads need an index register
+		"B.LT X1, X2, nowhere_undefined\nHALT",
+		"VDUPI Z1, #bits:xyz",
+		"MOVI X1, #notanumber",
+	}
+	for _, src := range bad {
+		if _, err := Assemble("bad", src); err == nil {
+			t.Errorf("should fail: %q", src)
+		}
+	}
+}
+
+// TestAssembleDisassembleRoundTrip checks that the disassembler's output
+// reassembles into an identical instruction stream, across every opcode the
+// formatter can emit.
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	b := NewBuilder("rt")
+	b.SetPhase(0)
+	b.Emit(Inst{Op: OpMovI, Dst: 1, Imm: -42})
+	b.Emit(Inst{Op: OpMov, Dst: 2, Src1: 1})
+	b.Emit(Inst{Op: OpAddI, Dst: 2, Src1: 2, Imm: 4})
+	b.Emit(Inst{Op: OpSubI, Dst: 2, Src1: 2, Imm: 1})
+	b.Emit(Inst{Op: OpMulI, Dst: 2, Src1: 2, Imm: 3})
+	b.Emit(Inst{Op: OpAdd, Dst: 3, Src1: 1, Src2: 2})
+	b.Emit(Inst{Op: OpSub, Dst: 3, Src1: 3, Src2: XZR})
+	b.Emit(Inst{Op: OpRdElems, Dst: 5})
+	b.Emit(Inst{Op: OpIncVL, Dst: 6, Src1: 6, Imm: 4})
+	b.Emit(Inst{Op: OpVWhile, Dst: 7, Src1: 25, Src2: 0})
+	b.Emit(Inst{Op: OpVWhile, Dst: RegNone, Imm: 1})
+	b.Emit(Inst{Op: OpMSR, Sys: SysOI, Src1: 1})
+	b.Emit(Inst{Op: OpMSR, Sys: SysVL, Src1: RegNone, Imm: 3})
+	b.Emit(Inst{Op: OpMRS, Dst: 3, Sys: SysStatus})
+	b.Emit(Inst{Op: OpMRS, Dst: 4, Sys: SysDecision})
+	b.Emit(Inst{Op: OpSLoadF, Dst: 8, Src1: 9, Imm: 16})
+	b.Emit(Inst{Op: OpSStoreF, Dst: 8, Src1: 9, Imm: 0})
+	b.Emit(Inst{Op: OpSFMovI, Dst: 1, FImm: 2.5})
+	b.Emit(Inst{Op: OpSFAdd, Dst: 1, Src1: 2, Src2: 3})
+	b.Emit(Inst{Op: OpSFSqrt, Dst: 1, Src1: 1})
+	b.Emit(Inst{Op: OpSIAdd, Dst: 1, Src1: 2, Src2: 3})
+	b.Emit(Inst{Op: OpVDupI, Dst: 24, FImm: 0.0009765625})
+	b.Emit(Inst{Op: OpVDupI, Dst: 25, FImm: IntBits(-1)}) // NaN-pattern bits
+	b.Emit(Inst{Op: OpVDupX, Dst: 1, Src1: 2})
+	b.Emit(Inst{Op: OpVLoad, Dst: 2, Src1: 8, Src2: 0})
+	b.Emit(Inst{Op: OpVStore, Dst: 2, Src1: 9, Src2: 0})
+	b.Emit(Inst{Op: OpVFAdd, Dst: 3, Src1: 1, Src2: 2})
+	b.Emit(Inst{Op: OpVFMla, Dst: 3, Src1: 1, Src2: 2})
+	b.Emit(Inst{Op: OpVIShl, Dst: 3, Src1: 3, Src2: 4})
+	b.Emit(Inst{Op: OpVFAddV, Dst: 31, Src1: 31})
+	b.Emit(Inst{Op: OpVMovX0, Dst: 28, Src1: 31})
+	b.Emit(Inst{Op: OpVInsX0, Dst: 31, Src1: 28})
+	b.Label("top")
+	b.Branch(Inst{Op: OpB}, "top")
+	b.Branch(Inst{Op: OpBLT, Src1: 1, Src2: 2}, "top")
+	b.Branch(Inst{Op: OpBEQI, Src1: 1, Imm: 7}, "top")
+	b.Emit(Inst{Op: OpNop})
+	b.Emit(Inst{Op: OpHalt})
+	p1 := b.MustFinalize()
+
+	p2, err := Assemble("rt2", p1.Disassemble())
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, p1.Disassemble())
+	}
+	assertSameInsts(t, p1, p2)
+}
+
+// assertSameInsts compares the executable content of two programs (labels
+// and phase attribution aside).
+func assertSameInsts(t *testing.T, p1, p2 *Program) {
+	t.Helper()
+	if p1.Len() != p2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", p1.Len(), p2.Len())
+	}
+	for i := range p1.Insts {
+		a, b := p1.Insts[i], p2.Insts[i]
+		a.Phase, b.Phase = 0, 0
+		// Compare float immediates by bit pattern (NaN payloads from
+		// integer-lane constants must survive).
+		if math.Float32bits(a.FImm) != math.Float32bits(b.FImm) {
+			t.Fatalf("inst %d FImm bits differ: %08x vs %08x", i,
+				math.Float32bits(a.FImm), math.Float32bits(b.FImm))
+		}
+		a.FImm, b.FImm = 0, 0
+		if a != b {
+			t.Fatalf("inst %d differs:\n  %v (%+v)\n  %v (%+v)", i, a.String(), a, b.String(), b)
+		}
+	}
+}

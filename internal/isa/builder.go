@@ -1,0 +1,112 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program with symbolic labels. Branch instructions may
+// reference labels that are defined later; Finalize resolves them and fails
+// on undefined or duplicate labels.
+type Builder struct {
+	name    string
+	insts   []Inst
+	labels  map[string]int
+	fixups  []fixup
+	phase   int
+	nPhases int
+	err     error
+}
+
+type fixup struct {
+	instIdx int
+	label   string
+}
+
+// NewBuilder returns a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int), phase: -1}
+}
+
+// SetPhase attributes subsequently emitted instructions to phase id (>= 0);
+// pass -1 for instructions outside any phase.
+func (b *Builder) SetPhase(id int) {
+	b.phase = id
+	if id+1 > b.nPhases {
+		b.nPhases = id + 1
+	}
+}
+
+// Label defines label name at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.fail(fmt.Errorf("isa: duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.insts)
+}
+
+// Emit appends one instruction.
+func (b *Builder) Emit(in Inst) {
+	in.Phase = b.phase
+	in.Target = -1
+	b.insts = append(b.insts, in)
+}
+
+// EmitResolved appends a branch whose Target is already an absolute
+// instruction index (the assembler's "@N" form); no fixup is recorded.
+func (b *Builder) EmitResolved(in Inst) {
+	in.Phase = b.phase
+	b.insts = append(b.insts, in)
+}
+
+// Branch appends a branch instruction whose Target will be resolved to label.
+func (b *Builder) Branch(in Inst, label string) {
+	if !in.Op.IsBranch() {
+		b.fail(fmt.Errorf("isa: Branch with non-branch opcode %s", in.Op))
+		return
+	}
+	in.Phase = b.phase
+	b.fixups = append(b.fixups, fixup{instIdx: len(b.insts), label: label})
+	b.insts = append(b.insts, in)
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.insts) }
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Finalize resolves all label references and returns the finished program.
+func (b *Builder) Finalize() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.fixups {
+		idx, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q", f.label)
+		}
+		b.insts[f.instIdx].Target = idx
+	}
+	labels := make(map[string]int, len(b.labels))
+	for k, v := range b.labels {
+		labels[k] = v
+	}
+	return &Program{
+		Insts:     b.insts,
+		Name:      b.name,
+		NumPhases: b.nPhases,
+		Labels:    labels,
+	}, nil
+}
+
+// MustFinalize is Finalize that panics on error; used where the program shape
+// is statically known to be valid (compiler-internal construction).
+func (b *Builder) MustFinalize() *Program {
+	p, err := b.Finalize()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,100 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// String renders one instruction in the assembly syntax accepted by
+// Assemble; Program.Disassemble output round-trips through the assembler.
+func (in Inst) String() string {
+	op := in.Op
+	switch {
+	case op == OpNop, op == OpHalt:
+		return op.String()
+	case op == OpMSR:
+		if in.Src1 == RegNone {
+			return fmt.Sprintf("%s %s, #%d", op, in.Sys, in.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s", op, in.Sys, xreg(in.Src1))
+	case op == OpMRS:
+		return fmt.Sprintf("%s %s, %s", op, xreg(in.Dst), in.Sys)
+	case op == OpB:
+		return fmt.Sprintf("%s @%d", op, in.Target)
+	case op == OpBEQI, op == OpBNEI:
+		return fmt.Sprintf("%s %s, #%d, @%d", op, xreg(in.Src1), in.Imm, in.Target)
+	case op.IsBranch():
+		return fmt.Sprintf("%s %s, %s, @%d", op, xreg(in.Src1), xreg(in.Src2), in.Target)
+	case op == OpMovI:
+		return fmt.Sprintf("%s %s, #%d", op, xreg(in.Dst), in.Imm)
+	case op == OpMov:
+		return fmt.Sprintf("%s %s, %s", op, xreg(in.Dst), xreg(in.Src1))
+	case op == OpAddI, op == OpSubI, op == OpMulI:
+		return fmt.Sprintf("%s %s, %s, #%d", op, xreg(in.Dst), xreg(in.Src1), in.Imm)
+	case op == OpAdd, op == OpSub:
+		return fmt.Sprintf("%s %s, %s, %s", op, xreg(in.Dst), xreg(in.Src1), xreg(in.Src2))
+	case op == OpRdElems:
+		return fmt.Sprintf("%s %s", op, xreg(in.Dst))
+	case op == OpIncVL:
+		return fmt.Sprintf("%s %s, %s, #%d", op, xreg(in.Dst), xreg(in.Src1), in.Imm)
+	case op == OpVWhile:
+		if in.Imm == 1 {
+			return fmt.Sprintf("%s full", op)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", op, xreg(in.Dst), xreg(in.Src1), xreg(in.Src2))
+	case op == OpSLoadF:
+		return fmt.Sprintf("%s F%d, [%s, #%d]", op, in.Dst, xreg(in.Src1), in.Imm)
+	case op == OpSStoreF:
+		return fmt.Sprintf("%s F%d, [%s, #%d]", op, in.Dst, xreg(in.Src1), in.Imm)
+	case op == OpSFMovI:
+		return fmt.Sprintf("%s F%d, #%s", op, in.Dst, fimm(in.FImm))
+	case op == OpSFAbs, op == OpSFNeg, op == OpSFSqrt:
+		return fmt.Sprintf("%s F%d, F%d", op, in.Dst, in.Src1)
+	case op.Class() == ClassScalar && (op == OpSFAdd || op == OpSFSub || op == OpSFMul ||
+		op == OpSFDiv || op == OpSFMax || op == OpSFMin || op == OpSFMla ||
+		op == OpSIAdd || op == OpSISub || op == OpSIMul || op == OpSIAnd ||
+		op == OpSIOr || op == OpSIXor || op == OpSIShl || op == OpSIShr ||
+		op == OpSIMax || op == OpSIMin):
+		return fmt.Sprintf("%s F%d, F%d, F%d", op, in.Dst, in.Src1, in.Src2)
+	case op == OpVLoad:
+		return fmt.Sprintf("%s Z%d, [%s, %s]", op, in.Dst, xreg(in.Src1), xreg(in.Src2))
+	case op == OpVStore:
+		return fmt.Sprintf("%s Z%d, [%s, %s]", op, in.Dst, xreg(in.Src1), xreg(in.Src2))
+	case op == OpVDupI:
+		return fmt.Sprintf("%s Z%d, #%s", op, in.Dst, fimm(in.FImm))
+	case op == OpVDupX, op == OpVInsX0:
+		return fmt.Sprintf("%s Z%d, %s", op, in.Dst, xreg(in.Src1))
+	case op == OpVMovX0:
+		return fmt.Sprintf("%s %s, Z%d", op, xreg(in.Dst), in.Src1)
+	case op == OpVFAddV:
+		return fmt.Sprintf("%s Z%d, Z%d", op, in.Dst, in.Src1)
+	case op == OpVFAbs, op == OpVFNeg, op == OpVFSqrt:
+		return fmt.Sprintf("%s Z%d, Z%d", op, in.Dst, in.Src1)
+	case op.IsVectorCompute():
+		return fmt.Sprintf("%s Z%d, Z%d, Z%d", op, in.Dst, in.Src1, in.Src2)
+	default:
+		return fmt.Sprintf("%s ?", op)
+	}
+}
+
+// xreg renders a scalar register, using the architectural alias for X31.
+func xreg(r Reg) string {
+	if r == XZR {
+		return "XZR"
+	}
+	if r == RegNone {
+		return "XNONE"
+	}
+	return fmt.Sprintf("X%d", r)
+}
+
+// fimm renders a float immediate so that parsing recovers the exact bits;
+// non-finite values (e.g. integer-lane constants whose bits form NaN
+// payloads) are rendered as raw bit patterns.
+func fimm(v float32) string {
+	if f64 := float64(v); math.IsNaN(f64) || math.IsInf(f64, 0) {
+		return fmt.Sprintf("bits:0x%08x", math.Float32bits(v))
+	}
+	return strconv.FormatFloat(float64(v), 'g', -1, 32)
+}

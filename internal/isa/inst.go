@@ -1,0 +1,68 @@
+package isa
+
+import "fmt"
+
+// Reg names a register within its bank. The bank (scalar X, scalar-float F,
+// vector Z) is implied by the opcode's operand semantics, mirroring a real
+// encoding where the opcode selects the register file.
+type Reg uint8
+
+// RegNone marks an unused register operand.
+const RegNone Reg = 0xFF
+
+// Register-file sizes. X31 is reserved as the always-zero register XZR.
+const (
+	NumXRegs = 32 // X0..X30 general, X31 = XZR
+	NumFRegs = 32
+	NumZRegs = 32
+	XZR      = Reg(31)
+)
+
+// Inst is one decoded instruction. The operand fields' meaning depends on the
+// opcode (documented next to each Opcode constant). Programs are immutable
+// after building; the simulator never mutates Inst values.
+type Inst struct {
+	Op   Opcode
+	Dst  Reg // destination (or store-data source for stores)
+	Src1 Reg
+	Src2 Reg
+	Imm  int64   // immediate / byte offset / element size
+	FImm float32 // floating-point immediate
+	Sys  SysReg  // system register for MSR/MRS
+	// Target is the resolved program index of a branch destination.
+	Target int
+	// Phase attributes the instruction to a compiler-identified phase for
+	// statistics; -1 means outside any phase.
+	Phase int
+}
+
+// Program is a finished instruction sequence with resolved branch targets.
+type Program struct {
+	// Insts is the instruction memory; program counters index into it.
+	Insts []Inst
+	// Name identifies the program (usually the workload name).
+	Name string
+	// NumPhases is the number of compiler-identified phases.
+	NumPhases int
+	// Labels maps label names to instruction indices (kept for tests and
+	// disassembly; execution uses resolved Target fields only).
+	Labels map[string]int
+}
+
+// At returns the instruction at pc. Running past the end is a program bug;
+// generated programs always terminate with OpHalt.
+func (p *Program) At(pc int) Inst {
+	return p.Insts[pc]
+}
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.Insts) }
+
+// Disassemble renders the whole program, one instruction per line.
+func (p *Program) Disassemble() string {
+	out := ""
+	for i, in := range p.Insts {
+		out += fmt.Sprintf("%4d: %s\n", i, in.String())
+	}
+	return out
+}

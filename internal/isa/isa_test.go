@@ -1,0 +1,225 @@
+package isa
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeClasses(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		want Class
+	}{
+		{OpAddI, ClassScalar},
+		{OpBLT, ClassScalar},
+		{OpSLoadF, ClassScalar},
+		{OpRdElems, ClassScalar},
+		{OpVWhile, ClassScalar},
+		{OpVFAdd, ClassSVE},
+		{OpVLoad, ClassSVE},
+		{OpVStore, ClassSVE},
+		{OpVFAddV, ClassSVE},
+		{OpMSR, ClassEMSIMD},
+		{OpMRS, ClassEMSIMD},
+	}
+	for _, c := range cases {
+		if got := c.op.Class(); got != c.want {
+			t.Errorf("%s.Class() = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestOpcodePredicates(t *testing.T) {
+	if !OpVLoad.IsVectorMem() || !OpVStore.IsVectorMem() {
+		t.Error("VLD/VST must be vector memory ops")
+	}
+	if OpVLoad.IsVectorCompute() {
+		t.Error("VLD must not be vector compute")
+	}
+	if !OpVFMla.IsVectorCompute() {
+		t.Error("VFMLA must be vector compute")
+	}
+	if !OpMSR.IsEMSIMD() || OpVFAdd.IsEMSIMD() {
+		t.Error("EM-SIMD classification wrong")
+	}
+	if !OpBNE.IsBranch() || OpAdd.IsBranch() {
+		t.Error("branch classification wrong")
+	}
+	if !OpSLoadF.IsMem() || !OpVStore.IsMem() || OpVFAdd.IsMem() {
+		t.Error("memory classification wrong")
+	}
+	if !OpVFAddV.IsReduction() || OpVFAdd.IsReduction() {
+		t.Error("reduction classification wrong")
+	}
+}
+
+func TestEveryOpcodeHasName(t *testing.T) {
+	for op := Opcode(1); op < opcodeCount; op++ {
+		if op.String() == "" || op.String() == "OP?" {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+	if Opcode(200).String() != "OP?" {
+		t.Error("out-of-range opcode should stringify defensively")
+	}
+}
+
+func TestSysRegStrings(t *testing.T) {
+	for s := SysReg(0); s < sysRegCount; s++ {
+		if s.String() == "" {
+			t.Errorf("sysreg %d has no name", s)
+		}
+	}
+	if SysVL.String() != "<VL>" || SysOI.String() != "<OI>" {
+		t.Errorf("sysreg names: %s %s", SysVL, SysOI)
+	}
+}
+
+func TestPackUnpackOIRoundTrip(t *testing.T) {
+	f := func(a, b uint16) bool {
+		// Quantize to representable values first.
+		p := OIPair{Issue: float64(a%4096) / oiScale, Mem: float64(b%4096) / oiScale}
+		got := UnpackOI(PackOI(p))
+		return got == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackOIQuantizationError(t *testing.T) {
+	f := func(a, b uint32) bool {
+		p := OIPair{Issue: float64(a%100000) / 997.0, Mem: float64(b%100000) / 997.0}
+		got := UnpackOI(PackOI(p))
+		return math.Abs(got.Issue-p.Issue) <= 1.0/oiScale && math.Abs(got.Mem-p.Mem) <= 1.0/oiScale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackOISaturates(t *testing.T) {
+	p := UnpackOI(PackOI(OIPair{Issue: 1e9, Mem: -5}))
+	if p.Issue < 250 {
+		t.Errorf("huge OI should saturate high, got %v", p.Issue)
+	}
+	if p.Mem != 0 {
+		t.Errorf("negative OI should clamp to zero, got %v", p.Mem)
+	}
+}
+
+func TestOIZeroPair(t *testing.T) {
+	if !(OIPair{}).IsZero() {
+		t.Error("zero pair must report IsZero")
+	}
+	if (OIPair{Issue: 0.5}).IsZero() {
+		t.Error("non-zero pair must not report IsZero")
+	}
+	if UnpackOI(0) != (OIPair{}) {
+		t.Error("raw 0 must decode to the zero pair")
+	}
+}
+
+func TestBuilderResolvesForwardAndBackwardLabels(t *testing.T) {
+	b := NewBuilder("branches")
+	b.Label("top")
+	b.Emit(Inst{Op: OpAddI, Dst: 0, Src1: 0, Imm: 1})
+	b.Branch(Inst{Op: OpBLT, Src1: 0, Src2: 1}, "top")  // backward
+	b.Branch(Inst{Op: OpBNE, Src1: 0, Src2: 1}, "done") // forward
+	b.Emit(Inst{Op: OpNop})
+	b.Label("done")
+	b.Emit(Inst{Op: OpHalt})
+	p, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[1].Target != 0 {
+		t.Errorf("backward branch target = %d, want 0", p.Insts[1].Target)
+	}
+	if p.Insts[2].Target != 4 {
+		t.Errorf("forward branch target = %d, want 4", p.Insts[2].Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Branch(Inst{Op: OpB}, "nowhere")
+	if _, err := b.Finalize(); err == nil {
+		t.Fatal("want error for undefined label")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Label("x")
+	b.Label("x")
+	if _, err := b.Finalize(); err == nil {
+		t.Fatal("want error for duplicate label")
+	}
+}
+
+func TestBuilderRejectsNonBranchInBranch(t *testing.T) {
+	b := NewBuilder("notbranch")
+	b.Label("l")
+	b.Branch(Inst{Op: OpAdd}, "l")
+	if _, err := b.Finalize(); err == nil {
+		t.Fatal("want error for non-branch opcode in Branch")
+	}
+}
+
+func TestBuilderPhaseAttribution(t *testing.T) {
+	b := NewBuilder("phases")
+	b.Emit(Inst{Op: OpNop})
+	b.SetPhase(0)
+	b.Emit(Inst{Op: OpNop})
+	b.SetPhase(1)
+	b.Emit(Inst{Op: OpNop})
+	b.SetPhase(-1)
+	b.Emit(Inst{Op: OpHalt})
+	p := b.MustFinalize()
+	wantPhases := []int{-1, 0, 1, -1}
+	for i, w := range wantPhases {
+		if p.Insts[i].Phase != w {
+			t.Errorf("inst %d phase = %d, want %d", i, p.Insts[i].Phase, w)
+		}
+	}
+	if p.NumPhases != 2 {
+		t.Errorf("NumPhases = %d, want 2", p.NumPhases)
+	}
+}
+
+func TestDisassembleMentionsEveryMnemonic(t *testing.T) {
+	b := NewBuilder("disasm")
+	b.Emit(Inst{Op: OpMovI, Dst: 1, Imm: 42})
+	b.Emit(Inst{Op: OpMSR, Sys: SysVL, Src1: 2})
+	b.Emit(Inst{Op: OpMSR, Sys: SysOI, Src1: RegNone, Imm: 7})
+	b.Emit(Inst{Op: OpMRS, Dst: 3, Sys: SysDecision})
+	b.Emit(Inst{Op: OpVLoad, Dst: 4, Src1: 5})
+	b.Emit(Inst{Op: OpVStore, Dst: 4, Src1: 5})
+	b.Emit(Inst{Op: OpVFMla, Dst: 1, Src1: 2, Src2: 3})
+	b.Label("l")
+	b.Branch(Inst{Op: OpBNEI, Src1: 1, Imm: 1}, "l")
+	b.Emit(Inst{Op: OpHalt})
+	p := b.MustFinalize()
+	d := p.Disassemble()
+	for _, frag := range []string{"MOVI", "MSR <VL>", "MSR <OI>, #7", "MRS X3, <decision>", "VLD1W Z4, [X5, X0]", "VST1W", "VFMLA", "B.NEI", "HALT"} {
+		if !strings.Contains(d, frag) {
+			t.Errorf("disassembly missing %q:\n%s", frag, d)
+		}
+	}
+}
+
+func TestProgramAtAndLen(t *testing.T) {
+	b := NewBuilder("p")
+	b.Emit(Inst{Op: OpNop})
+	b.Emit(Inst{Op: OpHalt})
+	p := b.MustFinalize()
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if p.At(1).Op != OpHalt {
+		t.Fatalf("At(1) = %v", p.At(1).Op)
+	}
+}

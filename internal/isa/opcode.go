@@ -1,0 +1,304 @@
+// Package isa defines the instruction set simulated by this repository: a
+// compact SVE-like vector-length-agnostic vector ISA plus the EM-SIMD
+// extension of the paper (Table 1) — five dedicated system registers accessed
+// through MRS/MSR that let software describe phase behaviour and request
+// vector-length reconfiguration.
+//
+// Vector widths follow the paper's granularity: the unit of vector-length
+// configuration is one 128-bit granule (one ExeBU), i.e. four 32-bit lanes.
+// A core whose <VL> register holds l executes vector instructions over
+// l granules = 4*l fp32 elements.
+package isa
+
+// GranuleElems is the number of 32-bit lanes per 128-bit vector-length
+// granule (the minimum ARM SVE vector length, §3.2).
+const GranuleElems = 4
+
+// GranuleBytes is the byte width of one vector-length granule.
+const GranuleBytes = 16
+
+// Opcode enumerates every instruction the simulator executes.
+type Opcode uint8
+
+const (
+	// OpInvalid is the zero Opcode and never appears in a valid program.
+	OpInvalid Opcode = iota
+
+	// --- Scalar integer / control flow (executed by the scalar core) ---
+
+	OpNop  // no operation
+	OpHalt // terminate the program on this core
+	OpMovI // Xd = Imm
+	OpAddI // Xd = Xs1 + Imm
+	OpAdd  // Xd = Xs1 + Xs2
+	OpSub  // Xd = Xs1 - Xs2
+	OpSubI // Xd = Xs1 - Imm
+	OpMulI // Xd = Xs1 * Imm
+	OpMov  // Xd = Xs1
+	OpB    // unconditional branch to Target
+	OpBLT  // branch to Target if Xs1 < Xs2
+	OpBGE  // branch to Target if Xs1 >= Xs2
+	OpBEQ  // branch to Target if Xs1 == Xs2
+	OpBNE  // branch to Target if Xs1 != Xs2
+	OpBEQI // branch to Target if Xs1 == Imm
+	OpBNEI // branch to Target if Xs1 != Imm
+
+	// --- Scalar floating point (for non-vectorized code versions) ---
+
+	OpSLoadF  // Fd = mem[Xs1 + Imm] (4 bytes)
+	OpSStoreF // mem[Xs1 + Imm] = Fs (4 bytes); Fs is carried in Dst
+	OpSFAdd   // Fd = Fs1 + Fs2
+	OpSFSub   // Fd = Fs1 - Fs2
+	OpSFMul   // Fd = Fs1 * Fs2
+	OpSFDiv   // Fd = Fs1 / Fs2
+	OpSFMax   // Fd = max(Fs1, Fs2)
+	OpSFMin   // Fd = min(Fs1, Fs2)
+	OpSFMla   // Fd = Fd + Fs1*Fs2
+	OpSFAbs   // Fd = |Fs1|
+	OpSFNeg   // Fd = -Fs1
+	OpSFSqrt  // Fd = sqrt(Fs1)
+	OpSFMovI  // Fd = FImm
+
+	// --- Scalar integer-on-FP-register ops for the non-vectorized
+	// versions of integer kernels (bits of the F registers reinterpreted
+	// as int32) ---
+
+	OpSIAdd // Fd = bits(int32(Fs1) + int32(Fs2))
+	OpSISub // Fd = bits(int32(Fs1) - int32(Fs2))
+	OpSIMul // Fd = bits(int32(Fs1) * int32(Fs2))
+	OpSIAnd // Fd = Fs1 & Fs2
+	OpSIOr  // Fd = Fs1 | Fs2
+	OpSIXor // Fd = Fs1 ^ Fs2
+	OpSIShl // Fd = bits(int32(Fs1) << (Fs2 & 31))
+	OpSIShr // Fd = bits(int32(Fs1) >> (Fs2 & 31))
+	OpSIMax // Fd = bits(max(int32(Fs1), int32(Fs2)))
+	OpSIMin // Fd = bits(min(int32(Fs1), int32(Fs2)))
+
+	// --- Vector-length helpers (scalar results derived from <VL>) ---
+
+	OpRdElems // Xd = number of active fp32 elements (4 * current <VL>)
+	OpIncVL   // Xd = Xs1 + Imm * (4 * current <VL>)  (Imm usually elem bytes)
+
+	// --- SVE-like vector compute (transmitted to the co-processor) ---
+
+	OpVDupI  // Zd[all lanes] = FImm
+	OpVDupX  // Zd[all lanes] = float32(Xs1)
+	OpVFAdd  // Zd = Zs1 + Zs2
+	OpVFSub  // Zd = Zs1 - Zs2
+	OpVFMul  // Zd = Zs1 * Zs2
+	OpVFDiv  // Zd = Zs1 / Zs2
+	OpVFMla  // Zd = Zd + Zs1*Zs2
+	OpVFMax  // Zd = max(Zs1, Zs2)
+	OpVFMin  // Zd = min(Zs1, Zs2)
+	OpVFNeg  // Zd = -Zs1
+	OpVFAbs  // Zd = |Zs1|
+	OpVFSqrt // Zd = sqrt(Zs1) (approximate unit: same pipe as VFDiv)
+	OpVFAddV // Zd[0] = horizontal sum of active lanes of Zs1; other lanes 0
+
+	// --- SVE-like integer vector compute (int32 lanes, reinterpreting the
+	// register bits; §4.2.1: ExeBUs support "all integer/float-point data
+	// types specified in ARMv8-A") ---
+
+	OpVIAdd // Zd = int32(Zs1) + int32(Zs2)
+	OpVISub // Zd = int32(Zs1) - int32(Zs2)
+	OpVIMul // Zd = int32(Zs1) * int32(Zs2)
+	OpVIAnd // Zd = Zs1 & Zs2
+	OpVIOr  // Zd = Zs1 | Zs2
+	OpVIXor // Zd = Zs1 ^ Zs2
+	OpVIShl // Zd = int32(Zs1) << (Zs2 & 31)
+	OpVIShr // Zd = int32(Zs1) >> (Zs2 & 31), arithmetic
+	OpVIMax // Zd = max(int32(Zs1), int32(Zs2))
+	OpVIMin // Zd = min(int32(Zs1), int32(Zs2))
+
+	// --- Lane-0 transfers between the vector unit and scalar registers,
+	// used by the compiler's reduction fix-up across vector-length changes
+	// (§6.4): partial results survive reconfiguration in a scalar register
+	// because freed RegBlk contents are not preserved (§4.2.2). ---
+
+	OpVMovX0 // Xd = float bits of lane 0 of Zs1
+	OpVInsX0 // Zd = {float32frombits(Xs1), 0, 0, ...}
+
+	// --- SVE-like vector memory (transmitted to the co-processor) ---
+
+	OpVLoad  // Zd = mem[Xs1 + 4*Xs2 ...], unit stride fp32, scaled index
+	OpVStore // mem[Xs1 + 4*Xs2 ...] = Zd (Dst carries the data register)
+
+	// --- Predicate management for remainder iterations ---
+
+	OpVWhile // set per-core tail predicate: active = clamp(Xs1-Xs2 elems, 0, 4*<VL>); Xd = active
+
+	// --- EM-SIMD extension (Table 1 system registers via MRS/MSR) ---
+
+	OpMSR // write system register Sys from Xs1 (or Imm if Xs1 == RegNone)
+	OpMRS // read system register Sys into Xd
+
+	opcodeCount // sentinel; keep last
+)
+
+// opcodeInfo captures static properties of each opcode.
+type opcodeInfo struct {
+	name    string
+	class   Class
+	memOp   bool // vector or scalar memory access
+	branch  bool
+	reduces bool // horizontal reduction
+}
+
+// Class partitions opcodes the way Table 2 of the paper does: scalar
+// instructions handled entirely by the scalar core, SVE instructions executed
+// by the co-processor's SIMD data paths, and EM-SIMD instructions executed by
+// the co-processor's in-order EM-SIMD data path.
+type Class uint8
+
+const (
+	ClassScalar Class = iota
+	ClassSVE
+	ClassEMSIMD
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassScalar:
+		return "Scalar"
+	case ClassSVE:
+		return "SVE"
+	case ClassEMSIMD:
+		return "EM-SIMD"
+	}
+	return "Class?"
+}
+
+var opcodeTable = [opcodeCount]opcodeInfo{
+	OpInvalid: {name: "INVALID", class: ClassScalar},
+
+	OpNop:  {name: "NOP", class: ClassScalar},
+	OpHalt: {name: "HALT", class: ClassScalar},
+	OpMovI: {name: "MOVI", class: ClassScalar},
+	OpAddI: {name: "ADDI", class: ClassScalar},
+	OpAdd:  {name: "ADD", class: ClassScalar},
+	OpSub:  {name: "SUB", class: ClassScalar},
+	OpSubI: {name: "SUBI", class: ClassScalar},
+	OpMulI: {name: "MULI", class: ClassScalar},
+	OpMov:  {name: "MOV", class: ClassScalar},
+	OpB:    {name: "B", class: ClassScalar, branch: true},
+	OpBLT:  {name: "B.LT", class: ClassScalar, branch: true},
+	OpBGE:  {name: "B.GE", class: ClassScalar, branch: true},
+	OpBEQ:  {name: "B.EQ", class: ClassScalar, branch: true},
+	OpBNE:  {name: "B.NE", class: ClassScalar, branch: true},
+	OpBEQI: {name: "B.EQI", class: ClassScalar, branch: true},
+	OpBNEI: {name: "B.NEI", class: ClassScalar, branch: true},
+
+	OpSLoadF:  {name: "SLDF", class: ClassScalar, memOp: true},
+	OpSStoreF: {name: "SSTF", class: ClassScalar, memOp: true},
+	OpSFAdd:   {name: "SFADD", class: ClassScalar},
+	OpSFSub:   {name: "SFSUB", class: ClassScalar},
+	OpSFMul:   {name: "SFMUL", class: ClassScalar},
+	OpSFDiv:   {name: "SFDIV", class: ClassScalar},
+	OpSFMax:   {name: "SFMAX", class: ClassScalar},
+	OpSFMin:   {name: "SFMIN", class: ClassScalar},
+	OpSFMla:   {name: "SFMLA", class: ClassScalar},
+	OpSFAbs:   {name: "SFABS", class: ClassScalar},
+	OpSFNeg:   {name: "SFNEG", class: ClassScalar},
+	OpSFSqrt:  {name: "SFSQRT", class: ClassScalar},
+	OpSFMovI:  {name: "SFMOVI", class: ClassScalar},
+	OpSIAdd:   {name: "SIADD", class: ClassScalar},
+	OpSISub:   {name: "SISUB", class: ClassScalar},
+	OpSIMul:   {name: "SIMUL", class: ClassScalar},
+	OpSIAnd:   {name: "SIAND", class: ClassScalar},
+	OpSIOr:    {name: "SIOR", class: ClassScalar},
+	OpSIXor:   {name: "SIXOR", class: ClassScalar},
+	OpSIShl:   {name: "SISHL", class: ClassScalar},
+	OpSIShr:   {name: "SISHR", class: ClassScalar},
+	OpSIMax:   {name: "SIMAX", class: ClassScalar},
+	OpSIMin:   {name: "SIMIN", class: ClassScalar},
+
+	OpRdElems: {name: "RDELEMS", class: ClassScalar},
+	OpIncVL:   {name: "INCVL", class: ClassScalar},
+
+	OpVDupI:  {name: "VDUPI", class: ClassSVE},
+	OpVDupX:  {name: "VDUPX", class: ClassSVE},
+	OpVFAdd:  {name: "VFADD", class: ClassSVE},
+	OpVFSub:  {name: "VFSUB", class: ClassSVE},
+	OpVFMul:  {name: "VFMUL", class: ClassSVE},
+	OpVFDiv:  {name: "VFDIV", class: ClassSVE},
+	OpVFMla:  {name: "VFMLA", class: ClassSVE},
+	OpVFMax:  {name: "VFMAX", class: ClassSVE},
+	OpVFMin:  {name: "VFMIN", class: ClassSVE},
+	OpVFNeg:  {name: "VFNEG", class: ClassSVE},
+	OpVFAbs:  {name: "VFABS", class: ClassSVE},
+	OpVFSqrt: {name: "VFSQRT", class: ClassSVE},
+	OpVFAddV: {name: "VFADDV", class: ClassSVE, reduces: true},
+	OpVIAdd:  {name: "VIADD", class: ClassSVE},
+	OpVISub:  {name: "VISUB", class: ClassSVE},
+	OpVIMul:  {name: "VIMUL", class: ClassSVE},
+	OpVIAnd:  {name: "VIAND", class: ClassSVE},
+	OpVIOr:   {name: "VIOR", class: ClassSVE},
+	OpVIXor:  {name: "VIXOR", class: ClassSVE},
+	OpVIShl:  {name: "VISHL", class: ClassSVE},
+	OpVIShr:  {name: "VISHR", class: ClassSVE},
+	OpVIMax:  {name: "VIMAX", class: ClassSVE},
+	OpVIMin:  {name: "VIMIN", class: ClassSVE},
+	OpVMovX0: {name: "VMOVX0", class: ClassSVE},
+	OpVInsX0: {name: "VINSX0", class: ClassSVE},
+
+	OpVLoad:  {name: "VLD1W", class: ClassSVE, memOp: true},
+	OpVStore: {name: "VST1W", class: ClassSVE, memOp: true},
+
+	OpVWhile: {name: "VWHILE", class: ClassScalar},
+
+	OpMSR: {name: "MSR", class: ClassEMSIMD},
+	OpMRS: {name: "MRS", class: ClassEMSIMD},
+}
+
+// String returns the assembly mnemonic.
+func (op Opcode) String() string {
+	if op >= opcodeCount {
+		return "OP?"
+	}
+	return opcodeTable[op].name
+}
+
+// Class reports which Table 2 instruction class op belongs to.
+func (op Opcode) Class() Class {
+	if op >= opcodeCount {
+		return ClassScalar
+	}
+	return opcodeTable[op].class
+}
+
+// IsVector reports whether op executes on the co-processor SIMD data paths.
+func (op Opcode) IsVector() bool { return op.Class() == ClassSVE }
+
+// IsVectorMem reports whether op is an SVE load or store.
+func (op Opcode) IsVectorMem() bool { return op.Class() == ClassSVE && opcodeTable[op].memOp }
+
+// IsVectorCompute reports whether op is an SVE compute instruction (the kind
+// counted by the paper's SIMD issue-rate and utilization metrics).
+func (op Opcode) IsVectorCompute() bool { return op.Class() == ClassSVE && !opcodeTable[op].memOp }
+
+// IsEMSIMD reports whether op is part of the EM-SIMD extension.
+func (op Opcode) IsEMSIMD() bool { return op.Class() == ClassEMSIMD }
+
+// IsBranch reports whether op may redirect scalar control flow.
+func (op Opcode) IsBranch() bool {
+	if op >= opcodeCount {
+		return false
+	}
+	return opcodeTable[op].branch
+}
+
+// IsMem reports whether op accesses memory (scalar or vector).
+func (op Opcode) IsMem() bool {
+	if op >= opcodeCount {
+		return false
+	}
+	return opcodeTable[op].memOp
+}
+
+// IsReduction reports whether op performs a horizontal reduction.
+func (op Opcode) IsReduction() bool {
+	if op >= opcodeCount {
+		return false
+	}
+	return opcodeTable[op].reduces
+}

@@ -1,0 +1,51 @@
+package isa
+
+import "math"
+
+// IntBinFn evaluates the integer binary operations over 32-bit lane bits
+// (int32 values stored in float32 registers). It is shared by the
+// co-processor's vector lanes, the scalar core's integer-on-F-register
+// execution and the workload DSL's host reference evaluator, guaranteeing
+// bit-identical semantics everywhere.
+func IntBinFn(op Opcode, a, b float32) (float32, bool) {
+	ai := int32(math.Float32bits(a))
+	bi := int32(math.Float32bits(b))
+	var r int32
+	switch op {
+	case OpVIAdd, OpSIAdd:
+		r = ai + bi
+	case OpVISub, OpSISub:
+		r = ai - bi
+	case OpVIMul, OpSIMul:
+		r = ai * bi
+	case OpVIAnd, OpSIAnd:
+		r = ai & bi
+	case OpVIOr, OpSIOr:
+		r = ai | bi
+	case OpVIXor, OpSIXor:
+		r = ai ^ bi
+	case OpVIShl, OpSIShl:
+		r = ai << (uint32(bi) & 31)
+	case OpVIShr, OpSIShr:
+		r = ai >> (uint32(bi) & 31)
+	case OpVIMax, OpSIMax:
+		r = ai
+		if bi > ai {
+			r = bi
+		}
+	case OpVIMin, OpSIMin:
+		r = ai
+		if bi < ai {
+			r = bi
+		}
+	default:
+		return 0, false
+	}
+	return math.Float32frombits(uint32(r)), true
+}
+
+// IntBits converts an int32 lane value to its register representation.
+func IntBits(v int32) float32 { return math.Float32frombits(uint32(v)) }
+
+// LaneInt converts a register value back to its int32 lane interpretation.
+func LaneInt(v float32) int32 { return int32(math.Float32bits(v)) }

@@ -1,0 +1,98 @@
+package isa
+
+// SysReg enumerates the dedicated registers of the EM-SIMD ISA (Table 1 of
+// the paper) plus the architectural SVE vector-length control register <ZCR>
+// that the hardware mirrors the configured length into (§4.2.2).
+type SysReg uint8
+
+const (
+	// SysNone marks instructions without a system-register operand.
+	SysNone SysReg = iota
+	// SysOI holds the operational intensity of the current phase. Written
+	// with the phase's OI pair at phase entry and with 0 at phase exit;
+	// each write triggers the lane manager (§5). The 32-bit register packs
+	// the pair (oi_issue, oi_mem) of Eq. 5 as two 16-bit fixed-point
+	// fields; package coproc provides the packing helpers.
+	SysOI
+	// SysDecision holds the lane-partition plan entry for this core: the
+	// suggested vector length in 128-bit granules.
+	SysDecision
+	// SysVL holds the configured (current) vector length in granules.
+	// Writing it requests reconfiguration; success is reported in
+	// <status> (§4.2.2).
+	SysVL
+	// SysStatus reads 1 if the previous <VL> write succeeded and 0 if it
+	// failed (not enough free lanes, §4.2.2).
+	SysStatus
+	// SysAL holds the number of free (unassigned) ExeBUs, shared by all
+	// cores.
+	SysAL
+	// SysZCR is the SVE vector-length control register of the scalar
+	// core, updated by the hardware when a <VL> write succeeds.
+	SysZCR
+
+	sysRegCount
+)
+
+var sysRegNames = [sysRegCount]string{
+	SysNone:     "<none>",
+	SysOI:       "<OI>",
+	SysDecision: "<decision>",
+	SysVL:       "<VL>",
+	SysStatus:   "<status>",
+	SysAL:       "<AL>",
+	SysZCR:      "<ZCR>",
+}
+
+func (s SysReg) String() string {
+	if s >= sysRegCount {
+		return "<sysreg?>"
+	}
+	return sysRegNames[s]
+}
+
+// OIPair is the decoded content of the <OI> register: the two operational
+// intensities of Eq. 5. A zero pair means "not executing any phase" and is
+// what the phase epilogue writes.
+type OIPair struct {
+	// Issue is <OI>.issue: compute instructions per byte moved by memory
+	// instructions (no reuse discount), which bounds attainable
+	// performance through the SIMD issue bandwidth ceiling.
+	Issue float64
+	// Mem is <OI>.mem: compute instructions per byte of per-iteration
+	// memory footprint with data reuse considered, which bounds
+	// attainable performance through the memory bandwidth ceiling.
+	Mem float64
+}
+
+// IsZero reports whether the pair denotes "no active phase".
+func (p OIPair) IsZero() bool { return p.Issue == 0 && p.Mem == 0 }
+
+// oiScale is the fixed-point scale used to pack OI values into the 32-bit
+// <OI> register (two 16-bit fields, 1/256 FLOP-per-byte resolution).
+const oiScale = 256
+
+// PackOI encodes an OIPair into the 32-bit <OI> register format. Values are
+// saturated to the representable range [0, 255.996].
+func PackOI(p OIPair) uint32 {
+	return uint32(packOIField(p.Issue))<<16 | uint32(packOIField(p.Mem))
+}
+
+func packOIField(v float64) uint16 {
+	if v <= 0 {
+		return 0
+	}
+	scaled := v*oiScale + 0.5
+	if scaled >= 1<<16 {
+		return 1<<16 - 1
+	}
+	return uint16(scaled)
+}
+
+// UnpackOI decodes the 32-bit <OI> register format.
+func UnpackOI(raw uint32) OIPair {
+	return OIPair{
+		Issue: float64(raw>>16) / oiScale,
+		Mem:   float64(raw&0xFFFF) / oiScale,
+	}
+}

@@ -1,0 +1,304 @@
+package lanemgr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"occamy/internal/isa"
+	"occamy/internal/roofline"
+)
+
+func TestResourceTblInitialState(t *testing.T) {
+	tbl := NewResourceTbl(2, 8)
+	if tbl.Cores() != 2 || tbl.Total() != 8 {
+		t.Fatalf("dims: cores=%d total=%d", tbl.Cores(), tbl.Total())
+	}
+	if tbl.AL() != 8 {
+		t.Fatalf("initial AL = %d, want 8", tbl.AL())
+	}
+	for c := 0; c < 2; c++ {
+		if tbl.VL(c) != 0 || !tbl.OI(c).IsZero() {
+			t.Fatalf("core %d not empty at reset", c)
+		}
+	}
+}
+
+func TestTryReconfigureGrowShrink(t *testing.T) {
+	tbl := NewResourceTbl(2, 8)
+	if !tbl.TryReconfigure(0, 5) {
+		t.Fatal("grow from free pool must succeed")
+	}
+	if tbl.VL(0) != 5 || tbl.AL() != 3 || !tbl.Status(0) {
+		t.Fatalf("after grow: vl=%d al=%d status=%v", tbl.VL(0), tbl.AL(), tbl.Status(0))
+	}
+	if tbl.TryReconfigure(1, 4) {
+		t.Fatal("grow beyond AL must fail")
+	}
+	if tbl.Status(1) {
+		t.Fatal("failed reconfigure must clear <status>")
+	}
+	if tbl.VL(1) != 0 || tbl.AL() != 3 {
+		t.Fatal("failed reconfigure must not change allocations")
+	}
+	if !tbl.TryReconfigure(0, 2) { // shrink releases lanes
+		t.Fatal("shrink must succeed")
+	}
+	if tbl.AL() != 6 {
+		t.Fatalf("AL after shrink = %d, want 6", tbl.AL())
+	}
+	if !tbl.TryReconfigure(1, 4) {
+		t.Fatal("grow after peer shrink must succeed")
+	}
+}
+
+func TestTryReconfigureSameValueAndZero(t *testing.T) {
+	tbl := NewResourceTbl(2, 8)
+	tbl.TryReconfigure(0, 4)
+	if !tbl.TryReconfigure(0, 4) {
+		t.Fatal("rewriting the current VL must succeed")
+	}
+	if !tbl.TryReconfigure(0, 0) {
+		t.Fatal("releasing all lanes must succeed")
+	}
+	if tbl.AL() != 8 {
+		t.Fatalf("AL = %d, want 8", tbl.AL())
+	}
+}
+
+func TestTryReconfigureRejectsOutOfRange(t *testing.T) {
+	tbl := NewResourceTbl(1, 8)
+	if tbl.TryReconfigure(0, 9) || tbl.TryReconfigure(0, -1) {
+		t.Fatal("out-of-range VL must fail")
+	}
+}
+
+func TestReadRawMatchesTypedAccessors(t *testing.T) {
+	tbl := NewResourceTbl(2, 8)
+	oi := isa.OIPair{Issue: 0.5, Mem: 0.25}
+	tbl.SetOI(1, oi)
+	tbl.SetDecision(1, 3)
+	tbl.TryReconfigure(1, 2)
+	if isa.UnpackOI(tbl.ReadRaw(1, isa.SysOI)) != oi {
+		t.Error("<OI> raw read mismatch")
+	}
+	if tbl.ReadRaw(1, isa.SysDecision) != 3 {
+		t.Error("<decision> raw read mismatch")
+	}
+	if tbl.ReadRaw(1, isa.SysVL) != 2 {
+		t.Error("<VL> raw read mismatch")
+	}
+	if tbl.ReadRaw(1, isa.SysStatus) != 1 {
+		t.Error("<status> raw read mismatch")
+	}
+	if tbl.ReadRaw(0, isa.SysAL) != 6 {
+		t.Errorf("<AL> raw read = %d, want 6", tbl.ReadRaw(0, isa.SysAL))
+	}
+}
+
+var mdl = roofline.Default()
+
+func TestPlanGivesEverythingToLoneComputeWorkload(t *testing.T) {
+	ois := []isa.OIPair{{Issue: 10, Mem: 10}, {}}
+	plan := Plan(mdl, ois, 8)
+	if plan[0] != 8 || plan[1] != 0 {
+		t.Fatalf("plan = %v, want [8 0]", plan)
+	}
+}
+
+func TestPlanEqualSplitForIdenticalComputeWorkloads(t *testing.T) {
+	// §5.2 fairness: "When only compute-intensive workloads are
+	// co-running, the SIMD lanes will be divided equally."
+	ois := []isa.OIPair{{Issue: 10, Mem: 10}, {Issue: 10, Mem: 10}}
+	plan := Plan(mdl, ois, 8)
+	if plan[0] != 4 || plan[1] != 4 {
+		t.Fatalf("plan = %v, want [4 4]", plan)
+	}
+}
+
+func TestPlanMemoryBoundWorkloadStopsAtKnee(t *testing.T) {
+	// A memory-bound phase saturates early; the compute phase takes the
+	// rest. OI like WL20.p1 (oi=0.13): AP = min(8vl, 32vl*0.13, 64*0.13).
+	mem := isa.OIPair{Issue: 0.13, Mem: 0.13}
+	comp := isa.OIPair{Issue: 10, Mem: 10}
+	plan := Plan(mdl, []isa.OIPair{mem, comp}, 8)
+	sat := mdl.SaturationVL(mem, 8)
+	if plan[0] != sat {
+		t.Fatalf("memory workload got %d granules, want saturation point %d", plan[0], sat)
+	}
+	if plan[1] != 8-sat {
+		t.Fatalf("compute workload got %d granules, want %d", plan[1], 8-sat)
+	}
+}
+
+func TestPlanFairnessFloor(t *testing.T) {
+	// Even a hopelessly memory-bound workload receives one ExeBU (§5.2:
+	// avoid "starving out" completely).
+	ois := []isa.OIPair{{Issue: 0.001, Mem: 0.001}, {Issue: 10, Mem: 10}}
+	plan := Plan(mdl, ois, 8)
+	if plan[0] < 1 {
+		t.Fatalf("plan = %v; memory workload starved", plan)
+	}
+}
+
+func TestPlanLeavesUselessLanesFree(t *testing.T) {
+	// A lone workload that saturates at 2 granules should not be handed
+	// the other 6 (§5.2 step 3: stop when no further gain).
+	oi := isa.OIPair{Issue: 10, Mem: 0.2} // mem-bound at 64*0.2=12.8 GFLOPs -> sat at 2
+	plan := Plan(mdl, []isa.OIPair{oi, {}}, 8)
+	if plan[0] != mdl.SaturationVL(oi, 8) {
+		t.Fatalf("plan = %v, want saturation allocation %d", plan, mdl.SaturationVL(oi, 8))
+	}
+}
+
+func TestPlanMotivatingExampleShape(t *testing.T) {
+	// §2: in phase p1, WL#0 (654.rom_s, low OI) gets 8 lanes (2 granules)
+	// and WL#1 (621.wrf_s, compute) gets 24 (6 granules); in p2 WL#0
+	// grows to 12 lanes (3 granules). OI values approximate Table 3.
+	p1 := Plan(mdl, []isa.OIPair{{Issue: 0.09, Mem: 0.09}, {Issue: 1, Mem: 1}}, 8)
+	if p1[0] != 2 || p1[1] != 6 {
+		t.Fatalf("p1 plan = %v, want [2 6] (8/24 lanes)", p1)
+	}
+	// p2 (rho_eos) has data reuse, so oi_issue < oi_mem; the pair is what
+	// pushes the decision to 12 lanes rather than 8 (cf. §7.4 Case 4).
+	p2 := Plan(mdl, []isa.OIPair{{Issue: 0.12, Mem: 0.17}, {Issue: 1, Mem: 1}}, 8)
+	if p2[0] != 3 || p2[1] != 5 {
+		t.Fatalf("p2 plan = %v, want [3 5] (12/20 lanes)", p2)
+	}
+	p3 := Plan(mdl, []isa.OIPair{{}, {Issue: 1, Mem: 1}}, 8)
+	if p3[0] != 0 || p3[1] != 8 {
+		t.Fatalf("p3 plan = %v, want [0 8] (0/32 lanes)", p3)
+	}
+}
+
+func TestPlanPropertySumAndFloor(t *testing.T) {
+	f := func(raw [4]uint16, nSeed uint8) bool {
+		total := int(nSeed%15) + 1
+		ois := make([]isa.OIPair, len(raw))
+		active := 0
+		for i, r := range raw {
+			if r%3 == 0 {
+				continue // inactive workload
+			}
+			ois[i] = isa.OIPair{Issue: float64(r%512)/256 + 0.004, Mem: float64(r%512)/256 + 0.004}
+			active++
+		}
+		plan := Plan(mdl, ois, total)
+		sum := 0
+		for i, vl := range plan {
+			if vl < 0 {
+				return false
+			}
+			if ois[i].IsZero() && vl != 0 {
+				return false // inactive workloads get nothing
+			}
+			sum += vl
+		}
+		if sum > total {
+			return false
+		}
+		// Fairness floor whenever capacity allows.
+		if active <= total {
+			for i, vl := range plan {
+				if !ois[i].IsZero() && vl < 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanMonotoneInTotal(t *testing.T) {
+	// Growing the ExeBU pool never shrinks anyone's allocation: the
+	// greedy rounds are a prefix-stable sequence of grants.
+	f := func(a, b uint16, nSeed uint8) bool {
+		ois := []isa.OIPair{
+			{Issue: float64(a%512)/256 + 0.004, Mem: float64(a%512)/256 + 0.004},
+			{Issue: float64(b%512)/256 + 0.004, Mem: float64(b%512)/256 + 0.004},
+		}
+		n := int(nSeed%14) + 1
+		p1 := Plan(mdl, ois, n)
+		p2 := Plan(mdl, ois, n+1)
+		return p2[0] >= p1[0] && p2[1] >= p1[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanDegenerateMoreWorkloadsThanLanes(t *testing.T) {
+	ois := []isa.OIPair{{Issue: 1, Mem: 1}, {Issue: 1, Mem: 1}, {Issue: 1, Mem: 1}}
+	plan := Plan(mdl, ois, 2)
+	sum := 0
+	for _, vl := range plan {
+		sum += vl
+	}
+	if sum != 2 {
+		t.Fatalf("plan %v must hand out exactly the 2 available", plan)
+	}
+}
+
+func TestManagerPublishesDecisions(t *testing.T) {
+	tbl := NewResourceTbl(2, 8)
+	mgr := NewManager(mdl, tbl)
+	mgr.OnOIWrite(0, isa.OIPair{Issue: 0.09, Mem: 0.09})
+	mgr.OnOIWrite(1, isa.OIPair{Issue: 1, Mem: 1})
+	if tbl.Decision(0) != 2 || tbl.Decision(1) != 6 {
+		t.Fatalf("decisions = [%d %d], want [2 6]", tbl.Decision(0), tbl.Decision(1))
+	}
+	if mgr.Repartitions != 2 {
+		t.Fatalf("repartitions = %d, want 2", mgr.Repartitions)
+	}
+	// Phase exit: core 0 writes OI=0; everything goes to core 1.
+	mgr.OnOIWrite(0, isa.OIPair{})
+	if tbl.Decision(0) != 0 || tbl.Decision(1) != 8 {
+		t.Fatalf("post-exit decisions = [%d %d], want [0 8]", tbl.Decision(0), tbl.Decision(1))
+	}
+}
+
+// TestPlanGreedyProperties cross-checks the round-based greedy of §5.2
+// against brute-force enumeration of all feasible two-workload partitions.
+// The algorithm is deliberately *fair* rather than per-unit throughput
+// optimal (it splits lanes equally among identical compute-bound workloads
+// instead of handing them all to one), so the guarantees we verify are:
+//
+//  1. it never exceeds the exhaustive total-performance optimum, and
+//  2. it is Pareto-efficient: no ExeBU is left free while some workload
+//     still has a positive marginal gain (Eq. 3).
+func TestPlanGreedyProperties(t *testing.T) {
+	f := func(a, b uint16) bool {
+		ois := []isa.OIPair{
+			{Issue: float64(a%512)/256 + 0.004, Mem: float64(a%768)/256 + 0.004},
+			{Issue: float64(b%512)/256 + 0.004, Mem: float64(b%768)/256 + 0.004},
+		}
+		const total = 8
+		plan := Plan(mdl, ois, total)
+		got := mdl.Attainable(plan[0], ois[0]) + mdl.Attainable(plan[1], ois[1])
+		best := 0.0
+		for v0 := 1; v0 < total; v0++ {
+			for v1 := 1; v0+v1 <= total; v1++ {
+				perf := mdl.Attainable(v0, ois[0]) + mdl.Attainable(v1, ois[1])
+				if perf > best {
+					best = perf
+				}
+			}
+		}
+		if got > best+1e-6 {
+			return false
+		}
+		if free := total - plan[0] - plan[1]; free > 0 {
+			for i := range ois {
+				if mdl.NetGain(plan[i], ois[i]) > 1e-9 {
+					return false // free lane wasted on a hungry workload
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package lanemgr
+
+import (
+	"sort"
+
+	"occamy/internal/isa"
+	"occamy/internal/roofline"
+)
+
+// gainEpsilon is the smallest net performance gain (GFLOP/s) considered
+// worth an extra ExeBU; it suppresses floating-point noise in Eq. 3.
+const gainEpsilon = 1e-9
+
+// Plan computes a lane-partition plan {vl_1..vl_M} for the co-running
+// workloads described by their <OI> registers, using the greedy algorithm of
+// §5.2 over total ExeBUs:
+//
+//  1. every workload currently executing a phase (<OI> != 0) receives one
+//     ExeBU (the fairness floor — nobody is starved out);
+//  2. repeatedly, workloads are sorted by the net performance gain (Eq. 3)
+//     of receiving one more ExeBU and each workload with a positive gain is
+//     granted one in that order;
+//  3. the loop stops when the ExeBUs run out or no workload would gain.
+//
+// Inactive workloads (zero OI) receive zero. Ties are broken by core index,
+// which makes the plan deterministic and splits lanes (near-)equally among
+// identical compute-bound workloads. ExeBUs that would benefit nobody stay
+// free. If there are more active workloads than ExeBUs, the first come first
+// (the paper assumes M <= C <= N, so this is a defensive degenerate case).
+func Plan(m roofline.Model, ois []isa.OIPair, total int) []int {
+	vls := make([]int, len(ois))
+	remaining := total
+
+	// Step 1: fairness floor.
+	for i, oi := range ois {
+		if oi.IsZero() {
+			continue
+		}
+		if remaining == 0 {
+			break
+		}
+		vls[i] = 1
+		remaining--
+	}
+
+	// Steps 2-3: marginal-gain rounds.
+	type cand struct {
+		idx  int
+		gain float64
+	}
+	cands := make([]cand, 0, len(ois))
+	for remaining > 0 {
+		cands = cands[:0]
+		for i, oi := range ois {
+			if oi.IsZero() || vls[i] == 0 {
+				continue
+			}
+			if g := m.NetGain(vls[i], oi); g > gainEpsilon {
+				cands = append(cands, cand{idx: i, gain: g})
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		sort.SliceStable(cands, func(a, b int) bool { return cands[a].gain > cands[b].gain })
+		granted := false
+		for _, c := range cands {
+			if remaining == 0 {
+				break
+			}
+			vls[c.idx]++
+			remaining--
+			granted = true
+		}
+		if !granted {
+			break
+		}
+	}
+	return vls
+}
+
+// Manager is the hardware lane manager: it owns the resource table and
+// recomputes the partition plan whenever any core writes <OI> (a
+// phase-changing point, §5). It is pure control logic — the co-processor's
+// EM-SIMD data path invokes it; timing (the one-off plan-computation
+// latency) is modeled there.
+type Manager struct {
+	Model roofline.Model
+	Tbl   *ResourceTbl
+	// Repartitions counts plan computations, for the Figure 15 overhead
+	// accounting.
+	Repartitions uint64
+}
+
+// NewManager returns a lane manager over tbl using roofline model m.
+func NewManager(m roofline.Model, tbl *ResourceTbl) *Manager {
+	return &Manager{Model: m, Tbl: tbl}
+}
+
+// OnOIWrite is called by the EM-SIMD data path when core c writes <OI>. It
+// stores the value and publishes a fresh plan in every core's <decision>
+// register.
+func (g *Manager) OnOIWrite(c int, oi isa.OIPair) {
+	g.Tbl.SetOI(c, oi)
+	g.Repartition()
+}
+
+// Repartition recomputes the plan from the current <OI> registers and writes
+// it to the <decision> registers. Lanes the greedy pass leaves free (every
+// active workload at its roofline knee) are spread round-robin over the
+// active workloads: idle silicon helps nobody, and a wider data path lets a
+// memory-bound workload keep its fair share of the shared memory bandwidth —
+// this is what preserves the paper's Case 3 (<memory, memory>) parity.
+func (g *Manager) Repartition() {
+	ois := g.Tbl.ActiveOIs()
+	plan := Plan(g.Model, ois, g.Tbl.Total())
+	free := g.Tbl.Total()
+	active := 0
+	for c, vl := range plan {
+		free -= vl
+		if !ois[c].IsZero() {
+			active++
+		}
+	}
+	for c := 0; free > 0 && active > 0; c = (c + 1) % len(plan) {
+		if !ois[c].IsZero() {
+			plan[c]++
+			free--
+		}
+	}
+	for c, vl := range plan {
+		g.Tbl.SetDecision(c, vl)
+	}
+	g.Repartitions++
+}

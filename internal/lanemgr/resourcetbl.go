@@ -1,0 +1,121 @@
+// Package lanemgr implements the hardware SIMD lane manager of §5: the
+// on-chip resource table holding the five EM-SIMD registers per core
+// (Table 1, §4.2.1) and the greedy, roofline-guided lane-partitioning
+// algorithm of §5.2 that runs whenever a workload writes <OI> at a
+// phase-changing point.
+package lanemgr
+
+import (
+	"fmt"
+
+	"occamy/internal/isa"
+)
+
+// ResourceTbl is the (4*C+1)-register table of §4.2.1: per core the four
+// dedicated registers <OI>, <decision>, <VL>, <status>, plus one shared <AL>
+// register. Registers are stored raw (32-bit) exactly as the MSR/MRS data
+// path sees them; typed accessors decode them.
+type ResourceTbl struct {
+	total    int // N: number of ExeBUs (128-bit granules)
+	oi       []uint32
+	decision []uint32
+	vl       []uint32
+	status   []uint32
+}
+
+// NewResourceTbl returns a table for cores CPU cores sharing total ExeBUs.
+// All lanes start free: every <VL> is 0 and <AL> = total.
+func NewResourceTbl(cores, total int) *ResourceTbl {
+	if cores <= 0 || total <= 0 {
+		panic(fmt.Sprintf("lanemgr: bad ResourceTbl dims cores=%d total=%d", cores, total))
+	}
+	return &ResourceTbl{
+		total:    total,
+		oi:       make([]uint32, cores),
+		decision: make([]uint32, cores),
+		vl:       make([]uint32, cores),
+		status:   make([]uint32, cores),
+	}
+}
+
+// Cores returns the number of CPU cores served.
+func (t *ResourceTbl) Cores() int { return len(t.oi) }
+
+// Total returns N, the number of ExeBUs being shared.
+func (t *ResourceTbl) Total() int { return t.total }
+
+// AL returns the shared <AL> register: the number of free ExeBUs.
+func (t *ResourceTbl) AL() int {
+	used := 0
+	for _, v := range t.vl {
+		used += int(v)
+	}
+	return t.total - used
+}
+
+// OI returns core c's decoded <OI> register.
+func (t *ResourceTbl) OI(c int) isa.OIPair { return isa.UnpackOI(t.oi[c]) }
+
+// SetOI writes core c's <OI> register.
+func (t *ResourceTbl) SetOI(c int, p isa.OIPair) { t.oi[c] = isa.PackOI(p) }
+
+// Decision returns core c's <decision> register (suggested VL in granules).
+func (t *ResourceTbl) Decision(c int) int { return int(t.decision[c]) }
+
+// SetDecision writes core c's <decision> register.
+func (t *ResourceTbl) SetDecision(c, vl int) { t.decision[c] = uint32(vl) }
+
+// VL returns core c's configured vector length in granules.
+func (t *ResourceTbl) VL(c int) int { return int(t.vl[c]) }
+
+// Status returns core c's <status> register: true if the last <VL> write
+// succeeded.
+func (t *ResourceTbl) Status(c int) bool { return t.status[c] == 1 }
+
+// ReadRaw reads a register as the MRS data path does.
+func (t *ResourceTbl) ReadRaw(c int, r isa.SysReg) uint32 {
+	switch r {
+	case isa.SysOI:
+		return t.oi[c]
+	case isa.SysDecision:
+		return t.decision[c]
+	case isa.SysVL:
+		return t.vl[c]
+	case isa.SysStatus:
+		return t.status[c]
+	case isa.SysAL:
+		return uint32(t.AL())
+	default:
+		return 0
+	}
+}
+
+// TryReconfigure implements the atomic register update of §4.2.2 for a
+// successfully drained MSR <VL>,l: it succeeds iff c.<VL> + <AL> >= l, in
+// which case it moves lanes between core c and the free pool and sets
+// <status> to 1; otherwise it leaves the allocation unchanged and sets
+// <status> to 0. The caller (the co-processor's EM-SIMD data path) is
+// responsible for the pipeline-drain precondition.
+func (t *ResourceTbl) TryReconfigure(c, l int) bool {
+	if l < 0 || l > t.total {
+		t.status[c] = 0
+		return false
+	}
+	if t.VL(c)+t.AL() < l {
+		t.status[c] = 0
+		return false
+	}
+	t.vl[c] = uint32(l)
+	t.status[c] = 1
+	return true
+}
+
+// ActiveOIs returns the decoded <OI> of every core; cores not executing a
+// phase hold the zero pair.
+func (t *ResourceTbl) ActiveOIs() []isa.OIPair {
+	out := make([]isa.OIPair, t.Cores())
+	for c := range out {
+		out[c] = t.OI(c)
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package mem
+
+import (
+	"fmt"
+
+	"occamy/internal/sim"
+)
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name          string
+	SizeBytes     int
+	Ways          int
+	LatencyCycles uint64  // hit latency
+	BytesPerCycle float64 // sustained bandwidth into the requester
+	MissSlots     int     // max overlapping outstanding misses (MSHRs)
+	// MissQuota caps the outstanding misses of any single requestor
+	// (AccessFrom's who); 0 disables the quota. Shared caches use it to
+	// arbitrate fill slots fairly between cores.
+	MissQuota int
+	// PrefetchDegree enables a next-line streaming prefetcher: each
+	// demand miss also fetches the following N lines (if MSHRs allow).
+	// Vector units stream unit-stride, so this is what lets a narrow
+	// vector length sustain full memory bandwidth — without it the
+	// issue window cannot cover the DRAM bandwidth-delay product.
+	PrefetchDegree int
+}
+
+// Cache is a set-associative, write-back, write-allocate timing cache with
+// LRU replacement. It tracks tags only; data lives in the functional Memory.
+type Cache struct {
+	cfg   CacheConfig
+	sets  [][]cacheLine // [set][way]
+	bw    bwMeter
+	miss  missTracker
+	next  Port
+	stats *sim.Stats
+	// setMask and setShift locate the set index in an address.
+	setMask  uint64
+	setShift uint
+}
+
+type cacheLine struct {
+	valid bool
+	dirty bool
+	// prefetched marks a line brought in by the prefetcher and not yet
+	// demanded; the first demand hit re-arms the stream prefetch.
+	prefetched bool
+	tag        uint64
+	lru        uint64 // last-touch stamp; larger = more recent
+}
+
+// NewCache builds a cache in front of next. Stats may be nil.
+func NewCache(cfg CacheConfig, next Port, stats *sim.Stats) *Cache {
+	if cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic(fmt.Sprintf("mem: bad cache config %+v", cfg))
+	}
+	numLines := cfg.SizeBytes / LineBytes
+	numSets := numLines / cfg.Ways
+	if numSets == 0 || numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("mem: %s: set count %d must be a positive power of two", cfg.Name, numSets))
+	}
+	if cfg.MissSlots <= 0 {
+		cfg.MissSlots = 16
+	}
+	c := &Cache{
+		cfg:      cfg,
+		next:     next,
+		stats:    stats,
+		bw:       bwMeter{bytesPerCycle: cfg.BytesPerCycle},
+		miss:     missTracker{slots: cfg.MissSlots, quota: cfg.MissQuota},
+		setMask:  uint64(numSets - 1),
+		setShift: 6, // log2(LineBytes)
+	}
+	c.sets = make([][]cacheLine, numSets)
+	lines := make([]cacheLine, numSets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i], lines = lines[:cfg.Ways], lines[cfg.Ways:]
+	}
+	return c
+}
+
+// Access implements Port. Multi-line requests complete when their last line
+// is available; each line consumes this cache's port bandwidth for the bytes
+// actually requested (not the whole line — narrow vector accesses must not
+// waste port width), and misses consume the next level's bandwidth for the
+// full line fill.
+func (c *Cache) Access(now uint64, addr uint64, size int, write bool) (uint64, bool) {
+	return c.AccessFrom(now, addr, size, write, -1)
+}
+
+// AccessFrom is Access with a requestor id, used by shared caches to
+// arbitrate MSHR slots fairly (see CacheConfig.MissQuota).
+func (c *Cache) AccessFrom(now uint64, addr uint64, size int, write bool, who int) (uint64, bool) {
+	if size <= 0 {
+		size = 1
+	}
+	first, n := lineSpan(addr, size)
+	end := addr + uint64(size)
+	done := now
+	for i := 0; i < n; i++ {
+		lineAddr := first + uint64(i*LineBytes)
+		// Bytes of this request that fall within the line.
+		lo, hi := lineAddr, lineAddr+LineBytes
+		if addr > lo {
+			lo = addr
+		}
+		if end < hi {
+			hi = end
+		}
+		lineDone, ok := c.accessLine(now, lineAddr, int(hi-lo), write, who)
+		if !ok {
+			return 0, false
+		}
+		done = maxU64(done, lineDone)
+	}
+	return done, true
+}
+
+func (c *Cache) accessLine(now uint64, lineAddr uint64, reqBytes int, write bool, who int) (uint64, bool) {
+	set := (lineAddr >> c.setShift) & c.setMask
+	tag := lineAddr >> (c.setShift + popcount(c.setMask))
+	ways := c.sets[set]
+
+	// Hit path: the port moves only the requested bytes. The first demand
+	// hit on a prefetched line chases the stream: it issues the next
+	// prefetches so a unit-stride stream keeps its lines in flight
+	// continuously.
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == tag {
+			ways[w].lru = now
+			if write {
+				ways[w].dirty = true
+			}
+			if ways[w].prefetched {
+				ways[w].prefetched = false
+				c.prefetch(now, lineAddr, who)
+			}
+			c.count("hit")
+			xfer := c.bw.consume(now, reqBytes)
+			return maxU64(xfer, now+c.cfg.LatencyCycles), true
+		}
+	}
+
+	// Miss path: fill from the next level, evicting the LRU way. The MSHR
+	// check comes first so a rejected request consumes no downstream
+	// bandwidth (retries must not inflate the next level's queue).
+	if !c.miss.hasSlot(now, who) {
+		c.count("mshr_reject")
+		return 0, false
+	}
+	fillDone, ok := c.next.Access(now+c.cfg.LatencyCycles, lineAddr, LineBytes, false)
+	if !ok {
+		return 0, false
+	}
+	c.count("miss")
+	c.miss.reserve(fillDone, who)
+	c.prefetch(now, lineAddr, who)
+	victim := 0
+	for w := range ways {
+		if !ways[w].valid {
+			victim = w
+			break
+		}
+		if ways[w].lru < ways[victim].lru {
+			victim = w
+		}
+	}
+	if ways[victim].valid && ways[victim].dirty {
+		// Write-back consumes next-level bandwidth but does not delay
+		// the demand fill (eviction buffers).
+		wbAddr := (ways[victim].tag << (c.setShift + popcount(c.setMask))) | (set << c.setShift)
+		c.next.Access(now, wbAddr, LineBytes, true)
+		c.count("writeback")
+	}
+	ways[victim] = cacheLine{valid: true, dirty: write, tag: tag, lru: now}
+	xfer := c.bw.consume(now, LineBytes)
+	return maxU64(fillDone, xfer), true
+}
+
+// prefetch issues next-line fills after a demand miss (attributed to the
+// same requestor), skipping lines that are already resident and stopping
+// when MSHRs run out.
+func (c *Cache) prefetch(now uint64, lineAddr uint64, who int) {
+	for i := 1; i <= c.cfg.PrefetchDegree; i++ {
+		pf := lineAddr + uint64(i*LineBytes)
+		if c.present(pf) {
+			continue
+		}
+		if !c.miss.hasSlot(now, who) {
+			return
+		}
+		fillDone, ok := c.next.Access(now+c.cfg.LatencyCycles, pf, LineBytes, false)
+		if !ok {
+			return
+		}
+		c.miss.reserve(fillDone, who)
+		c.install(now, pf, fillDone, false)
+		c.count("prefetch")
+	}
+}
+
+// present reports whether lineAddr is resident.
+func (c *Cache) present(lineAddr uint64) bool {
+	set := (lineAddr >> c.setShift) & c.setMask
+	tag := lineAddr >> (c.setShift + popcount(c.setMask))
+	for _, l := range c.sets[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// install places a line into its set, evicting LRU (with write-back).
+func (c *Cache) install(now uint64, lineAddr uint64, _ uint64, dirty bool) {
+	set := (lineAddr >> c.setShift) & c.setMask
+	tag := lineAddr >> (c.setShift + popcount(c.setMask))
+	ways := c.sets[set]
+	victim := 0
+	for w := range ways {
+		if !ways[w].valid {
+			victim = w
+			break
+		}
+		if ways[w].lru < ways[victim].lru {
+			victim = w
+		}
+	}
+	if ways[victim].valid && ways[victim].dirty {
+		wbAddr := (ways[victim].tag << (c.setShift + popcount(c.setMask))) | (set << c.setShift)
+		c.next.Access(now, wbAddr, LineBytes, true)
+		c.count("writeback")
+	}
+	// Install with slightly-stale LRU so demand lines outrank prefetches.
+	lru := uint64(0)
+	if now > 0 {
+		lru = now - 1
+	}
+	ways[victim] = cacheLine{valid: true, dirty: dirty, prefetched: true, tag: tag, lru: lru}
+}
+
+func (c *Cache) count(event string) {
+	if c.stats != nil {
+		c.stats.Inc(c.cfg.Name + "." + event)
+	}
+}
+
+// Hits and Misses report the demand access counts (requires a stats registry).
+func (c *Cache) Hits() uint64 {
+	if c.stats == nil {
+		return 0
+	}
+	return c.stats.Get(c.cfg.Name + ".hit")
+}
+
+// Misses reports the demand miss count.
+func (c *Cache) Misses() uint64 {
+	if c.stats == nil {
+		return 0
+	}
+	return c.stats.Get(c.cfg.Name + ".miss")
+}
+
+func popcount(x uint64) uint {
+	var n uint
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,48 @@
+package mem
+
+import "occamy/internal/sim"
+
+// DRAMConfig describes main memory. Table 4 specifies 64 GB/s at a 2 GHz
+// core clock, i.e. 32 bytes per core cycle of sustained bandwidth.
+type DRAMConfig struct {
+	Name          string
+	LatencyCycles uint64
+	BytesPerCycle float64
+}
+
+// DRAM is the bottom of the hierarchy: fixed latency plus a shared bandwidth
+// meter. It never rejects requests (the memory controller queue is modeled as
+// unbounded; upstream MSHRs bound the real overlap).
+type DRAM struct {
+	cfg   DRAMConfig
+	bw    bwMeter
+	stats *sim.Stats
+}
+
+// NewDRAM returns main memory with the given parameters. Stats may be nil.
+func NewDRAM(cfg DRAMConfig, stats *sim.Stats) *DRAM {
+	if cfg.Name == "" {
+		cfg.Name = "dram"
+	}
+	return &DRAM{cfg: cfg, bw: bwMeter{bytesPerCycle: cfg.BytesPerCycle}, stats: stats}
+}
+
+// Access implements Port.
+func (d *DRAM) Access(now uint64, addr uint64, size int, write bool) (uint64, bool) {
+	if size <= 0 {
+		size = 1
+	}
+	// The row access costs LatencyCycles; the data bus is then occupied
+	// for size/BytesPerCycle cycles, so back-to-back requests queue on
+	// the bus even when latency would otherwise hide them.
+	xfer := d.bw.consume(now+d.cfg.LatencyCycles, size)
+	if d.stats != nil {
+		d.stats.Add(d.cfg.Name+".bytes", uint64(size))
+		if write {
+			d.stats.Inc(d.cfg.Name + ".writes")
+		} else {
+			d.stats.Inc(d.cfg.Name + ".reads")
+		}
+	}
+	return xfer, true
+}

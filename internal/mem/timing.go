@@ -1,0 +1,118 @@
+package mem
+
+// LineBytes is the cache-line size used throughout Table 4.
+const LineBytes = 64
+
+// Port is the timing interface of one level of the hierarchy. Access asks
+// for size bytes at addr starting no earlier than cycle now; it returns the
+// cycle at which the data is available (loads) or accepted (stores), and
+// ok=false if the level cannot accept the request this cycle (all outstanding
+// miss slots busy) — the requester must retry on a later cycle.
+type Port interface {
+	Access(now uint64, addr uint64, size int, write bool) (done uint64, ok bool)
+}
+
+// SharedPort is a Port whose MSHR slots are arbitrated per requestor.
+type SharedPort interface {
+	Port
+	// AccessFrom is Access attributed to requestor who (e.g. a core id);
+	// pass -1 for unattributed requests.
+	AccessFrom(now uint64, addr uint64, size int, write bool, who int) (done uint64, ok bool)
+}
+
+// bwMeter serializes bandwidth consumption: a component that can move
+// bytesPerCycle bytes each cycle grants a request of b bytes the interval
+// [max(now, nextFree), +b/bytesPerCycle). This is what makes two cores
+// streaming through the shared L2/DRAM slow each other down, the central
+// contention effect in the paper's memory-intensive workloads.
+type bwMeter struct {
+	bytesPerCycle float64
+	nextFree      float64
+}
+
+// consume reserves b bytes of bandwidth and returns the cycle at which the
+// transfer completes.
+func (m *bwMeter) consume(now uint64, b int) uint64 {
+	start := float64(now)
+	if m.nextFree > start {
+		start = m.nextFree
+	}
+	m.nextFree = start + float64(b)/m.bytesPerCycle
+	done := uint64(m.nextFree)
+	if float64(done) < m.nextFree {
+		done++
+	}
+	return done
+}
+
+// missTracker bounds the number of overlapping outstanding misses (an MSHR
+// file). Completions are retired lazily on the next check. A per-requestor
+// quota prevents one core's stream (and its prefetches) from monopolizing a
+// shared cache's fill slots — the fairness that keeps co-running
+// memory-bound workloads at parity (§7.4 Case 3).
+type missTracker struct {
+	slots   int
+	quota   int // max per requestor; 0 = no quota
+	pending []missEntry
+}
+
+type missEntry struct {
+	release uint64
+	who     int
+}
+
+func (t *missTracker) retire(now uint64) {
+	live := t.pending[:0]
+	for _, e := range t.pending {
+		if e.release > now {
+			live = append(live, e)
+		}
+	}
+	t.pending = live
+}
+
+// hasSlot retires completed misses and reports whether requestor who may
+// allocate a slot. It must be checked before consuming any downstream
+// bandwidth, or rejected requests would inflate the next level's queue
+// occupancy on every retry.
+func (t *missTracker) hasSlot(now uint64, who int) bool {
+	t.retire(now)
+	if len(t.pending) >= t.slots {
+		return false
+	}
+	if t.quota > 0 && who >= 0 {
+		n := 0
+		for _, e := range t.pending {
+			if e.who == who {
+				n++
+			}
+		}
+		if n >= t.quota {
+			return false
+		}
+	}
+	return true
+}
+
+// reserve records a miss completing at done; call only after hasSlot.
+func (t *missTracker) reserve(done uint64, who int) {
+	t.pending = append(t.pending, missEntry{release: done, who: who})
+}
+
+// lineSpan returns the first line-aligned address and the number of lines
+// touched by [addr, addr+size).
+func lineSpan(addr uint64, size int) (first uint64, n int) {
+	if size <= 0 {
+		size = 1
+	}
+	first = addr &^ (LineBytes - 1)
+	last := (addr + uint64(size) - 1) &^ (LineBytes - 1)
+	return first, int((last-first)/LineBytes) + 1
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

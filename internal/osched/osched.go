@@ -1,0 +1,57 @@
+// Package osched implements the OS context-switch interaction described in
+// §5: on a switch, the OS saves the five EM-SIMD dedicated registers with
+// the rest of the context (after all pipelines, including Occamy's, are
+// drained), releases the outgoing task's lanes, and on restore writes <OI>
+// back via MSR — which re-triggers lane partitioning so the incoming task's
+// phase behaviour immediately influences the plan.
+package osched
+
+import (
+	"fmt"
+
+	"occamy/internal/isa"
+	"occamy/internal/lanemgr"
+)
+
+// Context is the saved EM-SIMD state of one task on one core: the four
+// per-core dedicated registers of Table 1 (<AL> is shared and never saved).
+type Context struct {
+	OI       isa.OIPair
+	Decision int
+	VL       int
+	Status   bool
+}
+
+// Save captures core c's EM-SIMD registers and releases its lanes back to
+// the free pool. The caller is responsible for the §5 precondition that all
+// pipelines are drained (in the simulator: coproc.Quiescent).
+func Save(mgr *lanemgr.Manager, c int) (Context, error) {
+	tbl := mgr.Tbl
+	ctx := Context{
+		OI:       tbl.OI(c),
+		Decision: tbl.Decision(c),
+		VL:       tbl.VL(c),
+		Status:   tbl.Status(c),
+	}
+	if !tbl.TryReconfigure(c, 0) {
+		return Context{}, fmt.Errorf("osched: releasing core %d lanes failed", c)
+	}
+	// The outgoing task no longer executes a phase: clear <OI> and let
+	// the manager hand its lanes to the tasks that stay.
+	mgr.OnOIWrite(c, isa.OIPair{})
+	return ctx, nil
+}
+
+// Restore installs a saved context on core c. Per §5, restoring a non-zero
+// <OI> is done via an MSR write, which triggers a fresh lane partition; the
+// incoming task's monitor then picks up its <decision> at the next loop
+// iteration and re-acquires lanes through the normal protocol. The saved
+// <VL> is NOT forcibly re-granted — lanes may have been given away while the
+// task was descheduled.
+func Restore(mgr *lanemgr.Manager, c int, ctx Context) {
+	if !ctx.OI.IsZero() {
+		mgr.OnOIWrite(c, ctx.OI)
+	} else {
+		mgr.Tbl.SetOI(c, ctx.OI)
+	}
+}

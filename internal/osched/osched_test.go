@@ -1,0 +1,93 @@
+package osched
+
+import (
+	"testing"
+
+	"occamy/internal/isa"
+	"occamy/internal/lanemgr"
+	"occamy/internal/roofline"
+)
+
+func setup(t *testing.T) *lanemgr.Manager {
+	t.Helper()
+	tbl := lanemgr.NewResourceTbl(2, 8)
+	return lanemgr.NewManager(roofline.Default(), tbl)
+}
+
+func TestSaveReleasesLanesAndRepartitions(t *testing.T) {
+	mgr := setup(t)
+	memOI := isa.OIPair{Issue: 0.09, Mem: 0.09}
+	compOI := isa.OIPair{Issue: 1, Mem: 1}
+	mgr.OnOIWrite(0, memOI)
+	mgr.OnOIWrite(1, compOI)
+	if !mgr.Tbl.TryReconfigure(0, mgr.Tbl.Decision(0)) || !mgr.Tbl.TryReconfigure(1, mgr.Tbl.Decision(1)) {
+		t.Fatal("initial grants failed")
+	}
+
+	ctx, err := Save(mgr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.VL == 0 || ctx.OI != isa.UnpackOI(isa.PackOI(memOI)) {
+		t.Fatalf("saved context %+v lost state", ctx)
+	}
+	if mgr.Tbl.VL(0) != 0 {
+		t.Fatal("outgoing task's lanes must be released")
+	}
+	// The staying compute task now gets everything.
+	if mgr.Tbl.Decision(1) != 8 {
+		t.Fatalf("post-save decision for core 1 = %d, want 8", mgr.Tbl.Decision(1))
+	}
+}
+
+func TestRestoreRetriggersPartitioning(t *testing.T) {
+	mgr := setup(t)
+	memOI := isa.OIPair{Issue: 0.09, Mem: 0.09}
+	compOI := isa.OIPair{Issue: 1, Mem: 1}
+	mgr.OnOIWrite(0, memOI)
+	mgr.OnOIWrite(1, compOI)
+	mgr.Tbl.TryReconfigure(0, mgr.Tbl.Decision(0))
+	mgr.Tbl.TryReconfigure(1, mgr.Tbl.Decision(1))
+	before0 := mgr.Tbl.Decision(0)
+
+	ctx, err := Save(mgr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := mgr.Repartitions
+	Restore(mgr, 0, ctx)
+	if mgr.Repartitions != reps+1 {
+		t.Fatal("restoring a non-zero <OI> must trigger a repartition (§5)")
+	}
+	if mgr.Tbl.Decision(0) != before0 {
+		t.Fatalf("restored decision = %d, want %d", mgr.Tbl.Decision(0), before0)
+	}
+	// VL is not forcibly restored; the task re-acquires via the monitor.
+	if mgr.Tbl.VL(0) != 0 {
+		t.Fatal("restore must not bypass the reconfiguration protocol")
+	}
+}
+
+func TestRestoreIdleTaskDoesNotRepartition(t *testing.T) {
+	mgr := setup(t)
+	reps := mgr.Repartitions
+	Restore(mgr, 0, Context{}) // task saved outside any phase
+	if mgr.Repartitions != reps {
+		t.Fatal("restoring a zero <OI> must not trigger partitioning")
+	}
+}
+
+func TestSaveRestoreRoundTripIsLossless(t *testing.T) {
+	mgr := setup(t)
+	oi := isa.OIPair{Issue: 0.5, Mem: 0.75}
+	mgr.OnOIWrite(0, oi)
+	mgr.Tbl.TryReconfigure(0, 3)
+	ctx, err := Save(mgr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Restore(mgr, 0, ctx)
+	if got := mgr.Tbl.OI(0); got != isa.UnpackOI(isa.PackOI(oi)) {
+		t.Fatalf("restored OI = %+v", got)
+	}
+}

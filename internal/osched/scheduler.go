@@ -1,0 +1,311 @@
+package osched
+
+import (
+	"fmt"
+
+	"occamy/internal/arch"
+	"occamy/internal/compiler"
+	"occamy/internal/cpu"
+	"occamy/internal/isa"
+	"occamy/internal/workload"
+)
+
+// Scheduler is a preemptive round-robin OS scheduler over an elastic
+// (Occamy) system: it time-slices more tasks than cores, saving and
+// restoring full contexts — scalar registers, vector registers and the five
+// EM-SIMD dedicated registers — at quiescent points only, exactly as §5
+// prescribes ("the OS will save the contexts ... when all the pipelines
+// (including those in Occamy) are drained, and restore <OI> using MSR to
+// trigger lane partitioning").
+//
+// It extends the paper: §5 assumes lane partitioning and task scheduling
+// work independently; this realizes the interaction so it can be studied
+// (see TestSchedulerOversubscribed and examples/scheduler).
+type Scheduler struct {
+	sys   *arch.System
+	slice uint64
+
+	// tasks holds every task's saved context; running[c] is the task id
+	// on core c (-1 = idle).
+	tasks   []*task
+	running []int
+
+	// switchState drives the per-core preemption state machine.
+	switchState []switchPhase
+	sliceEnd    []uint64
+	pendingIn   []int // task id being switched in (during restore)
+
+	// Switches counts completed context switches.
+	Switches uint64
+}
+
+type task struct {
+	name string
+	st   cpu.State
+	vec  [][]float32
+	em   Context
+	vl   int // lanes held when preempted (granules)
+	done bool
+}
+
+type switchPhase uint8
+
+const (
+	runFreely switchPhase = iota
+	draining              // parked, waiting for co-processor quiescence
+	acquiring             // restoring: waiting to re-acquire the saved VL
+)
+
+// NewScheduler wraps an already-built elastic system whose cores were
+// created with placeholder programs; use BuildOversubscribed for the common
+// case.
+func NewScheduler(sys *arch.System, slice uint64) *Scheduler {
+	n := len(sys.Cores)
+	s := &Scheduler{
+		sys:         sys,
+		slice:       slice,
+		running:     make([]int, n),
+		switchState: make([]switchPhase, n),
+		sliceEnd:    make([]uint64, n),
+		pendingIn:   make([]int, n),
+	}
+	for c := 0; c < n; c++ {
+		s.running[c] = -1
+		s.pendingIn[c] = -1
+	}
+	return s
+}
+
+// AddTask registers a compiled task. Tasks added before Start are scheduled
+// round-robin.
+func (s *Scheduler) AddTask(name string, prog cpu.State) int {
+	s.tasks = append(s.tasks, &task{name: name, st: prog, vl: 0})
+	return len(s.tasks) - 1
+}
+
+// Start dispatches the first len(cores) tasks.
+func (s *Scheduler) Start() {
+	for c := range s.running {
+		if next := s.pickNext(-1); next >= 0 {
+			s.dispatch(c, next, 0)
+		}
+	}
+}
+
+// pickNext returns the next not-done, not-running task after id, or -1.
+func (s *Scheduler) pickNext(after int) int {
+	n := len(s.tasks)
+	for i := 1; i <= n; i++ {
+		cand := (after + i) % n
+		if after < 0 {
+			cand = (i - 1) % n
+		}
+		t := s.tasks[cand]
+		if t.done || s.isRunning(cand) || s.isPending(cand) {
+			continue
+		}
+		return cand
+	}
+	return -1
+}
+
+func (s *Scheduler) isRunning(id int) bool {
+	for _, r := range s.running {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Scheduler) isPending(id int) bool {
+	for _, p := range s.pendingIn {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatch begins switching task id onto core c.
+func (s *Scheduler) dispatch(c, id int, now uint64) {
+	t := s.tasks[id]
+	s.sys.Cores[c].Restore(t.st)
+	s.sys.Cores[c].Park()
+	if t.vec != nil {
+		s.sys.Coproc.RestoreVecState(c, t.vec)
+	}
+	// Restoring a non-zero <OI> triggers a repartition (§5), so the
+	// incoming task's behaviour immediately influences the plan.
+	Restore(s.sys.Coproc.Manager(), c, t.em)
+	s.pendingIn[c] = id
+	s.switchState[c] = acquiring
+	_ = now
+}
+
+// Name implements sim.Component.
+func (s *Scheduler) Name() string { return "os-scheduler" }
+
+// Tick implements sim.Component: runs the per-core scheduling state machine.
+// Registered after the cores and the co-processor, it sees a consistent
+// end-of-cycle view.
+func (s *Scheduler) Tick(now uint64) {
+	for c := range s.running {
+		switch s.switchState[c] {
+		case runFreely:
+			s.tickRunning(c, now)
+		case draining:
+			s.tickDraining(c, now)
+		case acquiring:
+			s.tickAcquiring(c, now)
+		}
+	}
+}
+
+func (s *Scheduler) tickRunning(c int, now uint64) {
+	id := s.running[c]
+	if id < 0 {
+		// Idle core: adopt any waiting task.
+		if next := s.pickNext(-1); next >= 0 {
+			s.dispatch(c, next, now)
+		}
+		return
+	}
+	t := s.tasks[id]
+	core := s.sys.Cores[c]
+	if core.Halted() && s.sys.Coproc.Quiescent(c, now) {
+		// Task finished: release its lanes and context.
+		t.done = true
+		t.st = core.Snapshot()
+		s.running[c] = -1
+		if next := s.pickNext(id); next >= 0 {
+			s.dispatch(c, next, now)
+		}
+		return
+	}
+	if now >= s.sliceEnd[c] && s.pickNext(id) >= 0 {
+		// Preempt: stop fetching and wait for the pipelines to drain.
+		core.Park()
+		s.switchState[c] = draining
+	}
+}
+
+func (s *Scheduler) tickDraining(c int, now uint64) {
+	if !s.sys.Coproc.Quiescent(c, now) {
+		return
+	}
+	id := s.running[c]
+	t := s.tasks[id]
+	core := s.sys.Cores[c]
+	// Save the full context: scalar, vector and EM-SIMD registers.
+	t.st = core.Snapshot()
+	t.vec = s.sys.Coproc.SaveVecState(c)
+	t.vl = s.sys.Coproc.Tbl().VL(c)
+	ctx, err := Save(s.sys.Coproc.Manager(), c)
+	if err != nil {
+		panic(fmt.Sprintf("osched: %v", err)) // quiescence was checked
+	}
+	t.em = ctx
+	s.running[c] = -1
+	s.Switches++
+	if next := s.pickNext(id); next >= 0 {
+		s.dispatch(c, next, now)
+	} else {
+		// Nobody waiting after all: resume the same task.
+		s.dispatch(c, id, now)
+	}
+}
+
+func (s *Scheduler) tickAcquiring(c int, now uint64) {
+	id := s.pendingIn[c]
+	t := s.tasks[id]
+	// Re-acquire the lanes the task held when preempted before letting
+	// its SVE instructions resume. A task that held none (or was never
+	// started) can run immediately — its own prologue/monitor negotiates.
+	if t.vl > 0 {
+		if !s.sys.Coproc.Tbl().TryReconfigure(c, t.vl) {
+			return // retry next cycle; peers' monitors will release
+		}
+	}
+	s.pendingIn[c] = -1
+	s.running[c] = id
+	s.sliceEnd[c] = now + s.slice
+	s.switchState[c] = runFreely
+	s.sys.Cores[c].Unpark()
+}
+
+// Done reports whether every task has completed.
+func (s *Scheduler) Done() bool {
+	for _, t := range s.tasks {
+		if !t.done {
+			return false
+		}
+	}
+	return true
+}
+
+// TaskNames returns the registered task names in order.
+func (s *Scheduler) TaskNames() []string {
+	out := make([]string, len(s.tasks))
+	for i, t := range s.tasks {
+		out[i] = t.name
+	}
+	return out
+}
+
+// Oversubscribed builds an elastic system with the given workloads
+// time-sliced over cores CPU cores, runs it to completion and returns the
+// scheduler (for switch counts), the system (for verification) and the
+// compiled workloads in task order.
+func Oversubscribed(ws []*workload.Workload, cores int, slice uint64, seed uint64, maxCycles uint64) (*Scheduler, *arch.System, []*compiler.Compiled, error) {
+	if len(ws) < cores {
+		return nil, nil, nil, fmt.Errorf("osched: need at least %d workloads", cores)
+	}
+	// Build the system with placeholder idle programs; tasks are compiled
+	// separately with disjoint data segments and swapped in by the
+	// scheduler.
+	placeholder := make([]*workload.Workload, cores)
+	for c := range placeholder {
+		placeholder[c] = &workload.Workload{Name: fmt.Sprintf("boot%d", c), Phases: []*workload.Kernel{{
+			Name:  "boot",
+			Slots: []workload.LoadSlot{{Stream: 0}},
+			Stmts: []workload.Stmt{{Out: 1, E: workload.Mul(workload.Slot(0), workload.Const(1))}},
+			Elems: 64, Repeats: 1,
+		}}}
+	}
+	sys, err := arch.Build(arch.Occamy, workload.CoSchedule{Name: "osched", W: placeholder}, arch.Options{Seed: seed})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sched := NewScheduler(sys, slice)
+	var compiled []*compiler.Compiled
+	for i, w := range ws {
+		comp, err := compiler.Compile(w, compiler.Options{
+			Mode:     compiler.ModeElastic,
+			BaseAddr: uint64(i+8) << 32, // clear of the placeholders' segments
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		comp.InitData(sys.Hier.Mem, seed+uint64(i)*131+7)
+		compiled = append(compiled, comp)
+		sched.AddTask(w.Name, cpu.NewState(comp.Program))
+	}
+	sys.Engine.Register(sched)
+	// Park the placeholder programs forever; the scheduler owns the cores.
+	for c := range sys.Cores {
+		sys.Cores[c].Restore(cpu.NewState(haltProgram()))
+	}
+	sched.Start()
+	if _, err := sys.Engine.RunUntil(func() bool { return sched.Done() }, maxCycles); err != nil {
+		return nil, nil, nil, err
+	}
+	return sched, sys, compiled, nil
+}
+
+// haltProgram is the parked-core idle program.
+func haltProgram() *isa.Program {
+	b := isa.NewBuilder("halt")
+	b.Emit(isa.Inst{Op: isa.OpHalt})
+	return b.MustFinalize()
+}

@@ -1,0 +1,111 @@
+package osched
+
+import (
+	"testing"
+
+	"occamy/internal/workload"
+)
+
+func mkTasks(t *testing.T, n int) []*workload.Workload {
+	t.Helper()
+	r := workload.NewRegistry()
+	names := []string{"wsm51", "step3d_uv2", "set_vbc1", "rho_eos4", "fitLine2D", "sff2"}
+	var out []*workload.Workload
+	for i := 0; i < n; i++ {
+		k := *r.Kernel(names[i%len(names)])
+		k.Elems = 2500
+		if k.Repeats > 8 {
+			k.Repeats = 8
+		}
+		out = append(out, &workload.Workload{
+			Name:   names[i%len(names)],
+			Phases: []*workload.Kernel{&k},
+		})
+	}
+	return out
+}
+
+func TestSchedulerOversubscribed(t *testing.T) {
+	// Four tasks time-sliced over two cores: every task must finish with
+	// correct results despite preemption, context switches and lane
+	// repartitioning at every switch.
+	ws := mkTasks(t, 4)
+	sched, sys, compiled, err := Oversubscribed(ws, 2, 1200, 7, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.Done() {
+		t.Fatal("not all tasks completed")
+	}
+	if sched.Switches == 0 {
+		t.Fatal("oversubscription must cause context switches")
+	}
+	for i, comp := range compiled {
+		for p := range comp.Phases {
+			if err := comp.Phases[p].CheckResults(sys.Hier.Mem, 2e-3); err != nil {
+				t.Errorf("task %d (%s): %v", i, ws[i].Name, err)
+			}
+		}
+	}
+}
+
+func TestSchedulerPreemptionPreservesReductions(t *testing.T) {
+	// Reductions are the hardest state to preserve: the accumulator lives
+	// in a vector register that must survive save/restore and the VL
+	// re-acquisition protocol.
+	r := workload.NewRegistry()
+	mk := func(name string, elems int) *workload.Workload {
+		k := *r.Kernel(name)
+		k.Elems = elems
+		k.Repeats = 1
+		return &workload.Workload{Name: name, Phases: []*workload.Kernel{&k}}
+	}
+	ws := []*workload.Workload{
+		mk("dotProd", 4000),
+		mk("normL2", 4000),
+		mk("wsm51", 800),
+	}
+	_, sys, compiled, err := Oversubscribed(ws, 2, 1500, 3, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, comp := range compiled {
+		for p := range comp.Phases {
+			if err := comp.Phases[p].CheckResults(sys.Hier.Mem, 2e-3); err != nil {
+				t.Errorf("task %d (%s): %v", i, ws[i].Name, err)
+			}
+		}
+	}
+}
+
+func TestSchedulerExactFitDoesNotSwitch(t *testing.T) {
+	// Two tasks on two cores: nobody waits, so no preemption happens even
+	// with a tiny slice.
+	ws := mkTasks(t, 2)
+	sched, _, _, err := Oversubscribed(ws, 2, 500, 7, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Switches != 0 {
+		t.Fatalf("exact fit performed %d switches, want 0", sched.Switches)
+	}
+}
+
+func TestSchedulerManyTasksSingleishSlice(t *testing.T) {
+	// Six tasks, aggressive slicing: a stress of the save/acquire path.
+	ws := mkTasks(t, 6)
+	sched, sys, compiled, err := Oversubscribed(ws, 2, 1000, 11, 200_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Switches < 4 {
+		t.Fatalf("only %d switches", sched.Switches)
+	}
+	for i, comp := range compiled {
+		for p := range comp.Phases {
+			if err := comp.Phases[p].CheckResults(sys.Hier.Mem, 2e-3); err != nil {
+				t.Errorf("task %d (%s): %v", i, ws[i].Name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package roofline implements the vector-length-aware roofline model of §5.1:
+// the classic roofline extended with per-vector-length computation ceilings
+// and the paper's novel SIMD-issue-bandwidth ceiling (Eq. 2), combined into
+// the attainable-performance estimate AP_l(<OI>) of Eq. 4 that the hardware
+// lane manager uses to value an extra ExeBU.
+//
+// Vector lengths are expressed in 128-bit granules (ExeBUs); one granule is
+// four 32-bit lanes. The default model constants reproduce Table 5 of the
+// paper exactly (see TestTable5_WL8p1).
+package roofline
+
+import "occamy/internal/isa"
+
+// Model holds the architecture-specific ceilings. Performance values are in
+// GFLOP/s and bandwidths in GB/s, matching the paper's units.
+type Model struct {
+	// ClockGHz converts per-cycle capabilities into rates. The paper's
+	// Table 5 numbers normalize to 1.0 (its CompBound of 8 GFLOP/s at 16
+	// lanes only follows from 2 FLOPs/lane/cycle at 1 GHz); keep that
+	// normalization for comparability — only ratios matter to the
+	// partitioning algorithm.
+	ClockGHz float64
+	// FlopsPerGranulePerCycle is the compute-ceiling slope: each ExeBU
+	// has two 128-bit pipes of four lanes each executing one FLOP per
+	// cycle (Figure 5), i.e. 8 FLOPs per granule per cycle.
+	FlopsPerGranulePerCycle float64
+	// IssueUopsPerCycle is the number of vector-memory micro-ops the
+	// dispatcher can send to the LSU per cycle (Eq. 2 uses 2).
+	IssueUopsPerCycle float64
+	// L2BWGBs and DRAMBWGBs are the hierarchical memory-bandwidth
+	// ceilings of Figure 7(a).
+	L2BWGBs   float64
+	DRAMBWGBs float64
+	// UseL2Ceiling selects which memory ceiling Eq. 4 applies; the lane
+	// manager uses the DRAM ceiling by default because co-run workload
+	// footprints exceed the vector cache.
+	UseL2Ceiling bool
+}
+
+// Default returns the model calibrated to Table 4/Table 5.
+func Default() Model {
+	return Model{
+		ClockGHz:                1.0,
+		FlopsPerGranulePerCycle: 8,
+		IssueUopsPerCycle:       2,
+		L2BWGBs:                 128, // 64 B/cycle at 2 GHz
+		DRAMBWGBs:               64,
+	}
+}
+
+// FPPeak returns the computation ceiling for vl granules in GFLOP/s
+// (the "FP peak (vl)" horizontal lines of Figure 7(a)).
+func (m Model) FPPeak(vl int) float64 {
+	if vl <= 0 {
+		return 0
+	}
+	return m.FlopsPerGranulePerCycle * float64(vl) * m.ClockGHz
+}
+
+// IssueBW returns the SIMD-issue-bandwidth ceiling of Eq. 2 for vl granules,
+// in GB/s: IssueUopsPerCycle * vl * 16 bytes per cycle.
+func (m Model) IssueBW(vl int) float64 {
+	if vl <= 0 {
+		return 0
+	}
+	return m.IssueUopsPerCycle * float64(vl) * isa.GranuleBytes * m.ClockGHz
+}
+
+// MemBW returns the selected memory-bandwidth ceiling in GB/s.
+func (m Model) MemBW() float64 {
+	if m.UseL2Ceiling {
+		return m.L2BWGBs
+	}
+	return m.DRAMBWGBs
+}
+
+// Attainable returns AP_vl(<OI>) of Eq. 4: the minimum of the computation
+// ceiling, the issue-bandwidth ceiling scaled by <OI>.issue, and the memory
+// ceiling scaled by <OI>.mem. A zero OI pair (no active phase) attains zero.
+func (m Model) Attainable(vl int, oi isa.OIPair) float64 {
+	if vl <= 0 || oi.IsZero() {
+		return 0
+	}
+	ap := m.FPPeak(vl)
+	if v := m.IssueBW(vl) * oi.Issue; v < ap {
+		ap = v
+	}
+	if v := m.MemBW() * oi.Mem; v < ap {
+		ap = v
+	}
+	return ap
+}
+
+// NetGain returns Eq. 3: the marginal performance of granting one more ExeBU
+// at the current allocation, AP_{vl+1}(<OI>) - AP_{vl}(<OI>).
+func (m Model) NetGain(vl int, oi isa.OIPair) float64 {
+	return m.Attainable(vl+1, oi) - m.Attainable(vl, oi)
+}
+
+// SaturationVL returns the smallest vector length (in granules, at most max)
+// beyond which a phase with the given OI gains no further performance — the
+// "knee" visible in Figure 14(a). It returns max if the phase scales all the
+// way (compute-bound).
+func (m Model) SaturationVL(oi isa.OIPair, max int) int {
+	for vl := 1; vl < max; vl++ {
+		if m.NetGain(vl, oi) <= 0 {
+			return vl
+		}
+	}
+	return max
+}

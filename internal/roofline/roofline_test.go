@@ -1,0 +1,161 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"occamy/internal/isa"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestTable5_WL8p1 reproduces Table 5 of the paper: attainable performance
+// (GFLOP/s) for WL8.p1 (oi_issue=0.17, oi_mem=0.25) at VL = 4..32 lanes
+// (1..8 granules). Published rows:
+//
+//	VL(lanes)        4     8     12    16    20/24/28/32
+//	SIMDIssueBound   5.3   10.7  16    21.3  26.7/32/37.3/42.7
+//	MemBound         16    16    16    16    16
+//	CompBound        8     16    24    32    40/48/56/64
+//	Performance      5.3   10.7  16    16    16
+func TestTable5_WL8p1(t *testing.T) {
+	m := Default()
+	oi := isa.OIPair{Issue: 1.0 / 6.0, Mem: 0.25} // 0.17 / 0.25 as published (rounded)
+
+	wantIssue := []float64{5.3, 10.7, 16, 21.3, 26.7, 32, 37.3, 42.7}
+	wantComp := []float64{8, 16, 24, 32, 40, 48, 56, 64}
+	wantPerf := []float64{5.3, 10.7, 16, 16, 16, 16, 16, 16}
+	for g := 1; g <= 8; g++ {
+		if got := m.IssueBW(g) * oi.Issue; !approx(got, wantIssue[g-1], 0.15) {
+			t.Errorf("vl=%d lanes: issue bound = %.2f, want %.1f", 4*g, got, wantIssue[g-1])
+		}
+		if got := m.MemBW() * oi.Mem; !approx(got, 16, 1e-9) {
+			t.Errorf("vl=%d lanes: mem bound = %.2f, want 16", 4*g, got)
+		}
+		if got := m.FPPeak(g); !approx(got, wantComp[g-1], 1e-9) {
+			t.Errorf("vl=%d lanes: comp bound = %.2f, want %.1f", 4*g, got, wantComp[g-1])
+		}
+		if got := m.Attainable(g, oi); !approx(got, wantPerf[g-1], 0.15) {
+			t.Errorf("vl=%d lanes: attainable = %.2f, want %.1f", 4*g, got, wantPerf[g-1])
+		}
+	}
+}
+
+// TestCase4_IssueBoundAllocation checks the §7.4 Case 4 observation: for
+// WL8.p1 the allocation is bounded by instruction issue below 12 lanes, so
+// the saturation point is 3 granules (12 lanes) — not the 2 granules that a
+// roofline without the issue ceiling would pick.
+func TestCase4_IssueBoundAllocation(t *testing.T) {
+	m := Default()
+	oi := isa.OIPair{Issue: 1.0 / 6.0, Mem: 0.25}
+	if got := m.SaturationVL(oi, 8); got != 3 {
+		t.Errorf("saturation VL = %d granules, want 3 (12 lanes)", got)
+	}
+	// Without the issue ceiling (issue width so large it never binds),
+	// the knee moves to 2 granules: 8 lanes, the memory-only answer.
+	m.IssueUopsPerCycle = 1000
+	if got := m.SaturationVL(oi, 8); got != 2 {
+		t.Errorf("saturation VL without issue ceiling = %d, want 2 (8 lanes)", got)
+	}
+}
+
+func TestAttainableZeroCases(t *testing.T) {
+	m := Default()
+	if m.Attainable(0, isa.OIPair{Issue: 1, Mem: 1}) != 0 {
+		t.Error("vl=0 must attain 0")
+	}
+	if m.Attainable(4, isa.OIPair{}) != 0 {
+		t.Error("zero OI (no phase) must attain 0")
+	}
+	if m.FPPeak(0) != 0 || m.IssueBW(-1) != 0 {
+		t.Error("non-positive vl ceilings must be 0")
+	}
+}
+
+func TestComputeBoundScalesLinearly(t *testing.T) {
+	m := Default()
+	oi := isa.OIPair{Issue: 100, Mem: 100} // effectively compute-bound
+	for g := 1; g <= 8; g++ {
+		if got := m.Attainable(g, oi); !approx(got, m.FPPeak(g), 1e-9) {
+			t.Errorf("compute-bound attainable at %d granules = %v, want FP peak %v", g, got, m.FPPeak(g))
+		}
+	}
+	if m.SaturationVL(oi, 8) != 8 {
+		t.Error("compute-bound phase must scale to the maximum")
+	}
+}
+
+func TestMemoryBoundSaturates(t *testing.T) {
+	m := Default()
+	oi := isa.OIPair{Issue: 0.1, Mem: 0.1} // memory/issue bound early
+	sat := m.SaturationVL(oi, 8)
+	if sat >= 8 {
+		t.Fatalf("memory-bound phase must saturate before max, got %d", sat)
+	}
+	// Past the knee, more granules add nothing.
+	if m.Attainable(sat, oi) != m.Attainable(8, oi) {
+		t.Error("attainable must be flat past the saturation point")
+	}
+}
+
+func TestAttainableMonotoneNonDecreasingInVL(t *testing.T) {
+	m := Default()
+	f := func(a, b uint16, g uint8) bool {
+		oi := isa.OIPair{Issue: float64(a%1000)/256 + 0.01, Mem: float64(b%1000)/256 + 0.01}
+		vl := int(g%7) + 1
+		return m.Attainable(vl+1, oi) >= m.Attainable(vl, oi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetGainNeverNegative(t *testing.T) {
+	m := Default()
+	f := func(a, b uint16, g uint8) bool {
+		oi := isa.OIPair{Issue: float64(a%2000) / 256, Mem: float64(b%2000) / 256}
+		vl := int(g % 10)
+		return m.NetGain(vl, oi) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetGainDiminishes(t *testing.T) {
+	// The ceilings are concave, so marginal gain must be non-increasing in
+	// vl — this is what makes the greedy partitioner optimal per-step.
+	m := Default()
+	f := func(a, b uint16, g uint8) bool {
+		oi := isa.OIPair{Issue: float64(a%1000) / 256, Mem: float64(b%1000) / 256}
+		vl := int(g%8) + 1
+		return m.NetGain(vl, oi) <= m.NetGain(vl-1, oi)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL2CeilingSelection(t *testing.T) {
+	m := Default()
+	if m.MemBW() != m.DRAMBWGBs {
+		t.Error("default memory ceiling must be DRAM")
+	}
+	m.UseL2Ceiling = true
+	if m.MemBW() != m.L2BWGBs {
+		t.Error("UseL2Ceiling must select the L2 bandwidth")
+	}
+	if m.L2BWGBs <= m.DRAMBWGBs {
+		t.Error("hierarchical roofline requires L2 BW > DRAM BW")
+	}
+}
+
+func TestDefaultMatchesFigure7IssueBandwidthStatement(t *testing.T) {
+	// §5.1: "the SIMD issue bandwidth (32B/cycle when vl = 1)".
+	m := Default()
+	bytesPerCycle := m.IssueBW(1) / m.ClockGHz
+	if bytesPerCycle != 32 {
+		t.Errorf("issue bandwidth at vl=1 = %v B/cycle, want 32", bytesPerCycle)
+	}
+}

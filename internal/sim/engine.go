@@ -1,0 +1,70 @@
+// Package sim provides the deterministic cycle-level simulation kernel used by
+// every hardware model in this repository: a clock that ticks a fixed,
+// registration-ordered list of components, a counter registry for statistics,
+// and a timeline sampler for the per-1000-cycle plots of the paper.
+//
+// Determinism is a design requirement (DESIGN.md §3): there is no wall-clock
+// input, no map iteration on the tick path, and component order is the
+// registration order, so a given configuration and seed always produce the
+// same cycle counts.
+package sim
+
+import "fmt"
+
+// Component is a piece of hardware that does work once per cycle.
+//
+// Tick is called with the current cycle number. Components are ticked in
+// registration order; a component that needs a specific phase relationship
+// with another (e.g. consume-before-produce) must be registered accordingly.
+type Component interface {
+	// Name identifies the component in error messages and traces.
+	Name() string
+	// Tick advances the component by one cycle.
+	Tick(cycle uint64)
+}
+
+// Engine drives a set of Components with a shared clock.
+type Engine struct {
+	components []Component
+	cycle      uint64
+	stats      *Stats
+}
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{stats: NewStats()}
+}
+
+// Register appends c to the tick order. Registration order is tick order.
+func (e *Engine) Register(c Component) {
+	e.components = append(e.components, c)
+}
+
+// Cycle returns the number of cycles executed so far.
+func (e *Engine) Cycle() uint64 { return e.cycle }
+
+// Stats returns the engine-wide counter registry.
+func (e *Engine) Stats() *Stats { return e.stats }
+
+// Step executes exactly one cycle.
+func (e *Engine) Step() {
+	for _, c := range e.components {
+		c.Tick(e.cycle)
+	}
+	e.cycle++
+}
+
+// RunUntil steps the engine until done() reports true or maxCycles elapse.
+// It returns the number of cycles executed and an error if the cycle budget
+// was exhausted before done() held, which in this codebase always indicates a
+// deadlock or livelock bug in a hardware model or generated program.
+func (e *Engine) RunUntil(done func() bool, maxCycles uint64) (uint64, error) {
+	start := e.cycle
+	for !done() {
+		if e.cycle-start >= maxCycles {
+			return e.cycle - start, fmt.Errorf("sim: cycle budget of %d exhausted (started at %d)", maxCycles, start)
+		}
+		e.Step()
+	}
+	return e.cycle - start, nil
+}

@@ -1,0 +1,41 @@
+package sim
+
+// RNG is a small deterministic xorshift64* generator used to synthesize
+// workload data (array contents, address offsets). It exists so the simulator
+// never depends on math/rand's global state and so two runs with the same
+// seed are bit-identical.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed; a zero seed is replaced with a
+// fixed non-zero constant because xorshift has an all-zeros fixed point.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float32 returns a value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / float32(1<<24)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: RNG.Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}

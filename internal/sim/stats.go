@@ -1,0 +1,51 @@
+package sim
+
+import "sort"
+
+// Stats is a registry of named uint64 counters. Counters are created lazily
+// on first Add/Set. Reads of missing counters return zero, mirroring the
+// convenience of gem5's stats system.
+//
+// The registry is not safe for concurrent use; the simulator is
+// single-goroutine by design.
+type Stats struct {
+	counters map[string]uint64
+}
+
+// NewStats returns an empty registry.
+func NewStats() *Stats {
+	return &Stats{counters: make(map[string]uint64)}
+}
+
+// Add increments counter name by delta.
+func (s *Stats) Add(name string, delta uint64) {
+	s.counters[name] += delta
+}
+
+// Inc increments counter name by one.
+func (s *Stats) Inc(name string) { s.Add(name, 1) }
+
+// Set overwrites counter name.
+func (s *Stats) Set(name string, v uint64) { s.counters[name] = v }
+
+// Get returns the value of counter name, or zero if it was never written.
+func (s *Stats) Get(name string) uint64 { return s.counters[name] }
+
+// Names returns all counter names in sorted order (stable output for reports).
+func (s *Stats) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of every counter, for diffing across an interval.
+func (s *Stats) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package sim
+
+// Timeline accumulates a per-cycle quantity into fixed-width buckets and
+// reports the bucket averages. The paper's Figure 2 and Figure 14(b) plot
+// exactly this: "each point represents a set of 1000 consecutive cycles" with
+// the y-axis being the average number of SIMD lanes used per cycle.
+type Timeline struct {
+	bucket  uint64 // bucket width in cycles
+	sums    []float64
+	counts  []uint64
+	current uint64 // index of the bucket being filled
+}
+
+// NewTimeline returns a timeline with the given bucket width in cycles.
+// A width of zero defaults to 1000, the paper's plotting granularity.
+func NewTimeline(bucketCycles uint64) *Timeline {
+	if bucketCycles == 0 {
+		bucketCycles = 1000
+	}
+	return &Timeline{bucket: bucketCycles}
+}
+
+// Record adds value v for the given cycle.
+func (t *Timeline) Record(cycle uint64, v float64) {
+	idx := cycle / t.bucket
+	for uint64(len(t.sums)) <= idx {
+		t.sums = append(t.sums, 0)
+		t.counts = append(t.counts, 0)
+	}
+	t.sums[idx] += v
+	t.counts[idx]++
+	t.current = idx
+}
+
+// BucketCycles returns the bucket width.
+func (t *Timeline) BucketCycles() uint64 { return t.bucket }
+
+// Points returns the average value of each bucket in time order. Buckets that
+// received no samples report zero.
+func (t *Timeline) Points() []float64 {
+	out := make([]float64, len(t.sums))
+	for i := range t.sums {
+		if t.counts[i] > 0 {
+			out[i] = t.sums[i] / float64(t.counts[i])
+		}
+	}
+	return out
+}
+
+// Len returns the number of buckets with at least one sample slot allocated.
+func (t *Timeline) Len() int { return len(t.sums) }

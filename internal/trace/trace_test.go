@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"occamy/internal/arch"
+	"occamy/internal/workload"
+)
+
+func capture(t *testing.T) *Run {
+	t.Helper()
+	r := workload.NewRegistry()
+	sched := workload.MotivatingPair(r).Scaled(0.25)
+	sys, err := arch.Build(arch.Occamy, sched, arch.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Capture(sys, res)
+}
+
+func TestCaptureShape(t *testing.T) {
+	run := capture(t)
+	if run.Arch != "Occamy" || len(run.Cores) != 2 {
+		t.Fatalf("run %+v", run)
+	}
+	if len(run.Events) == 0 {
+		t.Fatal("elastic run must log lane events")
+	}
+	reconfigs := 0
+	for _, e := range run.Events {
+		if e.Kind == "reconfigure" {
+			reconfigs++
+			if e.VL < 0 || e.VL > 8 {
+				t.Fatalf("event VL %d out of range", e.VL)
+			}
+		}
+		if len(e.Decisions) != 2 {
+			t.Fatalf("event decisions %v", e.Decisions)
+		}
+	}
+	if reconfigs == 0 {
+		t.Fatal("no reconfigure events")
+	}
+	if len(run.Cores[1].BusyLanes) == 0 {
+		t.Fatal("busy-lane series empty")
+	}
+}
+
+func TestEventsAreCycleOrdered(t *testing.T) {
+	run := capture(t)
+	for i := 1; i < len(run.Events); i++ {
+		if run.Events[i].Cycle < run.Events[i-1].Cycle {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	run := capture(t)
+	var buf bytes.Buffer
+	if err := run.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Run
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cycles != run.Cycles || len(back.Events) != len(run.Events) {
+		t.Fatal("JSON round trip lost data")
+	}
+}
+
+func TestWriteTimelineCSV(t *testing.T) {
+	run := capture(t)
+	var buf bytes.Buffer
+	if err := run.WriteTimelineCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "cycle,core0_busy_lanes,core1_busy_lanes" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) < 3 {
+		t.Fatalf("only %d rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "1000,") {
+		t.Fatalf("second data row should start at cycle 1000: %q", lines[2])
+	}
+}
+
+func TestWriteEventsCSV(t *testing.T) {
+	run := capture(t)
+	var buf bytes.Buffer
+	if err := run.WriteEventsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "reconfigure") || !strings.Contains(out, "repartition") {
+		t.Fatalf("events CSV missing kinds:\n%s", out)
+	}
+}
+
+func TestAllocatedLanesStaircase(t *testing.T) {
+	run := capture(t)
+	stairs := run.AllocatedLanes()
+	if len(stairs) != 2 {
+		t.Fatal("want a staircase per core")
+	}
+	// The compute core must at some point hold more than a private half
+	// (16 lanes) — the elastic gain the staircase visualizes.
+	peak := 0
+	for _, s := range stairs[1] {
+		if s.Lanes > peak {
+			peak = s.Lanes
+		}
+	}
+	if peak <= 16 {
+		t.Fatalf("compute core never exceeded the private split: peak %d", peak)
+	}
+	for _, s := range stairs[0] {
+		if s.Lanes%4 != 0 {
+			t.Fatalf("lane counts must be whole granules, got %d", s.Lanes)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package workload defines the loop kernels and co-running workloads of the
+// paper's evaluation (Table 3): 28 SPEC CPU2017 loop phases and 14 OpenCV
+// kernels, combined into 34 workloads, the 25 two-core pairs of Figure 10 and
+// the four 4-core groups of Figure 16.
+//
+// SPEC sources are proprietary, so each kernel is a synthesized equivalent
+// described by a tiny expression DSL over data streams. The DSL carries real
+// value semantics (the simulator executes kernels on actual float32 arrays),
+// and its instruction mix is constructed so that the operational intensities
+// of Eq. 5 match the values published in Table 3 (validated by
+// TestTable3_OperationalIntensities).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"occamy/internal/isa"
+)
+
+// ExprKind discriminates expression nodes.
+type ExprKind uint8
+
+const (
+	// KindSlot reads the vector loaded by a load slot (see Kernel.Slots).
+	KindSlot ExprKind = iota
+	// KindConst is a floating-point literal broadcast across lanes.
+	KindConst
+	// KindBin applies a binary vector operation to two sub-expressions.
+	KindBin
+	// KindUn applies a unary vector operation (abs, neg, sqrt).
+	KindUn
+)
+
+// Expr is one node of a kernel's per-element computation.
+type Expr struct {
+	Kind ExprKind
+	Slot int     // KindSlot: index into Kernel.Slots
+	Val  float32 // KindConst; for integer constants, the lane bits
+	// IntConst marks a constant whose Val carries int32 lane bits (set by
+	// IConst; affects only formatting).
+	IntConst bool
+	Op       isa.Opcode // KindBin/KindUn operator
+	L, R     *Expr
+}
+
+// Slot returns an expression reading load slot i.
+func Slot(i int) *Expr { return &Expr{Kind: KindSlot, Slot: i} }
+
+// Const returns a literal expression.
+func Const(v float32) *Expr { return &Expr{Kind: KindConst, Val: v} }
+
+// Bin returns a binary operation node.
+func Bin(op isa.Opcode, l, r *Expr) *Expr { return &Expr{Kind: KindBin, Op: op, L: l, R: r} }
+
+// Add, Sub, Mul, Div, Max, Min are convenience constructors.
+func Add(l, r *Expr) *Expr { return Bin(isa.OpVFAdd, l, r) }
+
+// Sub returns l - r.
+func Sub(l, r *Expr) *Expr { return Bin(isa.OpVFSub, l, r) }
+
+// Mul returns l * r.
+func Mul(l, r *Expr) *Expr { return Bin(isa.OpVFMul, l, r) }
+
+// Div returns l / r.
+func Div(l, r *Expr) *Expr { return Bin(isa.OpVFDiv, l, r) }
+
+// Max returns max(l, r).
+func Max(l, r *Expr) *Expr { return Bin(isa.OpVFMax, l, r) }
+
+// Min returns min(l, r).
+func Min(l, r *Expr) *Expr { return Bin(isa.OpVFMin, l, r) }
+
+// IConst returns an integer-lane literal: the int32 value stored as raw
+// lane bits, for use with the integer vector operations (IAdd, IAnd, ...).
+func IConst(v int32) *Expr {
+	return &Expr{Kind: KindConst, Val: math.Float32frombits(uint32(v)), IntConst: true}
+}
+
+// IAdd, ISub, IMul, IAnd, IOr, IXor, IShl, IShr, IMax, IMin build integer
+// vector operations over the lane bits.
+func IAdd(l, r *Expr) *Expr { return Bin(isa.OpVIAdd, l, r) }
+
+// ISub returns int32(l) - int32(r).
+func ISub(l, r *Expr) *Expr { return Bin(isa.OpVISub, l, r) }
+
+// IMul returns int32(l) * int32(r).
+func IMul(l, r *Expr) *Expr { return Bin(isa.OpVIMul, l, r) }
+
+// IAnd returns l & r.
+func IAnd(l, r *Expr) *Expr { return Bin(isa.OpVIAnd, l, r) }
+
+// IOr returns l | r.
+func IOr(l, r *Expr) *Expr { return Bin(isa.OpVIOr, l, r) }
+
+// IXor returns l ^ r.
+func IXor(l, r *Expr) *Expr { return Bin(isa.OpVIXor, l, r) }
+
+// IShl returns int32(l) << (r & 31).
+func IShl(l, r *Expr) *Expr { return Bin(isa.OpVIShl, l, r) }
+
+// IShr returns int32(l) >> (r & 31), arithmetic.
+func IShr(l, r *Expr) *Expr { return Bin(isa.OpVIShr, l, r) }
+
+// IMax returns max(int32(l), int32(r)).
+func IMax(l, r *Expr) *Expr { return Bin(isa.OpVIMax, l, r) }
+
+// IMin returns min(int32(l), int32(r)).
+func IMin(l, r *Expr) *Expr { return Bin(isa.OpVIMin, l, r) }
+
+// Un returns a unary operation node (OpVFAbs, OpVFNeg, OpVFSqrt).
+func Un(op isa.Opcode, l *Expr) *Expr { return &Expr{Kind: KindUn, Op: op, L: l} }
+
+// Abs returns |l|.
+func Abs(l *Expr) *Expr { return Un(isa.OpVFAbs, l) }
+
+// Sqrt returns sqrt(l).
+func Sqrt(l *Expr) *Expr { return Un(isa.OpVFSqrt, l) }
+
+// countBin returns the number of operation nodes in e (the SIMD compute
+// instructions the tree compiles to; Eq. 5's comp term).
+func countBin(e *Expr) int {
+	switch {
+	case e == nil:
+		return 0
+	case e.Kind == KindBin:
+		return 1 + countBin(e.L) + countBin(e.R)
+	case e.Kind == KindUn:
+		return 1 + countBin(e.L)
+	default:
+		return 0
+	}
+}
+
+// maxSlot returns the largest slot index referenced, or -1.
+func maxSlot(e *Expr) int {
+	if e == nil {
+		return -1
+	}
+	switch e.Kind {
+	case KindSlot:
+		return e.Slot
+	case KindBin, KindUn:
+		l, r := maxSlot(e.L), maxSlot(e.R)
+		if l > r {
+			return l
+		}
+		return r
+	default:
+		return -1
+	}
+}
+
+// evalExpr computes the value of e for one element, with slotVals holding
+// the loaded value of each slot.
+func evalExpr(e *Expr, slotVals []float32) float32 {
+	switch e.Kind {
+	case KindSlot:
+		return slotVals[e.Slot]
+	case KindConst:
+		return e.Val
+	case KindBin:
+		l := evalExpr(e.L, slotVals)
+		r := evalExpr(e.R, slotVals)
+		switch e.Op {
+		case isa.OpVFAdd:
+			return l + r
+		case isa.OpVFSub:
+			return l - r
+		case isa.OpVFMul:
+			return l * r
+		case isa.OpVFDiv:
+			return l / r
+		case isa.OpVFMax:
+			return float32(math.Max(float64(l), float64(r)))
+		case isa.OpVFMin:
+			return float32(math.Min(float64(l), float64(r)))
+		default:
+			if out, ok := isa.IntBinFn(e.Op, l, r); ok {
+				return out
+			}
+			panic(fmt.Sprintf("workload: unsupported binary expr op %s", e.Op))
+		}
+	case KindUn:
+		l := evalExpr(e.L, slotVals)
+		switch e.Op {
+		case isa.OpVFAbs:
+			return float32(math.Abs(float64(l)))
+		case isa.OpVFNeg:
+			return -l
+		case isa.OpVFSqrt:
+			return float32(math.Sqrt(float64(l)))
+		default:
+			panic(fmt.Sprintf("workload: unsupported unary expr op %s", e.Op))
+		}
+	default:
+		panic("workload: invalid expr kind")
+	}
+}
+
+// ershov returns the Ershov number of e: the number of temporary registers
+// an optimal evaluation order needs. Long chains stay at 2; only perfectly
+// balanced trees grow it logarithmically.
+func ershov(e *Expr) int {
+	if e == nil {
+		return 0
+	}
+	switch e.Kind {
+	case KindBin:
+		l, r := ershov(e.L), ershov(e.R)
+		if l == r {
+			return l + 1
+		}
+		if l > r {
+			return l
+		}
+		return r
+	case KindUn:
+		return ershov(e.L)
+	default:
+		return 1
+	}
+}

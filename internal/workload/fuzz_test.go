@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"testing"
+)
+
+// FuzzParseExpr hardens the expression parser: it must never panic, and
+// anything it accepts must render back into something it accepts again with
+// identical evaluation.
+func FuzzParseExpr(f *testing.F) {
+	for _, seed := range []string{
+		"s0", "c1.5", "mul(s0, s1)", "add(mul(s0, c2.5), s1)",
+		"sqrt(abs(neg(s3)))", "min(max(s0,c0),c1)", "div(s0,s1)",
+		"", "s", "c", "mul(", "mul(s0", "mul(s0,)", "x(s0,s1)",
+		"c1e9", "s999", "c-0.0", "add(add(add(s0,s0),s0),s0)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := FormatExpr(e)
+		e2, err := ParseExpr(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", src, rendered, err)
+		}
+		vals := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+		// Expressions may reference slots beyond the fixed slice; cap.
+		if m := maxSlot(e); m >= len(vals) {
+			return
+		}
+		a, b := evalExpr(e, vals), evalExpr(e2, vals)
+		if a != b && (a == a || b == b) { // NaN-tolerant
+			t.Fatalf("%q evaluates to %v but its rendering to %v", src, a, b)
+		}
+	})
+}
+
+// FuzzParseWorkloadJSON hardens the JSON loader: arbitrary input must never
+// panic, and accepted documents must produce valid kernels.
+func FuzzParseWorkloadJSON(f *testing.F) {
+	f.Add([]byte(saxpyJSON))
+	f.Add([]byte(`{"name":"x","phases":[{"kernel":"k","elems":64,"loads":[{"stream":0}],"statements":[{"out":1,"expr":"s0"}]}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"phases":[]}`))
+	f.Add([]byte(`{"name":"r","phases":[{"kernel":"k","elems":64,"reduction":true,"loads":[{"stream":0}],"statements":[{"out":0,"expr":"mul(s0,s0)"}]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := ParseWorkloadJSON(data)
+		if err != nil {
+			return
+		}
+		for _, k := range w.Phases {
+			if err := k.Validate(); err != nil {
+				t.Fatalf("accepted workload with invalid kernel: %v", err)
+			}
+			oi := k.OI()
+			if oi.Mem < 0 || oi.Issue < 0 {
+				t.Fatalf("negative OI %+v", oi)
+			}
+		}
+		// Accepted workloads must survive the marshal round trip.
+		out, err := MarshalWorkloadJSON(w)
+		if err != nil {
+			t.Fatalf("marshal of accepted workload failed: %v", err)
+		}
+		if _, err := ParseWorkloadJSON(out); err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, out)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON workload definitions let library users describe custom loop kernels
+// without writing Go. Example:
+//
+//	{
+//	  "name": "saxpy-then-blur",
+//	  "phases": [
+//	    {
+//	      "kernel": "saxpy",
+//	      "elems": 8192,
+//	      "repeats": 4,
+//	      "loads": [{"stream": 0}, {"stream": 1}],
+//	      "statements": [{"out": 2, "expr": "add(mul(s0, c2.5), s1)"}]
+//	    },
+//	    {
+//	      "kernel": "blur3",
+//	      "elems": 8192,
+//	      "loads": [{"stream": 0, "offset": -1}, {"stream": 0}, {"stream": 0, "offset": 1}],
+//	      "statements": [{"out": 1, "expr": "mul(add(add(s0, s1), s2), c0.3333)"}]
+//	    }
+//	  ]
+//	}
+//
+// A reduction phase sets "reduction": true and gives exactly one statement
+// (its "out" is ignored); "fuse_mac" lets a top-level mul fuse into the
+// accumulate.
+
+// JSONWorkload is the top-level document.
+type JSONWorkload struct {
+	Name   string       `json:"name"`
+	Phases []JSONKernel `json:"phases"`
+}
+
+// JSONKernel describes one loop phase.
+type JSONKernel struct {
+	Kernel    string     `json:"kernel"`
+	Elems     int        `json:"elems"`
+	Repeats   int        `json:"repeats,omitempty"`
+	Loads     []JSONLoad `json:"loads"`
+	Stmts     []JSONStmt `json:"statements"`
+	Reduction bool       `json:"reduction,omitempty"`
+	FuseMAC   bool       `json:"fuse_mac,omitempty"`
+	IntData   bool       `json:"int_data,omitempty"`
+}
+
+// JSONLoad is one load slot.
+type JSONLoad struct {
+	Stream int `json:"stream"`
+	Offset int `json:"offset,omitempty"`
+}
+
+// JSONStmt is one statement: a store of Expr to stream Out (or an
+// accumulation for reduction phases).
+type JSONStmt struct {
+	Out  int    `json:"out"`
+	Expr string `json:"expr"`
+}
+
+// ParseWorkloadJSON decodes and validates a JSON workload definition.
+func ParseWorkloadJSON(data []byte) (*Workload, error) {
+	var doc JSONWorkload
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("workload: parsing JSON: %w", err)
+	}
+	return FromJSON(&doc)
+}
+
+// FromJSON converts a decoded document into a Workload.
+func FromJSON(doc *JSONWorkload) (*Workload, error) {
+	if len(doc.Phases) == 0 {
+		return nil, fmt.Errorf("workload: %q has no phases", doc.Name)
+	}
+	w := &Workload{Name: trimmedName(doc.Name, "custom")}
+	for i, jk := range doc.Phases {
+		k, err := kernelFromJSON(&jk, i)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %q phase %d: %w", w.Name, i, err)
+		}
+		w.Phases = append(w.Phases, k)
+	}
+	// Classify by mean operational intensity, like the registry does.
+	sum := 0.0
+	for _, k := range w.Phases {
+		sum += k.OI().Mem
+	}
+	w.Class = classOf(sum / float64(len(w.Phases)))
+	return w, nil
+}
+
+func kernelFromJSON(jk *JSONKernel, idx int) (*Kernel, error) {
+	k := &Kernel{
+		Name:      trimmedName(jk.Kernel, fmt.Sprintf("phase%d", idx)),
+		Elems:     jk.Elems,
+		Repeats:   jk.Repeats,
+		Reduction: jk.Reduction,
+		FuseMAC:   jk.FuseMAC,
+		IntData:   jk.IntData,
+	}
+	if k.Repeats == 0 {
+		k.Repeats = 1
+	}
+	for _, l := range jk.Loads {
+		if l.Stream < 0 {
+			return nil, fmt.Errorf("negative stream index %d", l.Stream)
+		}
+		if l.Offset < -Halo || l.Offset > Halo {
+			return nil, fmt.Errorf("offset %d exceeds the ±%d halo", l.Offset, Halo)
+		}
+		k.Slots = append(k.Slots, LoadSlot{Stream: l.Stream, Offset: l.Offset})
+	}
+	for _, s := range jk.Stmts {
+		e, err := ParseExpr(s.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out := s.Out
+		if jk.Reduction {
+			out = -1
+		}
+		k.Stmts = append(k.Stmts, Stmt{Out: out, E: e})
+	}
+	if !jk.Reduction {
+		// Outputs must not alias input streams: the simulator applies
+		// loads functionally at transmit, so an output overwriting an
+		// input mid-run would diverge from the host reference.
+		in := map[int]bool{}
+		for _, s := range k.Slots {
+			in[s.Stream] = true
+		}
+		for _, s := range k.Stmts {
+			if in[s.Out] {
+				return nil, fmt.Errorf("output stream %d aliases an input stream", s.Out)
+			}
+		}
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// MarshalWorkloadJSON renders a workload back to its JSON definition
+// (round-trip support for tooling).
+func MarshalWorkloadJSON(w *Workload) ([]byte, error) {
+	doc := JSONWorkload{Name: w.Name}
+	for _, k := range w.Phases {
+		jk := JSONKernel{
+			Kernel:    k.Name,
+			Elems:     k.Elems,
+			Repeats:   k.Repeats,
+			Reduction: k.Reduction,
+			FuseMAC:   k.FuseMAC,
+			IntData:   k.IntData,
+		}
+		for _, s := range k.Slots {
+			jk.Loads = append(jk.Loads, JSONLoad{Stream: s.Stream, Offset: s.Offset})
+		}
+		for _, s := range k.Stmts {
+			jk.Stmts = append(jk.Stmts, JSONStmt{Out: s.Out, Expr: FormatExpr(s.E)})
+		}
+		doc.Phases = append(doc.Phases, jk)
+	}
+	return json.MarshalIndent(&doc, "", "  ")
+}

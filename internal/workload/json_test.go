@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseExprBasics(t *testing.T) {
+	cases := map[string]string{
+		"s0":                         "s0",
+		"c2.5":                       "c2.5",
+		"c-3":                        "c-3",
+		"mul(s0, s1)":                "mul(s0, s1)",
+		" add( mul(s0,c2.5) , s1 ) ": "add(mul(s0, c2.5), s1)",
+		"sqrt(add(mul(s0,s0),c1))":   "sqrt(add(mul(s0, s0), c1))",
+		"neg(abs(s2))":               "neg(abs(s2))",
+		"min(max(s0,c0),c1)":         "min(max(s0, c0), c1)",
+		"div(sub(s0,s1),add(s0,s1))": "div(sub(s0, s1), add(s0, s1))",
+	}
+	for src, want := range cases {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", src, err)
+			continue
+		}
+		if got := FormatExpr(e); got != want {
+			t.Errorf("ParseExpr(%q) round-trips to %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	bad := []string{
+		"", "s", "c", "sx", "foo(s0,s1)", "mul(s0)", "mul(s0,s1,s2)",
+		"mul(s0 s1)", "mul(s0,s1", "s0 extra", "add(,s1)", "s-1",
+	}
+	for _, src := range bad {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseExprEvaluates(t *testing.T) {
+	e, err := ParseExpr("add(mul(s0, c2.5), s1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := evalExpr(e, []float32{4, 3})
+	if got != 13 {
+		t.Fatalf("eval = %v, want 13", got)
+	}
+}
+
+const saxpyJSON = `{
+  "name": "saxpy",
+  "phases": [
+    {
+      "kernel": "saxpy",
+      "elems": 512,
+      "repeats": 2,
+      "loads": [{"stream": 0}, {"stream": 1}],
+      "statements": [{"out": 2, "expr": "add(mul(s0, c2.5), s1)"}]
+    }
+  ]
+}`
+
+func TestParseWorkloadJSON(t *testing.T) {
+	w, err := ParseWorkloadJSON([]byte(saxpyJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "saxpy" || len(w.Phases) != 1 {
+		t.Fatalf("workload %+v", w)
+	}
+	k := w.Phases[0]
+	if k.NumLoads() != 2 || k.NumStores() != 1 || k.NumCompute() != 2 {
+		t.Fatalf("counts: %d/%d/%d", k.NumLoads(), k.NumStores(), k.NumCompute())
+	}
+	oi := k.OI()
+	if oi.Mem != 2.0/12.0 {
+		t.Fatalf("oi_mem = %v", oi.Mem)
+	}
+}
+
+func TestParseWorkloadJSONStencil(t *testing.T) {
+	src := `{
+	  "name": "blur",
+	  "phases": [{
+	    "kernel": "blur3",
+	    "elems": 256,
+	    "loads": [{"stream": 0, "offset": -1}, {"stream": 0}, {"stream": 0, "offset": 1}],
+	    "statements": [{"out": 1, "expr": "mul(add(add(s0, s1), s2), c0.25)"}]
+	  }]
+	}`
+	w, err := ParseWorkloadJSON([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := w.Phases[0]
+	if k.UniqueStreams() != 2 {
+		t.Fatalf("stencil unique streams = %d, want 2", k.UniqueStreams())
+	}
+	if !(k.OI().Issue < k.OI().Mem) {
+		t.Fatal("stencil reuse must lower oi_issue")
+	}
+}
+
+func TestParseWorkloadJSONReduction(t *testing.T) {
+	src := `{
+	  "name": "dot",
+	  "phases": [{
+	    "kernel": "dot",
+	    "elems": 256,
+	    "reduction": true,
+	    "fuse_mac": true,
+	    "loads": [{"stream": 0}, {"stream": 1}],
+	    "statements": [{"out": 0, "expr": "mul(s0, s1)"}]
+	  }]
+	}`
+	w, err := ParseWorkloadJSON([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := w.Phases[0]
+	if !k.Reduction || k.NumStores() != 0 || k.NumCompute() != 1 {
+		t.Fatalf("reduction kernel wrong: %+v", k)
+	}
+}
+
+func TestParseWorkloadJSONErrors(t *testing.T) {
+	bad := []string{
+		`{`,                        // invalid JSON
+		`{"name":"x","phases":[]}`, // no phases
+		`{"name":"x","phases":[{"kernel":"k","elems":0,"loads":[{"stream":0}],"statements":[{"out":1,"expr":"s0"}]}]}`,                                         // zero elems
+		`{"name":"x","phases":[{"kernel":"k","elems":64,"loads":[{"stream":0}],"statements":[{"out":1,"expr":"bogus(s0)"}]}]}`,                                 // bad expr
+		`{"name":"x","phases":[{"kernel":"k","elems":64,"loads":[{"stream":0}],"statements":[{"out":0,"expr":"s0"}]}]}`,                                        // output aliases input
+		`{"name":"x","phases":[{"kernel":"k","elems":64,"loads":[{"stream":0,"offset":99}],"statements":[{"out":1,"expr":"s0"}]}]}`,                            // offset beyond halo
+		`{"name":"x","phases":[{"kernel":"k","elems":64,"loads":[{"stream":0}],"statements":[{"out":1,"expr":"s5"}]}]}`,                                        // slot out of range
+		`{"name":"x","phases":[{"kernel":"k","elems":64,"reduction":true,"loads":[{"stream":0}],"statements":[{"out":0,"expr":"s0"},{"out":1,"expr":"s0"}]}]}`, // 2 stmts reduction
+	}
+	for i, src := range bad {
+		if _, err := ParseWorkloadJSON([]byte(src)); err == nil {
+			t.Errorf("case %d should fail:\n%s", i, src)
+		}
+	}
+}
+
+func TestMarshalWorkloadJSONRoundTrip(t *testing.T) {
+	w1, err := ParseWorkloadJSON([]byte(saxpyJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalWorkloadJSON(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := ParseWorkloadJSON(data)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, data)
+	}
+	if w2.Phases[0].NumCompute() != w1.Phases[0].NumCompute() ||
+		w2.Phases[0].OI() != w1.Phases[0].OI() {
+		t.Fatal("round trip changed the kernel")
+	}
+}
+
+func TestRegistryKernelsSurviveJSONRoundTrip(t *testing.T) {
+	// Every built-in kernel can be exported and re-imported losslessly
+	// (modulo the alias check, which built-ins respect).
+	r := NewRegistry()
+	for _, name := range r.WorkloadNames() {
+		w := r.Workload(name)
+		data, err := MarshalWorkloadJSON(w)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		w2, err := ParseWorkloadJSON(data)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", name, err)
+		}
+		for i := range w.Phases {
+			if w.Phases[i].OI() != w2.Phases[i].OI() {
+				t.Fatalf("%s phase %d: OI changed across round trip", name, i)
+			}
+			if w.Phases[i].NumCompute() != w2.Phases[i].NumCompute() {
+				t.Fatalf("%s phase %d: compute count changed", name, i)
+			}
+		}
+	}
+}
+
+func TestFormatExprParseRoundTripProperty(t *testing.T) {
+	// Random small trees render into text that parses back equivalent.
+	f := func(seed uint32) bool {
+		e := randomExpr(seed, 3)
+		src := FormatExpr(e)
+		e2, err := ParseExpr(src)
+		if err != nil {
+			return false
+		}
+		// Compare by evaluation on fixed slot values.
+		vals := []float32{1.25, -0.5, 3, 0.75, 2, 1, 1, 1}
+		a, b := evalExpr(e, vals), evalExpr(e2, vals)
+		return a == b || (a != a && b != b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomExpr builds a deterministic pseudo-random expression tree.
+func randomExpr(seed uint32, depth int) *Expr {
+	next := func() uint32 {
+		seed = seed*1664525 + 1013904223
+		return seed
+	}
+	var build func(d int) *Expr
+	build = func(d int) *Expr {
+		if d == 0 || next()%4 == 0 {
+			if next()%2 == 0 {
+				return Slot(int(next() % 4))
+			}
+			return Const(float32(next()%16) / 4)
+		}
+		switch next() % 3 {
+		case 0:
+			ops := []func(a, b *Expr) *Expr{Add, Sub, Mul, Max, Min}
+			return ops[next()%uint32(len(ops))](build(d-1), build(d-1))
+		case 1:
+			return Abs(build(d - 1))
+		default:
+			return Mul(build(d-1), build(d-1))
+		}
+	}
+	return build(depth)
+}
+
+func TestFormatExprUnknown(t *testing.T) {
+	if !strings.Contains(FormatExpr(&Expr{Kind: 99}), "?") {
+		t.Fatal("unknown kinds should render defensively")
+	}
+}

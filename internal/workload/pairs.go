@@ -1,0 +1,115 @@
+package workload
+
+import "fmt"
+
+// CoSchedule is a set of workloads pinned one-per-core: W[i] runs on core i.
+// In the paper's <memory, compute> pairs the memory-intensive workload is on
+// Core0 and the compute-intensive one on Core1 (§7.1).
+type CoSchedule struct {
+	Name string
+	W    []*Workload
+}
+
+// Cores returns the number of cores the schedule occupies.
+func (s CoSchedule) Cores() int { return len(s.W) }
+
+// Scaled returns the schedule with every workload's trip counts scaled by f.
+func (s CoSchedule) Scaled(f float64) CoSchedule {
+	out := CoSchedule{Name: s.Name}
+	for _, w := range s.W {
+		out.W = append(out.W, w.Scaled(f))
+	}
+	return out
+}
+
+// figure10SpecPairs lists the 16 SPEC pairs of Figure 10's x-axis, in plot
+// order: Core0 workload + Core1 workload.
+var figure10SpecPairs = [][2]string{
+	{"WL1", "WL13"}, {"WL2", "WL14"}, {"WL3", "WL4"}, {"WL5", "WL15"},
+	{"WL6", "WL16"}, {"WL8", "WL17"}, {"WL7", "WL18"}, {"WL20", "WL9"},
+	{"WL21", "WL17"}, {"WL20", "WL17"}, {"WL10", "WL16"}, {"WL11", "WL14"},
+	{"WL22", "WL15"}, {"WL4", "WL14"}, {"WL9", "WL13"}, {"WL12", "WL19"},
+}
+
+// figure10CVPairs lists the 9 OpenCV pairs of Figure 10's x-axis.
+var figure10CVPairs = [][2]string{
+	{"WL6", "WL1"}, {"WL2", "WL1"}, {"WL7", "WL3"}, {"WL8", "WL3"},
+	{"WL9", "WL4"}, {"WL10", "WL4"}, {"WL11", "WL5"}, {"WL12", "WL5"},
+	{"WL11", "WL1"},
+}
+
+// Figure10Pairs returns the 25 two-core co-running pairs of Figures 10/11/13/15:
+// 16 SPEC pairs followed by 9 OpenCV pairs, in the paper's plot order. The
+// set contains 22 <memory, compute> pairs, 1 <memory, memory> pair
+// (spec WL12+WL19) and 2 <compute, compute> pairs (§7.1).
+func Figure10Pairs(r *Registry) []CoSchedule {
+	var out []CoSchedule
+	for _, p := range figure10SpecPairs {
+		out = append(out, CoSchedule{
+			Name: fmt.Sprintf("spec:%s+%s", p[0], p[1]),
+			W:    []*Workload{r.Workload("spec/" + p[0]), r.Workload("spec/" + p[1])},
+		})
+	}
+	for _, p := range figure10CVPairs {
+		out = append(out, CoSchedule{
+			Name: fmt.Sprintf("cv:%s+%s", p[0], p[1]),
+			W:    []*Workload{r.Workload("cv/" + p[0]), r.Workload("cv/" + p[1])},
+		})
+	}
+	return out
+}
+
+// CaseStudyPair returns the §7.4 case-study pair by index:
+// 1 = WL20+WL17 (<memory, compute>), 2 = WL9+WL13 (<compute, compute>),
+// 3 = WL12+WL19 (<memory, memory>), 4 = WL8+WL17 (FTS beats Occamy).
+func CaseStudyPair(r *Registry, n int) CoSchedule {
+	switch n {
+	case 1:
+		return CoSchedule{Name: "case1:WL20+WL17", W: []*Workload{r.Workload("spec/WL20"), r.Workload("spec/WL17")}}
+	case 2:
+		return CoSchedule{Name: "case2:WL9+WL13", W: []*Workload{r.Workload("spec/WL9"), r.Workload("spec/WL13")}}
+	case 3:
+		return CoSchedule{Name: "case3:WL12+WL19", W: []*Workload{r.Workload("spec/WL12"), r.Workload("spec/WL19")}}
+	case 4:
+		return CoSchedule{Name: "case4:WL8+WL17", W: []*Workload{r.Workload("spec/WL8"), r.Workload("spec/WL17")}}
+	default:
+		panic(fmt.Sprintf("workload: no case study %d", n))
+	}
+}
+
+// MotivatingPair returns the §2 example of Figure 2: WL#0 with two
+// memory-intensive 654.rom_s phases of increasing operational intensity, and
+// WL#1 a compute-intensive 621.wrf_s phase.
+func MotivatingPair(r *Registry) CoSchedule {
+	wl0 := &Workload{
+		Name:   "fig2/WL0",
+		Phases: []*Kernel{r.Kernel("step3d_uv2"), r.Kernel("rho_eos4")},
+		Class:  MemoryIntensive,
+	}
+	wl1 := &Workload{
+		Name:   "fig2/WL1",
+		Phases: []*Kernel{r.Kernel("wsm51")},
+		Class:  ComputeIntensive,
+	}
+	return CoSchedule{Name: "fig2:WL0+WL1", W: []*Workload{wl0, wl1}}
+}
+
+// FourCoreGroups returns the §7.6 scalability groups of Figure 16. The first
+// three combine two <memory, compute> pairs from Figure 10 (memory workloads
+// on Core0/Core1, compute on Core2/Core3); the last runs three
+// memory-intensive workloads and one compute-intensive workload.
+func FourCoreGroups(r *Registry) []CoSchedule {
+	mk := func(name string, wls ...string) CoSchedule {
+		s := CoSchedule{Name: name}
+		for _, w := range wls {
+			s.W = append(s.W, r.Workload("spec/"+w))
+		}
+		return s
+	}
+	return []CoSchedule{
+		mk("4c:WL5+6+15+16", "WL5", "WL6", "WL15", "WL16"),
+		mk("4c:WL21+20+17+17", "WL21", "WL20", "WL17", "WL17"),
+		mk("4c:WL10+22+16+15", "WL10", "WL22", "WL16", "WL15"),
+		mk("4c:WL7+19+20+14", "WL7", "WL19", "WL20", "WL14"),
+	}
+}

@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"occamy/internal/isa"
+)
+
+// ParseExpr parses the compact kernel-expression syntax used by JSON-defined
+// workloads:
+//
+//	expr   := slot | const | iconst | call
+//	slot   := "s" digits             (load slot reference, e.g. s0)
+//	const  := "c" number             (fp literal, e.g. c0.5, c-3)
+//	iconst := "i" integer            (int32 lane literal, e.g. i255)
+//	call   := name "(" expr {"," expr} ")"
+//	name   := add | sub | mul | div | max | min | abs | neg | sqrt
+//	        | iadd | isub | imul | iand | ior | ixor | ishl | ishr
+//	        | imax | imin  (integer ops over the int32 lane bits)
+//
+// Binary names take exactly two arguments; unary names one. Whitespace is
+// ignored. Examples:
+//
+//	mul(s0, s1)                      a[i]*b[i]
+//	add(mul(s0, c2.5), s1)           2.5*a[i] + b[i]
+//	sqrt(add(mul(s0,s0), mul(s1,s1)))  hypot
+func ParseExpr(src string) (*Expr, error) {
+	p := &exprParser{src: src}
+	e, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("workload: trailing input at %d: %q", p.pos, p.src[p.pos:])
+	}
+	return e, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+var binOps = map[string]isa.Opcode{
+	"add": isa.OpVFAdd, "sub": isa.OpVFSub, "mul": isa.OpVFMul,
+	"div": isa.OpVFDiv, "max": isa.OpVFMax, "min": isa.OpVFMin,
+	"iadd": isa.OpVIAdd, "isub": isa.OpVISub, "imul": isa.OpVIMul,
+	"iand": isa.OpVIAnd, "ior": isa.OpVIOr, "ixor": isa.OpVIXor,
+	"ishl": isa.OpVIShl, "ishr": isa.OpVIShr,
+	"imax": isa.OpVIMax, "imin": isa.OpVIMin,
+}
+
+var unOps = map[string]isa.Opcode{
+	"abs": isa.OpVFAbs, "neg": isa.OpVFNeg, "sqrt": isa.OpVFSqrt,
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) parse() (*Expr, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("workload: unexpected end of expression")
+	}
+	start := p.pos
+	for p.pos < len(p.src) && (isAlpha(p.src[p.pos])) {
+		p.pos++
+	}
+	word := p.src[start:p.pos]
+	switch {
+	case word == "i":
+		n, err := p.number()
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad integer constant at %d", start)
+		}
+		v, err := strconv.ParseInt(n, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad integer constant %q: %v", n, err)
+		}
+		return IConst(int32(v)), nil
+	case word == "s":
+		n, err := p.number()
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad slot reference at %d", start)
+		}
+		slot, err := strconv.Atoi(n)
+		if err != nil || slot < 0 {
+			return nil, fmt.Errorf("workload: bad slot index %q", n)
+		}
+		return Slot(slot), nil
+	case word == "c":
+		n, err := p.number()
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad constant at %d", start)
+		}
+		v, err := strconv.ParseFloat(n, 32)
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad constant %q: %v", n, err)
+		}
+		return Const(float32(v)), nil
+	case word == "":
+		return nil, fmt.Errorf("workload: expected expression at %d", start)
+	}
+	if op, ok := binOps[word]; ok {
+		args, err := p.args(2)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s: %w", word, err)
+		}
+		return Bin(op, args[0], args[1]), nil
+	}
+	if op, ok := unOps[word]; ok {
+		args, err := p.args(1)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s: %w", word, err)
+		}
+		return Un(op, args[0]), nil
+	}
+	return nil, fmt.Errorf("workload: unknown function %q", word)
+}
+
+// number consumes an optionally signed decimal number with an optional
+// exponent ("2.5", "-3", "1e+06", "4E-3") — FormatExpr may render large
+// constants in scientific notation.
+func (p *exprParser) number() (string, error) {
+	start := p.pos
+	if p.pos < len(p.src) && (p.src[p.pos] == '-' || p.src[p.pos] == '+') {
+		p.pos++
+	}
+	digits := 0
+	for p.pos < len(p.src) && (isDigit(p.src[p.pos]) || p.src[p.pos] == '.') {
+		p.pos++
+		digits++
+	}
+	if digits == 0 {
+		return "", fmt.Errorf("no digits")
+	}
+	if p.pos < len(p.src) && (p.src[p.pos] == 'e' || p.src[p.pos] == 'E') {
+		save := p.pos
+		p.pos++
+		if p.pos < len(p.src) && (p.src[p.pos] == '-' || p.src[p.pos] == '+') {
+			p.pos++
+		}
+		expDigits := 0
+		for p.pos < len(p.src) && isDigit(p.src[p.pos]) {
+			p.pos++
+			expDigits++
+		}
+		if expDigits == 0 {
+			p.pos = save // "e" belonged to something else; back off
+		}
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *exprParser) args(n int) ([]*Expr, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+		return nil, fmt.Errorf("expected '('")
+	}
+	p.pos++
+	var out []*Expr
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			p.skipSpace()
+			if p.pos >= len(p.src) || p.src[p.pos] != ',' {
+				return nil, fmt.Errorf("expected ',' (argument %d of %d)", i+1, n)
+			}
+			p.pos++
+		}
+		e, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+		return nil, fmt.Errorf("expected ')'")
+	}
+	p.pos++
+	return out, nil
+}
+
+func isAlpha(c byte) bool { return c >= 'a' && c <= 'z' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// FormatExpr renders an expression back into the parseable syntax.
+func FormatExpr(e *Expr) string {
+	switch e.Kind {
+	case KindSlot:
+		return fmt.Sprintf("s%d", e.Slot)
+	case KindConst:
+		if e.IntConst {
+			return fmt.Sprintf("i%d", isa.LaneInt(e.Val))
+		}
+		return "c" + strconv.FormatFloat(float64(e.Val), 'g', -1, 32)
+	case KindUn:
+		for name, op := range unOps {
+			if op == e.Op {
+				return name + "(" + FormatExpr(e.L) + ")"
+			}
+		}
+	case KindBin:
+		for name, op := range binOps {
+			if op == e.Op {
+				return name + "(" + FormatExpr(e.L) + ", " + FormatExpr(e.R) + ")"
+			}
+		}
+	}
+	return "?"
+}
+
+// trimmedName normalizes a user-supplied identifier.
+func trimmedName(s, fallback string) string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return fallback
+	}
+	return s
+}

@@ -1,0 +1,157 @@
+package workload
+
+// synthSpec describes a synthesized kernel by its per-iteration instruction
+// mix; synth turns it into an executable kernel whose Eq. 5 operational
+// intensities match Table 3.
+type synthSpec struct {
+	name string
+	// reads is the number of distinct input streams (each contributes one
+	// load instruction at offset 0).
+	reads int
+	// reuse is the number of *extra* load instructions that re-touch
+	// already-counted streams at stencil offsets; they add issue bytes
+	// but no footprint, making oi_issue < oi_mem.
+	reuse int
+	// stores is the number of output streams (one store each).
+	stores int
+	// computes is the number of SIMD compute instructions.
+	computes int
+	elems    int
+	repeats  int
+	// publishedOI is Table 3's oi_mem for validation.
+	publishedOI float64
+}
+
+// synth builds a deterministic kernel from a spec. The statement bodies fold
+// the loaded values with alternating add/multiply chains and pad with
+// constant operations until the compute budget is met, so every kernel has
+// real value semantics.
+func synth(s synthSpec) *Kernel {
+	k := &Kernel{
+		Name:        s.name,
+		Elems:       s.elems,
+		Repeats:     s.repeats,
+		PublishedOI: s.publishedOI,
+	}
+	for r := 0; r < s.reads; r++ {
+		k.Slots = append(k.Slots, LoadSlot{Stream: r, Offset: 0})
+	}
+	for d := 0; d < s.reuse; d++ {
+		// Reuse loads alternate between a -1 and +1 stencil offset on
+		// the existing streams: extra instructions, same footprint.
+		off := 1
+		if d%2 == 1 {
+			off = -1
+		}
+		k.Slots = append(k.Slots, LoadSlot{Stream: d % s.reads, Offset: off})
+	}
+
+	// Distribute load slots round-robin over the store statements, then
+	// hand out the compute budget.
+	slotsPerStmt := make([][]int, s.stores)
+	for i := range k.Slots {
+		j := i % s.stores
+		slotsPerStmt[j] = append(slotsPerStmt[j], i)
+	}
+	budget := s.computes
+	ops := []*Expr{}
+	for j := 0; j < s.stores; j++ {
+		var e *Expr
+		for n, slot := range slotsPerStmt[j] {
+			if e == nil {
+				e = Slot(slot)
+				continue
+			}
+			if budget == 0 {
+				break // out of compute budget: remaining loads stay dead
+			}
+			if n%2 == 1 {
+				e = Add(e, Slot(slot))
+			} else {
+				e = Mul(e, Slot(slot))
+			}
+			budget--
+		}
+		if e == nil {
+			e = Const(1)
+		}
+		ops = append(ops, e)
+	}
+	// Pad the remaining compute budget round-robin across statements.
+	perStmt := make([]int, s.stores)
+	for j := 0; budget > 0; j = (j + 1) % s.stores {
+		perStmt[j]++
+		budget--
+	}
+	for j := 0; j < s.stores; j++ {
+		fork := Slot(0) // every kernel has at least one load slot
+		if len(slotsPerStmt[j]) > 0 {
+			fork = Slot(slotsPerStmt[j][0])
+		}
+		ops[j] = padWithILP(ops[j], fork, perStmt[j])
+	}
+	for j := 0; j < s.stores; j++ {
+		k.Stmts = append(k.Stmts, Stmt{Out: s.reads + j, E: ops[j]})
+	}
+	return k
+}
+
+// padConsts are well-conditioned literals for the padding operations; using
+// distinct values per lane keeps the constant pool realistic.
+var padConsts = [4]float32{1.0009765625, 0.0009765625, 0.9990234375, 0.001953125}
+
+// padWithILP appends exactly n extra operation nodes onto e. Real vectorized
+// loop bodies are not single dependency chains — compilers and source code
+// expose instruction-level parallelism — so for larger budgets the padding
+// is built as up to four parallel chains (the extra chains forking from the
+// load-slot leaf `fork`, so the expression stays a tree and the instruction
+// count exact) that are summed at the end, keeping the critical path near
+// n/4 instead of n. Smaller budgets degenerate to a plain chain.
+func padWithILP(e, fork *Expr, n int) *Expr {
+	if n <= 0 {
+		return e
+	}
+	if n < 6 {
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				e = Mul(e, Const(padConsts[0]))
+			} else {
+				e = Add(e, Const(padConsts[1]))
+			}
+		}
+		return e
+	}
+	// Parallel form: 2 or 4 chains. Overhead: (lanes-1) inits plus
+	// (lanes-1) combines; the rest pads the chains round-robin.
+	lanes := 2
+	if n >= 10 {
+		lanes = 4
+	}
+	overhead := 2 * (lanes - 1)
+	padding := n - overhead
+	chains := make([]*Expr, lanes)
+	chains[0] = e
+	for i := 1; i < lanes; i++ {
+		chains[i] = Mul(&Expr{Kind: fork.Kind, Slot: fork.Slot, Val: fork.Val}, Const(padConsts[i%4])) // init: 1 op each
+	}
+	for i := 0; padding > 0; i = (i + 1) % lanes {
+		if i%2 == 0 {
+			chains[i] = Add(chains[i], Const(padConsts[1]))
+		} else {
+			chains[i] = Mul(chains[i], Const(padConsts[2]))
+		}
+		padding--
+	}
+	// Combine: lanes-1 adds, tree-shaped.
+	for len(chains) > 1 {
+		var next []*Expr
+		for i := 0; i+1 < len(chains); i += 2 {
+			next = append(next, Add(chains[i], chains[i+1]))
+		}
+		if len(chains)%2 == 1 {
+			next = append(next, chains[len(chains)-1])
+		}
+		chains = next
+	}
+	return chains[0]
+}

@@ -1,0 +1,362 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"occamy/internal/isa"
+)
+
+// Class is the coarse behaviour class used to place workloads on cores
+// (memory-intensive on Core0 in <memory, compute> pairs, §7.1).
+type Class uint8
+
+// Workload behaviour classes.
+const (
+	MemoryIntensive Class = iota
+	ComputeIntensive
+)
+
+func (c Class) String() string {
+	if c == MemoryIntensive {
+		return "memory"
+	}
+	return "compute"
+}
+
+// Default sizing. Memory-intensive kernels make one cold pass over a large
+// working set (DRAM streaming); compute-intensive kernels make many passes
+// over a vector-cache-resident working set (a hot loop under REF input).
+const (
+	// Memory-intensive kernels make one cold streaming pass over a large
+	// working set: DRAM bandwidth is the binding ceiling, matching the
+	// lane manager's roofline.
+	memElems   = 24576
+	memRepeats = 1
+	// Compute-intensive kernels iterate a vector-cache-resident tile.
+	compElems   = 1024
+	compRepeats = 96
+)
+
+// Workload is a program: the sequence of loop phases one core runs.
+type Workload struct {
+	Name   string
+	Phases []*Kernel
+	Class  Class
+}
+
+// MeanOI returns the geometric mean of the phases' oi_mem, used only for
+// reporting.
+func (w *Workload) MeanOI() float64 {
+	prod := 1.0
+	for _, k := range w.Phases {
+		prod *= k.OI().Mem
+	}
+	if prod <= 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(len(w.Phases)))
+}
+
+// Scaled returns a copy of w with every phase's trip count scaled by f
+// (minimum 64 elements), for fast test runs.
+func (w *Workload) Scaled(f float64) *Workload {
+	out := &Workload{Name: w.Name, Class: w.Class}
+	for _, k := range w.Phases {
+		kc := *k
+		kc.Elems = int(float64(k.Elems) * f)
+		if kc.Elems < 64 {
+			kc.Elems = 64
+		}
+		out.Phases = append(out.Phases, &kc)
+	}
+	return out
+}
+
+// sizing applies the class defaults to a synthesized spec.
+func sized(s synthSpec, class Class) *Kernel {
+	if class == MemoryIntensive {
+		s.elems, s.repeats = memElems, memRepeats
+	} else {
+		s.elems, s.repeats = compElems, compRepeats
+	}
+	return synth(s)
+}
+
+// classOf derives the behaviour class from Table 3's oi_mem.
+func classOf(oi float64) Class {
+	if oi <= 0.3 {
+		return MemoryIntensive
+	}
+	return ComputeIntensive
+}
+
+// buildKernels constructs every Table 3 kernel. Shapes (reads, reuse loads,
+// stores, computes) are chosen so Eq. 5 reproduces the published oi_mem
+// (validated by TestTable3_OperationalIntensities within ±0.04).
+// Memory-intensive kernels use wide bodies (5-12 accesses per iteration,
+// like the multi-array SPEC loop nests of Figure 2(a)) so that memory
+// bandwidth — not loop overhead — binds them at narrow vector lengths,
+// matching the saturation points the lane manager's roofline predicts.
+func buildKernels() map[string]*Kernel {
+	specs := []synthSpec{
+		// --- SPEC CPU2017 loop phases (Table 3, left columns) ---
+		{name: "select_atoms1", reads: 6, stores: 2, computes: 8, publishedOI: 0.25},
+		{name: "select_atoms2", reads: 6, stores: 2, computes: 8, publishedOI: 0.25},
+		{name: "select_atoms3", reads: 6, stores: 2, computes: 8, publishedOI: 0.25},
+		{name: "select_atoms4", reads: 4, stores: 2, computes: 2, publishedOI: 0.083},
+		{name: "select_atoms5", reads: 2, stores: 1, computes: 9, publishedOI: 0.75},
+		{name: "step3d_uv1", reads: 5, stores: 2, computes: 3, publishedOI: 0.11},
+		{name: "step3d_uv2", reads: 4, stores: 2, computes: 2, publishedOI: 0.09},
+		{name: "step3d_uv3", reads: 6, stores: 2, computes: 4, publishedOI: 0.13},
+		{name: "step3d_uv4", reads: 6, stores: 2, computes: 4, publishedOI: 0.13},
+		{name: "rhs3d1", reads: 6, stores: 2, computes: 4, publishedOI: 0.13},
+		{name: "rhs3d5", reads: 3, stores: 1, computes: 5, publishedOI: 0.32},
+		{name: "rhs3d7", reads: 4, stores: 2, computes: 4, publishedOI: 0.17},
+		{name: "rho_eos1", reads: 4, stores: 2, computes: 2, publishedOI: 0.09},
+		// rho_eos2 is §7.4 Case 4's reuse kernel: oi_issue 0.17 < oi_mem 0.25.
+		{name: "rho_eos2", reads: 6, reuse: 4, stores: 2, computes: 8, publishedOI: 0.25},
+		// rho_eos4 is the motivating example's phase 2 (reuse pushes the
+		// elastic decision to 12 lanes, Figure 2(e)).
+		{name: "rho_eos4", reads: 4, reuse: 2, stores: 2, computes: 4, publishedOI: 0.16},
+		{name: "rho_eos5", reads: 4, stores: 2, computes: 2, publishedOI: 0.08},
+		{name: "rho_eos6", reads: 6, stores: 2, computes: 2, publishedOI: 0.06},
+		{name: "set_vbc1", reads: 3, stores: 1, computes: 9, publishedOI: 0.56},
+		{name: "set_vbc2", reads: 3, stores: 1, computes: 9, publishedOI: 0.56},
+		{name: "wsm51", reads: 3, stores: 1, computes: 16, publishedOI: 1.0},
+		{name: "wsm52", reads: 3, stores: 1, computes: 16, publishedOI: 1.0},
+		{name: "wsm53", reads: 3, stores: 1, computes: 9, publishedOI: 0.56},
+		{name: "sff2", reads: 6, stores: 2, computes: 4, publishedOI: 0.13},
+		{name: "sff5", reads: 5, stores: 2, computes: 6, publishedOI: 0.21},
+		{name: "step2d1", reads: 6, stores: 2, computes: 7, publishedOI: 0.22},
+		{name: "step2d6", reads: 5, stores: 2, computes: 5, publishedOI: 0.18},
+		// --- OpenCV kernels (Table 3, right column), synthesized part ---
+		{name: "fitLine2D", reads: 3, stores: 1, computes: 15, publishedOI: 0.92},
+		{name: "compare", reads: 4, stores: 2, computes: 6, publishedOI: 0.25},
+		{name: "rgb2xyz", reads: 3, stores: 1, computes: 10, publishedOI: 0.63},
+		{name: "calcDist3D", reads: 3, stores: 1, computes: 14, publishedOI: 0.875},
+		{name: "rgb2hsv", reads: 3, stores: 1, computes: 29, publishedOI: 1.83},
+		{name: "accProd", reads: 4, stores: 2, computes: 4, publishedOI: 0.17},
+		{name: "blend", reads: 5, stores: 2, computes: 8, publishedOI: 0.3},
+		{name: "fitLine3D", reads: 3, stores: 1, computes: 7, publishedOI: 0.44},
+		{name: "rgb2ycrcb", reads: 3, stores: 1, computes: 7, publishedOI: 0.42},
+	}
+	ks := make(map[string]*Kernel, len(specs)+8)
+	for _, s := range specs {
+		ks[s.name] = sized(s, classOf(s.publishedOI))
+	}
+	for _, k := range handWrittenKernels() {
+		ks[k.Name] = k
+	}
+	for _, k := range integerKernels() {
+		ks[k.Name] = k
+	}
+	return ks
+}
+
+// integerKernels extends the registry beyond Table 3 with integer-lane
+// OpenCV core functions (threshold, absdiff, bitwise ops, inRange-style
+// clamps); the paper's ExeBUs support all ARMv8-A integer types (§4.2.1),
+// and these exercise that path with bit-exact verification.
+func integerKernels() []*Kernel {
+	// cv::threshold(src, dst, 128, 255, THRESH_BINARY) approximated with
+	// min/max arithmetic over int32 lanes.
+	threshold := &Kernel{
+		Name: "int_threshold", IntData: true,
+		Slots: []LoadSlot{{Stream: 0}},
+		Stmts: []Stmt{{Out: 1, E: IMul(
+			IMin(IMax(ISub(Slot(0), IConst(127)), IConst(0)), IConst(1)),
+			IConst(255))}},
+		Elems: compElems, Repeats: compRepeats / 2,
+	}
+	// cv::absdiff: |a - b| via max(a-b, b-a).
+	absdiff := &Kernel{
+		Name: "int_absdiff", IntData: true,
+		Slots: []LoadSlot{{Stream: 0}, {Stream: 1}},
+		Stmts: []Stmt{{Out: 2, E: IMax(
+			ISub(Slot(0), Slot(1)),
+			ISub(Slot(1), Slot(0)))}},
+		Elems: memElems, Repeats: memRepeats,
+	}
+	// cv::bitwise_and/or/xor fused: dst = ((a & b) | (a ^ b)) == a | b,
+	// written unfused to exercise all three ops.
+	bitwise := &Kernel{
+		Name: "int_bitwise", IntData: true,
+		Slots: []LoadSlot{{Stream: 0}, {Stream: 1}},
+		Stmts: []Stmt{{Out: 2, E: IOr(
+			IAnd(Slot(0), Slot(1)),
+			IXor(Slot(0), Slot(1)))}},
+		Elems: memElems, Repeats: memRepeats,
+	}
+	// cv::inRange-style clamp to [low, high] plus a scale by shifting.
+	clampScale := &Kernel{
+		Name: "int_clamp_scale", IntData: true,
+		Slots: []LoadSlot{{Stream: 0}},
+		Stmts: []Stmt{{Out: 1, E: IShl(
+			IMin(IMax(Slot(0), IConst(16)), IConst(240)),
+			IConst(2))}},
+		Elems: compElems, Repeats: compRepeats / 2,
+	}
+	return []*Kernel{threshold, absdiff, bitwise, clampScale}
+}
+
+// handWrittenKernels are the kernels with exact, recognizable semantics used
+// by the functional-correctness tests.
+func handWrittenKernels() []*Kernel {
+	// addWeight: dst[i] = a[i]*alpha + b[i]*beta + gamma (OpenCV addWeighted).
+	addWeight := &Kernel{
+		Name:  "addWeight",
+		Slots: []LoadSlot{{Stream: 0}, {Stream: 1}},
+		Stmts: []Stmt{{Out: 2, E: Add(Add(Mul(Slot(0), Const(0.625)), Mul(Slot(1), Const(0.375))), Const(0.5))}},
+		Elems: memElems, Repeats: memRepeats,
+		PublishedOI: 0.33,
+	}
+	// dotProd: acc += a[i]*b[i], unfused (multiply then accumulate).
+	dotProd := &Kernel{
+		Name:      "dotProd",
+		Slots:     []LoadSlot{{Stream: 0}, {Stream: 1}},
+		Stmts:     []Stmt{{Out: -1, E: Mul(Slot(0), Slot(1))}},
+		Reduction: true,
+		Elems:     memElems, Repeats: memRepeats,
+		PublishedOI: 0.25,
+	}
+	// normL1: acc += |a[i]|.
+	normL1 := &Kernel{
+		Name:      "normL1",
+		Slots:     []LoadSlot{{Stream: 0}},
+		Stmts:     []Stmt{{Out: -1, E: Abs(Slot(0))}},
+		Reduction: true,
+		Elems:     memElems, Repeats: memRepeats,
+		PublishedOI: 0.5,
+	}
+	// normL2: acc += a[i]*a[i], fused into one VFMLA.
+	normL2 := &Kernel{
+		Name:      "normL2",
+		Slots:     []LoadSlot{{Stream: 0}},
+		Stmts:     []Stmt{{Out: -1, E: Mul(Slot(0), Slot(0))}},
+		Reduction: true,
+		FuseMAC:   true,
+		Elems:     memElems, Repeats: memRepeats,
+		PublishedOI: 0.25,
+	}
+	// rgb2gray: y = 0.299 r + 0.587 g + 0.114 b.
+	rgb2gray := &Kernel{
+		Name:  "rgb2gray",
+		Slots: []LoadSlot{{Stream: 0}, {Stream: 1}, {Stream: 2}},
+		Stmts: []Stmt{{Out: 3, E: Add(Add(Mul(Slot(0), Const(0.299)), Mul(Slot(1), Const(0.587))), Mul(Slot(2), Const(0.114)))}},
+		Elems: compElems, Repeats: compRepeats,
+		PublishedOI: 0.31,
+	}
+	// wsm5_wi is the motivating WL#1 loop body of Figure 2(a):
+	// wi[k] = (ww[k]*dz[k-1] + ww[k-1]*dz[k]) / (dz[k-1] + dz[k]).
+	// The k-1 stencil accesses are the reuse loads.
+	wsm5Wi := &Kernel{
+		Name: "wsm5_wi",
+		Slots: []LoadSlot{
+			{Stream: 0, Offset: 0},  // ww[k]
+			{Stream: 0, Offset: -1}, // ww[k-1]
+			{Stream: 1, Offset: 0},  // dz[k]
+			{Stream: 1, Offset: -1}, // dz[k-1]
+		},
+		Stmts: []Stmt{{Out: 2, E: Div(
+			Add(Mul(Slot(0), Slot(3)), Mul(Slot(1), Slot(2))),
+			Add(Slot(3), Slot(2)),
+		)}},
+		Elems: compElems, Repeats: compRepeats,
+	}
+	return []*Kernel{addWeight, dotProd, normL1, normL2, rgb2gray, wsm5Wi}
+}
+
+// Registry provides name-indexed access to every kernel and workload of the
+// evaluation. Build one with NewRegistry; it is immutable afterwards.
+type Registry struct {
+	kernels   map[string]*Kernel
+	workloads map[string]*Workload
+}
+
+// NewRegistry constructs the full Table 3 registry.
+func NewRegistry() *Registry {
+	ks := buildKernels()
+	r := &Registry{kernels: ks, workloads: make(map[string]*Workload)}
+
+	specWLs := map[string][]string{
+		"WL1": {"select_atoms2", "step3d_uv2"}, "WL2": {"select_atoms1", "step3d_uv4"},
+		"WL3": {"rhs3d1", "select_atoms3"}, "WL4": {"select_atoms4", "select_atoms5"},
+		"WL5": {"step3d_uv1", "rhs3d7"}, "WL6": {"rho_eos1", "rho_eos4"},
+		"WL7": {"rho_eos5", "select_atoms3"}, "WL8": {"rho_eos2", "rho_eos6"},
+		"WL9": {"wsm53", "select_atoms5"}, "WL10": {"rhs3d1", "rho_eos4"},
+		"WL11": {"step2d1", "step2d6"}, "WL12": {"step3d_uv3", "step3d_uv1"},
+		"WL13": {"set_vbc2"}, "WL14": {"set_vbc1"}, "WL15": {"rhs3d5"},
+		"WL16": {"wsm51"}, "WL17": {"wsm52"}, "WL18": {"wsm53"},
+		"WL19": {"rho_eos2"}, "WL20": {"sff2", "sff5"},
+		"WL21": {"sff5", "rho_eos6"}, "WL22": {"rho_eos2", "step3d_uv1"},
+	}
+	cvWLs := map[string][]string{
+		"WL1": {"fitLine2D"}, "WL2": {"addWeight", "compare"}, "WL3": {"rgb2xyz"},
+		"WL4": {"calcDist3D"}, "WL5": {"rgb2hsv"}, "WL6": {"accProd", "dotProd"},
+		"WL7": {"normL1", "normL2"}, "WL8": {"compare", "accProd"},
+		"WL9": {"blend", "fitLine3D"}, "WL10": {"dotProd", "addWeight"},
+		"WL11": {"blend", "compare"}, "WL12": {"rgb2ycrcb", "rgb2gray"},
+	}
+	add := func(prefix string, defs map[string][]string) {
+		for wl, phases := range defs {
+			w := &Workload{Name: prefix + "/" + wl}
+			sumOI := 0.0
+			for _, pk := range phases {
+				k, ok := ks[pk]
+				if !ok {
+					panic(fmt.Sprintf("workload: unknown kernel %q in %s", pk, w.Name))
+				}
+				w.Phases = append(w.Phases, k)
+				sumOI += k.PublishedOI
+			}
+			w.Class = classOf(sumOI / float64(len(phases)))
+			r.workloads[w.Name] = w
+		}
+	}
+	add("spec", specWLs)
+	add("cv", cvWLs)
+	return r
+}
+
+// Kernel returns the named kernel or panics (registry names are static).
+func (r *Registry) Kernel(name string) *Kernel {
+	k, ok := r.kernels[name]
+	if !ok {
+		panic(fmt.Sprintf("workload: unknown kernel %q", name))
+	}
+	return k
+}
+
+// Workload returns the named workload ("spec/WL8", "cv/WL3") or panics.
+func (r *Registry) Workload(name string) *Workload {
+	w, ok := r.workloads[name]
+	if !ok {
+		panic(fmt.Sprintf("workload: unknown workload %q", name))
+	}
+	return w
+}
+
+// KernelNames returns all kernel names, sorted.
+func (r *Registry) KernelNames() []string {
+	out := make([]string, 0, len(r.kernels))
+	for n := range r.kernels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WorkloadNames returns all workload names, sorted.
+func (r *Registry) WorkloadNames() []string {
+	out := make([]string, 0, len(r.workloads))
+	for n := range r.workloads {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OIOf is a convenience wrapper exposing a kernel's Eq. 5 pair.
+func (r *Registry) OIOf(kernel string) isa.OIPair { return r.Kernel(kernel).OI() }

@@ -1,0 +1,118 @@
+package occamy
+
+import (
+	"fmt"
+	"strings"
+
+	"occamy/internal/arch"
+)
+
+// CoreReport carries one core's measurements from a run (the quantities of
+// Figure 2(f) and Figure 14(c)).
+type CoreReport struct {
+	Workload string
+	// Cycles is the core's completion time.
+	Cycles uint64
+	// IssueRate is SIMD compute instructions issued per cycle over the
+	// whole run (the paper's "SIMD issue rate").
+	IssueRate float64
+	// PhaseIssueRates and PhaseCycles break the run down per compiler
+	// phase.
+	PhaseIssueRates []float64
+	PhaseCycles     []uint64
+	// RenameStallFrac is the fraction of cycles blocked in the renamer
+	// waiting for free registers (Figure 13).
+	RenameStallFrac float64
+	// OverheadMonitorFrac and OverheadReconfigFrac are the Figure 15
+	// elastic-sharing overheads, as fractions of execution time.
+	OverheadMonitorFrac  float64
+	OverheadReconfigFrac float64
+}
+
+// Report is the result of one simulation run.
+type Report struct {
+	Arch     Arch
+	Schedule string
+	// Cycles is the makespan.
+	Cycles uint64
+	// Utilization is the paper's SIMD_util (§2) across the whole run.
+	Utilization float64
+	Cores       []CoreReport
+	// Repartitions counts lane-manager plan computations; Reconfigures
+	// counts successful <VL> changes (elastic only).
+	Repartitions uint64
+	Reconfigures uint64
+	// StaticVLs echoes the static-spatial partition in granules, when the
+	// architecture uses one.
+	StaticVLs []int
+	// LaneTimelines holds, per core, the average busy lanes per
+	// 1000-cycle bucket — the curves of Figure 2(b-e) and Figure 14(b).
+	LaneTimelines [][]float64
+}
+
+func newReport(sys *arch.System, res *arch.Result) *Report {
+	r := &Report{
+		Arch:         res.Arch,
+		Schedule:     res.Sched,
+		Cycles:       res.Cycles,
+		Utilization:  res.Utilization,
+		Repartitions: res.Repartitions,
+		Reconfigures: res.Reconfigures,
+		StaticVLs:    res.StaticVLs,
+	}
+	for c, cr := range res.Cores {
+		r.Cores = append(r.Cores, CoreReport{
+			Workload:             cr.Workload,
+			Cycles:               cr.Cycles,
+			IssueRate:            cr.IssueRate,
+			PhaseIssueRates:      cr.PhaseIssueRates,
+			PhaseCycles:          cr.PhaseCycles,
+			RenameStallFrac:      cr.RenameStallFrac,
+			OverheadMonitorFrac:  cr.OverheadMonitorFrac,
+			OverheadReconfigFrac: cr.OverheadReconfigFrac,
+		})
+		r.LaneTimelines = append(r.LaneTimelines, sys.Coproc.BusyTimeline(c).Points())
+	}
+	return r
+}
+
+// Summary renders a one-run overview.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s: %d cycles, SIMD utilization %.1f%%\n",
+		r.Schedule, r.Arch, r.Cycles, 100*r.Utilization)
+	for c, cr := range r.Cores {
+		fmt.Fprintf(&b, "  core%d %-12s %8d cycles  issue %.2f/cy  rename-stall %.1f%%\n",
+			c, cr.Workload, cr.Cycles, cr.IssueRate, 100*cr.RenameStallFrac)
+	}
+	if r.Arch == Elastic {
+		fmt.Fprintf(&b, "  lane manager: %d repartitions, %d reconfigurations\n",
+			r.Repartitions, r.Reconfigures)
+	}
+	if len(r.StaticVLs) > 0 {
+		fmt.Fprintf(&b, "  static partition (granules): %v\n", r.StaticVLs)
+	}
+	return b.String()
+}
+
+// AsciiTimeline renders core c's busy-lane curve as a compact sparkline-ish
+// strip (one character per bucket, height 0-8), handy for terminal plots of
+// Figure 2.
+func (r *Report) AsciiTimeline(c int, maxLanes float64) string {
+	if c >= len(r.LaneTimelines) {
+		return ""
+	}
+	levels := []rune(" .:-=+*#%")
+	var b strings.Builder
+	for _, v := range r.LaneTimelines[c] {
+		idx := int(v / maxLanes * float64(len(levels)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
