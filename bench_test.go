@@ -211,3 +211,29 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
 }
+
+// BenchmarkObsOverhead guards the observability layer's cost contract: with
+// profiling off, the probes must stay nil (no per-cycle work beyond a nil
+// check), so Off should run within a few percent of the pre-observability
+// simulator; On pays for full cycle attribution. Compare the two:
+//
+//	go test -bench=ObsOverhead -count=5
+func BenchmarkObsOverhead(b *testing.B) {
+	run := func(b *testing.B, profile bool) {
+		cfg := DefaultConfig(Elastic)
+		cfg.Scale = 0.25
+		cfg.Verify = false
+		cfg.Profile = profile
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			rep, err := Run(cfg, MotivatingPair())
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += rep.Cycles
+		}
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+	}
+	b.Run("Off", func(b *testing.B) { run(b, false) })
+	b.Run("On", func(b *testing.B) { run(b, true) })
+}

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table3|table4|fig2|fig10|fig11|fig12|fig13|fig14|table5|fig15|fig16|ablations|dse|all")
+		exp   = flag.String("exp", "all", "experiment: table3|table4|fig2|fig10|fig11|fig12|fig13|fig14|table5|fig15|fig16|topdown|ablations|dse|all")
 		scale = flag.Float64("scale", 1.0, "trip-count scale")
 		seed  = flag.Uint64("seed", 1, "workload data seed")
 		html  = flag.String("html", "", "write a self-contained HTML report (SVG charts) to this file and exit")
@@ -111,6 +111,15 @@ func main() {
 		if want("table5") {
 			fmt.Println(experiments.Table5())
 		}
+	}
+
+	if want("topdown") {
+		section("Top-down cycle attribution — motivating pair, 4 architectures")
+		s, err := cfg.TopDownMotivating()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(s)
 	}
 
 	if want("fig16") {

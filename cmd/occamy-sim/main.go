@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"occamy"
@@ -43,6 +44,9 @@ func main() {
 		traceDir = flag.String("trace", "", "directory to write JSON/CSV traces into")
 		oiTable  = flag.Bool("oi", false, "print each workload's per-phase operational intensities")
 		machine  = flag.String("machine", "", "JSON file overriding Table 4 hardware parameters (dram_latency_cycles, vec_cache_kb, phys_regs, ...)")
+		profile  = flag.Bool("profile", false, "enable cycle attribution and print the top-down table and latency histograms")
+		perfetto = flag.String("perfetto", "", "write a Chrome/Perfetto trace-event JSON file (open in ui.perfetto.dev); with -arch all, the architecture name is appended to the stem")
+		stats    = flag.Bool("stats", false, "dump the full sorted counter registry (implies -profile)")
 	)
 	flag.Parse()
 
@@ -107,6 +111,8 @@ func main() {
 		cfg.Seed = *seed
 		cfg.TraceDir = *traceDir
 		cfg.Machine = tuning
+		cfg.Profile = *profile || *stats
+		cfg.PerfettoPath = perfettoPath(*perfetto, kind, len(kinds) > 1)
 		rep, err := occamy.Run(cfg, sched)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", kind, err)
@@ -118,5 +124,44 @@ func main() {
 				fmt.Printf("  core%d |%s|\n", c, rep.AsciiTimeline(c, 32))
 			}
 		}
+		if *profile || *stats {
+			fmt.Println("\ntop-down cycle attribution:")
+			fmt.Print(rep.TopDown())
+			for _, h := range rep.Histograms {
+				fmt.Print(h)
+			}
+		}
+		if *stats {
+			fmt.Println("\ncounters:")
+			for _, name := range sortedKeys(rep.Stats) {
+				fmt.Printf("  %-40s %d\n", name, rep.Stats[name])
+			}
+		}
+		if cfg.PerfettoPath != "" {
+			fmt.Printf("perfetto trace written to %s (open in ui.perfetto.dev)\n", cfg.PerfettoPath)
+		}
 	}
+}
+
+// perfettoPath derives the per-architecture output path: with -arch all,
+// "trace.json" becomes "trace-Occamy.json" etc. so runs don't clobber each
+// other.
+func perfettoPath(base string, kind occamy.Arch, multi bool) string {
+	if base == "" || !multi {
+		return base
+	}
+	stem, ext := base, ""
+	if i := strings.LastIndex(base, "."); i > 0 {
+		stem, ext = base[:i], base[i:]
+	}
+	return stem + "-" + kind.String() + ext
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -4,10 +4,14 @@
 // event log. Traces come from `occamy-sim -trace <dir>` or the library's
 // Config.TraceDir.
 //
+// It also validates Chrome/Perfetto trace-event exports (from
+// `occamy-sim -perfetto`) against the format contract, for CI smoke checks.
+//
 // Usage:
 //
 //	occamy-sim -w0 spec/WL20 -w1 spec/WL17 -trace out/
 //	occamy-trace -o report.html out/*.json
+//	occamy-trace -check-perfetto trace.json
 package main
 
 import (
@@ -16,15 +20,37 @@ import (
 	"os"
 
 	"occamy/internal/htmlreport"
+	"occamy/internal/obs"
 	"occamy/internal/trace"
 )
 
 func main() {
 	out := flag.String("o", "trace.html", "output HTML file")
+	checkPerfetto := flag.Bool("check-perfetto", false,
+		"validate the given files as Chrome trace-event JSON (ph/pid/tid/name fields, monotonic ts) instead of rendering HTML")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: occamy-trace [-o report.html] run1.json [run2.json ...]")
+		fmt.Fprintln(os.Stderr, "       occamy-trace -check-perfetto trace.json [trace2.json ...]")
 		os.Exit(2)
+	}
+
+	if *checkPerfetto {
+		for _, path := range flag.Args() {
+			file, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "occamy-trace:", err)
+				os.Exit(1)
+			}
+			err = obs.ValidatePerfetto(file)
+			file.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "occamy-trace: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s: valid perfetto trace\n", path)
+		}
+		return
 	}
 
 	page := htmlreport.New("Occamy trace viewer")

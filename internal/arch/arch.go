@@ -21,6 +21,7 @@ import (
 	"occamy/internal/isa"
 	"occamy/internal/lanemgr"
 	"occamy/internal/mem"
+	"occamy/internal/obs"
 	"occamy/internal/roofline"
 	"occamy/internal/sim"
 	"occamy/internal/workload"
@@ -76,6 +77,10 @@ type Options struct {
 	StaticVLs []int
 	// Machine overrides selected hardware parameters (nil = Table 4).
 	Machine *MachineTuning
+	// Obs selects observability (cycle attribution, histograms, Perfetto
+	// trace). The zero value disables it entirely: no probe is built and
+	// the hardware models keep nil probe pointers.
+	Obs obs.Options
 }
 
 // MachineTuning overrides hardware parameters relative to the Table 4
@@ -183,6 +188,8 @@ type System struct {
 	Stats    *sim.Stats
 	// StaticVLs records the VLS partition (granules per core) for reports.
 	StaticVLs []int
+	// Probe is the observability hub; nil when Options.Obs was zero.
+	Probe *obs.Probe
 }
 
 // Build compiles the co-schedule's workloads for kind and wires the system.
@@ -268,6 +275,24 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 	cp.SetResponder(func(core int, reg isa.Reg, val uint64, ready uint64) {
 		sys.Cores[core].HandleResult(core, reg, val, ready)
 	})
+	if opts.Obs.Enabled() {
+		probe := obs.NewProbe(n, opts.Obs.Sink)
+		for _, core := range sys.Cores {
+			core.SetProbe(probe)
+		}
+		cp.SetProbe(probe)
+		hier.SetProbe(probe)
+		// The probe must tick last so it sees the whole cycle's signals.
+		engine.Register(probe)
+		if s := probe.Sink(); s != nil {
+			for c := range sys.Cores {
+				s.EmitProcessName(c, fmt.Sprintf("core%d [%s]", c, sched.W[c].Name))
+				s.EmitThreadName(c, obs.TidPhases, "phases")
+				s.EmitThreadName(c, obs.TidEMSIMD, "em-simd")
+			}
+		}
+		sys.Probe = probe
+	}
 	return sys, nil
 }
 

@@ -1,0 +1,120 @@
+package arch
+
+import (
+	"bytes"
+	"testing"
+
+	"occamy/internal/obs"
+)
+
+// TestCycleAttributionConservation is the ISSUE's headline invariant: on
+// every architecture, every core's cycle-attribution buckets sum to exactly
+// that core's reported Cycles — no cycle lost, none double-counted. It
+// doubles as a wiring check on the hardware models' signals (a trim failure
+// means a model signaled activity after its core supposedly finished).
+func TestCycleAttributionConservation(t *testing.T) {
+	sched := testSched(t)
+	for _, kind := range Kinds {
+		sys, err := Build(kind, sched, Options{Seed: 7, Obs: obs.Options{Attribution: true}})
+		if err != nil {
+			t.Fatalf("Build(%s): %v", kind, err)
+		}
+		res, err := sys.Run(40_000_000)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", kind, err)
+		}
+		for c, cr := range res.Cores {
+			a := cr.Attribution
+			if a == nil {
+				t.Fatalf("%s core %d: no attribution despite Obs enabled", kind, c)
+			}
+			if cr.AttributionErr != "" {
+				t.Fatalf("%s core %d: attribution error: %s", kind, c, cr.AttributionErr)
+			}
+			if sum := a.Sum(); sum != cr.Cycles {
+				t.Errorf("%s core %d: buckets sum to %d, core ran %d cycles\nbuckets: %v",
+					kind, c, sum, cr.Cycles, a.Buckets)
+			}
+			if a.Total != cr.Cycles {
+				t.Errorf("%s core %d: attribution total %d != cycles %d", kind, c, a.Total, cr.Cycles)
+			}
+			if a.Get(obs.BucketVecIssue) == 0 {
+				t.Errorf("%s core %d: no vec-issue cycles on a SIMD workload", kind, c)
+			}
+		}
+		// Architecture-specific spot checks on the taxonomy.
+		switch kind {
+		case Occamy:
+			drain := res.Cores[0].Attribution.Get(obs.BucketDrainReconfig) +
+				res.Cores[1].Attribution.Get(obs.BucketDrainReconfig)
+			if res.Reconfigures > 0 && drain == 0 {
+				t.Errorf("Occamy: %d reconfigures but no drain-reconfig cycles", res.Reconfigures)
+			}
+		case FTS:
+			stalls := res.Cores[0].Attribution.Get(obs.BucketRenameStall) +
+				res.Cores[1].Attribution.Get(obs.BucketRenameStall)
+			if res.Cores[0].RenameStalls+res.Cores[1].RenameStalls > 0 && stalls == 0 {
+				t.Errorf("FTS: rename stalls counted but no rename-stall cycles attributed")
+			}
+		}
+	}
+}
+
+// TestAttributionDeterministic: observing a run must not change its timing,
+// and two observed runs must attribute identically.
+func TestAttributionDeterministic(t *testing.T) {
+	sched := testSched(t)
+	run := func(o obs.Options) *Result {
+		sys, err := Build(Occamy, sched, Options{Seed: 7, Obs: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(40_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(obs.Options{})
+	obs1 := run(obs.Options{Attribution: true})
+	obs2 := run(obs.Options{Attribution: true})
+	if plain.Cycles != obs1.Cycles {
+		t.Fatalf("observing changed timing: %d vs %d cycles", plain.Cycles, obs1.Cycles)
+	}
+	for c := range obs1.Cores {
+		if *obs1.Cores[c].Attribution != *obs2.Cores[c].Attribution {
+			t.Fatalf("core %d: attribution not deterministic:\n%v\n%v",
+				c, obs1.Cores[c].Attribution, obs2.Cores[c].Attribution)
+		}
+	}
+	if plain.Cores[0].Attribution != nil {
+		t.Fatal("unobserved run has attribution")
+	}
+}
+
+// TestPerfettoExportFromSystem exercises the full trace path: build with a
+// sink, run, write, validate against the format contract.
+func TestPerfettoExportFromSystem(t *testing.T) {
+	sched := testSched(t)
+	sink := obs.NewPerfetto(0)
+	sys, err := Build(Occamy, sched, Options{Seed: 7, Obs: obs.Options{Attribution: true, Sink: sink}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(40_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() == 0 {
+		t.Fatal("run emitted no trace events")
+	}
+	var buf bytes.Buffer
+	if _, err := sink.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidatePerfetto(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("trace fails format contract: %v", err)
+	}
+	if sink.Dropped() > 0 {
+		t.Logf("note: %d events dropped by cap", sink.Dropped())
+	}
+}

@@ -1,6 +1,10 @@
 package arch
 
-import "fmt"
+import (
+	"fmt"
+
+	"occamy/internal/obs"
+)
 
 // CoreResult carries one core's measurements from a run.
 type CoreResult struct {
@@ -30,6 +34,13 @@ type CoreResult struct {
 	DrainWait            uint64
 	OverheadMonitorFrac  float64
 	OverheadReconfigFrac float64
+	// Attribution is the top-down cycle accounting for this core; nil when
+	// the run was not observed (Options.Obs zero). When present its buckets
+	// sum to Cycles exactly (the conservation invariant). AttributionErr
+	// carries the trim/conservation failure when the invariant could not be
+	// established — always a wiring bug, surfaced by tests.
+	Attribution    *obs.CoreAttribution
+	AttributionErr string
 }
 
 // Result carries a full run's measurements.
@@ -83,6 +94,15 @@ func (s *System) collect() *Result {
 			cr.RenameStallFrac = float64(snap.RenameStalls) / float64(cycles)
 			cr.OverheadMonitorFrac = float64(cr.MonitorInsts) / width / float64(cycles)
 			cr.OverheadReconfigFrac = (float64(cr.ReconfigInsts)/width + float64(cr.DrainWait)) / float64(cycles)
+		}
+		if p := s.Probe; p != nil {
+			a := p.CoreAttribution(c)
+			if err := a.TrimTrailingIdle(cycles); err != nil {
+				cr.AttributionErr = err.Error()
+			} else if err := a.CheckConservation(); err != nil {
+				cr.AttributionErr = err.Error()
+			}
+			cr.Attribution = &a
 		}
 		nPhases := len(s.Compiled[c].Phases)
 		for p := 0; p < nPhases; p++ {

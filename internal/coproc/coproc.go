@@ -7,6 +7,7 @@ import (
 	"occamy/internal/isa"
 	"occamy/internal/lanemgr"
 	"occamy/internal/mem"
+	"occamy/internal/obs"
 	"occamy/internal/roofline"
 	"occamy/internal/sim"
 )
@@ -99,6 +100,11 @@ type coreState struct {
 	// for the pipeline to drain (Figure 15's reconfiguration overhead).
 	drainWait uint64
 
+	// draining/drainStart track the currently open §4.2.2 drain window,
+	// for the drain-length histogram and the Perfetto drain slice.
+	draining   bool
+	drainStart uint64
+
 	// lastActive is the latest cycle with queued or in-flight work, i.e.
 	// the core's true completion time (the scalar core halts before the
 	// co-processor finishes its backlog).
@@ -149,13 +155,24 @@ type Coproc struct {
 
 	// events is the lane-management log (bounded; see laneEventCap).
 	events []LaneEvent
+
+	// probe is the observability hook (nil when the run is not observed;
+	// every obs method is nil-receiver-safe).
+	probe *obs.Probe
 }
+
+// SetProbe attaches the observability probe (nil disables).
+func (cp *Coproc) SetProbe(p *obs.Probe) { cp.probe = p }
 
 // laneEventCap bounds the event log (repartitions are rare; this is a
 // safety net for pathological runs).
 const laneEventCap = 1 << 16
 
 func (cp *Coproc) logEvent(e LaneEvent) {
+	if s := cp.probe.Sink(); s != nil {
+		s.EmitInstant(e.Core, obs.TidEMSIMD, "lane."+e.Kind, e.Cycle,
+			map[string]any{"vl": e.VL})
+	}
 	if len(cp.events) >= laneEventCap {
 		return
 	}
@@ -452,7 +469,9 @@ func (cp *Coproc) Tick(now uint64) {
 		st.busyTimeline.Record(now, cp.cycleBusyLanes[c])
 		totalBusy += cp.cycleBusyLanes[c]
 		if cp.renameStallNow[c] {
+			cp.probe.Signal(c, obs.SigRenameStall)
 			st.renameStalls++
+			cp.stats.Inc("coproc.rename.stalls")
 			cp.renameStallNow[c] = false
 		}
 		// Compact the queue backing array occasionally.
@@ -464,6 +483,15 @@ func (cp *Coproc) Tick(now uint64) {
 	}
 	cp.busyLaneCycles += totalBusy / lanes
 	cp.cycles++
+	// Sample per-core counter tracks into the trace at a coarse period;
+	// every-cycle samples would dwarf the slice events without adding
+	// visible resolution at trace zoom levels.
+	if s := cp.probe.Sink(); s != nil && now&1023 == 0 {
+		for c := range cp.cores {
+			s.EmitCounter(c, "coproc.busy_lanes", "lanes", now, cp.cycleBusyLanes[c])
+			s.EmitCounter(c, "coproc.vl", "granules", now, float64(cp.VL(c)))
+		}
+	}
 }
 
 // addPhaseCompute bumps the per-phase compute-issue counter (phase -1 maps
@@ -604,8 +632,10 @@ func (cp *Coproc) latFor(op isa.Opcode) uint64 {
 func (cp *Coproc) issueCompute(c int, x *XInst, now uint64) issueStatus {
 	st := cp.cores[c]
 	if !x.depsReady(st, now) {
+		cp.probe.Signal(c, obs.SigExeBUWait)
 		return issueDataWait
 	}
+	cp.probe.Signal(c, obs.SigVecIssue)
 	done := now + cp.latFor(x.Op)
 	if hasZDst(x.Op) {
 		cp.issuePhys(c, done)
@@ -634,16 +664,20 @@ func (cp *Coproc) issueMem(c int, x *XInst, now uint64) issueStatus {
 			cp.issuePhys(c, now)
 		}
 		st.done.set(x.seq, now)
+		cp.probe.Signal(c, obs.SigVecIssue)
 		st.memIssued++
 		return issueOK
 	}
 	if x.Op == isa.OpVLoad {
 		if st.lhq.Count(now) >= cp.cfg.LHQ {
+			cp.probe.Signal(c, obs.SigLSUWait)
 			return issueStructural
 		}
 		done, accepted := cp.vec.AccessFrom(now, x.Addr, size, false, c)
 		if !accepted {
+			cp.probe.Signal(c, obs.SigMemBW)
 			st.mshrRetries++
+			cp.stats.Inc("coproc.lsu.mshr_retries")
 			return issueStructural
 		}
 		cp.issuePhys(c, done)
@@ -652,20 +686,25 @@ func (cp *Coproc) issueMem(c int, x *XInst, now uint64) issueStatus {
 		st.inflight.Add(done)
 	} else { // store
 		if st.stq.Count(now) >= cp.cfg.STQ {
+			cp.probe.Signal(c, obs.SigLSUWait)
 			return issueStructural
 		}
 		if !x.depsReady(st, now) { // store data
+			cp.probe.Signal(c, obs.SigLSUWait)
 			return issueDataWait
 		}
 		done, accepted := cp.vec.AccessFrom(now, x.Addr, size, true, c)
 		if !accepted {
+			cp.probe.Signal(c, obs.SigMemBW)
 			st.mshrRetries++
+			cp.stats.Inc("coproc.lsu.mshr_retries")
 			return issueStructural
 		}
 		st.done.set(x.seq, done)
 		st.stq.Add(done)
 		st.inflight.Add(done)
 	}
+	cp.probe.Signal(c, obs.SigVecIssue)
 	st.memIssued++
 	return issueOK
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"occamy/internal/isa"
+	"occamy/internal/obs"
 )
 
 var traceEMSIMD = os.Getenv("OCCAMY_TRACE") != ""
@@ -28,6 +29,7 @@ func (cp *Coproc) execEMSIMD(c int, x *XInst, now uint64) bool {
 			// LaneMgr produce a fresh plan (§5). The manager is
 			// busy for PlanLat cycles.
 			if cp.emsimdBusyUntil > now {
+				cp.probe.Signal(c, obs.SigMonitor)
 				return false
 			}
 			cp.mgr.OnOIWrite(c, isa.UnpackOI(x.Val))
@@ -49,10 +51,28 @@ func (cp *Coproc) execEMSIMD(c int, x *XInst, now uint64) bool {
 			// §4.2.2 precondition: the SIMD pipeline associated
 			// with core c must be drained.
 			if st.inflight.Count(now) > 0 {
+				cp.probe.Signal(c, obs.SigDrain)
+				if !st.draining {
+					st.draining = true
+					st.drainStart = now
+				}
 				st.drainWait++
 				cp.stats.Inc("coproc.drain_wait_cycles")
 				return false
 			}
+			// The drain window (possibly empty) closes this cycle:
+			// record its length and its trace slice.
+			if h := cp.probe.Hist("coproc.drain.cycles"); h != nil {
+				start := now
+				if st.draining {
+					start = st.drainStart
+				}
+				h.Observe(now - start)
+				cp.probe.Sink().EmitComplete(c, obs.TidEMSIMD, "drain",
+					start, now-start, map[string]any{"vl": int(x.Val)})
+			}
+			st.draining = false
+			cp.probe.Signal(c, obs.SigDrain)
 			ok := cp.tbl.TryReconfigure(c, int(x.Val))
 			if traceEMSIMD {
 				fmt.Printf("[%d] core%d MSR VL %d -> ok=%v (VL0=%d VL1=%d AL=%d dec0=%d dec1=%d)\n",

@@ -31,6 +31,7 @@ import (
 	"occamy/internal/coproc"
 	"occamy/internal/isa"
 	"occamy/internal/mem"
+	"occamy/internal/obs"
 	"occamy/internal/sim"
 )
 
@@ -80,7 +81,16 @@ type Core struct {
 	poolFullName    string
 	renameBlockName string
 	haltCycle       uint64
+
+	// probe is the observability hook; nil when the run is not observed
+	// (every obs method is nil-receiver-safe). phaseStart is the cycle the
+	// current phase's Perfetto slice opened at.
+	probe      *obs.Probe
+	phaseStart uint64
 }
+
+// SetProbe attaches the observability probe (nil disables).
+func (c *Core) SetProbe(p *obs.Probe) { c.probe = p }
 
 // New builds a core. l1 is the core's private L1D port; data the functional
 // memory.
@@ -134,16 +144,32 @@ func (c *Core) Tick(now uint64) {
 		return
 	}
 	c.stats.Inc(c.phaseCycleNames[c.phase+1])
+	// A live core's fallback explanation for this cycle is scalar work;
+	// more specific signals raised below take priority in the classifier.
+	c.probe.Signal(c.id, obs.SigScalar)
 	for slot := 0; slot < c.cfg.Width && !c.halted; slot++ {
 		in := c.prog.At(c.pc)
 		if in.Phase != c.phase {
+			c.closePhaseSlice(now)
 			c.phase = in.Phase
+			c.phaseStart = now
 			c.stats.Set(fmt.Sprintf("cpu%d.phase%d.entered_cycle", c.id, c.phase), now)
 		}
 		if !c.execute(&in, now) {
 			return
 		}
 	}
+}
+
+// closePhaseSlice emits the Perfetto complete-slice for the phase that just
+// ended (no-op without a sink or before the first phase).
+func (c *Core) closePhaseSlice(now uint64) {
+	s := c.probe.Sink()
+	if s == nil || c.phase < 0 {
+		return
+	}
+	s.EmitComplete(c.id, obs.TidPhases, fmt.Sprintf("phase %d", c.phase),
+		c.phaseStart, now-c.phaseStart, nil)
 }
 
 // xr reads scalar register r honouring XZR.
@@ -192,6 +218,7 @@ func (c *Core) execute(in *isa.Inst, now uint64) bool {
 	case isa.OpHalt:
 		c.halted = true
 		c.haltCycle = now
+		c.closePhaseSlice(now)
 		c.stats.Set(fmt.Sprintf("cpu%d.halt_cycle", c.id), now)
 		return true
 	case isa.OpMovI:
@@ -229,12 +256,12 @@ func (c *Core) execute(in *isa.Inst, now uint64) bool {
 	case isa.OpB, isa.OpBLT, isa.OpBGE, isa.OpBEQ, isa.OpBNE, isa.OpBEQI, isa.OpBNEI:
 		return c.execBranch(in, now)
 	case isa.OpRdElems:
-		c.xw(in.Dst, int64(4*c.cp.VL(c.id)), now+c.cfg.IntLat)
+		c.xw(in.Dst, int64(coproc.LanesPerGranule*c.cp.VL(c.id)), now+c.cfg.IntLat)
 	case isa.OpIncVL:
 		if !c.xReadyAt(in.Src1, now) {
 			return false
 		}
-		c.xw(in.Dst, c.xr(in.Src1)+in.Imm*int64(4*c.cp.VL(c.id)), now+c.cfg.IntLat)
+		c.xw(in.Dst, c.xr(in.Src1)+in.Imm*int64(coproc.LanesPerGranule*c.cp.VL(c.id)), now+c.cfg.IntLat)
 	case isa.OpVWhile:
 		return c.execVWhile(in, now)
 	case isa.OpSLoadF, isa.OpSStoreF:
@@ -325,7 +352,7 @@ func (c *Core) execVWhile(in *isa.Inst, now uint64) bool {
 		return false
 	}
 	rem := c.xr(in.Src1) - c.xr(in.Src2)
-	lim := int64(4 * c.cp.VL(c.id))
+	lim := int64(coproc.LanesPerGranule * c.cp.VL(c.id))
 	if rem < 0 {
 		rem = 0
 	}
@@ -344,6 +371,7 @@ func (c *Core) execScalarMem(in *isa.Inst, now uint64) bool {
 	}
 	// MOB: wait for vector memory quiescence (Table 2).
 	if c.cp.MemInFlight(c.id, now) > 0 {
+		c.probe.Signal(c.id, obs.SigLSUWait)
 		c.stats.Inc(fmt.Sprintf("cpu%d.mob_stall", c.id))
 		return false
 	}
@@ -412,6 +440,7 @@ func (c *Core) execEMSIMD(in *isa.Inst, now uint64) bool {
 				return false
 			}
 			c.xReady[in.Dst] = notReady // response will unblock
+			c.probe.Signal(c.id, obs.SigDrain)
 			c.stats.Inc(fmt.Sprintf("cpu%d.reconfig_insts", c.id))
 			c.pc++
 			return true
@@ -419,6 +448,7 @@ func (c *Core) execEMSIMD(in *isa.Inst, now uint64) bool {
 		// Speculative read (§4.1.1): combinational, low latency.
 		c.xw(in.Dst, int64(c.cp.ReadSysNow(c.id, in.Sys)), now+c.cfg.EMSIMDLat)
 		if in.Sys == isa.SysDecision {
+			c.probe.Signal(c.id, obs.SigMonitor)
 			c.stats.Inc(fmt.Sprintf("cpu%d.monitor_insts", c.id))
 		}
 		c.pc++
@@ -437,8 +467,12 @@ func (c *Core) execEMSIMD(in *isa.Inst, now uint64) bool {
 	}) {
 		return false
 	}
-	if in.Sys == isa.SysVL {
+	switch in.Sys {
+	case isa.SysVL:
+		c.probe.Signal(c.id, obs.SigDrain)
 		c.stats.Inc(fmt.Sprintf("cpu%d.reconfig_insts", c.id))
+	case isa.SysOI:
+		c.probe.Signal(c.id, obs.SigMonitor)
 	}
 	c.pc++
 	return true
@@ -450,7 +484,7 @@ func (c *Core) execEMSIMD(in *isa.Inst, now uint64) bool {
 // vector length (§4.2.2).
 func (c *Core) transmitVector(in *isa.Inst, now uint64) bool {
 	vl := c.cp.VL(c.id)
-	active := 4 * vl
+	active := coproc.LanesPerGranule * vl
 	if c.tailActive >= 0 && c.tailActive < active {
 		active = c.tailActive
 	}
@@ -488,6 +522,7 @@ func (c *Core) transmitVector(in *isa.Inst, now uint64) bool {
 
 func (c *Core) transmit(x coproc.XInst) bool {
 	if c.cp.Transmit(x) != coproc.TransmitOK {
+		c.probe.Signal(c.id, obs.SigDispatchFull)
 		c.stats.Inc(c.poolFullName)
 		return false
 	}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"occamy/internal/arch"
+	"occamy/internal/metrics"
+	"occamy/internal/obs"
+	"occamy/internal/workload"
+)
+
+// TopDown runs a schedule on all four architectures with cycle attribution
+// enabled and renders one table per core: where every cycle of that core
+// went, bucket by bucket, side by side across architectures. This is the
+// observability layer's headline report — the quantitative version of the
+// paper's §7 narrative (issue collapse on FTS shows up as rename-stall,
+// VLS's static misfit as idle/mem-bandwidth, Occamy's overhead as
+// drain-reconfig and lane-monitor-overhead).
+func (c Config) TopDown(s workload.CoSchedule) (string, error) {
+	results := make(map[arch.Kind]*arch.Result, len(arch.Kinds))
+	for _, kind := range arch.Kinds {
+		_, res, err := c.runOne(kind, s, arch.Options{Obs: obs.Options{Attribution: true}})
+		if err != nil {
+			return "", fmt.Errorf("topdown: %s on %s: %w", s.Name, kind, err)
+		}
+		for cc, cr := range res.Cores {
+			if cr.AttributionErr != "" {
+				return "", fmt.Errorf("topdown: %s core %d: %s", kind, cc, cr.AttributionErr)
+			}
+		}
+		results[kind] = res
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Top-down cycle attribution — %s\n", s.Name)
+	for core := 0; core < s.Cores(); core++ {
+		fmt.Fprintf(&b, "\nCore %d [%s]:\n", core, s.W[core].Name)
+		t := metrics.Table{Header: []string{"bucket"}}
+		for _, kind := range arch.Kinds {
+			t.Header = append(t.Header, kind.String())
+		}
+		for bkt := 0; bkt < obs.NumBuckets; bkt++ {
+			row := []string{obs.Bucket(bkt).String()}
+			for _, kind := range arch.Kinds {
+				a := results[kind].Cores[core].Attribution
+				row = append(row, fmt.Sprintf("%5.1f%%", 100*a.Frac(obs.Bucket(bkt))))
+			}
+			t.Add(row...)
+		}
+		total := []string{"total cycles"}
+		for _, kind := range arch.Kinds {
+			total = append(total, fmt.Sprintf("%d", results[kind].Cores[core].Cycles))
+		}
+		t.Add(total...)
+		b.WriteString(t.String())
+	}
+	return b.String(), nil
+}
+
+// TopDownMotivating runs TopDown on the §2 motivating pair (WL20+WL17).
+func (c Config) TopDownMotivating() (string, error) {
+	return c.TopDown(workload.MotivatingPair(reg))
+}

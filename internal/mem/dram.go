@@ -1,6 +1,9 @@
 package mem
 
-import "occamy/internal/sim"
+import (
+	"occamy/internal/obs"
+	"occamy/internal/sim"
+)
 
 // DRAMConfig describes main memory. Table 4 specifies 64 GB/s at a 2 GHz
 // core clock, i.e. 32 bytes per core cycle of sustained bandwidth.
@@ -17,7 +20,14 @@ type DRAM struct {
 	cfg   DRAMConfig
 	bw    bwMeter
 	stats *sim.Stats
+	// lat is the access-latency histogram; nil when the run is not
+	// observed (a nil *Histogram ignores Observe).
+	lat *obs.Histogram
 }
+
+// SetProbe attaches the observability probe (nil disables). The histogram
+// pointer is cached so the access path stays a single nil check.
+func (d *DRAM) SetProbe(p *obs.Probe) { d.lat = p.Hist(d.cfg.Name + ".latency") }
 
 // NewDRAM returns main memory with the given parameters. Stats may be nil.
 func NewDRAM(cfg DRAMConfig, stats *sim.Stats) *DRAM {
@@ -36,6 +46,7 @@ func (d *DRAM) Access(now uint64, addr uint64, size int, write bool) (uint64, bo
 	// for size/BytesPerCycle cycles, so back-to-back requests queue on
 	// the bus even when latency would otherwise hide them.
 	xfer := d.bw.consume(now+d.cfg.LatencyCycles, size)
+	d.lat.Observe(xfer - now)
 	if d.stats != nil {
 		d.stats.Add(d.cfg.Name+".bytes", uint64(size))
 		if write {

@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 
+	"occamy/internal/obs"
 	"occamy/internal/sim"
 )
 
@@ -100,4 +101,11 @@ func NewHierarchy(cfg HierarchyConfig, stats *sim.Stats) *Hierarchy {
 		h.L1D = append(h.L1D, NewCache(l1Cfg, l2, stats))
 	}
 	return h
+}
+
+// SetProbe attaches the observability probe to the levels that record
+// latency histograms (nil disables). Per-core bandwidth-stall attribution is
+// signaled from the co-processor's LSU, which sees which core was refused.
+func (h *Hierarchy) SetProbe(p *obs.Probe) {
+	h.DRAM.SetProbe(p)
 }

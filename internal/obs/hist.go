@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Histogram is a power-of-two-bucketed latency histogram (values are cycle
+// counts). A nil *Histogram ignores Observe, so instrumentation sites can
+// cache Probe.Hist results unconditionally.
+type Histogram struct {
+	name    string
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+	buckets [65]uint64 // buckets[i] counts values with bit-length i (0 = value 0)
+}
+
+// Name returns the histogram's registry name (e.g. "dram.latency").
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Observe records one value. Safe on a nil histogram.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(v)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min and Max return the observed extremes (0 when empty).
+func (h *Histogram) Min() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// String renders the histogram as one compact report line plus a row per
+// occupied power-of-two bin.
+func (h *Histogram) String() string {
+	if h == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: n=%d mean=%.1f min=%d max=%d\n", h.name, h.count, h.Mean(), h.min, h.max)
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		lo, hi := binBounds(i)
+		fmt.Fprintf(&b, "  [%6d, %6d]  %d\n", lo, hi, n)
+	}
+	return b.String()
+}
+
+// binBounds returns the inclusive value range of bin i.
+func binBounds(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 0
+	}
+	return 1 << (i - 1), 1<<i - 1
+}

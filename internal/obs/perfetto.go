@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Well-known thread ids inside each core's Perfetto process. Every core of
+// the simulated system is exported as one process (pid = core id) with a
+// thread per unit.
+const (
+	// TidPhases carries the compiler-phase slices executed by the scalar
+	// core.
+	TidPhases = 0
+	// TidEMSIMD carries reconfiguration drains and lane-manager events.
+	TidEMSIMD = 1
+)
+
+// Event is one Chrome trace-event ("JSON Array Format"). Timestamps are
+// simulated cycles; the trace viewer displays them as microseconds, so one
+// display-µs equals one cycle.
+type Event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// defaultEventCap bounds the sink's memory; runs that emit more events drop
+// the excess and report it via Dropped.
+const defaultEventCap = 1 << 20
+
+// Perfetto buffers trace events and writes them as a Chrome trace-event
+// JSON array that ui.perfetto.dev (or chrome://tracing) opens directly.
+// Events are sorted by timestamp at write time, so producers may emit
+// complete ("X") slices when they close rather than when they open. A nil
+// *Perfetto ignores every Emit.
+type Perfetto struct {
+	events  []Event
+	cap     int
+	dropped uint64
+}
+
+// NewPerfetto returns a sink; maxEvents <= 0 selects the default cap.
+func NewPerfetto(maxEvents int) *Perfetto {
+	if maxEvents <= 0 {
+		maxEvents = defaultEventCap
+	}
+	return &Perfetto{cap: maxEvents}
+}
+
+// Dropped reports how many events the cap discarded.
+func (s *Perfetto) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped
+}
+
+// Len reports the number of buffered events.
+func (s *Perfetto) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.events)
+}
+
+func (s *Perfetto) emit(e Event) {
+	if s == nil {
+		return
+	}
+	if len(s.events) >= s.cap {
+		s.dropped++
+		return
+	}
+	s.events = append(s.events, e)
+}
+
+// EmitComplete emits an "X" (complete) slice covering [ts, ts+dur).
+func (s *Perfetto) EmitComplete(pid, tid int, name string, ts, dur uint64, args map[string]any) {
+	if dur == 0 {
+		dur = 1 // zero-duration slices render invisibly
+	}
+	s.emit(Event{Name: name, Ph: "X", Ts: ts, Dur: dur, Pid: pid, Tid: tid, Args: args})
+}
+
+// EmitInstant emits an "i" (instant) event.
+func (s *Perfetto) EmitInstant(pid, tid int, name string, ts uint64, args map[string]any) {
+	if args == nil {
+		args = map[string]any{}
+	}
+	// "s":"t" scopes the instant to its thread (required by the format).
+	args["scope"] = "thread"
+	s.emit(Event{Name: name, Ph: "i", Ts: ts, Pid: pid, Tid: tid, Args: args})
+}
+
+// EmitCounter emits a "C" (counter) sample; series names the plotted track
+// key inside the counter.
+func (s *Perfetto) EmitCounter(pid int, name, series string, ts uint64, value float64) {
+	s.emit(Event{Name: name, Ph: "C", Ts: ts, Pid: pid, Args: map[string]any{series: value}})
+}
+
+// EmitProcessName emits the "M" metadata naming process pid.
+func (s *Perfetto) EmitProcessName(pid int, name string) {
+	s.emit(Event{Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": name}})
+}
+
+// EmitThreadName emits the "M" metadata naming thread (pid, tid).
+func (s *Perfetto) EmitThreadName(pid, tid int, name string) {
+	s.emit(Event{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}})
+}
+
+// Write writes the buffered events as an indented JSON array, sorted by
+// timestamp (metadata first), and reports the number of events written.
+func (s *Perfetto) Write(w io.Writer) (int, error) {
+	if s == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return 0, err
+	}
+	sorted := make([]Event, len(s.events))
+	copy(sorted, s.events)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		// Metadata events carry no timestamp; pin them to the front so
+		// the ts sequence of real events stays monotonic.
+		mi, mj := sorted[i].Ph == "M", sorted[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		return sorted[i].Ts < sorted[j].Ts
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(sorted); err != nil {
+		return 0, err
+	}
+	return len(sorted), nil
+}
+
+// ValidatePerfetto parses a trace-event JSON array and checks the contract
+// the exporter promises: well-formed JSON, every event carrying ph/name/pid
+// (and tid for slices and instants), and non-metadata timestamps that never
+// run backwards. It is used by the golden tests and by
+// `occamy-trace -check-perfetto` in CI.
+func ValidatePerfetto(r io.Reader) error {
+	var events []map[string]any
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&events); err != nil {
+		return fmt.Errorf("perfetto: invalid JSON: %w", err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("perfetto: empty trace")
+	}
+	lastTs := -1.0
+	for i, e := range events {
+		ph, ok := e["ph"].(string)
+		if !ok || ph == "" {
+			return fmt.Errorf("perfetto: event %d: missing ph", i)
+		}
+		if name, ok := e["name"].(string); !ok || name == "" {
+			return fmt.Errorf("perfetto: event %d: missing name", i)
+		}
+		if _, ok := e["pid"].(float64); !ok {
+			return fmt.Errorf("perfetto: event %d: missing pid", i)
+		}
+		switch ph {
+		case "M":
+			continue // metadata: no timestamp contract
+		case "X", "B", "E", "i":
+			if _, ok := e["tid"].(float64); !ok {
+				return fmt.Errorf("perfetto: event %d (%s): missing tid", i, ph)
+			}
+		}
+		ts, ok := e["ts"].(float64)
+		if !ok {
+			return fmt.Errorf("perfetto: event %d (%s): missing ts", i, ph)
+		}
+		if ts < lastTs {
+			return fmt.Errorf("perfetto: event %d: ts %v < previous %v (not monotonic)", i, ts, lastTs)
+		}
+		lastTs = ts
+		if ph == "X" {
+			if _, ok := e["dur"].(float64); !ok {
+				return fmt.Errorf("perfetto: event %d: complete slice missing dur", i)
+			}
+		}
+	}
+	return nil
+}

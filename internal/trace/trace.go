@@ -24,6 +24,11 @@ type Run struct {
 	Events   []LaneEvent `json:"lane_events"`
 	// BucketCycles is the timeline sampling granularity.
 	BucketCycles uint64 `json:"bucket_cycles"`
+	// LanesPerGranule is the machine's 32-bit lanes per granule (ExeBU),
+	// carried so AllocatedLanes reconstructs lane counts for the machine
+	// that produced the trace. Zero (older exports) means the Table 4
+	// default of 4.
+	LanesPerGranule int `json:"lanes_per_granule,omitempty"`
 }
 
 // Core is one core's exported series and summary.
@@ -50,11 +55,12 @@ type LaneEvent struct {
 // Capture assembles the export structure from a completed system.
 func Capture(sys *arch.System, res *arch.Result) *Run {
 	run := &Run{
-		Arch:         res.Arch.String(),
-		Schedule:     res.Sched,
-		Cycles:       res.Cycles,
-		Util:         res.Utilization,
-		BucketCycles: 1000,
+		Arch:            res.Arch.String(),
+		Schedule:        res.Sched,
+		Cycles:          res.Cycles,
+		Util:            res.Utilization,
+		BucketCycles:    1000,
+		LanesPerGranule: sys.Coproc.LanesPerGranule(),
 	}
 	for c, cr := range res.Cores {
 		run.Cores = append(run.Cores, Core{
@@ -148,6 +154,10 @@ func (r *Run) WriteEventsCSV(w io.Writer) error {
 // exact y-axis of Figure 2(e)) from the reconfiguration events: it returns,
 // per core, a step series of (cycle, lanes).
 func (r *Run) AllocatedLanes() [][]Step {
+	lpg := r.LanesPerGranule
+	if lpg == 0 {
+		lpg = 4 // older exports predate the lanes_per_granule field
+	}
 	out := make([][]Step, len(r.Cores))
 	for c := range out {
 		out[c] = []Step{{Cycle: 0, Lanes: 0}}
@@ -156,7 +166,7 @@ func (r *Run) AllocatedLanes() [][]Step {
 		if e.Kind != "reconfigure" || e.Core >= len(out) {
 			continue
 		}
-		out[e.Core] = append(out[e.Core], Step{Cycle: e.Cycle, Lanes: 4 * e.VL})
+		out[e.Core] = append(out[e.Core], Step{Cycle: e.Cycle, Lanes: lpg * e.VL})
 	}
 	return out
 }

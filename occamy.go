@@ -27,6 +27,7 @@ import (
 	"occamy/internal/arch"
 	"occamy/internal/isa"
 	"occamy/internal/lanemgr"
+	"occamy/internal/obs"
 	"occamy/internal/roofline"
 	"occamy/internal/trace"
 	"occamy/internal/workload"
@@ -85,7 +86,29 @@ type Config struct {
 	// exploration: slower DRAM, smaller vector cache, fewer physical
 	// registers, different pipe latencies.
 	Machine *MachineTuning
+	// Profile enables the cycle-attribution observability layer: every
+	// cycle of every core is charged to one top-down bucket (see
+	// Report.Attribution and Report.TopDown), latency histograms are
+	// collected, and the full counter registry is captured into
+	// Report.Stats. Off by default; the instrumented models then keep nil
+	// probes and pay only an inlined nil check.
+	Profile bool
+	// PerfettoPath, when non-empty, writes a Chrome trace-event JSON file
+	// of the run (phase slices, reconfiguration drains, lane events,
+	// counter tracks) openable in ui.perfetto.dev. Implies Profile.
+	PerfettoPath string
 }
+
+// CycleAttribution is one core's top-down cycle accounting: charged cycles
+// per taxonomy bucket, with the conservation guarantee that the buckets sum
+// to the core's total cycles.
+type CycleAttribution = obs.CoreAttribution
+
+// CycleBuckets returns the attribution taxonomy's bucket names, in report
+// order (scalar-issue, vec-issue, rename-stall, dispatch-full,
+// exebu-busy-wait, lsu-wait, mem-bandwidth, drain-reconfig,
+// lane-monitor-overhead, idle).
+func CycleBuckets() []string { return obs.BucketNames() }
 
 // MachineTuning overrides hardware parameters relative to the Table 4
 // defaults; zero-valued fields keep the default. It unmarshals directly
@@ -242,7 +265,14 @@ func FourCoreGroups() []Schedule {
 
 // Run simulates sched on cfg.Arch until every core completes.
 func Run(cfg Config, sched Schedule) (*Report, error) {
-	sys, err := buildSystem(cfg, sched)
+	var sink *obs.Perfetto
+	if cfg.PerfettoPath != "" {
+		sink = obs.NewPerfetto(0)
+	}
+	sys, err := buildSystem(cfg, sched, obs.Options{
+		Attribution: cfg.Profile || sink != nil,
+		Sink:        sink,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -262,6 +292,19 @@ func Run(cfg Config, sched Schedule) (*Report, error) {
 	if cfg.TraceDir != "" {
 		if err := writeTrace(cfg.TraceDir, sys, res); err != nil {
 			return nil, fmt.Errorf("occamy: writing trace: %w", err)
+		}
+	}
+	if sink != nil {
+		f, err := os.Create(cfg.PerfettoPath)
+		if err != nil {
+			return nil, fmt.Errorf("occamy: writing perfetto trace: %w", err)
+		}
+		_, werr := sink.Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return nil, fmt.Errorf("occamy: writing perfetto trace: %w", werr)
 		}
 	}
 	return newReport(sys, res), nil
@@ -302,7 +345,7 @@ func sanitize(s string) string {
 	return string(out)
 }
 
-func buildSystem(cfg Config, sched Schedule) (*arch.System, error) {
+func buildSystem(cfg Config, sched Schedule, o obs.Options) (*arch.System, error) {
 	s := sched.inner
 	if cfg.Scale > 0 && cfg.Scale != 1.0 {
 		s = s.Scaled(cfg.Scale)
@@ -316,6 +359,7 @@ func buildSystem(cfg Config, sched Schedule) (*arch.System, error) {
 		MonitorPeriod: cfg.MonitorPeriod,
 		Seed:          cfg.Seed,
 		Machine:       cfg.Machine,
+		Obs:           o,
 	})
 }
 

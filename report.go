@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"occamy/internal/arch"
+	"occamy/internal/metrics"
+	"occamy/internal/obs"
 )
 
 // CoreReport carries one core's measurements from a run (the quantities of
@@ -27,6 +29,10 @@ type CoreReport struct {
 	// elastic-sharing overheads, as fractions of execution time.
 	OverheadMonitorFrac  float64
 	OverheadReconfigFrac float64
+	// Attribution is the top-down cycle accounting for this core: every
+	// cycle charged to exactly one bucket, buckets summing to Cycles. Nil
+	// unless the run was profiled (Config.Profile / PerfettoPath).
+	Attribution *CycleAttribution
 }
 
 // Report is the result of one simulation run.
@@ -48,6 +54,13 @@ type Report struct {
 	// LaneTimelines holds, per core, the average busy lanes per
 	// 1000-cycle bucket — the curves of Figure 2(b-e) and Figure 14(b).
 	LaneTimelines [][]float64
+	// Stats is the full counter registry at end of run (nil unless
+	// profiled). Names follow the unit.event convention, e.g.
+	// "coproc.rename.stalls", "dram.bytes", "cpu0.pool_full_stall".
+	Stats map[string]uint64
+	// Histograms holds the rendered latency histograms collected during a
+	// profiled run (e.g. dram.latency, coproc.drain.cycles).
+	Histograms []string
 }
 
 func newReport(sys *arch.System, res *arch.Result) *Report {
@@ -70,10 +83,58 @@ func newReport(sys *arch.System, res *arch.Result) *Report {
 			RenameStallFrac:      cr.RenameStallFrac,
 			OverheadMonitorFrac:  cr.OverheadMonitorFrac,
 			OverheadReconfigFrac: cr.OverheadReconfigFrac,
+			Attribution:          cr.Attribution,
 		})
 		r.LaneTimelines = append(r.LaneTimelines, sys.Coproc.BusyTimeline(c).Points())
 	}
+	if sys.Probe != nil {
+		r.Stats = sys.Stats.Snapshot()
+		for _, h := range sys.Probe.Histograms() {
+			r.Histograms = append(r.Histograms, h.String())
+		}
+	}
 	return r
+}
+
+// TopDown renders the per-core cycle-attribution table: one row per bucket
+// of the taxonomy, one column per core, cycles and percentage of that
+// core's execution time. Empty when the run was not profiled.
+func (r *Report) TopDown() string {
+	profiled := false
+	for _, cr := range r.Cores {
+		if cr.Attribution != nil {
+			profiled = true
+		}
+	}
+	if !profiled {
+		return ""
+	}
+	t := metrics.Table{Header: []string{"bucket"}}
+	for c, cr := range r.Cores {
+		t.Header = append(t.Header, fmt.Sprintf("core%d [%s]", c, cr.Workload))
+	}
+	for b := 0; b < obs.NumBuckets; b++ {
+		row := []string{obs.Bucket(b).String()}
+		for _, cr := range r.Cores {
+			if cr.Attribution == nil {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%d (%5.1f%%)",
+				cr.Attribution.Get(obs.Bucket(b)), 100*cr.Attribution.Frac(obs.Bucket(b))))
+		}
+		t.Add(row...)
+	}
+	total := []string{"total"}
+	for _, cr := range r.Cores {
+		if cr.Attribution == nil {
+			total = append(total, "-")
+			continue
+		}
+		total = append(total, fmt.Sprintf("%d (100.0%%)", cr.Attribution.Total))
+	}
+	t.Add(total...)
+	return t.String()
 }
 
 // Summary renders a one-run overview.
