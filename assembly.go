@@ -3,7 +3,6 @@ package occamy
 import (
 	"fmt"
 
-	"occamy/internal/arch"
 	"occamy/internal/coproc"
 	"occamy/internal/cpu"
 	"occamy/internal/isa"
@@ -88,7 +87,3 @@ func (a *Assembly) Run(maxCycles uint64) (uint64, error) {
 // LaneEvents returns the lane-management log (repartitions and
 // reconfigurations) for inspecting the EM-SIMD protocol.
 func (a *Assembly) LaneEvents() []coproc.LaneEvent { return a.cp.LaneEvents() }
-
-// ensure arch stays linked for the documented relationship (System remains
-// the full-featured path; Assembly is the bare-metal one).
-var _ = arch.Kinds

@@ -212,6 +212,53 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
 }
 
+// BenchmarkEngineSkipAhead compares the legacy every-cycle tick loop against
+// the hybrid skip-ahead engine. Both modes produce bit-identical results
+// (see internal/arch TestEngineSkipAheadBitIdentical); only wall time
+// differs. Three scenarios bracket the engine's payoff:
+//
+//   - Pair: the full motivating pair (WL20+WL21 co-run) on the Table 4
+//     machine. Co-runs keep at least one core live most cycles, so this is
+//     the engine's worst case — skip-ahead must at least not lose.
+//
+//   - MemPhase: the motivating pair's memory-bound phase in isolation
+//     (solo WL20, the Figure 2 workload whose LHQ-limited DRAM streaming
+//     motivates the ISSUE). Quiescent stall windows appear whenever the
+//     load queue drains against DRAM.
+//
+//   - MemPhaseSlowDRAM: the same phase on a latency-dominated memory
+//     system (600-cycle DRAM, 2 B/cycle — a far-memory/CXL-class DSE
+//     point). Stall windows stretch to hundreds of cycles and skip-ahead
+//     elides almost all of them; this is where the ≥2x win lives.
+//
+//     go test -bench=EngineSkipAhead -count=5
+func BenchmarkEngineSkipAhead(b *testing.B) {
+	run := func(b *testing.B, legacy bool, sched Schedule, m *MachineTuning) {
+		cfg := DefaultConfig(Elastic)
+		cfg.Scale = 0.25
+		cfg.Verify = false
+		cfg.LegacyTick = legacy
+		cfg.Machine = m
+		var cycles uint64
+		for i := 0; i < b.N; i++ {
+			rep, err := Run(cfg, sched)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += rep.Cycles
+		}
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+	}
+	memPhase := NewSchedule("solo:WL20", WorkloadByName("spec/WL20"))
+	slowDRAM := &MachineTuning{DRAMLatencyCycles: 600, DRAMBytesPerCycle: 2}
+	b.Run("Pair/Legacy", func(b *testing.B) { run(b, true, MotivatingPair(), nil) })
+	b.Run("Pair/Skip", func(b *testing.B) { run(b, false, MotivatingPair(), nil) })
+	b.Run("MemPhase/Legacy", func(b *testing.B) { run(b, true, memPhase, nil) })
+	b.Run("MemPhase/Skip", func(b *testing.B) { run(b, false, memPhase, nil) })
+	b.Run("MemPhaseSlowDRAM/Legacy", func(b *testing.B) { run(b, true, memPhase, slowDRAM) })
+	b.Run("MemPhaseSlowDRAM/Skip", func(b *testing.B) { run(b, false, memPhase, slowDRAM) })
+}
+
 // BenchmarkObsOverhead guards the observability layer's cost contract: with
 // profiling off, the probes must stay nil (no per-cycle work beyond a nil
 // check), so Off should run within a few percent of the pre-observability

@@ -25,12 +25,16 @@ func main() {
 		scale = flag.Float64("scale", 1.0, "trip-count scale")
 		seed  = flag.Uint64("seed", 1, "workload data seed")
 		html  = flag.String("html", "", "write a self-contained HTML report (SVG charts) to this file and exit")
+		par   = flag.Int("j", 0, "max concurrent simulations in sweeps (0 = one per CPU)")
+		leg   = flag.Bool("legacy-tick", false, "force the every-cycle engine path (disable skip-ahead; results are bit-identical)")
 	)
 	flag.Parse()
 
 	cfg := experiments.Default()
 	cfg.Scale = *scale
 	cfg.Seed = *seed
+	cfg.Parallel = *par
+	cfg.LegacyTick = *leg
 
 	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
 	fail := func(err error) {

@@ -47,6 +47,7 @@ func main() {
 		profile  = flag.Bool("profile", false, "enable cycle attribution and print the top-down table and latency histograms")
 		perfetto = flag.String("perfetto", "", "write a Chrome/Perfetto trace-event JSON file (open in ui.perfetto.dev); with -arch all, the architecture name is appended to the stem")
 		stats    = flag.Bool("stats", false, "dump the full sorted counter registry (implies -profile)")
+		legacy   = flag.Bool("legacy-tick", false, "force the every-cycle engine path (disable skip-ahead; results are bit-identical)")
 	)
 	flag.Parse()
 
@@ -113,6 +114,7 @@ func main() {
 		cfg.Machine = tuning
 		cfg.Profile = *profile || *stats
 		cfg.PerfettoPath = perfettoPath(*perfetto, kind, len(kinds) > 1)
+		cfg.LegacyTick = *legacy
 		rep, err := occamy.Run(cfg, sched)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", kind, err)

@@ -81,6 +81,11 @@ type Options struct {
 	// trace). The zero value disables it entirely: no probe is built and
 	// the hardware models keep nil probe pointers.
 	Obs obs.Options
+	// LegacyTick forces the every-cycle simulation path, disabling the
+	// engine's skip-ahead fast-forwarding. Results are bit-identical
+	// either way (enforced by the engine differential tests); the switch
+	// exists for A/B validation and debugging.
+	LegacyTick bool
 }
 
 // MachineTuning overrides hardware parameters relative to the Table 4
@@ -293,6 +298,9 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 		}
 		sys.Probe = probe
 	}
+	// Skip-ahead elides quiescent cycles; a Perfetto sink wants the real
+	// per-cycle counter samples, so trace runs keep the legacy path.
+	engine.SetSkipAhead(!opts.LegacyTick && opts.Obs.Sink == nil)
 	return sys, nil
 }
 

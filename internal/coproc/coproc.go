@@ -130,13 +130,24 @@ type LaneEvent struct {
 
 // Coproc is the co-processor instance shared by all scalar cores.
 type Coproc struct {
-	cfg   Config
-	tbl   *lanemgr.ResourceTbl
-	mgr   *lanemgr.Manager
-	vec   mem.SharedPort
-	data  *mem.Memory
-	stats *sim.Stats
-	cores []*coreState
+	cfg Config
+	tbl *lanemgr.ResourceTbl
+	mgr *lanemgr.Manager
+	vec mem.SharedPort
+	// vecProbe is vec's optional skip-ahead capability (nil when the port
+	// cannot predict rejects; the sleep mirror then treats every pending
+	// access as live).
+	vecProbe mem.RetryProber
+	data     *mem.Memory
+	stats    *sim.Stats
+	cores    []*coreState
+
+	// Sleep-scan memo: NextWake(now) caches each core's per-cycle effects
+	// so a SkipTicks(from==now, n) that immediately follows (the only way
+	// the engine calls it) reuses them instead of re-running the scan.
+	sleepFxs   []sleepFx
+	sleepStamp uint64
+	sleepOK    bool
 
 	respond ScalarResponder
 
@@ -198,10 +209,12 @@ func New(cfg Config, vecPort mem.SharedPort, data *mem.Memory, model roofline.Mo
 		tbl:            tbl,
 		mgr:            lanemgr.NewManager(model, tbl),
 		vec:            vecPort,
+		vecProbe:       probeOf(vecPort),
 		data:           data,
 		stats:          stats,
 		renameStallNow: make([]bool, cfg.Cores),
 		cycleBusyLanes: make([]float64, cfg.Cores),
+		sleepFxs:       make([]sleepFx, cfg.Cores),
 	}
 	lanes := cfg.Lanes()
 	for c := 0; c < cfg.Cores; c++ {
@@ -428,6 +441,15 @@ func (cp *Coproc) applyFunctional(x *XInst, st *coreState) {
 			z[x.Dst][i] = binFn(x.Op, z[x.Src1][i], z[x.Src2][i])
 		}
 	}
+}
+
+// PoolFull reports whether core c's instruction pool would refuse a
+// Transmit this cycle — the predicate the scalar core's skip-ahead logic
+// mirrors (a refused Transmit has no side effects, so a pool-full stall is a
+// quiescent state for the core).
+func (cp *Coproc) PoolFull(c int) bool {
+	st := cp.cores[c]
+	return len(st.queue)-st.head >= queueCap
 }
 
 // QueueLen reports the occupancy of core c's instruction pool.

@@ -1,0 +1,259 @@
+package coproc
+
+import (
+	"occamy/internal/isa"
+	"occamy/internal/mem"
+	"occamy/internal/obs"
+	"occamy/internal/sim"
+)
+
+// This file implements sim.Sleeper for the co-processor: the side-effect-free
+// mirror of Tick that classifies the current cycle as quiescent (every tick
+// until the declared wake would repeat exactly the same stall accounting and
+// change nothing else) or live (the next tick may issue, execute, rename or
+// advance the pool head, and must run for real).
+//
+// The wake contract leans on the fact that every time-driven predicate in
+// this package — depReady, holdTracker.Count, canRename, Quiescent,
+// MemInFlight — is a threshold test against completion timestamps that were
+// fixed when the corresponding operation issued. Between now and the
+// earliest pending completion nothing can change on its own, so declaring
+// wake = min(inflight releases, emsimdBusyUntil, MSHR releases) re-runs the
+// real tick at exactly every event boundary. The lhq, stq and pool trackers
+// are populated with the same completion cycles as inflight, so inflight
+// alone covers them.
+//
+// Memory retries are skippable when they repeat identically: a retry that
+// rejects on its first missing line because the MSHRs are full performs only
+// cycle-invariant work (hits on the leading resident lines, a reject count)
+// until an outstanding miss retires — see mem.Cache.ProbeRetry — and
+// SkipTicks bulk-replays exactly those effects via ReplayRetries. When
+// several cores storm the same port at once their bandwidth-meter updates
+// interleave in Tick's priority-rotation order, so the bulk replay switches
+// to a cycle-major loop that visits the storming cores in exactly that
+// rotation (see SkipTicks); within one cycle each core's retry is still the
+// same cycle-invariant line walk.
+
+// probeOf extracts a port's optional skip-ahead capability.
+func probeOf(p mem.SharedPort) mem.RetryProber {
+	probe, _ := p.(mem.RetryProber)
+	return probe
+}
+
+// sleepFx is the constant per-cycle accounting a quiescent core repeats
+// every elided cycle: the observability signals its scan would raise, plus
+// the stall counters that increment per cycle.
+type sleepFx struct {
+	sig         obs.Sig
+	drainWait   bool // MSR <VL> at the head, drain window open
+	renameStall bool // renamer blocked on physical registers
+	mshrRetry   bool // a memory op retries against a rejecting cache
+	// The retrying access, for SkipTicks' bulk replay.
+	retryAddr  uint64
+	retrySize  int
+	retryWrite bool
+}
+
+// coreSleep mirrors one core's slice of Tick (head advance, renameTick, the
+// issue scan) without side effects. It returns ok=false when the real tick
+// would change state; otherwise fx describes the cycle's repeated effects
+// and wake bounds the window (NeverWake when only inflight completions or
+// the EM-SIMD manager can wake this core).
+func (cp *Coproc) coreSleep(c int, now uint64) (fx sleepFx, wake uint64, ok bool) {
+	wake = uint64(sim.NeverWake)
+	st := cp.cores[c]
+	if st.head < len(st.queue) && st.queue[st.head].issued {
+		return fx, 0, false // head would advance
+	}
+	if st.renamed < len(st.queue) && st.renamed-st.head < window {
+		x := &st.queue[st.renamed]
+		if x.Op.IsEMSIMD() || !hasZDst(x.Op) || cp.canRename(c, now) {
+			return fx, 0, false // renamer would advance
+		}
+		fx.sig |= obs.SigRenameStall
+		fx.renameStall = true
+	}
+	memBlocked := false
+	storeBlocked := false
+	for i := st.head; i < st.renamed; i++ {
+		x := &st.queue[i]
+		if x.issued {
+			continue
+		}
+		switch {
+		case x.Op.IsEMSIMD():
+			if i != st.head {
+				return fx, wake, true // fences the scan; nothing younger is examined
+			}
+			if x.Op == isa.OpMSR && x.Sys == isa.SysOI {
+				if cp.emsimdBusyUntil > now {
+					fx.sig |= obs.SigMonitor
+					return fx, wake, true
+				}
+				return fx, 0, false // manager free: the write executes
+			}
+			if x.Op == isa.OpMSR && x.Sys == isa.SysVL && cp.cfg.Elastic {
+				if st.inflight.Count(now) > 0 {
+					if !st.draining {
+						return fx, 0, false // opening the drain window is a state change
+					}
+					fx.sig |= obs.SigDrain
+					fx.drainWait = true
+					return fx, wake, true
+				}
+				return fx, 0, false // drained: the reconfiguration executes
+			}
+			return fx, 0, false // MRS and other MSRs execute immediately
+		case x.Op.IsVectorMem():
+			if memBlocked || (x.Op == isa.OpVStore && storeBlocked) {
+				continue
+			}
+			if x.Active == 0 {
+				return fx, 0, false // fully predicated off: issues instantly
+			}
+			if x.Op == isa.OpVLoad {
+				if st.lhq.Count(now) >= cp.cfg.LHQ {
+					fx.sig |= obs.SigLSUWait
+					memBlocked = true
+					continue
+				}
+			} else {
+				if st.stq.Count(now) >= cp.cfg.STQ {
+					fx.sig |= obs.SigLSUWait
+					memBlocked = true
+					continue
+				}
+				if !x.depsReady(st, now) {
+					fx.sig |= obs.SigLSUWait
+					storeBlocked = true
+					continue
+				}
+			}
+			// The op would reach AccessFrom. A cycle-invariant MSHR
+			// reject repeats until an outstanding miss retires; anything
+			// else changes cache state in a way a bulk replay cannot
+			// reproduce and must tick for real.
+			if cp.vecProbe != nil {
+				write := x.Op == isa.OpVStore
+				if r, rejected := cp.vecProbe.ProbeRetry(now, x.Addr, 4*x.Active, write, c); rejected {
+					fx.sig |= obs.SigMemBW
+					fx.mshrRetry = true
+					fx.retryAddr, fx.retrySize, fx.retryWrite = x.Addr, 4*x.Active, write
+					if r < wake {
+						wake = r
+					}
+					memBlocked = true
+					continue
+				}
+			}
+			return fx, 0, false // access would make progress
+		default: // vector compute
+			if !x.depsReady(st, now) {
+				fx.sig |= obs.SigExeBUWait
+				continue
+			}
+			return fx, 0, false // would issue
+		}
+	}
+	return fx, wake, true
+}
+
+// NextWake implements sim.Sleeper. A fully quiescent scan memoizes each
+// core's effects so the SkipTicks call the engine issues for the same cycle
+// can replay them without re-scanning.
+func (cp *Coproc) NextWake(now uint64) (uint64, bool) {
+	cp.sleepOK = false
+	wake := uint64(sim.NeverWake)
+	if cp.emsimdBusyUntil > now && cp.emsimdBusyUntil < wake {
+		wake = cp.emsimdBusyUntil
+	}
+	for c := range cp.cores {
+		fx, w, ok := cp.coreSleep(c, now)
+		if !ok {
+			return 0, false
+		}
+		cp.sleepFxs[c] = fx
+		if w < wake {
+			wake = w
+		}
+		if r := cp.cores[c].inflight.next(now); r < wake {
+			wake = r
+		}
+	}
+	cp.sleepStamp, cp.sleepOK = now, true
+	return wake, true
+}
+
+// SkipTicks implements sim.Sleeper: the accounting n quiescent Ticks at
+// cycles [from, from+n) would have performed. Priority rotation and issue
+// budgets need no replay — nothing issues in a quiescent cycle, so budgets
+// never decrement and the visit order has no observable effect.
+func (cp *Coproc) SkipTicks(from, n uint64) {
+	if !cp.sleepOK || cp.sleepStamp != from {
+		for c := range cp.cores {
+			cp.sleepFxs[c], _, _ = cp.coreSleep(c, from)
+		}
+	}
+	storms := 0
+	for c := range cp.cores {
+		if cp.sleepFxs[c].mshrRetry {
+			storms++
+		}
+	}
+	for c, st := range cp.cores {
+		fx := cp.sleepFxs[c]
+		if fx.sig != 0 {
+			cp.probe.Signal(c, fx.sig)
+		}
+		if fx.drainWait {
+			st.drainWait += n
+			cp.stats.Add("coproc.drain_wait_cycles", n)
+		}
+		if fx.renameStall {
+			st.renameStalls += n
+			cp.stats.Add("coproc.rename.stalls", n)
+		}
+		if fx.mshrRetry {
+			st.mshrRetries += n
+			cp.stats.Add("coproc.lsu.mshr_retries", n)
+			if storms == 1 {
+				// Sole storming core: one bulk replay covers the window.
+				cp.vecProbe.ReplayRetries(from, n, fx.retryAddr, fx.retrySize, fx.retryWrite, c)
+			}
+		}
+		if st.head < len(st.queue) {
+			st.lastActive = from + n - 1
+		} else if m := st.inflight.max(); m > from {
+			// inflight.Count(t) > 0 exactly for t < m: the last
+			// qualifying cycle in the window is min(from+n-1, m-1).
+			last := from + n - 1
+			if m-1 < last {
+				last = m - 1
+			}
+			st.lastActive = last
+		}
+		// Every elided cycle records zero busy lanes, exactly as the
+		// real stalled ticks would (exact for v == 0; see RecordRun).
+		st.busyTimeline.RecordRun(from, n, 0)
+	}
+	if storms > 1 {
+		// Concurrent storms interleave their bandwidth-meter updates in
+		// Tick's per-cycle priority rotation, so replay cycle-major,
+		// visiting the storming cores in exactly that rotation. Each
+		// single-cycle ReplayRetries re-walks a few cache lines — far
+		// cheaper than the full component tick it replaces.
+		nc := len(cp.cores)
+		for t := from; t < from+n; t++ {
+			start := int(t) % nc
+			for i := 0; i < nc; i++ {
+				c := (start + i) % nc
+				if fx := cp.sleepFxs[c]; fx.mshrRetry {
+					cp.vecProbe.ReplayRetries(t, 1, fx.retryAddr, fx.retrySize, fx.retryWrite, c)
+				}
+			}
+		}
+	}
+	// busyLaneCycles accumulates 0.0/lanes per stalled cycle — an exact
+	// float64 no-op, so there is nothing to add here.
+	cp.cycles += n
+}

@@ -1,5 +1,7 @@
 package coproc
 
+import "math"
+
 // holdTracker counts resources held by in-flight operations: each entry is a
 // release cycle; Count reports how many are still held at a given cycle.
 // Used for physical-register occupancy, load/store queue occupancy and the
@@ -27,6 +29,31 @@ func (t *holdTracker) Count(now uint64) int {
 // Add records a resource held until cycle release.
 func (t *holdTracker) Add(release uint64) {
 	t.releases = append(t.releases, release)
+}
+
+// next returns the earliest release strictly after now, or sim.NeverWake
+// when nothing is pending — the tracker's contribution to the skip-ahead
+// engine's wake computation: Count(t) is constant for t in [now, next).
+func (t *holdTracker) next(now uint64) uint64 {
+	min := uint64(math.MaxUint64)
+	for _, r := range t.releases {
+		if r > now && r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// max returns the latest recorded release (0 when empty): the last cycle t
+// for which Count(t-1) > 0.
+func (t *holdTracker) max() uint64 {
+	var m uint64
+	for _, r := range t.releases {
+		if r > m {
+			m = r
+		}
+	}
+	return m
 }
 
 // regPool tracks physical-register occupancy for one rename namespace:

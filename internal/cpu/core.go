@@ -79,6 +79,7 @@ type Core struct {
 	phase           int
 	phaseCycleNames []string
 	poolFullName    string
+	mobStallName    string
 	renameBlockName string
 	haltCycle       uint64
 
@@ -106,6 +107,7 @@ func New(id int, cfg Config, prog *isa.Program, cp *coproc.Coproc, l1 mem.Port, 
 		c.phaseCycleNames[p] = fmt.Sprintf("cpu%d.phase%d.cycles", id, p-1)
 	}
 	c.poolFullName = fmt.Sprintf("cpu%d.pool_full_stall", id)
+	c.mobStallName = fmt.Sprintf("cpu%d.mob_stall", id)
 	c.renameBlockName = fmt.Sprintf("cpu%d.rename_block_stall", id)
 	return c
 }
@@ -372,7 +374,7 @@ func (c *Core) execScalarMem(in *isa.Inst, now uint64) bool {
 	// MOB: wait for vector memory quiescence (Table 2).
 	if c.cp.MemInFlight(c.id, now) > 0 {
 		c.probe.Signal(c.id, obs.SigLSUWait)
-		c.stats.Inc(fmt.Sprintf("cpu%d.mob_stall", c.id))
+		c.stats.Inc(c.mobStallName)
 		return false
 	}
 	addr := uint64(c.xr(in.Src1)) + uint64(in.Imm)

@@ -29,6 +29,12 @@ type Config struct {
 	Seed uint64
 	// MaxCycles bounds each simulation.
 	MaxCycles uint64
+	// Parallel bounds concurrent simulations in sweeps (occamy-bench -j);
+	// zero means one per host CPU.
+	Parallel int
+	// LegacyTick forces the every-cycle engine path, disabling skip-ahead
+	// fast-forwarding (A/B validation; results are bit-identical).
+	LegacyTick bool
 }
 
 // Default returns the full-size configuration.
@@ -51,6 +57,7 @@ func (c Config) sched(s workload.CoSchedule) workload.CoSchedule {
 // runOne builds and runs one (architecture, schedule) combination.
 func (c Config) runOne(kind arch.Kind, s workload.CoSchedule, opts arch.Options) (*arch.System, *arch.Result, error) {
 	opts.Seed = c.Seed
+	opts.LegacyTick = c.LegacyTick
 	sys, err := arch.Build(kind, c.sched(s), opts)
 	if err != nil {
 		return nil, nil, err
@@ -92,7 +99,7 @@ func (c Config) Sweep(verify bool) (*metrics.Sweep, error) {
 	errs := make([]error, len(pairs))
 
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
+	sem := make(chan struct{}, c.maxParallel())
 	for i, p := range pairs {
 		wg.Add(1)
 		go func(i int, p workload.CoSchedule) {
@@ -125,8 +132,12 @@ func (c Config) Sweep(verify bool) (*metrics.Sweep, error) {
 }
 
 // maxParallel bounds concurrent simulations (each uses one goroutine and a
-// few hundred MB-cycles of work).
-func maxParallel() int {
+// few hundred MB-cycles of work): Config.Parallel when set, else one per
+// host CPU.
+func (c Config) maxParallel() int {
+	if c.Parallel > 0 {
+		return c.Parallel
+	}
 	n := runtime.GOMAXPROCS(0)
 	if n < 1 {
 		n = 1

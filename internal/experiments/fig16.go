@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"strings"
 
 	"occamy/internal/arch"
@@ -74,5 +73,3 @@ func (f *Fig16) Speedup(group string, kind arch.Kind, core int) float64 {
 	}
 	return float64(base.Cores[core].Cycles) / float64(r.Cores[core].Cycles)
 }
-
-var _ = fmt.Sprintf // keep fmt for future renderers

@@ -178,6 +178,113 @@ func (c *Cache) accessLine(now uint64, lineAddr uint64, reqBytes int, write bool
 	return maxU64(fillDone, xfer), true
 }
 
+// ProbeRetry reports whether AccessFrom(now, addr, size, write, who) would
+// be rejected with cycle-invariant side effects, and if so the earliest
+// cycle at which the outcome could change. This is the skip-ahead probe for
+// MSHR retry storms: AccessFrom walks the request's lines in order, so a
+// retry either rejects on its FIRST missing line (a miss with no free MSHR
+// slot) after repeating the exact same hit work on the leading resident
+// lines — port bandwidth for each line's requested bytes, an LRU touch, a
+// hit count — or it makes progress. The repeated form holds until an
+// outstanding miss retires (reservations only come from accesses, and every
+// potential requestor is quiescent while this probe's verdict is in force),
+// so the wake is the tracker's earliest release. Three outcomes are NOT
+// cycle-invariant and report false: a line that would start a fill, a
+// prefetched line whose first demand hit would re-arm the stream, and a
+// request that would complete. hasSlot's lazy retirement is the only state
+// touched here; it is idempotent and time-indexed, so probing does not
+// perturb timing.
+func (c *Cache) ProbeRetry(now uint64, addr uint64, size int, write bool, who int) (uint64, bool) {
+	if size <= 0 {
+		size = 1
+	}
+	first, lines := lineSpan(addr, size)
+	for i := 0; i < lines; i++ {
+		lineAddr := first + uint64(i*LineBytes)
+		set := (lineAddr >> c.setShift) & c.setMask
+		tag := lineAddr >> (c.setShift + popcount(c.setMask))
+		resident := false
+		for _, l := range c.sets[set] {
+			if l.valid && l.tag == tag {
+				if l.prefetched {
+					return 0, false // first demand hit re-arms the prefetcher
+				}
+				resident = true
+				break
+			}
+		}
+		if resident {
+			continue
+		}
+		if c.miss.hasSlot(now, who) {
+			return 0, false // the line would start a fill
+		}
+		return c.miss.nextRelease(), true
+	}
+	return 0, false // full hit: the access would complete
+}
+
+// ReplayRetries applies the bulk side effects of n elided retry attempts of
+// AccessFrom(addr, size, write, who) at cycles [from, from+n), exactly as n
+// real rejected attempts would have: per cycle, every leading resident line
+// repeats its hit — consuming port bandwidth for the line's requested bytes,
+// in line order — and the first missing line counts one MSHR reject. The
+// bandwidth meter is advanced attempt by attempt with the same consume calls
+// the real ticks would make, keeping its float state bit-identical; LRU
+// stamps land on the final attempt cycle, the value the legacy path leaves
+// behind. Call only for a window ProbeRetry approved at `from`.
+func (c *Cache) ReplayRetries(from, n uint64, addr uint64, size int, write bool, who int) {
+	if size <= 0 {
+		size = 1
+	}
+	first, lines := lineSpan(addr, size)
+	end := addr + uint64(size)
+	type hitLine struct {
+		way *cacheLine
+		b   int
+	}
+	var hits []hitLine
+	for i := 0; i < lines; i++ {
+		lineAddr := first + uint64(i*LineBytes)
+		set := (lineAddr >> c.setShift) & c.setMask
+		tag := lineAddr >> (c.setShift + popcount(c.setMask))
+		ways := c.sets[set]
+		var way *cacheLine
+		for k := range ways {
+			if ways[k].valid && ways[k].tag == tag {
+				way = &ways[k]
+				break
+			}
+		}
+		if way == nil {
+			break // the rejecting line; each attempt stops here
+		}
+		lo, hi := lineAddr, lineAddr+LineBytes
+		if addr > lo {
+			lo = addr
+		}
+		if end < hi {
+			hi = end
+		}
+		hits = append(hits, hitLine{way, int(hi - lo)})
+	}
+	for t := from; t < from+n; t++ {
+		for _, h := range hits {
+			c.bw.consume(t, h.b)
+		}
+	}
+	for _, h := range hits {
+		h.way.lru = from + n - 1
+		if write {
+			h.way.dirty = true
+		}
+	}
+	if c.stats != nil {
+		c.stats.Add(c.cfg.Name+".hit", uint64(len(hits))*n)
+		c.stats.Add(c.cfg.Name+".mshr_reject", n)
+	}
+}
+
 // prefetch issues next-line fills after a demand miss (attributed to the
 // same requestor), skipping lines that are already resident and stopping
 // when MSHRs run out.

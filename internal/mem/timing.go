@@ -20,6 +20,16 @@ type SharedPort interface {
 	AccessFrom(now uint64, addr uint64, size int, write bool, who int) (done uint64, ok bool)
 }
 
+// RetryProber is the optional skip-ahead capability of a timing port: it can
+// predict, without mutating any state, that an access would be rejected with
+// cycle-invariant side effects until some wake cycle (see Cache.ProbeRetry),
+// and bulk-replay those side effects for a window of elided retry attempts
+// (see Cache.ReplayRetries).
+type RetryProber interface {
+	ProbeRetry(now uint64, addr uint64, size int, write bool, who int) (wake uint64, elidable bool)
+	ReplayRetries(from, n uint64, addr uint64, size int, write bool, who int)
+}
+
 // bwMeter serializes bandwidth consumption: a component that can move
 // bytesPerCycle bytes each cycle grants a request of b bytes the interval
 // [max(now, nextFree), +b/bytesPerCycle). This is what makes two cores
@@ -97,6 +107,20 @@ func (t *missTracker) hasSlot(now uint64, who int) bool {
 // reserve records a miss completing at done; call only after hasSlot.
 func (t *missTracker) reserve(done uint64, who int) {
 	t.pending = append(t.pending, missEntry{release: done, who: who})
+}
+
+// nextRelease returns the earliest pending completion, or ^uint64(0) when no
+// miss is outstanding. A full tracker cannot change its hasSlot answer before
+// this cycle (reservations only come from accesses, and a rejected requestor
+// is by definition not accessing).
+func (t *missTracker) nextRelease() uint64 {
+	next := ^uint64(0)
+	for _, e := range t.pending {
+		if e.release < next {
+			next = e.release
+		}
+	}
+	return next
 }
 
 // lineSpan returns the first line-aligned address and the number of lines

@@ -264,6 +264,38 @@ func (p *Probe) Tick(now uint64) {
 	}
 }
 
+// NextWake implements the sim engine's Sleeper capability (structurally —
+// obs does not import sim): the probe never schedules work of its own, and
+// charging a cycle whose signal mask is already settled is a pure accounting
+// effect, so the probe is always quiescent.
+func (p *Probe) NextWake(now uint64) (uint64, bool) {
+	_ = now
+	return neverWake, true
+}
+
+// neverWake mirrors sim.NeverWake without importing sim.
+const neverWake = ^uint64(0)
+
+// SkipTicks bulk-charges the n elided cycles starting at from: in a
+// quiescent window every component re-raises the same signal set each cycle,
+// so the mask accumulated since the last charge classifies every skipped
+// cycle. Cycle 0 is the reset cycle and is never charged, mirroring Tick.
+func (p *Probe) SkipTicks(from, n uint64) {
+	if p == nil {
+		return
+	}
+	if from == 0 && n > 0 {
+		n--
+	}
+	for c := range p.mask {
+		if n > 0 {
+			p.buckets[c][Classify(p.mask[c])] += n
+			p.total[c] += n
+		}
+		p.mask[c] = 0
+	}
+}
+
 // CoreAttribution is one core's final cycle accounting.
 type CoreAttribution struct {
 	// Buckets holds charged cycles, indexed by Bucket.

@@ -257,3 +257,51 @@ func TestValidatePerfettoRejectsBadTraces(t *testing.T) {
 		t.Errorf("good trace rejected: %v", err)
 	}
 }
+
+func TestProbeSkipTicksConserves(t *testing.T) {
+	p := NewProbe(2, nil)
+	// A real warm-up cycle, then a skip with a settled stall mask: the
+	// bulk charge must land every elided cycle in exactly one bucket.
+	p.Signal(0, SigScalar)
+	p.Signal(1, SigScalar|SigLSUWait)
+	p.Tick(1)
+	p.Signal(0, SigScalar|SigDispatchFull)
+	p.Signal(1, SigScalar|SigLSUWait)
+	p.SkipTicks(2, 40)
+	a0, a1 := p.CoreAttribution(0), p.CoreAttribution(1)
+	if err := a0.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if a0.Total != 41 || a1.Total != 41 {
+		t.Fatalf("totals = %d/%d, want 41 (1 ticked + 40 skipped)", a0.Total, a1.Total)
+	}
+	if got := a0.Get(BucketDispatchFull); got != 40 {
+		t.Fatalf("core0 dispatch-full = %d, want 40", got)
+	}
+	if got := a1.Get(BucketLSUWait); got != 41 {
+		t.Fatalf("core1 lsu-wait = %d, want 41", got)
+	}
+	// The mask must be consumed, like Tick does.
+	p.Tick(42)
+	if got := p.CoreAttribution(0).Get(BucketIdle); got != 1 {
+		t.Fatalf("post-skip tick charged %d idle cycles, want 1", got)
+	}
+}
+
+func TestProbeSkipTicksNeverChargesCycleZero(t *testing.T) {
+	p := NewProbe(1, nil)
+	p.Signal(0, SigScalar)
+	p.SkipTicks(0, 10) // covers the reset cycle: only 9 chargeable
+	a := p.CoreAttribution(0)
+	if a.Total != 9 || a.Get(BucketScalarIssue) != 9 {
+		t.Fatalf("attribution = %+v, want 9 scalar-issue cycles", a)
+	}
+	var nilProbe *Probe
+	nilProbe.SkipTicks(0, 10) // nil-receiver safety, like every obs method
+	if w, ok := nilProbe.NextWake(5); ok != true || w == 0 {
+		t.Fatalf("nil probe NextWake = %d,%v", w, ok)
+	}
+}

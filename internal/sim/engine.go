@@ -7,9 +7,21 @@
 // input, no map iteration on the tick path, and component order is the
 // registration order, so a given configuration and seed always produce the
 // same cycle counts.
+//
+// The engine is a hybrid cycle/event kernel: components tick every cycle by
+// default, but a component that also implements Sleeper can declare windows
+// of quiescence, and when every registered component is quiescent the clock
+// fast-forwards to the earliest declared wake cycle instead of ticking
+// through the window (DESIGN.md §3's skip-ahead contract). Skipping is an
+// execution strategy, not a model change: SkipTicks replays the elided
+// cycles' accounting exactly, so a run with skipping produces bit-identical
+// cycle counts, statistics and functional results to the legacy path.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Component is a piece of hardware that does work once per cycle.
 //
@@ -23,22 +35,98 @@ type Component interface {
 	Tick(cycle uint64)
 }
 
+// NeverWake is the wake cycle of a quiescent component with no self-scheduled
+// event: it sleeps until some other component's wake bounds the jump (or the
+// cycle budget does).
+const NeverWake = math.MaxUint64
+
+// Sleeper is the opt-in capability through which a Component declares
+// quiescent windows to the skip-ahead engine.
+//
+// NextWake(now) returns (wake, true) when every Tick the component would
+// receive on [now, wake) is guaranteed to (a) change no simulation state
+// other than a fixed, cycle-invariant set of per-cycle accounting effects
+// (stall counters, observability signals, timeline samples), and (b) leave
+// every time-driven predicate the component exposes to the rest of the
+// system unchanged until wake. Returning (_, false) means the next Tick may
+// make progress and must run for real. A wake of NeverWake means "until an
+// upstream event"; the engine then relies on some other component (or the
+// cycle budget) to bound the jump.
+//
+// SkipTicks(from, n) bulk-applies the accounting of the n elided ticks at
+// cycles [from, from+n): exactly what n real Ticks would have done in a
+// quiescent window, so that a skipping run stays bit-identical to a ticking
+// one. The engine only calls it after NextWake(from) reported quiescence,
+// with from+n never past the declared wake.
+type Sleeper interface {
+	NextWake(now uint64) (wake uint64, quiescent bool)
+	SkipTicks(from, n uint64)
+}
+
 // Engine drives a set of Components with a shared clock.
 type Engine struct {
 	components []Component
-	cycle      uint64
-	stats      *Stats
+	// sleepers is parallel to components: the Sleeper view of each
+	// component, nil when it does not implement the capability (which
+	// disables skipping for the whole engine — one opaque component can
+	// make progress at any cycle).
+	sleepers []Sleeper
+	cycle    uint64
+	stats    *Stats
+
+	skip         bool
+	skips        uint64
+	skippedTicks uint64
+
+	// Adaptive probe backoff. Probing for quiescence costs one NextWake
+	// scan per component; during live stretches (every issue burst) that
+	// scan buys nothing, and on short windows it can cost as much as the
+	// tick it would elide. After a failed probe the engine waits
+	// 1+probeBackoff cycles before probing again, doubling the backoff up
+	// to maxProbeBackoff and resetting it on every successful skip. This
+	// is purely an execution-cost knob: probes are side-effect-free, and a
+	// cycle that goes unprobed is simply ticked for real, which is always
+	// bit-identical (quiescent or not).
+	probeAt      uint64
+	probeBackoff uint64
 }
 
-// NewEngine returns an empty engine at cycle 0.
+// maxProbeBackoff caps the probe interval during live stretches. The cap
+// trades skip coverage for probe cost: a window shorter than the current
+// interval can slip past unprobed (losing a small skip), while every probe
+// during a live stretch is pure overhead. The long quiescent windows that
+// dominate skip-ahead's payoff (DRAM-latency stalls of tens to hundreds of
+// cycles) are far wider than this cap, so they are always caught.
+const maxProbeBackoff = 31
+
+// NewEngine returns an empty engine at cycle 0 with skip-ahead enabled.
 func NewEngine() *Engine {
-	return &Engine{stats: NewStats()}
+	return &Engine{stats: NewStats(), skip: true}
 }
 
 // Register appends c to the tick order. Registration order is tick order.
 func (e *Engine) Register(c Component) {
 	e.components = append(e.components, c)
+	s, _ := c.(Sleeper)
+	e.sleepers = append(e.sleepers, s)
 }
+
+// SetSkipAhead enables or disables clock fast-forwarding. Disabling forces
+// the legacy every-cycle path; results are bit-identical either way (the
+// differential tests in internal/arch enforce this), so the switch exists
+// for A/B validation and for runs that want per-cycle trace fidelity.
+func (e *Engine) SetSkipAhead(on bool) { e.skip = on }
+
+// SkipAhead reports whether fast-forwarding is enabled.
+func (e *Engine) SkipAhead() bool { return e.skip }
+
+// Skips returns how many fast-forward jumps the engine has taken.
+func (e *Engine) Skips() uint64 { return e.skips }
+
+// SkippedCycles returns how many cycles were fast-forwarded rather than
+// ticked. These counters live outside Stats so that the counter registry
+// stays bit-identical between skipping and legacy runs.
+func (e *Engine) SkippedCycles() uint64 { return e.skippedTicks }
 
 // Cycle returns the number of cycles executed so far.
 func (e *Engine) Cycle() uint64 { return e.cycle }
@@ -54,15 +142,79 @@ func (e *Engine) Step() {
 	e.cycle++
 }
 
+// nextWake returns the earliest declared wake cycle if every registered
+// component is quiescent. An engine with no components never skips (time
+// passing is then the only observable, and callers poll it with done()).
+func (e *Engine) nextWake() (uint64, bool) {
+	if len(e.components) == 0 {
+		return 0, false
+	}
+	wake := uint64(NeverWake)
+	for _, s := range e.sleepers {
+		if s == nil {
+			return 0, false
+		}
+		w, quiescent := s.NextWake(e.cycle)
+		if !quiescent {
+			return 0, false
+		}
+		if w < wake {
+			wake = w
+		}
+	}
+	return wake, true
+}
+
+// skipTo fast-forwards the clock to target, bulk-applying each component's
+// elided per-cycle accounting in registration order (the same order real
+// ticks would have run, which matters for the observability probe: it must
+// see the cycle's signals before charging them).
+func (e *Engine) skipTo(target uint64) {
+	n := target - e.cycle
+	for _, s := range e.sleepers {
+		s.SkipTicks(e.cycle, n)
+	}
+	e.cycle = target
+	e.skips++
+	e.skippedTicks += n
+}
+
 // RunUntil steps the engine until done() reports true or maxCycles elapse.
 // It returns the number of cycles executed and an error if the cycle budget
 // was exhausted before done() held, which in this codebase always indicates a
 // deadlock or livelock bug in a hardware model or generated program.
+//
+// With skip-ahead enabled, iterations where every component is quiescent
+// fast-forward the clock to the earliest wake cycle instead of ticking. The
+// jump is clamped to the cycle budget so an all-quiescent-forever system
+// still reports budget exhaustion at exactly the cycle the legacy path
+// would. A component that (erroneously) declares a wake cycle in the past
+// degrades to normal ticking rather than stalling the clock.
 func (e *Engine) RunUntil(done func() bool, maxCycles uint64) (uint64, error) {
 	start := e.cycle
 	for !done() {
 		if e.cycle-start >= maxCycles {
 			return e.cycle - start, fmt.Errorf("sim: cycle budget of %d exhausted (started at %d)", maxCycles, start)
+		}
+		if e.skip && e.probeAt <= e.cycle {
+			wake, ok := e.nextWake()
+			if ok && wake > e.cycle {
+				if limit := start + maxCycles; wake > limit {
+					wake = limit
+				}
+				e.skipTo(wake)
+				e.probeBackoff = 0
+				e.probeAt = e.cycle
+				continue
+			}
+			// Live (or a wake declared in the past): back off before the
+			// next probe so dense live stretches don't pay a full
+			// quiescence scan every cycle.
+			e.probeBackoff = 2*e.probeBackoff + 1
+			if e.probeBackoff > maxProbeBackoff {
+				e.probeBackoff = maxProbeBackoff
+			}
+			e.probeAt = e.cycle + 1 + e.probeBackoff
 		}
 		e.Step()
 	}

@@ -32,6 +32,31 @@ func (t *Timeline) Record(cycle uint64, v float64) {
 	t.current = idx
 }
 
+// RecordRun adds value v for each of the n consecutive cycles starting at
+// from — equivalent to n Record calls, split across bucket boundaries. The
+// per-bucket sum gains v*span rather than span separate additions, so the
+// result is bit-identical to individual Record calls only when that product
+// is exact; the skip-ahead engine only elides cycles whose sample is 0.0,
+// for which both forms are exact no-ops on the sum.
+func (t *Timeline) RecordRun(from, n uint64, v float64) {
+	for n > 0 {
+		idx := from / t.bucket
+		for uint64(len(t.sums)) <= idx {
+			t.sums = append(t.sums, 0)
+			t.counts = append(t.counts, 0)
+		}
+		span := (idx+1)*t.bucket - from
+		if span > n {
+			span = n
+		}
+		t.sums[idx] += v * float64(span)
+		t.counts[idx] += span
+		t.current = idx
+		from += span
+		n -= span
+	}
+}
+
 // BucketCycles returns the bucket width.
 func (t *Timeline) BucketCycles() uint64 { return t.bucket }
 

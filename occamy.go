@@ -97,6 +97,11 @@ type Config struct {
 	// of the run (phase slices, reconfiguration drains, lane events,
 	// counter tracks) openable in ui.perfetto.dev. Implies Profile.
 	PerfettoPath string
+	// LegacyTick forces the engine to tick every cycle instead of
+	// skip-ahead fast-forwarding over quiescent windows. Results are
+	// bit-identical either way; the switch exists for A/B validation and
+	// engine benchmarking.
+	LegacyTick bool
 }
 
 // CycleAttribution is one core's top-down cycle accounting: charged cycles
@@ -360,6 +365,7 @@ func buildSystem(cfg Config, sched Schedule, o obs.Options) (*arch.System, error
 		Seed:          cfg.Seed,
 		Machine:       cfg.Machine,
 		Obs:           o,
+		LegacyTick:    cfg.LegacyTick,
 	})
 }
 
