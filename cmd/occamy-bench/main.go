@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table3|table4|fig2|fig10|fig11|fig12|fig13|fig14|table5|fig15|fig16|topdown|ablations|dse|all")
+		exp   = flag.String("exp", "all", "experiment: table3|table4|fig2|fig10|fig11|fig12|fig13|fig14|table5|fig15|fig16|topdown|ablations|dse|degradation|all")
 		scale = flag.Float64("scale", 1.0, "trip-count scale")
 		seed  = flag.Uint64("seed", 1, "workload data seed")
 		html  = flag.String("html", "", "write a self-contained HTML report (SVG charts) to this file and exit")
@@ -162,5 +162,14 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(s)
+	}
+
+	if want("degradation") {
+		section("Degradation — throughput retention under failed ExeBUs")
+		d, err := cfg.Degradation()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(d.Render())
 	}
 }

@@ -10,6 +10,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +49,8 @@ func main() {
 		perfetto = flag.String("perfetto", "", "write a Chrome/Perfetto trace-event JSON file (open in ui.perfetto.dev); with -arch all, the architecture name is appended to the stem")
 		stats    = flag.Bool("stats", false, "dump the full sorted counter registry (implies -profile)")
 		legacy   = flag.Bool("legacy-tick", false, "force the every-cycle engine path (disable skip-ahead; results are bit-identical)")
+		faults   = flag.String("faults", "", `fault-injection spec: "kind[:target...]@at[+for]; ..." (e.g. "exebu:2@10000+5000; xmit:core0@2000+8000"), or @file.json`)
+		stall    = flag.Uint64("stall-cycles", 0, "abort with a diagnostic dump if no instruction retires for this many cycles (0 = the DefaultConfig watchdog)")
 	)
 	flag.Parse()
 
@@ -115,8 +118,23 @@ func main() {
 		cfg.Profile = *profile || *stats
 		cfg.PerfettoPath = perfettoPath(*perfetto, kind, len(kinds) > 1)
 		cfg.LegacyTick = *legacy
+		cfg.Faults = *faults
+		if *stall > 0 {
+			cfg.StallCycles = *stall
+		}
+		if err := cfg.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s\n", err)
+			os.Exit(2)
+		}
 		rep, err := occamy.Run(cfg, sched)
 		if err != nil {
+			// A wedged or budget-exhausted run carries a machine-state dump —
+			// print it so the user sees *where* it stopped, not just that it
+			// stopped.
+			var derr *occamy.DiagnosticError
+			if errors.As(err, &derr) {
+				fmt.Fprintln(os.Stderr, derr.Dump)
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", kind, err)
 			os.Exit(1)
 		}

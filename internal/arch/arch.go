@@ -18,6 +18,7 @@ import (
 	"occamy/internal/compiler"
 	"occamy/internal/coproc"
 	"occamy/internal/cpu"
+	"occamy/internal/fault"
 	"occamy/internal/isa"
 	"occamy/internal/lanemgr"
 	"occamy/internal/mem"
@@ -86,6 +87,15 @@ type Options struct {
 	// either way (enforced by the engine differential tests); the switch
 	// exists for A/B validation and debugging.
 	LegacyTick bool
+	// Faults schedules deterministic fault injections (internal/fault).
+	// A non-empty list registers the injector and disables skip-ahead
+	// (faulted runs are not required to be skip-equivalent).
+	Faults []fault.Fault
+	// StallCycles arms the engine's forward-progress watchdog: a run where
+	// no component makes progress for this many cycles aborts with a
+	// sim.StallError (wrapped in a DiagError carrying the machine dump).
+	// 0 leaves the watchdog disarmed.
+	StallCycles uint64
 }
 
 // MachineTuning overrides hardware parameters relative to the Table 4
@@ -195,6 +205,8 @@ type System struct {
 	StaticVLs []int
 	// Probe is the observability hub; nil when Options.Obs was zero.
 	Probe *obs.Probe
+	// faults is the fault controller; nil when Options.Faults was empty.
+	faults *faultCtl
 }
 
 // Build compiles the co-schedule's workloads for kind and wires the system.
@@ -215,11 +227,23 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 		return nil, err
 	}
 
+	for i, f := range opts.Faults {
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("arch: fault %d: %w", i, err)
+		}
+		if f.Core != fault.AnyCore && f.Core >= n {
+			return nil, fmt.Errorf("arch: fault %d: core %d out of range (%d cores)", i, f.Core, n)
+		}
+	}
+
 	engine := sim.NewEngine()
 	stats := engine.Stats()
 	hcfg := mem.DefaultHierarchyConfig(n)
 	ccfg := coproc.DefaultConfig(n)
 	opts.Machine.apply(&hcfg, &ccfg)
+	if err := hcfg.Validate(); err != nil {
+		return nil, err
+	}
 	hier := mem.NewHierarchy(hcfg, stats)
 	ccfg.ExeBUs = opts.ExeBUs
 	var staticVLs []int
@@ -248,6 +272,9 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 		staticVLs = ccfg.FixedVLs
 	case Occamy:
 		ccfg.Elastic = true
+	}
+	if err := ccfg.Validate(); err != nil {
+		return nil, err
 	}
 
 	cp := coproc.New(ccfg, hier.VecCache, hier.Mem, model, stats)
@@ -280,6 +307,12 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 	cp.SetResponder(func(core int, reg isa.Reg, val uint64, ready uint64) {
 		sys.Cores[core].HandleResult(core, reg, val, ready)
 	})
+	if len(opts.Faults) > 0 {
+		// The injector ticks after the co-processor (faults land on cycle
+		// boundaries, visible from the next cycle on) and before the probe.
+		sys.faults = newFaultCtl(sys)
+		engine.Register(fault.NewInjector(opts.Faults, n, opts.Seed, sys.faults))
+	}
 	if opts.Obs.Enabled() {
 		probe := obs.NewProbe(n, opts.Obs.Sink)
 		for _, core := range sys.Cores {
@@ -298,9 +331,13 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 		}
 		sys.Probe = probe
 	}
+	if opts.StallCycles > 0 {
+		engine.SetWatchdog(opts.StallCycles)
+	}
 	// Skip-ahead elides quiescent cycles; a Perfetto sink wants the real
-	// per-cycle counter samples, so trace runs keep the legacy path.
-	engine.SetSkipAhead(!opts.LegacyTick && opts.Obs.Sink == nil)
+	// per-cycle counter samples, and the fault injector must observe every
+	// cycle, so those runs keep the legacy path.
+	engine.SetSkipAhead(!opts.LegacyTick && opts.Obs.Sink == nil && len(opts.Faults) == 0)
 	return sys, nil
 }
 
@@ -346,10 +383,15 @@ func (s *System) Done() bool {
 	return true
 }
 
-// Run simulates until every core halts or maxCycles elapse.
+// Run simulates until every core halts or maxCycles elapse. A run the engine
+// aborts (cycle budget exhausted, watchdog stall) returns the partial Result
+// alongside a *DiagError wrapping the engine error and a machine-state dump —
+// callers that only check err keep their old behaviour, callers that care can
+// errors.As the dump out.
 func (s *System) Run(maxCycles uint64) (*Result, error) {
 	if _, err := s.Engine.RunUntil(s.Done, maxCycles); err != nil {
-		return nil, fmt.Errorf("arch: %s on %s: %w (pcs: %s)", s.Sched.Name, s.Kind, err, s.pcDump())
+		werr := fmt.Errorf("arch: %s on %s: %w (pcs: %s)", s.Sched.Name, s.Kind, err, s.pcDump())
+		return s.collect(), &DiagError{Dump: s.Diagnose(err), Err: werr}
 	}
 	return s.collect(), nil
 }

@@ -1,0 +1,375 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"occamy/internal/coproc"
+	"occamy/internal/fault"
+	"occamy/internal/obs"
+)
+
+// Recovery records how the system reacted to one injected fault: the cycle it
+// fired and the cycle the architecture finished adapting to it. For
+// architectures that react combinationally (issue gates, register cuts,
+// bandwidth derating) Done == At; for the lane-repartitioning reactions
+// (Occamy's elastic re-plan, VLS's drain-gated revocation) Done - At is the
+// paper-relevant "time to repartition".
+type Recovery struct {
+	Fault fault.Fault `json:"fault"`
+	At    uint64      `json:"at"`
+	Done  uint64      `json:"done"`
+	// Pending marks a recovery the run ended before completing (e.g. the
+	// victim livelocked and the watchdog fired first).
+	Pending bool `json:"pending,omitempty"`
+}
+
+// TimeToRepartition is Done - At (0 while pending).
+func (r Recovery) TimeToRepartition() uint64 {
+	if r.Pending {
+		return 0
+	}
+	return r.Done - r.At
+}
+
+// faultCtl is the architecture layer's fault.Handler: it translates fault
+// events into the reaction each Figure 1 architecture is capable of.
+//
+//   - Occamy excludes the units from the ResourceTbl and repartitions; the
+//     elastic binaries' monitors observe the fresh <decision> values and
+//     reconfigure themselves at the next strip boundary, so the machine
+//     converges onto the survivors with no special-case code.
+//   - VLS has no reconfiguration protocol, so the controller revokes the
+//     victim core's dead granules by forcing its VL down at the core's next
+//     strip boundary (in-flight work drains at the old width, §4.2.2). The
+//     VL is never force-grown back after a transient repairs: fixed-mode
+//     binaries carry no safe-point protocol, so a mid-kernel width increase
+//     would resurrect stale loop invariants. A victim whose whole partition
+//     died reads zero lanes at its next strip and stalls — the watchdog
+//     reports it (the honest Figure 1(c) outcome).
+//   - Private cannot move work between its hard-partitioned halves at all;
+//     a victim core limps along on its surviving units, modeled as an issue
+//     gate of period ceil(2*half/(half-f)) — strictly worse than VLS's
+//     proportional loss because the fixed-width ISA must crack every
+//     full-width op over the survivors. Losing the whole half is fatal for
+//     that core.
+//   - FTS time-shares the full array, so any dead unit degrades every core:
+//     a shared issue gate of period ceil(2*N/(N-f)).
+//
+// RegBank, Bandwidth and XmitLink faults are architecture-independent and map
+// directly onto the co-processor / memory hooks.
+type faultCtl struct {
+	sys *System
+	n   int
+	// perCoreFailed assigns failed ExeBUs to cores' static partitions
+	// (round-robin over the cursor) for the architectures whose loss is
+	// per-core (Private, VLS). The assignment is a modeling abstraction —
+	// which physical unit died is irrelevant, only how many per partition.
+	perCoreFailed []int
+	cursor        int
+	recs          []Recovery
+	open          []int // indices into recs of recoveries not yet Done
+}
+
+func newFaultCtl(sys *System) *faultCtl {
+	n := len(sys.Cores)
+	return &faultCtl{sys: sys, n: n, perCoreFailed: make([]int, n)}
+}
+
+// Recoveries returns the reaction log so far.
+func (ctl *faultCtl) Recoveries() []Recovery {
+	out := make([]Recovery, len(ctl.recs))
+	copy(out, ctl.recs)
+	for _, i := range ctl.open {
+		out[i].Pending = true
+	}
+	return out
+}
+
+// Apply implements fault.Handler.
+func (ctl *faultCtl) Apply(f fault.Fault, now uint64) {
+	cp := ctl.sys.Coproc
+	rec := Recovery{Fault: f, At: now, Done: now}
+	switch f.Kind {
+	case fault.ExeBU:
+		actual := cp.Tbl().Fail(f.Count)
+		for i := 0; i < actual; i++ {
+			ctl.perCoreFailed[ctl.cursor]++
+			ctl.cursor = (ctl.cursor + 1) % ctl.n
+		}
+		ctl.react()
+		switch ctl.sys.Kind {
+		case Occamy, VLS:
+			// Completion is detected by Poll (lane plans settle later).
+			ctl.open = append(ctl.open, len(ctl.recs))
+		}
+	case fault.RegBank:
+		cp.CutRegs(f.Core, f.Count)
+	case fault.Bandwidth:
+		ctl.bwTarget(f.Level).SetBWFactor(f.Factor)
+	case fault.XmitLink:
+		cp.SetLinkFault(f.Core, f.Delay, now)
+	}
+	ctl.recs = append(ctl.recs, rec)
+}
+
+// Revert implements fault.Handler (end of a transient window).
+func (ctl *faultCtl) Revert(f fault.Fault, now uint64) {
+	cp := ctl.sys.Coproc
+	switch f.Kind {
+	case fault.ExeBU:
+		actual := cp.Tbl().Repair(f.Count)
+		for i := 0; i < actual; i++ {
+			ctl.cursor = (ctl.cursor - 1 + ctl.n) % ctl.n
+			ctl.perCoreFailed[ctl.cursor]--
+		}
+		ctl.react()
+	case fault.RegBank:
+		cp.RestoreRegs(f.Core, f.Count)
+	case fault.Bandwidth:
+		ctl.bwTarget(f.Level).SetBWFactor(1)
+	case fault.XmitLink:
+		cp.ClearLinkFault(f.Core)
+	}
+}
+
+// react propagates the current failed-unit census into each architecture's
+// control state. Called after every Fail/Repair.
+func (ctl *faultCtl) react() {
+	cp := ctl.sys.Coproc
+	tbl := cp.Tbl()
+	switch ctl.sys.Kind {
+	case Occamy:
+		// Fresh plan over the survivors; elastic monitors do the rest.
+		cp.Manager().Repartition()
+	case VLS:
+		// Schedule strip-boundary revocations down to the surviving share
+		// of each static partition; SetForcedVL cancels instead of growing,
+		// so a transient repair never force-grows a fixed-mode binary.
+		for c := range ctl.perCoreFailed {
+			want := ctl.sys.StaticVLs[c] - ctl.perCoreFailed[c]
+			if want < 0 {
+				want = 0
+			}
+			cp.SetForcedVL(c, want)
+		}
+	case Private:
+		for c := range ctl.perCoreFailed {
+			half := ctl.sys.StaticVLs[c]
+			cp.SetIssueGate(c, gatePeriod(half, ctl.perCoreFailed[c]))
+		}
+	case FTS:
+		cp.SetSharedGate(gatePeriod(tbl.Total(), tbl.Failed()))
+	}
+}
+
+// gatePeriod returns the issue-gate period modeling a fixed-width data path
+// running on width-f survivors: issue every ceil(2w/(w-f))-th cycle, the
+// factor 2 charging the cracking/sequencing overhead a non-elastic machine
+// pays to route fixed-width ops around dead units. 0 failures lifts the gate;
+// losing everything is fatal.
+func gatePeriod(width, failed int) uint64 {
+	switch {
+	case failed <= 0 || width <= 0:
+		return 0
+	case failed >= width:
+		return coproc.GateDead
+	default:
+		alive := width - failed
+		return uint64((2*width + alive - 1) / alive)
+	}
+}
+
+// Poll implements fault.Handler: it runs every cycle while the injector is
+// registered. The reactions themselves land elsewhere (the manager's
+// repartition floor, the strip-boundary revocations in the co-processor);
+// Poll only watches for the lane plan to settle so recoveries can be
+// timestamped.
+func (ctl *faultCtl) Poll(now uint64) {
+	ctl.closeRecoveries(now)
+}
+
+// closeRecoveries marks open lane-repartition recoveries done once the lane
+// plan has settled onto the survivors.
+func (ctl *faultCtl) closeRecoveries(now uint64) {
+	if len(ctl.open) == 0 {
+		return
+	}
+	cp := ctl.sys.Coproc
+	tbl := cp.Tbl()
+	settled := false
+	switch ctl.sys.Kind {
+	case Occamy:
+		sum, active := 0, 0
+		for c, core := range ctl.sys.Cores {
+			sum += tbl.VL(c)
+			if !core.Halted() {
+				active++
+			}
+		}
+		target := tbl.Usable()
+		if active > target {
+			// The repartition floor grants one granule per active core
+			// even when fewer survive (time-shared); allow that much.
+			target = active
+		}
+		settled = sum <= target
+	case VLS:
+		settled = true
+		for c := range ctl.sys.Cores {
+			if cp.ForcedVLPending(c) {
+				settled = false
+				break
+			}
+		}
+	}
+	if !settled {
+		return
+	}
+	for _, i := range ctl.open {
+		ctl.recs[i].Done = now
+	}
+	ctl.open = ctl.open[:0]
+}
+
+func (ctl *faultCtl) bwTarget(level string) interface{ SetBWFactor(float64) } {
+	switch level {
+	case "l2":
+		return ctl.sys.Hier.L2
+	case "vec":
+		return ctl.sys.Hier.VecCache
+	default:
+		return ctl.sys.Hier.DRAM
+	}
+}
+
+// DiagnosticDump is the structured "what was the machine doing" snapshot the
+// watchdog and cycle-budget paths emit instead of a bare error: per-core
+// scalar and co-processor pipeline state, the lane table, top-down cycle
+// attribution when the run was observed, and the fault log.
+type DiagnosticDump struct {
+	Arch   string `json:"arch"`
+	Sched  string `json:"sched"`
+	Cycle  uint64 `json:"cycle"`
+	Reason string `json:"reason"`
+
+	Cores []CoreDiag `json:"cores"`
+	Lanes LaneDiag   `json:"lanes"`
+	// Attribution maps obs bucket names to charged cycles per core; nil
+	// when the run was not observed.
+	Attribution []map[string]uint64 `json:"attribution,omitempty"`
+	Recoveries  []Recovery          `json:"recoveries,omitempty"`
+	LinkDrops   uint64              `json:"link_drops,omitempty"`
+}
+
+// CoreDiag is one core's slice of the dump.
+type CoreDiag struct {
+	ID     int                 `json:"id"`
+	PC     int                 `json:"pc"`
+	Halted bool                `json:"halted"`
+	Parked bool                `json:"parked"`
+	Insts  uint64              `json:"insts"`
+	Pipe   coproc.PipeSnapshot `json:"pipe"`
+}
+
+// LaneDiag is the ResourceTbl's slice of the dump.
+type LaneDiag struct {
+	Total     int   `json:"total"`
+	Failed    int   `json:"failed"`
+	Usable    int   `json:"usable"`
+	AL        int   `json:"al"`
+	VLs       []int `json:"vls"`
+	Decisions []int `json:"decisions"`
+}
+
+// Diagnose snapshots the machine state for a failed run. err is the engine
+// error that ended it (watchdog stall or cycle-budget exhaustion).
+func (s *System) Diagnose(err error) *DiagnosticDump {
+	now := s.Engine.Cycle()
+	d := &DiagnosticDump{
+		Arch: s.Kind.String(), Sched: s.Sched.Name, Cycle: now, Reason: err.Error(),
+	}
+	tbl := s.Coproc.Tbl()
+	d.Lanes = LaneDiag{Total: tbl.Total(), Failed: tbl.Failed(), Usable: tbl.Usable(), AL: tbl.AL()}
+	for c, core := range s.Cores {
+		d.Lanes.VLs = append(d.Lanes.VLs, s.Coproc.VL(c))
+		d.Lanes.Decisions = append(d.Lanes.Decisions, tbl.Decision(c))
+		d.Cores = append(d.Cores, CoreDiag{
+			ID: c, PC: core.PC(), Halted: core.Halted(), Parked: core.Parked(),
+			Insts: core.Progress(), Pipe: s.Coproc.PipelineSnapshot(c, now),
+		})
+	}
+	if p := s.Probe; p != nil {
+		for c := range s.Cores {
+			a := p.CoreAttribution(c)
+			m := make(map[string]uint64)
+			for b := 0; b < obs.NumBuckets; b++ {
+				if a.Buckets[b] > 0 {
+					m[obs.Bucket(b).String()] = a.Buckets[b]
+				}
+			}
+			d.Attribution = append(d.Attribution, m)
+		}
+	}
+	if s.faults != nil {
+		d.Recoveries = s.faults.Recoveries()
+	}
+	d.LinkDrops = s.Coproc.LinkDrops()
+	return d
+}
+
+// String renders the dump for terminal output.
+func (d *DiagnosticDump) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== diagnostic dump: %s / %s at cycle %d ===\n", d.Arch, d.Sched, d.Cycle)
+	fmt.Fprintf(&b, "reason: %s\n", d.Reason)
+	fmt.Fprintf(&b, "lanes: total=%d failed=%d usable=%d AL=%d vl=%v decision=%v\n",
+		d.Lanes.Total, d.Lanes.Failed, d.Lanes.Usable, d.Lanes.AL, d.Lanes.VLs, d.Lanes.Decisions)
+	for _, c := range d.Cores {
+		fmt.Fprintf(&b, "core%d: pc=%d halted=%v parked=%v insts=%d\n",
+			c.ID, c.PC, c.Halted, c.Parked, c.Insts)
+		p := c.Pipe
+		fmt.Fprintf(&b, "  coproc: queue=%d renamed=%d head=%s inflight=%d lhq=%d stq=%d pool=%d",
+			p.QueueLen, p.Renamed, p.HeadOp, p.Inflight, p.LHQ, p.STQ, p.PoolHeld)
+		fmt.Fprintf(&b, " vl=%d decision=%d drainWait=%d lastActive=%d\n",
+			p.VL, p.Decision, p.DrainWait, p.LastActive)
+		if c.ID < len(d.Attribution) {
+			b.WriteString("  topdown:")
+			m := d.Attribution[c.ID]
+			keys := make([]string, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %s=%d", k, m[k])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, r := range d.Recoveries {
+		if r.Pending {
+			fmt.Fprintf(&b, "fault %s: applied at %d, recovery PENDING\n", r.Fault, r.At)
+		} else {
+			fmt.Fprintf(&b, "fault %s: applied at %d, recovered in %d cycles\n",
+				r.Fault, r.At, r.TimeToRepartition())
+		}
+	}
+	if d.LinkDrops > 0 {
+		fmt.Fprintf(&b, "dropped transmissions: %d\n", d.LinkDrops)
+	}
+	b.WriteString("===")
+	return b.String()
+}
+
+// DiagError wraps the engine error that ended a run together with the
+// machine-state dump taken at that moment. errors.Is/As see through it to the
+// underlying sim.StallError / sim.BudgetError.
+type DiagError struct {
+	Dump *DiagnosticDump
+	Err  error
+}
+
+func (e *DiagError) Error() string { return e.Err.Error() }
+func (e *DiagError) Unwrap() error { return e.Err }

@@ -26,6 +26,10 @@ type CoreResult struct {
 	// execution time (Figure 13).
 	RenameStalls    uint64
 	RenameStallFrac float64
+	// Elems counts vector elements the core completed (strip-loop
+	// advances) — the work metric the degradation experiment normalizes,
+	// robust to runs that end early.
+	Elems uint64
 	// MonitorInsts / ReconfigInsts / DrainWait feed the Figure 15
 	// overhead accounting; OverheadMonitorFrac and OverheadReconfigFrac
 	// are fractions of the core's execution time.
@@ -58,6 +62,13 @@ type Result struct {
 	Reconfigures uint64
 	// StaticVLs echoes the VLS partition used, when applicable.
 	StaticVLs []int
+	// Elems is the total vector elements completed across cores.
+	Elems uint64
+	// Recoveries logs injected faults and the cycle the architecture
+	// finished adapting to each; empty for fault-free runs.
+	Recoveries []Recovery
+	// LinkDrops counts CPU→coproc transmissions dropped by XmitLink faults.
+	LinkDrops uint64
 }
 
 func (s *System) collect() *Result {
@@ -84,6 +95,7 @@ func (s *System) collect() *Result {
 			Cycles:        cycles,
 			ComputeIssued: snap.ComputeIssued,
 			MemIssued:     snap.MemIssued,
+			Elems:         core.Elems(),
 			RenameStalls:  snap.RenameStalls,
 			MonitorInsts:  s.Stats.Get(fmt.Sprintf("cpu%d.monitor_insts", c)),
 			ReconfigInsts: s.Stats.Get(fmt.Sprintf("cpu%d.reconfig_insts", c)),
@@ -118,7 +130,12 @@ func (s *System) collect() *Result {
 			cr.PhaseCycles = append(cr.PhaseCycles, pc)
 			cr.PhaseIssueRates = append(cr.PhaseIssueRates, rate)
 		}
+		res.Elems += cr.Elems
 		res.Cores = append(res.Cores, cr)
+	}
+	res.LinkDrops = s.Coproc.LinkDrops()
+	if s.faults != nil {
+		res.Recoveries = s.faults.Recoveries()
 	}
 	return res
 }

@@ -22,6 +22,8 @@
 // mem.Memory, so the compiler's correctness obligations (§6.4) are testable.
 package coproc
 
+import "fmt"
+
 // Config sets the structural parameters (Table 4 and Figure 5) and the
 // sharing policy.
 type Config struct {
@@ -75,6 +77,56 @@ type Config struct {
 	// results. It models §4.2.2: "The data values in these freed RegBlks
 	// are not preserved."
 	PoisonOnReconfigure bool
+}
+
+// Validate checks the structural parameters New would otherwise panic on,
+// plus range checks for machine descriptions loaded from JSON. A nil return
+// guarantees New will not reject the config.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("coproc: cores must be positive, got %d", c.Cores)
+	}
+	if c.ExeBUs <= 0 {
+		return fmt.Errorf("coproc: ExeBUs must be positive, got %d", c.ExeBUs)
+	}
+	if c.ComputeIssue <= 0 || c.MemIssue <= 0 {
+		return fmt.Errorf("coproc: issue widths must be positive, got compute %d / mem %d",
+			c.ComputeIssue, c.MemIssue)
+	}
+	if c.ArchRegs <= 0 {
+		return fmt.Errorf("coproc: ArchRegs must be positive, got %d", c.ArchRegs)
+	}
+	// Renaming needs at least one spare physical register beyond the
+	// permanently-held architectural mappings, per namespace.
+	if c.SharedVRF {
+		if c.PhysRegs <= c.ArchRegs*c.Cores {
+			return fmt.Errorf("coproc: shared VRF needs PhysRegs > ArchRegs*Cores, got %d <= %d*%d",
+				c.PhysRegs, c.ArchRegs, c.Cores)
+		}
+	} else if c.PhysRegs <= c.ArchRegs {
+		return fmt.Errorf("coproc: PhysRegs must exceed ArchRegs, got %d <= %d",
+			c.PhysRegs, c.ArchRegs)
+	}
+	if c.LHQ <= 0 || c.STQ <= 0 {
+		return fmt.Errorf("coproc: LHQ/STQ must be positive, got %d/%d", c.LHQ, c.STQ)
+	}
+	if !c.Elastic && len(c.FixedVLs) > 0 {
+		if len(c.FixedVLs) != c.Cores {
+			return fmt.Errorf("coproc: FixedVLs has %d entries for %d cores",
+				len(c.FixedVLs), c.Cores)
+		}
+		sum := 0
+		for i, vl := range c.FixedVLs {
+			if vl < 0 {
+				return fmt.Errorf("coproc: FixedVLs[%d] is negative (%d)", i, vl)
+			}
+			sum += vl
+		}
+		if sum > c.ExeBUs {
+			return fmt.Errorf("coproc: FixedVLs sum %d exceeds %d ExeBUs", sum, c.ExeBUs)
+		}
+	}
+	return nil
 }
 
 // DefaultConfig returns the Table 4 structural parameters for an elastic

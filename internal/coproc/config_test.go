@@ -1,0 +1,44 @@
+package coproc
+
+import "testing"
+
+func TestConfigValidateAcceptsDefault(t *testing.T) {
+	if err := DefaultConfig(2).Validate(); err != nil {
+		t.Fatalf("default config should validate: %v", err)
+	}
+	fts := DefaultConfig(2)
+	fts.Elastic = false
+	fts.SharedIssue = true
+	fts.SharedVRF = true
+	fts.PhysRegs = 160 * 2
+	if err := fts.Validate(); err != nil {
+		t.Fatalf("FTS-shaped config should validate: %v", err)
+	}
+}
+
+func TestConfigValidateRejectsBadShapes(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"zero cores":          func(c *Config) { c.Cores = 0 },
+		"zero exebus":         func(c *Config) { c.ExeBUs = 0 },
+		"zero compute issue":  func(c *Config) { c.ComputeIssue = 0 },
+		"negative mem issue":  func(c *Config) { c.MemIssue = -1 },
+		"zero arch regs":      func(c *Config) { c.ArchRegs = 0 },
+		"phys <= arch":        func(c *Config) { c.PhysRegs = 32 },
+		"zero lhq":            func(c *Config) { c.LHQ = 0 },
+		"zero stq":            func(c *Config) { c.STQ = 0 },
+		"fixed vls wrong len": func(c *Config) { c.Elastic = false; c.FixedVLs = []int{4} },
+		"fixed vls negative":  func(c *Config) { c.Elastic = false; c.FixedVLs = []int{-1, 4} },
+		"fixed vls oversub":   func(c *Config) { c.Elastic = false; c.FixedVLs = []int{8, 8} },
+		"shared vrf too few": func(c *Config) {
+			c.SharedVRF = true
+			c.PhysRegs = 64 // <= 32*2 arch mappings
+		},
+	}
+	for name, mutate := range mutations {
+		cfg := DefaultConfig(2)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected error, got nil", name)
+		}
+	}
+}

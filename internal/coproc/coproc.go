@@ -170,6 +170,15 @@ type Coproc struct {
 	// probe is the observability hook (nil when the run is not observed;
 	// every obs method is nil-receiver-safe).
 	probe *obs.Probe
+
+	// flt holds injected fault effects; nil on healthy runs, so the
+	// fault hooks cost one pointer check on the hot path (see fault.go).
+	flt *faultState
+
+	// progress counts issued operations for the forward-progress watchdog.
+	// A plain field, not a Stats counter: the registry must stay
+	// bit-identical between watched and unwatched runs.
+	progress uint64
 }
 
 // SetProbe attaches the observability probe (nil disables).
@@ -288,6 +297,9 @@ type TransmitStatus uint8
 const (
 	TransmitOK TransmitStatus = iota
 	TransmitQueueFull
+	// TransmitLinkDown: the CPU→coproc link dropped the transmission (fault
+	// injection); the core retries next cycle, like a full pool.
+	TransmitLinkDown
 )
 
 // Transmit enqueues an instruction into core c's pre-rename instruction
@@ -298,6 +310,12 @@ func (cp *Coproc) Transmit(x XInst) TransmitStatus {
 	st := cp.cores[x.Core]
 	if len(st.queue)-st.head >= queueCap {
 		return TransmitQueueFull
+	}
+	// cp.cycles equals the current cycle here: cores tick before the
+	// co-processor, so at cycle t the co-processor has processed exactly t
+	// ticks when a core transmits.
+	if cp.flt != nil && !cp.flt.linkAccept(x.Core, cp.cycles) {
+		return TransmitLinkDown
 	}
 	st.seqCounter++
 	x.seq = st.seqCounter
@@ -335,12 +353,22 @@ func (cp *Coproc) renameTick(c int, now uint64) {
 // rename-buffer quota — one core's long-latency backlog cannot consume the
 // entire free list, but the combined demand of co-running cores still
 // overwhelms it (Figure 13).
+// Fault injection shrinks the usable file: a failed RegBlk bank takes its
+// registers out of both the per-core namespace and the shared free list.
 func (cp *Coproc) canRename(c int, now uint64) bool {
 	if !cp.cfg.SharedVRF {
-		return cp.cfg.ArchRegs+cp.cores[c].pool.held(now) < cp.cfg.PhysRegs
+		phys := cp.cfg.PhysRegs
+		if cp.flt != nil {
+			phys -= cp.flt.regsCut[c]
+		}
+		return cp.cfg.ArchRegs+cp.cores[c].pool.held(now) < phys
 	}
 	committed := cp.cfg.ArchRegs * cp.cfg.Cores
-	free := cp.cfg.PhysRegs - committed
+	phys := cp.cfg.PhysRegs
+	if cp.flt != nil {
+		phys -= cp.flt.regsCutTotal
+	}
+	free := phys - committed
 	quota := free / cp.cfg.Cores
 	if cp.cores[c].pool.held(now) >= quota {
 		return false
@@ -349,7 +377,7 @@ func (cp *Coproc) canRename(c int, now uint64) bool {
 	for _, st := range cp.cores {
 		total += st.pool.held(now)
 	}
-	return committed+total < cp.cfg.PhysRegs
+	return committed+total < phys
 }
 
 // renameAndApply assigns RAW dependencies from the renamer's last-writer
@@ -558,6 +586,14 @@ func (cp *Coproc) tickCore(c int, now uint64, budget *issueBudget) {
 		st.head++
 	}
 	cp.renameTick(c, now)
+	// Fault-injected issue gates (Private victim serialization, FTS
+	// shared-structure stalls) close the whole issue stage on off cycles.
+	if cp.flt != nil && !cp.flt.issueAllowed(c, now) {
+		if st.head < len(st.queue) {
+			cp.probe.Signal(c, obs.SigExeBUWait)
+		}
+		return
+	}
 	end := st.renamed
 	memBlocked := false   // LHQ/MSHR structural stall: no younger memory op may issue
 	storeBlocked := false // stores issue in order among themselves
@@ -582,6 +618,7 @@ func (cp *Coproc) tickCore(c int, now uint64, budget *issueBudget) {
 			}
 			*budget.emsimd--
 			x.issued = true
+			cp.progress++
 			st.head++
 		case x.Op.IsVectorMem():
 			if memBlocked || budget.mem == 0 {
@@ -594,6 +631,7 @@ func (cp *Coproc) tickCore(c int, now uint64, budget *issueBudget) {
 			case issueOK:
 				budget.mem--
 				x.issued = true
+				cp.progress++
 			case issueStructural:
 				memBlocked = true
 			case issueDataWait:
@@ -611,6 +649,7 @@ func (cp *Coproc) tickCore(c int, now uint64, budget *issueBudget) {
 			case issueOK:
 				budget.compute--
 				x.issued = true
+				cp.progress++
 			case issueRenameStall:
 				return
 			case issueDataWait, issueStructural:

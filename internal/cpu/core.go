@@ -88,6 +88,15 @@ type Core struct {
 	// current phase's Perfetto slice opened at.
 	probe      *obs.Probe
 	phaseStart uint64
+
+	// insts counts executed instructions for the forward-progress
+	// watchdog; elems counts vector elements offered at strip boundaries
+	// (each RdElems adds the sampled width), the work measure of the
+	// degradation experiment — a proxy that overshoots the trip count by at
+	// most one strip per pass. Plain fields, not Stats counters: the
+	// registry must stay bit-identical whether or not anyone reads them.
+	insts uint64
+	elems uint64
 }
 
 // SetProbe attaches the observability probe (nil disables).
@@ -160,8 +169,18 @@ func (c *Core) Tick(now uint64) {
 		if !c.execute(&in, now) {
 			return
 		}
+		c.insts++
 	}
 }
+
+// Progress implements sim.ProgressReporter: retired-instruction count for
+// the forward-progress watchdog.
+func (c *Core) Progress() uint64 { return c.insts }
+
+// Elems returns how many vector elements the program has advanced past
+// (INCVL steps under the live vector length) — the throughput numerator of
+// the degradation experiment.
+func (c *Core) Elems() uint64 { return c.elems }
 
 // closePhaseSlice emits the Perfetto complete-slice for the phase that just
 // ended (no-op without a sink or before the first phase).
@@ -258,12 +277,25 @@ func (c *Core) execute(in *isa.Inst, now uint64) bool {
 	case isa.OpB, isa.OpBLT, isa.OpBGE, isa.OpBEQ, isa.OpBNE, isa.OpBEQI, isa.OpBNEI:
 		return c.execBranch(in, now)
 	case isa.OpRdElems:
-		c.xw(in.Dst, int64(coproc.LanesPerGranule*c.cp.VL(c.id)), now+c.cfg.IntLat)
+		// The strip boundary: any pending fault revocation of this core's
+		// vector length lands here, never mid-strip (a width change between
+		// the sampled bound and the body's stores would strand elements).
+		c.cp.StripBoundary(c.id)
+		n := int64(coproc.LanesPerGranule * c.cp.VL(c.id))
+		if n == 0 {
+			// A fixed-mode binary whose lanes are all revoked can never
+			// advance its strip loop: stall here (a busy spin would look
+			// like forward progress) so the watchdog names this core.
+			return false
+		}
+		c.xw(in.Dst, n, now+c.cfg.IntLat)
+		c.elems += uint64(n)
 	case isa.OpIncVL:
 		if !c.xReadyAt(in.Src1, now) {
 			return false
 		}
-		c.xw(in.Dst, c.xr(in.Src1)+in.Imm*int64(coproc.LanesPerGranule*c.cp.VL(c.id)), now+c.cfg.IntLat)
+		step := in.Imm * int64(coproc.LanesPerGranule*c.cp.VL(c.id))
+		c.xw(in.Dst, c.xr(in.Src1)+step, now+c.cfg.IntLat)
 	case isa.OpVWhile:
 		return c.execVWhile(in, now)
 	case isa.OpSLoadF, isa.OpSStoreF:

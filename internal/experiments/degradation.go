@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"occamy/internal/arch"
+	"occamy/internal/fault"
+	"occamy/internal/metrics"
+	"occamy/internal/workload"
+)
+
+// The degradation study: inject f permanently failed ExeBUs early in the run
+// and measure how much throughput each Figure 1 architecture retains,
+// normalized to its own fault-free run. The group is heterogeneous on
+// purpose — a long compute-bound chain on core 0 (the fault controller's
+// round-robin cursor victimizes core 0 first), co-long memory-bound triads
+// on cores 1 and 3, and a shorter compute chain on core 2. Static splits
+// must eat each loss wherever the round-robin lands it: on a memory core it
+// cuts into the roofline knee (and soon kills the core outright), on the
+// critical-path compute core it stretches the whole run. Occamy's elastic
+// replan instead sheds every loss onto whoever tolerates it best — the
+// light compute core's surplus first, the knees last — which is exactly the
+// robustness claim under test.
+const (
+	// degFaultAt is the injection cycle: late enough that both cores are
+	// well into their strip loops, early enough that the whole run executes
+	// degraded (the quick configs finish within a few thousand cycles).
+	degFaultAt = 500
+	// degStall is the forward-progress watchdog threshold: a victim that
+	// stops retiring (dead Private half, zero-lane VLS partition) is
+	// converted into a DNF data point instead of burning the cycle budget.
+	degStall = 200_000
+)
+
+// degChain builds a compute-bound workload: one stream in, one out, a
+// 15-op balanced reduction tree per element. The tree shape (rather than a
+// serial fold) gives the kernel instruction-level parallelism, so its
+// throughput tracks the issue rate and the data-path width instead of pure
+// operation latency — the regime where losing ExeBUs actually hurts.
+func degChain(name string, repeats int) *workload.Workload {
+	leaves := make([]*workload.Expr, 8)
+	for i := range leaves {
+		c := workload.Const(1.0 + 0.01*float32(i%4+1))
+		if i%2 == 0 {
+			leaves[i] = workload.Mul(workload.Slot(0), c)
+		} else {
+			leaves[i] = workload.Add(workload.Slot(0), c)
+		}
+	}
+	for len(leaves) > 1 {
+		next := make([]*workload.Expr, 0, len(leaves)/2)
+		for i := 0; i < len(leaves); i += 2 {
+			if len(leaves)%4 == 0 {
+				next = append(next, workload.Add(leaves[i], leaves[i+1]))
+			} else {
+				next = append(next, workload.Mul(leaves[i], leaves[i+1]))
+			}
+		}
+		leaves = next
+	}
+	return &workload.Workload{Name: name, Phases: []*workload.Kernel{{
+		Name:    name + ".tree",
+		Slots:   []workload.LoadSlot{{Stream: 0}},
+		Stmts:   []workload.Stmt{{Out: 1, E: leaves[0]}},
+		Elems:   512,
+		Repeats: repeats,
+	}}}
+}
+
+// degTriad builds a memory-bound workload: the classic triad.
+func degTriad(name string, repeats int) *workload.Workload {
+	return &workload.Workload{Name: name, Phases: []*workload.Kernel{{
+		Name:  name + ".k",
+		Slots: []workload.LoadSlot{{Stream: 0}, {Stream: 1}},
+		Stmts: []workload.Stmt{{
+			Out: 2,
+			E:   workload.Add(workload.Mul(workload.Slot(0), workload.Const(1.5)), workload.Slot(1)),
+		}},
+		Elems:   512,
+		Repeats: repeats,
+	}}}
+}
+
+func degradationGroup() workload.CoSchedule {
+	return workload.CoSchedule{Name: "degradation", W: []*workload.Workload{
+		degChain("deg.heavy", 48),
+		degTriad("deg.mem0", 70),
+		degChain("deg.light", 28),
+		degTriad("deg.mem1", 70),
+	}}
+}
+
+// DegPoint is one (architecture, failed-unit count) measurement.
+type DegPoint struct {
+	Failed    int
+	Completed bool
+	// Reason holds the engine error for DNF points ("" when completed).
+	Reason string
+	Cycles uint64
+	Elems  uint64
+	// Retention is (Elems/Cycles) normalized to the architecture's own
+	// f=0 run; 0 for DNF points.
+	Retention float64
+	// TTR is the slowest recovery's time-to-repartition (lane-replanning
+	// architectures only; see HasTTR).
+	TTR        uint64
+	TTRPending bool
+	HasTTR     bool
+}
+
+// Degradation holds the full sweep: for every architecture, points for
+// f = 0..Units-1 failed ExeBUs.
+type Degradation struct {
+	Units   int
+	FaultAt uint64
+	Points  map[arch.Kind][]DegPoint
+}
+
+// Degradation sweeps f = 0..N-1 permanently failed ExeBUs over all four
+// architectures. Every point is an independent deterministic simulation, so
+// the sweep parallelizes across the host CPUs. The group is a fixed size —
+// Config.Scale is deliberately not applied, because the study's validity
+// depends on the fault landing while every phase is still in flight (the
+// group is already sized for quick runs).
+func (c Config) Degradation() (*Degradation, error) {
+	pair := degradationGroup()
+	probe, err := arch.Build(arch.Occamy, pair, arch.Options{Seed: c.Seed})
+	if err != nil {
+		return nil, err
+	}
+	units := probe.Coproc.Tbl().Total()
+
+	out := &Degradation{Units: units, FaultAt: degFaultAt, Points: make(map[arch.Kind][]DegPoint, len(arch.Kinds))}
+	for _, kind := range arch.Kinds {
+		out.Points[kind] = make([]DegPoint, units)
+	}
+
+	type job struct {
+		kind arch.Kind
+		f    int
+	}
+	jobs := make([]job, 0, len(arch.Kinds)*units)
+	for _, kind := range arch.Kinds {
+		for f := 0; f < units; f++ {
+			jobs = append(jobs, job{kind, f})
+		}
+	}
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.maxParallel())
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			p, err := c.degradationPoint(j.kind, pair, j.f)
+			if err != nil {
+				errs[i] = fmt.Errorf("degradation %s f=%d: %w", j.kind, j.f, err)
+				return
+			}
+			out.Points[j.kind][j.f] = p
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Normalize to each architecture's own fault-free throughput.
+	for kind, pts := range out.Points {
+		base := pts[0]
+		if !base.Completed {
+			return nil, fmt.Errorf("degradation: fault-free %s run did not complete: %s", kind, base.Reason)
+		}
+		baseTp := float64(base.Elems) / float64(base.Cycles)
+		for f := range pts {
+			if pts[f].Completed {
+				pts[f].Retention = (float64(pts[f].Elems) / float64(pts[f].Cycles)) / baseTp
+			}
+		}
+	}
+	return out, nil
+}
+
+// degradationPoint runs one sweep point. A watchdog stall or cycle-budget
+// exhaustion is a DNF data point (the partial result still carries the cycle
+// and element counts), not a sweep error.
+func (c Config) degradationPoint(kind arch.Kind, pair workload.CoSchedule, f int) (DegPoint, error) {
+	opts := arch.Options{Seed: c.Seed, LegacyTick: c.LegacyTick, StallCycles: degStall}
+	if f > 0 {
+		opts.Faults = []fault.Fault{{Kind: fault.ExeBU, Count: f, At: degFaultAt}}
+	}
+	sys, err := arch.Build(kind, pair, opts)
+	if err != nil {
+		return DegPoint{}, err
+	}
+	res, rerr := sys.Run(c.MaxCycles)
+	p := DegPoint{Failed: f}
+	if res != nil {
+		p.Cycles, p.Elems = res.Cycles, res.Elems
+		for _, r := range res.Recoveries {
+			p.HasTTR = true
+			if r.Pending {
+				p.TTRPending = true
+			} else if ttr := r.TimeToRepartition(); ttr > p.TTR {
+				p.TTR = ttr
+			}
+		}
+	}
+	if rerr != nil {
+		p.Reason = rerr.Error()
+		return p, nil
+	}
+	p.Completed = true
+	return p, nil
+}
+
+// Render produces the retention and time-to-repartition tables.
+func (d *Degradation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Degradation: throughput retention vs. permanently failed ExeBUs\n")
+	fmt.Fprintf(&b, "(%d units, fault injected at cycle %d, retention relative to each\narchitecture's own fault-free run; DNF = watchdog stall, retention 0)\n\n",
+		d.Units, d.FaultAt)
+
+	t := &metrics.Table{Header: []string{"Failed"}}
+	for _, kind := range arch.Kinds {
+		t.Header = append(t.Header, kind.String())
+	}
+	for f := 0; f < d.Units; f++ {
+		row := []string{fmt.Sprintf("%d", f)}
+		for _, kind := range arch.Kinds {
+			p := d.Points[kind][f]
+			if !p.Completed {
+				row = append(row, "DNF")
+				continue
+			}
+			row = append(row, metrics.FormatPct(p.Retention))
+		}
+		t.Add(row...)
+	}
+	b.WriteString(t.String())
+
+	b.WriteString("\nTime to repartition (cycles from fault to a settled lane plan):\n\n")
+	tt := &metrics.Table{Header: []string{"Failed"}}
+	// Only the lane-repartitioning architectures have a nonzero recovery
+	// window; issue gates and register cuts react combinationally.
+	repl := []arch.Kind{}
+	for _, kind := range arch.Kinds {
+		for f := 1; f < d.Units; f++ {
+			if p := d.Points[kind][f]; p.TTR > 0 || p.TTRPending {
+				repl = append(repl, kind)
+				break
+			}
+		}
+	}
+	for _, kind := range repl {
+		tt.Header = append(tt.Header, kind.String())
+	}
+	for f := 1; f < d.Units; f++ {
+		row := []string{fmt.Sprintf("%d", f)}
+		for _, kind := range repl {
+			p := d.Points[kind][f]
+			switch {
+			case p.TTRPending:
+				row = append(row, "pending")
+			case !p.HasTTR:
+				row = append(row, "-")
+			default:
+				row = append(row, fmt.Sprintf("%d", p.TTR))
+			}
+		}
+		tt.Add(row...)
+	}
+	b.WriteString(tt.String())
+	b.WriteString("\nOccamy's elastic repartition keeps every core on the surviving units, so\nit retains the most throughput at every failure count; the static splits\nlose whole partitions (Private), strand lanes (VLS) or stall everyone\nthrough the shared structures (FTS).\n")
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"occamy/internal/arch"
+)
+
+var degOnce struct {
+	sync.Once
+	d   *Degradation
+	err error
+}
+
+// degSweep runs the degradation sweep once and shares it across the tests.
+func degSweep(t *testing.T) *Degradation {
+	t.Helper()
+	degOnce.Do(func() { degOnce.d, degOnce.err = Quick().Degradation() })
+	if degOnce.err != nil {
+		t.Fatal(degOnce.err)
+	}
+	return degOnce.d
+}
+
+// TestDegradationOccamyRetainsMost is the headline robustness claim: for
+// every failure count 1..N-1, Occamy retains strictly more throughput than
+// the three static designs — and the whole sweep is deterministic under a
+// fixed seed.
+func TestDegradationOccamyRetainsMost(t *testing.T) {
+	d := degSweep(t)
+	if d.Units < 2 {
+		t.Fatalf("degenerate sweep: %d units", d.Units)
+	}
+	for f := 1; f < d.Units; f++ {
+		occ := d.Points[arch.Occamy][f]
+		if !occ.Completed {
+			t.Errorf("f=%d: Occamy did not complete: %s", f, occ.Reason)
+			continue
+		}
+		for _, kind := range []arch.Kind{arch.Private, arch.FTS, arch.VLS} {
+			if other := d.Points[kind][f]; occ.Retention <= other.Retention {
+				t.Errorf("f=%d: Occamy retention %.3f not strictly above %s %.3f",
+					f, occ.Retention, kind, other.Retention)
+			}
+		}
+		if occ.HasTTR && !occ.TTRPending && occ.TTR == 0 {
+			t.Errorf("f=%d: Occamy recovery has zero time-to-repartition", f)
+		}
+	}
+
+	d2, err := Quick().Degradation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := fmt.Sprintf("%+v", d.Points), fmt.Sprintf("%+v", d2.Points); a != b {
+		t.Errorf("degradation sweep not deterministic under fixed seed:\n%s\n%s", a, b)
+	}
+}
+
+// TestDegradationRender smoke-checks the report.
+func TestDegradationRender(t *testing.T) {
+	out := degSweep(t).Render()
+	for _, want := range []string{"Degradation", "Occamy", "Time to repartition"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

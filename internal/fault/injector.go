@@ -1,0 +1,109 @@
+package fault
+
+import "sort"
+
+// Handler is implemented by the architecture layer: it applies and reverts
+// fault effects on the hardware models, and advances any deferred actions
+// (drain-gated reconfigurations) once per cycle.
+type Handler interface {
+	// Apply injects the fault at cycle now.
+	Apply(f Fault, now uint64)
+	// Revert ends a transient fault at cycle now.
+	Revert(f Fault, now uint64)
+	// Poll runs once per cycle after any injections, advancing deferred
+	// recovery actions (e.g. a forced VL shrink waiting for a drained
+	// pipeline). It must be cheap when nothing is pending.
+	Poll(now uint64)
+}
+
+// event is one scheduled transition: a fault being applied or reverted.
+type event struct {
+	cycle  uint64
+	revert bool
+	fault  Fault
+}
+
+// Injector is the sim.Component that fires a fault schedule. It resolves
+// seed-derived victims once at construction, expands each transient fault
+// into an apply and a revert event, and walks the sorted schedule as the
+// clock advances. With an empty schedule it is inert (but its presence still
+// forces the legacy every-cycle engine path, since fault effects are not
+// modeled by the skip-ahead sleep mirrors).
+type Injector struct {
+	handler Handler
+	events  []event
+	next    int
+	applied int
+}
+
+// NewInjector builds an injector for the given schedule. Faults with
+// Core == AnyCore (where a core is meaningful) are pinned to a concrete
+// victim derived from seed, so the schedule is fully resolved and
+// deterministic before the clock starts.
+func NewInjector(faults []Fault, cores int, seed uint64, h Handler) *Injector {
+	inj := &Injector{handler: h}
+	rng := seed
+	for _, f := range faults {
+		if f.Core == AnyCore && (f.Kind == RegBank || f.Kind == XmitLink) && cores > 0 {
+			rng = splitmix64(rng)
+			f.Core = int(rng % uint64(cores))
+		}
+		inj.events = append(inj.events, event{cycle: f.At, fault: f})
+		if f.For > 0 {
+			inj.events = append(inj.events, event{cycle: f.At + f.For, revert: true, fault: f})
+		}
+	}
+	// Stable sort keeps spec order among same-cycle events, and applies
+	// before reverts at a shared cycle boundary.
+	sort.SliceStable(inj.events, func(i, j int) bool {
+		if inj.events[i].cycle != inj.events[j].cycle {
+			return inj.events[i].cycle < inj.events[j].cycle
+		}
+		return !inj.events[i].revert && inj.events[j].revert
+	})
+	return inj
+}
+
+// Schedule returns the resolved fault schedule (victims pinned, transients
+// expanded), in firing order.
+func (inj *Injector) Schedule() []Fault {
+	var fs []Fault
+	for _, ev := range inj.events {
+		if !ev.revert {
+			fs = append(fs, ev.fault)
+		}
+	}
+	return fs
+}
+
+// Applied reports how many fault events (applies and reverts) have fired.
+func (inj *Injector) Applied() int { return inj.applied }
+
+// Name implements sim.Component.
+func (inj *Injector) Name() string { return "fault-injector" }
+
+// Tick implements sim.Component: fire every event scheduled for this cycle,
+// then let the handler advance deferred actions.
+func (inj *Injector) Tick(now uint64) {
+	for inj.next < len(inj.events) && inj.events[inj.next].cycle <= now {
+		ev := inj.events[inj.next]
+		inj.next++
+		inj.applied++
+		if ev.revert {
+			inj.handler.Revert(ev.fault, now)
+		} else {
+			inj.handler.Apply(ev.fault, now)
+		}
+	}
+	inj.handler.Poll(now)
+}
+
+// splitmix64 is the standard 64-bit mixing step; deterministic victim
+// selection needs nothing stronger.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

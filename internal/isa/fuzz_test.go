@@ -1,0 +1,57 @@
+package isa
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzAssembleRoundTrip hardens the assembler the way FuzzParseExpr hardens
+// the workload expression parser: arbitrary source must never panic, and any
+// program the assembler accepts must disassemble into text it accepts again
+// with a bit-identical instruction stream.
+func FuzzAssembleRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"HALT",
+		"MOVI X0, #0\nMOVI X1, #10\nloop: ADDI X0, X0, #1\nB.LT X0, X1, loop\nHALT",
+		"MSR <OI>, X1\nMSR <VL>, #2\nMRS X3, <status>\nB.NEI X3, #1, @0",
+		"VDUPI Z1, #1.5\nVDUPI Z9, #bits:0x000000ff\nVFADD Z3, Z1, Z9",
+		"VLD1W Z2, [X8, X0]\nVST1W Z2, [X9, X0]",
+		"VWHILE X7, X25, X0\nVWHILE full",
+		".phase 0\nNOP\n.phase -1\nHALT",
+		"; comment only\n// another\n\n  7: HALT",
+		"SFMOVI F1, #2.5\nSFADD F1, F2, F3",
+		"", "MOVI", "MOVI X99, #1", "FOO X1, X2", "B.LT X1, X2, nowhere",
+		"MSR <bogus>, X1", "VDUPI Z1, #bits:xyz", "label_no_inst:",
+		"MOVI X1, #notanumber", "VLD1W Z1, [X8]",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := Assemble("fuzz", src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		text := p1.Disassemble()
+		p2, err := Assemble("fuzz2", text)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its disassembly: %v\n%s", src, err, text)
+		}
+		if p1.Len() != p2.Len() {
+			t.Fatalf("round trip changed length: %d vs %d\n%s", p1.Len(), p2.Len(), text)
+		}
+		for i := range p1.Insts {
+			a, b := p1.Insts[i], p2.Insts[i]
+			// Float immediates compare by bit pattern: NaN payloads from
+			// integer-lane constants must survive the trip.
+			if math.Float32bits(a.FImm) != math.Float32bits(b.FImm) {
+				t.Fatalf("inst %d FImm bits differ: %08x vs %08x\n%s", i,
+					math.Float32bits(a.FImm), math.Float32bits(b.FImm), text)
+			}
+			a.FImm, b.FImm = 0, 0
+			a.Phase, b.Phase = 0, 0
+			if a != b {
+				t.Fatalf("inst %d differs after round trip:\n  %+v\n  %+v\n%s", i, a, b, text)
+			}
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package lanemgr
+
+import (
+	"testing"
+
+	"occamy/internal/isa"
+)
+
+func TestFailRepairShrinksUsablePool(t *testing.T) {
+	tbl := NewResourceTbl(2, 8)
+	if got := tbl.Fail(3); got != 3 {
+		t.Fatalf("Fail(3) = %d, want 3", got)
+	}
+	if tbl.Usable() != 5 || tbl.Failed() != 3 || tbl.AL() != 5 {
+		t.Fatalf("after Fail(3): usable=%d failed=%d AL=%d", tbl.Usable(), tbl.Failed(), tbl.AL())
+	}
+	// Clamp: only 5 usable units remain.
+	if got := tbl.Fail(100); got != 5 {
+		t.Fatalf("Fail(100) = %d, want 5", got)
+	}
+	if tbl.Usable() != 0 {
+		t.Fatalf("usable = %d, want 0", tbl.Usable())
+	}
+	if got := tbl.Repair(6); got != 6 {
+		t.Fatalf("Repair(6) = %d, want 6", got)
+	}
+	if tbl.Usable() != 6 || tbl.Failed() != 2 {
+		t.Fatalf("after Repair(6): usable=%d failed=%d", tbl.Usable(), tbl.Failed())
+	}
+	if got := tbl.Repair(100); got != 2 {
+		t.Fatalf("Repair(100) = %d, want 2 (clamped)", got)
+	}
+}
+
+// TestNegativeALAfterFault: allocations made before a fault can exceed the
+// shrunk usable pool. The signed AL view goes negative; the raw MRS view
+// saturates at zero.
+func TestNegativeALAfterFault(t *testing.T) {
+	tbl := NewResourceTbl(2, 8)
+	tbl.TryReconfigure(0, 4)
+	tbl.TryReconfigure(1, 4)
+	tbl.Fail(2)
+	if tbl.AL() != -2 {
+		t.Fatalf("AL = %d, want -2", tbl.AL())
+	}
+	if raw := tbl.ReadRaw(0, isa.SysAL); raw != 0 {
+		t.Fatalf("raw AL = %d, want 0 (saturated)", raw)
+	}
+}
+
+// TestShrinkAlwaysSucceedsWhenOverAllocated: with both cores over-allocated
+// after a fault, neither could grow, but each can shrink toward its share of
+// the surviving pool — the sequence that unwinds over-allocation.
+func TestShrinkAlwaysSucceedsWhenOverAllocated(t *testing.T) {
+	tbl := NewResourceTbl(2, 8)
+	tbl.TryReconfigure(0, 4)
+	tbl.TryReconfigure(1, 4)
+	tbl.Fail(2) // usable 6, allocated 8
+	if tbl.TryReconfigure(0, 5) {
+		t.Fatal("grow while over-allocated must fail")
+	}
+	if !tbl.TryReconfigure(0, 3) {
+		t.Fatal("shrink while over-allocated must succeed")
+	}
+	if !tbl.TryReconfigure(1, 3) {
+		t.Fatal("second shrink must succeed")
+	}
+	if tbl.AL() != 0 {
+		t.Fatalf("AL = %d, want 0 after both cores shrank", tbl.AL())
+	}
+	// Capacity check now binds to the usable pool, not the physical total.
+	if tbl.TryReconfigure(0, 7) {
+		t.Fatal("grow beyond usable pool must fail")
+	}
+	if !tbl.TryReconfigure(1, 0) || !tbl.TryReconfigure(0, 6) {
+		t.Fatal("grow to full usable pool must succeed once lanes are free")
+	}
+}
+
+func TestForceVLShrinkOnly(t *testing.T) {
+	tbl := NewResourceTbl(2, 8)
+	tbl.TryReconfigure(0, 4)
+	tbl.ForceVL(0, 2)
+	if tbl.VL(0) != 2 {
+		t.Fatalf("VL after ForceVL = %d, want 2", tbl.VL(0))
+	}
+	tbl.ForceVL(0, 6) // grows are ignored
+	if tbl.VL(0) != 2 {
+		t.Fatalf("ForceVL must not grow: VL = %d, want 2", tbl.VL(0))
+	}
+	tbl.ForceVL(0, -1) // nonsense is ignored
+	if tbl.VL(0) != 2 {
+		t.Fatalf("ForceVL(-1) must be a no-op: VL = %d", tbl.VL(0))
+	}
+}
+
+// TestRepartitionPlansOverSurvivors: after units fail, fresh decisions fit
+// the usable pool and keep the fairness floor.
+func TestRepartitionPlansOverSurvivors(t *testing.T) {
+	tbl := NewResourceTbl(2, 8)
+	mgr := NewManager(mdl, tbl)
+	compute := isa.OIPair{Issue: 1, Mem: 1}
+	mgr.OnOIWrite(0, compute)
+	mgr.OnOIWrite(1, compute)
+	if tbl.Decision(0)+tbl.Decision(1) != 8 {
+		t.Fatalf("fault-free decisions sum %d, want 8", tbl.Decision(0)+tbl.Decision(1))
+	}
+	tbl.Fail(3)
+	mgr.Repartition()
+	d0, d1 := tbl.Decision(0), tbl.Decision(1)
+	if d0+d1 != 5 {
+		t.Fatalf("post-fault decisions [%d %d] sum %d, want 5 (usable)", d0, d1, d0+d1)
+	}
+	if d0 < 1 || d1 < 1 {
+		t.Fatalf("fairness floor violated: decisions [%d %d]", d0, d1)
+	}
+	tbl.Repair(3)
+	mgr.Repartition()
+	if tbl.Decision(0)+tbl.Decision(1) != 8 {
+		t.Fatalf("post-repair decisions sum %d, want 8", tbl.Decision(0)+tbl.Decision(1))
+	}
+}

@@ -111,10 +111,12 @@ func (g *Manager) OnOIWrite(c int, oi isa.OIPair) {
 // active workloads: idle silicon helps nobody, and a wider data path lets a
 // memory-bound workload keep its fair share of the shared memory bandwidth —
 // this is what preserves the paper's Case 3 (<memory, memory>) parity.
+// Planning runs over the usable pool, so after a fault has excluded units
+// the fresh decisions fit the surviving ExeBUs (fairness floor included).
 func (g *Manager) Repartition() {
 	ois := g.Tbl.ActiveOIs()
-	plan := Plan(g.Model, ois, g.Tbl.Total())
-	free := g.Tbl.Total()
+	plan := Plan(g.Model, ois, g.Tbl.Usable())
+	free := g.Tbl.Usable()
 	active := 0
 	for c, vl := range plan {
 		free -= vl
@@ -126,6 +128,20 @@ func (g *Manager) Repartition() {
 		if !ois[c].IsZero() {
 			plan[c]++
 			free--
+		}
+	}
+	// Degraded-pool fairness floor: when faults shrink the usable pool below
+	// the active-core count, the greedy pass starves someone with a zero
+	// decision — which an elastic binary would adopt and livelock on. Publish
+	// at least one granule per active core instead; the cores then time-share
+	// the survivors through the reconfiguration protocol (a starved core's
+	// grow request waits until a peer's phase ends and releases lanes).
+	// Never reached while the pool is healthy (usable >= active cores).
+	if g.Tbl.Failed() > 0 {
+		for c := range plan {
+			if plan[c] == 0 && !ois[c].IsZero() {
+				plan[c] = 1
+			}
 		}
 	}
 	for c, vl := range plan {

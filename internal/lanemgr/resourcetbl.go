@@ -17,6 +17,7 @@ import (
 // path sees them; typed accessors decode them.
 type ResourceTbl struct {
 	total    int // N: number of ExeBUs (128-bit granules)
+	failed   int // units excluded from allocation by fault injection
 	oi       []uint32
 	decision []uint32
 	vl       []uint32
@@ -44,13 +45,53 @@ func (t *ResourceTbl) Cores() int { return len(t.oi) }
 // Total returns N, the number of ExeBUs being shared.
 func (t *ResourceTbl) Total() int { return t.total }
 
-// AL returns the shared <AL> register: the number of free ExeBUs.
+// Fail marks n more ExeBUs failed, clamped to the units still usable. It
+// returns the number actually marked. Failed units are excluded from <AL>
+// and from TryReconfigure's feasibility check; already-allocated lanes are
+// not revoked here — detection and drain-gated revocation are the fault
+// controller's job.
+func (t *ResourceTbl) Fail(n int) int {
+	if n > t.total-t.failed {
+		n = t.total - t.failed
+	}
+	if n < 0 {
+		n = 0
+	}
+	t.failed += n
+	return n
+}
+
+// Repair returns n failed ExeBUs to service (clamped), and reports how many
+// actually came back.
+func (t *ResourceTbl) Repair(n int) int {
+	if n > t.failed {
+		n = t.failed
+	}
+	if n < 0 {
+		n = 0
+	}
+	t.failed -= n
+	return n
+}
+
+// Failed returns the number of ExeBUs currently excluded by faults.
+func (t *ResourceTbl) Failed() int { return t.failed }
+
+// Usable returns the number of ExeBUs available for allocation: Total minus
+// the failed units.
+func (t *ResourceTbl) Usable() int { return t.total - t.failed }
+
+// AL returns the shared <AL> register: the number of free, usable ExeBUs.
+// Immediately after a fault the allocations can transiently exceed the
+// usable pool, making AL negative until the over-allocated cores drain and
+// shrink; the signed result keeps that arithmetic exact (the raw MRS view
+// saturates at zero, as the hardware register would).
 func (t *ResourceTbl) AL() int {
 	used := 0
 	for _, v := range t.vl {
 		used += int(v)
 	}
-	return t.total - used
+	return t.Usable() - used
 }
 
 // OI returns core c's decoded <OI> register.
@@ -84,7 +125,10 @@ func (t *ResourceTbl) ReadRaw(c int, r isa.SysReg) uint32 {
 	case isa.SysStatus:
 		return t.status[c]
 	case isa.SysAL:
-		return uint32(t.AL())
+		if al := t.AL(); al > 0 {
+			return uint32(al)
+		}
+		return 0
 	default:
 		return 0
 	}
@@ -96,18 +140,50 @@ func (t *ResourceTbl) ReadRaw(c int, r isa.SysReg) uint32 {
 // <status> to 1; otherwise it leaves the allocation unchanged and sets
 // <status> to 0. The caller (the co-processor's EM-SIMD data path) is
 // responsible for the pipeline-drain precondition.
+// A shrink (l <= current <VL>) always succeeds — releasing lanes can never
+// violate capacity — which is what lets over-allocated cores drain down one
+// by one after a fault has shrunk the usable pool below the outstanding
+// allocations (a grow would fail there, because <AL> is negative).
 func (t *ResourceTbl) TryReconfigure(c, l int) bool {
-	if l < 0 || l > t.total {
+	if l < 0 || l > t.Usable() {
 		t.status[c] = 0
 		return false
 	}
-	if t.VL(c)+t.AL() < l {
+	if l > t.VL(c) && t.VL(c)+t.AL() < l {
 		t.status[c] = 0
 		return false
 	}
 	t.vl[c] = uint32(l)
 	t.status[c] = 1
 	return true
+}
+
+// ForceVL is the fault controller's drain-gated revocation path: it rewrites
+// core c's <VL> directly, bypassing the feasibility check (shrinks only —
+// grows must go through TryReconfigure so the EM-SIMD protocol's invariant
+// re-emission runs). The caller is responsible for the §4.2.2 drained-
+// pipeline precondition.
+func (t *ResourceTbl) ForceVL(c, l int) {
+	if l < 0 || l > t.VL(c) {
+		return
+	}
+	t.vl[c] = uint32(l)
+}
+
+// RestoreVL re-installs a saved allocation on core c during an OS context
+// restore, bypassing the feasibility check. It exists for one situation: the
+// usable pool shrank below the task's saved <VL> while it was descheduled,
+// so TryReconfigure can never grant it — yet the task must resume under the
+// exact VL it was preempted with (a mid-strip VL change corrupts the strip's
+// bookkeeping). The resulting negative <AL> is the same transient
+// over-allocation that follows an in-flight fault; the task's partition
+// monitor shrinks to the planner's decision at its next strip boundary.
+func (t *ResourceTbl) RestoreVL(c, l int) {
+	if l < 0 {
+		return
+	}
+	t.vl[c] = uint32(l)
+	t.status[c] = 1
 }
 
 // ActiveOIs returns the decoded <OI> of every core; cores not executing a

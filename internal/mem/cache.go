@@ -80,6 +80,14 @@ func NewCache(cfg CacheConfig, next Port, stats *sim.Stats) *Cache {
 	return c
 }
 
+// SetBWFactor derates (or restores) the cache's port bandwidth to factor
+// times the configured rate — the fault-injection token-rate cut. The
+// meter's float occupancy carries over, so a factor pinned at 1.0 leaves
+// timing bit-identical.
+func (c *Cache) SetBWFactor(factor float64) {
+	c.bw.bytesPerCycle = c.cfg.BytesPerCycle * factor
+}
+
 // Access implements Port. Multi-line requests complete when their last line
 // is available; each line consumes this cache's port bandwidth for the bytes
 // actually requested (not the whole line — narrow vector accesses must not

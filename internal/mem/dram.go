@@ -37,6 +37,14 @@ func NewDRAM(cfg DRAMConfig, stats *sim.Stats) *DRAM {
 	return &DRAM{cfg: cfg, bw: bwMeter{bytesPerCycle: cfg.BytesPerCycle}, stats: stats}
 }
 
+// SetBWFactor derates (or restores) the sustained bandwidth to factor times
+// the configured rate — the fault-injection token-rate cut. The meter's
+// float occupancy state carries over, so a run where the factor stays 1.0 is
+// bit-identical to one that never called this.
+func (d *DRAM) SetBWFactor(factor float64) {
+	d.bw.bytesPerCycle = d.cfg.BytesPerCycle * factor
+}
+
 // Access implements Port.
 func (d *DRAM) Access(now uint64, addr uint64, size int, write bool) (uint64, bool) {
 	if size <= 0 {

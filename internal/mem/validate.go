@@ -1,0 +1,60 @@
+package mem
+
+import "fmt"
+
+// Validate checks a cache configuration for the invariants NewCache would
+// otherwise panic on, plus the physical-plausibility range checks (positive
+// bandwidth, a power-of-two set count). It exists so occamy.Config.Validate
+// can reject bad machine JSON with an error before anything is built.
+func (cfg CacheConfig) Validate() error {
+	if cfg.SizeBytes <= 0 {
+		return fmt.Errorf("mem: %s: size must be positive, got %d", cfg.Name, cfg.SizeBytes)
+	}
+	if cfg.Ways <= 0 {
+		return fmt.Errorf("mem: %s: ways must be positive, got %d", cfg.Name, cfg.Ways)
+	}
+	if cfg.BytesPerCycle <= 0 {
+		return fmt.Errorf("mem: %s: bandwidth must be positive, got %g B/cy", cfg.Name, cfg.BytesPerCycle)
+	}
+	if cfg.MissSlots < 0 {
+		return fmt.Errorf("mem: %s: miss slots must be non-negative, got %d", cfg.Name, cfg.MissSlots)
+	}
+	if cfg.MissQuota < 0 {
+		return fmt.Errorf("mem: %s: miss quota must be non-negative, got %d", cfg.Name, cfg.MissQuota)
+	}
+	if cfg.PrefetchDegree < 0 {
+		return fmt.Errorf("mem: %s: prefetch degree must be non-negative, got %d", cfg.Name, cfg.PrefetchDegree)
+	}
+	numLines := cfg.SizeBytes / LineBytes
+	if numLines <= 0 {
+		return fmt.Errorf("mem: %s: size %d smaller than a %d-byte line", cfg.Name, cfg.SizeBytes, LineBytes)
+	}
+	numSets := numLines / cfg.Ways
+	if numSets == 0 || numSets&(numSets-1) != 0 {
+		return fmt.Errorf("mem: %s: set count %d (size %d, ways %d) must be a positive power of two",
+			cfg.Name, numSets, cfg.SizeBytes, cfg.Ways)
+	}
+	return nil
+}
+
+// Validate checks a DRAM configuration.
+func (cfg DRAMConfig) Validate() error {
+	if cfg.BytesPerCycle <= 0 {
+		return fmt.Errorf("mem: %s: bandwidth must be positive, got %g B/cy", cfg.Name, cfg.BytesPerCycle)
+	}
+	return nil
+}
+
+// Validate checks the whole hierarchy configuration, wrapping the per-level
+// checks.
+func (cfg HierarchyConfig) Validate() error {
+	if cfg.Cores <= 0 {
+		return fmt.Errorf("mem: hierarchy needs at least one core, got %d", cfg.Cores)
+	}
+	for _, c := range []CacheConfig{cfg.L1D, cfg.VecCache, cfg.L2} {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return cfg.DRAM.Validate()
+}

@@ -1,0 +1,64 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHierarchyConfigValidateAcceptsDefault(t *testing.T) {
+	if err := DefaultHierarchyConfig(2).Validate(); err != nil {
+		t.Fatalf("default config should validate: %v", err)
+	}
+}
+
+func TestCacheConfigValidateRejectsBadShapes(t *testing.T) {
+	base := DefaultHierarchyConfig(2).L2
+	cases := []struct {
+		name   string
+		mutate func(*CacheConfig)
+		want   string
+	}{
+		{"zero size", func(c *CacheConfig) { c.SizeBytes = 0 }, "size"},
+		{"negative size", func(c *CacheConfig) { c.SizeBytes = -1 }, "size"},
+		{"zero ways", func(c *CacheConfig) { c.Ways = 0 }, "ways"},
+		{"zero bandwidth", func(c *CacheConfig) { c.BytesPerCycle = 0 }, "bandwidth"},
+		{"negative bandwidth", func(c *CacheConfig) { c.BytesPerCycle = -4 }, "bandwidth"},
+		// 3 ways over a power-of-two size gives a non-power-of-two set
+		// count; NewCache would panic on this machine description.
+		{"non-power-of-two sets", func(c *CacheConfig) { c.Ways = 3 }, "power of two"},
+		{"sub-line size", func(c *CacheConfig) { c.SizeBytes = LineBytes / 2; c.Ways = 1 }, "line"},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDRAMConfigValidate(t *testing.T) {
+	if err := (DRAMConfig{Name: "dram", BytesPerCycle: 32}).Validate(); err != nil {
+		t.Fatalf("good DRAM config rejected: %v", err)
+	}
+	if err := (DRAMConfig{Name: "dram"}).Validate(); err == nil {
+		t.Fatal("zero-bandwidth DRAM config accepted")
+	}
+}
+
+func TestHierarchyConfigValidateRejectsBadLevel(t *testing.T) {
+	cfg := DefaultHierarchyConfig(2)
+	cfg.VecCache.Ways = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("bad vector-cache level accepted")
+	}
+	cfg = DefaultHierarchyConfig(0)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero-core hierarchy accepted")
+	}
+}

@@ -222,9 +222,23 @@ func (s *Scheduler) tickAcquiring(c int, now uint64) {
 	// Re-acquire the lanes the task held when preempted before letting
 	// its SVE instructions resume. A task that held none (or was never
 	// started) can run immediately — its own prologue/monitor negotiates.
+	// The task MUST resume under exactly the VL it was preempted with: the
+	// switch can land mid-strip, and the strip's bookkeeping (elements per
+	// iteration, store predicates) silently corrupts under any other
+	// length — elastic code only changes VL at strip boundaries.
 	if t.vl > 0 {
-		if !s.sys.Coproc.Tbl().TryReconfigure(c, t.vl) {
-			return // retry next cycle; peers' monitors will release
+		tbl := s.sys.Coproc.Tbl()
+		if !tbl.TryReconfigure(c, t.vl) {
+			if t.vl <= tbl.Usable() {
+				return // retry next cycle; peers' monitors will release
+			}
+			// A fault shrank the pool below the saved VL while the task
+			// was descheduled, so this grant can never succeed. Re-install
+			// the allocation over-committed — the same transiently
+			// negative <AL> that follows an in-flight fault — and let the
+			// task's own partition monitor shrink it to the planner's
+			// decision at its next strip boundary, where it is safe.
+			tbl.RestoreVL(c, t.vl)
 		}
 	}
 	s.pendingIn[c] = -1
@@ -258,6 +272,13 @@ func (s *Scheduler) TaskNames() []string {
 // scheduler (for switch counts), the system (for verification) and the
 // compiled workloads in task order.
 func Oversubscribed(ws []*workload.Workload, cores int, slice uint64, seed uint64, maxCycles uint64) (*Scheduler, *arch.System, []*compiler.Compiled, error) {
+	return OversubscribedOpts(ws, cores, slice, maxCycles, arch.Options{Seed: seed})
+}
+
+// OversubscribedOpts is Oversubscribed with full control over the build
+// options — notably fault injection and the forward-progress watchdog, so
+// context switching can be exercised concurrently with lane revocation.
+func OversubscribedOpts(ws []*workload.Workload, cores int, slice uint64, maxCycles uint64, opts arch.Options) (*Scheduler, *arch.System, []*compiler.Compiled, error) {
 	if len(ws) < cores {
 		return nil, nil, nil, fmt.Errorf("osched: need at least %d workloads", cores)
 	}
@@ -273,7 +294,7 @@ func Oversubscribed(ws []*workload.Workload, cores int, slice uint64, seed uint6
 			Elems: 64, Repeats: 1,
 		}}}
 	}
-	sys, err := arch.Build(arch.Occamy, workload.CoSchedule{Name: "osched", W: placeholder}, arch.Options{Seed: seed})
+	sys, err := arch.Build(arch.Occamy, workload.CoSchedule{Name: "osched", W: placeholder}, opts)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -287,7 +308,7 @@ func Oversubscribed(ws []*workload.Workload, cores int, slice uint64, seed uint6
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		comp.InitData(sys.Hier.Mem, seed+uint64(i)*131+7)
+		comp.InitData(sys.Hier.Mem, opts.Seed+uint64(i)*131+7)
 		compiled = append(compiled, comp)
 		sched.AddTask(w.Name, cpu.NewState(comp.Program))
 	}

@@ -19,7 +19,6 @@
 package sim
 
 import (
-	"fmt"
 	"math"
 )
 
@@ -89,6 +88,10 @@ type Engine struct {
 	// bit-identical (quiescent or not).
 	probeAt      uint64
 	probeBackoff uint64
+
+	// wdThreshold arms the forward-progress watchdog (see watchdog.go);
+	// 0 keeps it disarmed.
+	wdThreshold uint64
 }
 
 // maxProbeBackoff caps the probe interval during live stretches. The cap
@@ -192,9 +195,18 @@ func (e *Engine) skipTo(target uint64) {
 // degrades to normal ticking rather than stalling the clock.
 func (e *Engine) RunUntil(done func() bool, maxCycles uint64) (uint64, error) {
 	start := e.cycle
+	var wd *watchdog
+	if e.wdThreshold > 0 {
+		wd = e.newWatchdog(start)
+	}
 	for !done() {
 		if e.cycle-start >= maxCycles {
-			return e.cycle - start, fmt.Errorf("sim: cycle budget of %d exhausted (started at %d)", maxCycles, start)
+			return e.cycle - start, &BudgetError{Budget: maxCycles, Start: start}
+		}
+		if wd != nil && e.cycle >= wd.nextCheck {
+			if serr := wd.check(e.cycle); serr != nil {
+				return e.cycle - start, serr
+			}
 		}
 		if e.skip && e.probeAt <= e.cycle {
 			wake, ok := e.nextWake()
@@ -205,6 +217,9 @@ func (e *Engine) RunUntil(done func() bool, maxCycles uint64) (uint64, error) {
 				e.skipTo(wake)
 				e.probeBackoff = 0
 				e.probeAt = e.cycle
+				if wd != nil {
+					wd.reset(e.cycle)
+				}
 				continue
 			}
 			// Live (or a wake declared in the past): back off before the

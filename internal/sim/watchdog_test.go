@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// livelock is the synthetic never-retiring component of the acceptance
+// criterion: it ticks forever without its progress counter ever moving.
+type livelock struct{ progress uint64 }
+
+func (l *livelock) Name() string     { return "livelock-unit" }
+func (l *livelock) Tick(uint64)      {}
+func (l *livelock) Progress() uint64 { return l.progress }
+
+// worker makes progress every tick until a cutoff cycle, then stalls.
+type worker struct {
+	name    string
+	stallAt uint64
+	retired uint64
+}
+
+func (w *worker) Name() string { return w.name }
+func (w *worker) Tick(now uint64) {
+	if now < w.stallAt {
+		w.retired++
+	}
+}
+func (w *worker) Progress() uint64 { return w.retired }
+
+func TestWatchdogConvertsLivelockToStallError(t *testing.T) {
+	e := NewEngine()
+	e.Register(&livelock{})
+	e.SetWatchdog(1000)
+	n, err := e.RunUntil(func() bool { return false }, 1_000_000)
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("want *StallError, got %v after %d cycles", err, n)
+	}
+	// Detection within threshold + sampling interval (threshold/8).
+	if stall.Cycle > 1000+1000/8 {
+		t.Errorf("stall detected at cycle %d, want <= %d", stall.Cycle, 1000+1000/8)
+	}
+	if stall.Window < 1000 {
+		t.Errorf("stall window %d, want >= threshold 1000", stall.Window)
+	}
+	if len(stall.Stalled) != 1 || stall.Stalled[0] != "livelock-unit" {
+		t.Errorf("stalled units = %v, want [livelock-unit]", stall.Stalled)
+	}
+	if !strings.Contains(stall.Error(), "livelock-unit") {
+		t.Errorf("error text %q does not name the stalled unit", stall.Error())
+	}
+}
+
+// TestWatchdogNamesOnlyStalledUnits: with one unit working and one
+// livelocked, the engine keeps running — any progress anywhere resets the
+// stall clock. Once the worker also stops, the error names both.
+func TestWatchdogNamesOnlyStalledUnits(t *testing.T) {
+	e := NewEngine()
+	e.Register(&worker{name: "busy-core", stallAt: 5000})
+	e.Register(&livelock{})
+	e.SetWatchdog(1000)
+	_, err := e.RunUntil(func() bool { return false }, 1_000_000)
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("want *StallError, got %v", err)
+	}
+	if stall.Cycle < 5000+1000 {
+		t.Errorf("stall fired at %d, before the worker stopped making progress", stall.Cycle)
+	}
+	if len(stall.Stalled) != 2 {
+		t.Errorf("stalled units = %v, want both components", stall.Stalled)
+	}
+	// The livelocked unit stalled for far longer than the worker.
+	if stall.Stalled[0] != "busy-core" || stall.Stalled[1] != "livelock-unit" {
+		t.Errorf("stalled units = %v, want [busy-core livelock-unit]", stall.Stalled)
+	}
+}
+
+func TestWatchdogDisarmedByDefault(t *testing.T) {
+	e := NewEngine()
+	e.Register(&livelock{})
+	_, err := e.RunUntil(func() bool { return false }, 10_000)
+	var budget *BudgetError
+	if !errors.As(err, &budget) {
+		t.Fatalf("disarmed watchdog: want *BudgetError, got %v", err)
+	}
+	if budget.Error() != "sim: cycle budget of 10000 exhausted (started at 0)" {
+		t.Errorf("budget error text changed: %q", budget.Error())
+	}
+}
+
+func TestWatchdogIgnoredWithoutReporters(t *testing.T) {
+	e := NewEngine()
+	e.Register(&nullComponent{})
+	e.SetWatchdog(100)
+	_, err := e.RunUntil(func() bool { return false }, 10_000)
+	var budget *BudgetError
+	if !errors.As(err, &budget) {
+		t.Fatalf("no reporters: want *BudgetError, got %v", err)
+	}
+}
+
+type nullComponent struct{}
+
+func (nullComponent) Name() string { return "null" }
+func (nullComponent) Tick(uint64)  {}
+
+// snoozer is quiescent except at sparse wake cycles, where it makes one unit
+// of progress. Its wakes are farther apart than the watchdog threshold, so
+// only skip-ahead's jump-is-progress rule keeps the watchdog quiet.
+type snoozer struct {
+	period  uint64
+	retired uint64
+}
+
+func (s *snoozer) Name() string { return "snoozer" }
+func (s *snoozer) Tick(now uint64) {
+	if now%s.period == 0 {
+		s.retired++
+	}
+}
+func (s *snoozer) Progress() uint64 { return s.retired }
+func (s *snoozer) NextWake(now uint64) (uint64, bool) {
+	if now%s.period == 0 {
+		return 0, false // this tick does work
+	}
+	return (now/s.period + 1) * s.period, true
+}
+func (s *snoozer) SkipTicks(from, n uint64) {}
+
+// TestWatchdogSkipAheadCompatible: a component sleeping through windows far
+// longer than the stall threshold must not trip the watchdog while skipping,
+// and must still complete.
+func TestWatchdogSkipAheadCompatible(t *testing.T) {
+	e := NewEngine()
+	s := &snoozer{period: 10_000}
+	e.Register(s)
+	e.SetWatchdog(500) // far shorter than the quiescent windows
+	_, err := e.RunUntil(func() bool { return s.retired >= 5 }, 1_000_000)
+	if err != nil {
+		t.Fatalf("skip-ahead run tripped the watchdog: %v", err)
+	}
+	if e.Skips() == 0 {
+		t.Fatal("test did not exercise skip-ahead")
+	}
+}
+
+// TestWatchdogLegacyTickStall: same idle system with skip-ahead disabled
+// (the fault-injection configuration) does trip the watchdog if the idle
+// window is genuinely progress-free beyond the threshold — unless real
+// progress arrives in time.
+func TestWatchdogThresholdBoundary(t *testing.T) {
+	e := NewEngine()
+	s := &snoozer{period: 400}
+	e.Register(s)
+	e.SetSkipAhead(false)
+	e.SetWatchdog(500) // threshold exceeds the 400-cycle idle windows
+	if _, err := e.RunUntil(func() bool { return s.retired >= 5 }, 1_000_000); err != nil {
+		t.Fatalf("progress every 400 cycles must beat a 500-cycle threshold: %v", err)
+	}
+
+	e2 := NewEngine()
+	s2 := &snoozer{period: 4000}
+	e2.Register(s2)
+	e2.SetSkipAhead(false)
+	e2.SetWatchdog(500)
+	_, err := e2.RunUntil(func() bool { return s2.retired >= 5 }, 1_000_000)
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("4000-cycle gaps against a 500-cycle threshold: want stall, got %v", err)
+	}
+}

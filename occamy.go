@@ -23,8 +23,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"occamy/internal/arch"
+	"occamy/internal/fault"
 	"occamy/internal/isa"
 	"occamy/internal/lanemgr"
 	"occamy/internal/obs"
@@ -102,6 +104,63 @@ type Config struct {
 	// bit-identical either way; the switch exists for A/B validation and
 	// engine benchmarking.
 	LegacyTick bool
+	// Faults is a fault-injection specification: semicolon-separated
+	// entries "kind[:target...]@at[+for]" (see internal/fault; e.g.
+	// "exebu:2@10000+5000; link:c0@2000+1000"), or "@file.json" to load a
+	// JSON spec. Empty disables injection; fault-free runs are
+	// bit-identical to builds without the machinery.
+	Faults string
+	// StallCycles arms the forward-progress watchdog: if no core retires
+	// an instruction and the co-processor issues nothing for this many
+	// cycles, the run aborts with a DiagnosticError instead of burning
+	// MaxCycles. Zero disables the watchdog.
+	StallCycles uint64
+}
+
+// Validate checks the configuration for shape errors — an unknown
+// architecture, a lane budget that is not a multiple of the granule width, a
+// malformed fault spec, out-of-range machine tuning — so callers get a
+// proper error instead of a build panic deep in the model.
+func (c Config) Validate() error {
+	switch c.Arch {
+	case Private, Temporal, StaticSpatial, Elastic:
+	default:
+		return fmt.Errorf("occamy: unknown architecture %v", c.Arch)
+	}
+	if c.LanesPerCore < 0 || c.LanesPerCore%4 != 0 {
+		return fmt.Errorf("occamy: LanesPerCore must be a non-negative multiple of 4, got %d", c.LanesPerCore)
+	}
+	if c.Scale < 0 {
+		return fmt.Errorf("occamy: negative Scale %g", c.Scale)
+	}
+	if c.MonitorPeriod < 0 {
+		return fmt.Errorf("occamy: negative MonitorPeriod %d", c.MonitorPeriod)
+	}
+	if c.Machine != nil {
+		if err := c.Machine.Validate(); err != nil {
+			return fmt.Errorf("occamy: %w", err)
+		}
+	}
+	if _, err := parseFaults(c.Faults); err != nil {
+		return err
+	}
+	return nil
+}
+
+// parseFaults resolves Config.Faults: empty, an inline spec, or "@file.json".
+func parseFaults(spec string) ([]fault.Fault, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	if strings.HasPrefix(spec, "@") {
+		data, err := os.ReadFile(strings.TrimPrefix(spec, "@"))
+		if err != nil {
+			return nil, fmt.Errorf("occamy: reading fault spec: %w", err)
+		}
+		return fault.ParseJSON(data)
+	}
+	return fault.ParseSpec(spec)
 }
 
 // CycleAttribution is one core's top-down cycle accounting: charged cycles
@@ -121,6 +180,8 @@ func CycleBuckets() []string { return obs.BucketNames() }
 type MachineTuning = arch.MachineTuning
 
 // DefaultConfig returns the Table 4 configuration for the given architecture.
+// The forward-progress watchdog is armed by default (it only observes; a
+// healthy run never trips it).
 func DefaultConfig(a Arch) Config {
 	return Config{
 		Arch:         a,
@@ -129,6 +190,7 @@ func DefaultConfig(a Arch) Config {
 		Scale:        1.0,
 		MaxCycles:    200_000_000,
 		Verify:       true,
+		StallCycles:  2_000_000,
 	}
 }
 
@@ -268,6 +330,24 @@ func FourCoreGroups() []Schedule {
 	return out
 }
 
+// Recovery records how the simulated system reacted to one injected fault:
+// the cycle it fired and the cycle the architecture finished adapting
+// (Done - At is the time-to-repartition for the lane-replanning reactions).
+type Recovery = arch.Recovery
+
+// Diagnostic is the structured machine-state dump the watchdog and
+// cycle-budget paths attach to a failed run: per-core scalar and
+// co-processor pipeline snapshots, the lane table, top-down cycle
+// attribution (when profiled) and the fault log. Its String method renders
+// it for terminals; it also marshals to JSON.
+type Diagnostic = arch.DiagnosticDump
+
+// DiagnosticError is the error Run returns when the engine aborts (forward-
+// progress stall or MaxCycles exhaustion): errors.As recovers it, and its
+// Dump field holds the Diagnostic. errors.Is/As see through it to the
+// underlying sim.StallError / sim.BudgetError.
+type DiagnosticError = arch.DiagError
+
 // Run simulates sched on cfg.Arch until every core completes.
 func Run(cfg Config, sched Schedule) (*Report, error) {
 	var sink *obs.Perfetto
@@ -351,6 +431,10 @@ func sanitize(s string) string {
 }
 
 func buildSystem(cfg Config, sched Schedule, o obs.Options) (*arch.System, error) {
+	faults, err := parseFaults(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
 	s := sched.inner
 	if cfg.Scale > 0 && cfg.Scale != 1.0 {
 		s = s.Scaled(cfg.Scale)
@@ -366,6 +450,8 @@ func buildSystem(cfg Config, sched Schedule, o obs.Options) (*arch.System, error
 		Machine:       cfg.Machine,
 		Obs:           o,
 		LegacyTick:    cfg.LegacyTick,
+		Faults:        faults,
+		StallCycles:   cfg.StallCycles,
 	})
 }
 

@@ -54,6 +54,16 @@ type Report struct {
 	// LaneTimelines holds, per core, the average busy lanes per
 	// 1000-cycle bucket — the curves of Figure 2(b-e) and Figure 14(b).
 	LaneTimelines [][]float64
+	// Elems counts vector elements processed across all cores (a work
+	// proxy sampled at strip boundaries; the degradation experiment's
+	// throughput numerator).
+	Elems uint64
+	// Recoveries is the fault-reaction log of an injected run (nil when no
+	// faults were configured).
+	Recoveries []Recovery
+	// LinkDrops counts CPU->coproc transmissions refused by injected
+	// dispatch-link faults.
+	LinkDrops uint64
 	// Stats is the full counter registry at end of run (nil unless
 	// profiled). Names follow the unit.event convention, e.g.
 	// "coproc.rename.stalls", "dram.bytes", "cpu0.pool_full_stall".
@@ -72,6 +82,9 @@ func newReport(sys *arch.System, res *arch.Result) *Report {
 		Repartitions: res.Repartitions,
 		Reconfigures: res.Reconfigures,
 		StaticVLs:    res.StaticVLs,
+		Elems:        res.Elems,
+		Recoveries:   res.Recoveries,
+		LinkDrops:    res.LinkDrops,
 	}
 	for c, cr := range res.Cores {
 		r.Cores = append(r.Cores, CoreReport{
@@ -152,6 +165,17 @@ func (r *Report) Summary() string {
 	}
 	if len(r.StaticVLs) > 0 {
 		fmt.Fprintf(&b, "  static partition (granules): %v\n", r.StaticVLs)
+	}
+	for _, rec := range r.Recoveries {
+		if rec.Pending {
+			fmt.Fprintf(&b, "  fault %s: applied at %d, recovery pending at end of run\n", rec.Fault, rec.At)
+		} else {
+			fmt.Fprintf(&b, "  fault %s: applied at %d, recovered in %d cycles\n",
+				rec.Fault, rec.At, rec.TimeToRepartition())
+		}
+	}
+	if r.LinkDrops > 0 {
+		fmt.Fprintf(&b, "  dropped transmissions: %d\n", r.LinkDrops)
 	}
 	return b.String()
 }
