@@ -18,6 +18,7 @@ import (
 	"occamy/internal/isa"
 	"occamy/internal/lanemgr"
 	"occamy/internal/roofline"
+	"occamy/internal/workload"
 )
 
 // benchCfg keeps bench iterations affordable while preserving shape; the
@@ -257,6 +258,81 @@ func BenchmarkEngineSkipAhead(b *testing.B) {
 	b.Run("MemPhase/Skip", func(b *testing.B) { run(b, false, memPhase, nil) })
 	b.Run("MemPhaseSlowDRAM/Legacy", func(b *testing.B) { run(b, true, memPhase, slowDRAM) })
 	b.Run("MemPhaseSlowDRAM/Skip", func(b *testing.B) { run(b, false, memPhase, slowDRAM) })
+}
+
+// BenchmarkSteadyStateTick measures the warm per-cycle cost of each
+// architecture — ns/op IS ns per simulated cycle — and, with -benchmem, the
+// hot path's allocation contract (must be 0 allocs/op; internal/arch
+// TestSteadyStateZeroAlloc enforces the same bound exactly).
+//
+// The system is built and warmed once, outside the timer, with skip-ahead
+// off so every iteration is a real tick. A checkpoint taken at the warm
+// point recycles the system whenever the workload nears completion, so b.N
+// can exceed the workload length without measuring post-completion idle
+// cycles; the occasional restore is in-place and amortizes to nothing.
+//
+// CI gates on this benchmark: cmd/occamy-benchgate compares ns/op against
+// the committed BENCH_PR5.json baseline (±10%) and fails on any nonzero
+// allocs/op. Refresh the baseline with:
+//
+//	go test -run xxx -bench SteadyStateTick -benchmem -count 3 . |
+//	    go run ./cmd/occamy-benchgate -baseline BENCH_PR5.json -update
+func BenchmarkSteadyStateTick(b *testing.B) {
+	reg := workload.NewRegistry()
+	dot := *reg.Kernel("dotProd")
+	dot.Elems, dot.Repeats = 2000, 30
+	tri := *reg.Kernel("wsm51")
+	tri.Elems, tri.Repeats = 512, 30
+	group := workload.CoSchedule{Name: "steady", W: []*workload.Workload{
+		{Name: "steady.dot", Phases: []*workload.Kernel{&dot}},
+		{Name: "steady.tri", Phases: []*workload.Kernel{&tri}},
+	}}
+	const warm, recycle = 2001, 20_000
+	for _, kind := range arch.Kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			sys, err := arch.Build(kind, group, arch.Options{Seed: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Engine.SetSkipAhead(false)
+			if err := sys.RunTo(warm); err != nil {
+				b.Fatal(err)
+			}
+			snap := sys.Checkpoint()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sys.Engine.Cycle() >= recycle {
+					sys.RestoreCheckpoint(snap)
+				}
+				sys.Engine.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkDegradationSweep measures the checkpoint/restore payoff on the
+// sweep that motivates it: every point of the fault-degradation study shares
+// a warm-up prefix, which Snapshot runs once per architecture and forks,
+// while NoSnapshot re-simulates from cycle zero for every point. Results are
+// bit-identical (TestDegradationSnapshotPathIdentical); only wall time
+// differs. Run serially (-j 1 inside the config) so the ratio reflects
+// simulated work, not scheduling:
+//
+//	go test -bench DegradationSweep -benchtime 3x .
+func BenchmarkDegradationSweep(b *testing.B) {
+	run := func(b *testing.B, nosnap bool) {
+		cfg := experiments.Quick()
+		cfg.Parallel = 1
+		cfg.NoSnapshot = nosnap
+		for i := 0; i < b.N; i++ {
+			if _, err := cfg.Degradation(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Snapshot", func(b *testing.B) { run(b, false) })
+	b.Run("NoSnapshot", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkObsOverhead guards the observability layer's cost contract: with

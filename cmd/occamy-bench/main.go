@@ -17,16 +17,21 @@ import (
 
 	"occamy/internal/area"
 	"occamy/internal/experiments"
+	"occamy/internal/profiling"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table3|table4|fig2|fig10|fig11|fig12|fig13|fig14|table5|fig15|fig16|topdown|ablations|dse|degradation|all")
-		scale = flag.Float64("scale", 1.0, "trip-count scale")
-		seed  = flag.Uint64("seed", 1, "workload data seed")
-		html  = flag.String("html", "", "write a self-contained HTML report (SVG charts) to this file and exit")
-		par   = flag.Int("j", 0, "max concurrent simulations in sweeps (0 = one per CPU)")
-		leg   = flag.Bool("legacy-tick", false, "force the every-cycle engine path (disable skip-ahead; results are bit-identical)")
+		exp    = flag.String("exp", "all", "experiment: table3|table4|fig2|fig10|fig11|fig12|fig13|fig14|table5|fig15|fig16|topdown|ablations|dse|degradation|all")
+		scale  = flag.Float64("scale", 1.0, "trip-count scale")
+		seed   = flag.Uint64("seed", 1, "workload data seed")
+		html   = flag.String("html", "", "write a self-contained HTML report (SVG charts) to this file and exit")
+		par    = flag.Int("j", 0, "max concurrent simulations in sweeps (0 = one per CPU)")
+		leg    = flag.Bool("legacy-tick", false, "force the every-cycle engine path (disable skip-ahead; results are bit-identical)")
+		nosnap = flag.Bool("nosnapshot", false, "run every sweep point independently from cycle zero instead of forking shared warm-up from a checkpoint (A/B validation; results are bit-identical)")
+		cpuPr  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memPr  = flag.String("memprofile", "", "write a heap profile to this file")
+		allocs = flag.Bool("allocs", false, "print an allocation/GC report for the run to stderr")
 	)
 	flag.Parse()
 
@@ -35,12 +40,23 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Parallel = *par
 	cfg.LegacyTick = *leg
+	cfg.NoSnapshot = *nosnap
 
 	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "occamy-bench:", err)
 		os.Exit(1)
 	}
+
+	prof, err := profiling.Start(*cpuPr, *memPr, *allocs)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fail(err)
+		}
+	}()
 
 	if *html != "" {
 		file, err := os.Create(*html)

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"occamy"
+	"occamy/internal/profiling"
 )
 
 // resolveWorkload accepts a Table 3 name or "@file.json" for a custom
@@ -51,6 +52,9 @@ func main() {
 		legacy   = flag.Bool("legacy-tick", false, "force the every-cycle engine path (disable skip-ahead; results are bit-identical)")
 		faults   = flag.String("faults", "", `fault-injection spec: "kind[:target...]@at[+for]; ..." (e.g. "exebu:2@10000+5000; xmit:core0@2000+8000"), or @file.json`)
 		stall    = flag.Uint64("stall-cycles", 0, "abort with a diagnostic dump if no instruction retires for this many cycles (0 = the DefaultConfig watchdog)")
+		cpuPr    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memPr    = flag.String("memprofile", "", "write a heap profile to this file")
+		allocs   = flag.Bool("allocs", false, "print an allocation/GC report for the run to stderr")
 	)
 	flag.Parse()
 
@@ -101,6 +105,11 @@ func main() {
 	r1, err := resolveWorkload(*w1)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "w1: %v\n", err)
+		os.Exit(2)
+	}
+	prof, err := profiling.Start(*cpuPr, *memPr, *allocs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
 	}
 	sched := occamy.NewSchedule(fmt.Sprintf("%s+%s", r0.Name(), r1.Name()), r0, r1)
@@ -160,6 +169,10 @@ func main() {
 		if cfg.PerfettoPath != "" {
 			fmt.Printf("perfetto trace written to %s (open in ui.perfetto.dev)\n", cfg.PerfettoPath)
 		}
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
 	}
 }
 

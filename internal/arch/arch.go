@@ -91,6 +91,12 @@ type Options struct {
 	// A non-empty list registers the injector and disables skip-ahead
 	// (faulted runs are not required to be skip-equivalent).
 	Faults []fault.Fault
+	// WireInjector registers the fault injector (and the architecture's
+	// fault controller) even when Faults is empty, so a checkpointed run
+	// can swap schedules in later with SetFaultSchedule. Like a non-empty
+	// Faults list it forces the legacy every-cycle engine path, keeping the
+	// run bit-identical to any faulted fork taken from its checkpoints.
+	WireInjector bool
 	// StallCycles arms the engine's forward-progress watchdog: a run where
 	// no component makes progress for this many cycles aborts with a
 	// sim.StallError (wrapped in a DiagError carrying the machine dump).
@@ -205,8 +211,13 @@ type System struct {
 	StaticVLs []int
 	// Probe is the observability hub; nil when Options.Obs was zero.
 	Probe *obs.Probe
-	// faults is the fault controller; nil when Options.Faults was empty.
+	// faults is the fault controller; nil when Options.Faults was empty
+	// and WireInjector was off.
 	faults *faultCtl
+	// inj is the registered fault injector (nil alongside faults).
+	inj *fault.Injector
+	// seed is kept for deterministic victim resolution in SetFaultSchedule.
+	seed uint64
 }
 
 // Build compiles the co-schedule's workloads for kind and wires the system.
@@ -307,11 +318,13 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 	cp.SetResponder(func(core int, reg isa.Reg, val uint64, ready uint64) {
 		sys.Cores[core].HandleResult(core, reg, val, ready)
 	})
-	if len(opts.Faults) > 0 {
+	sys.seed = opts.Seed
+	if len(opts.Faults) > 0 || opts.WireInjector {
 		// The injector ticks after the co-processor (faults land on cycle
 		// boundaries, visible from the next cycle on) and before the probe.
 		sys.faults = newFaultCtl(sys)
-		engine.Register(fault.NewInjector(opts.Faults, n, opts.Seed, sys.faults))
+		sys.inj = fault.NewInjector(opts.Faults, n, opts.Seed, sys.faults)
+		engine.Register(sys.inj)
 	}
 	if opts.Obs.Enabled() {
 		probe := obs.NewProbe(n, opts.Obs.Sink)
@@ -337,8 +350,20 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 	// Skip-ahead elides quiescent cycles; a Perfetto sink wants the real
 	// per-cycle counter samples, and the fault injector must observe every
 	// cycle, so those runs keep the legacy path.
-	engine.SetSkipAhead(!opts.LegacyTick && opts.Obs.Sink == nil && len(opts.Faults) == 0)
+	engine.SetSkipAhead(!opts.LegacyTick && opts.Obs.Sink == nil && len(opts.Faults) == 0 && !opts.WireInjector)
 	return sys, nil
+}
+
+// SetFaultSchedule replaces the wired injector's fault schedule in place,
+// rewinding its cursors — the fork point for checkpointed sweeps (build with
+// WireInjector, warm up, Checkpoint, then per point RestoreCheckpoint and
+// swap in that point's faults). It panics when no injector was wired: a
+// schedule silently dropped would invalidate the experiment.
+func (s *System) SetFaultSchedule(faults []fault.Fault) {
+	if s.inj == nil {
+		panic("arch: SetFaultSchedule on a system built without WireInjector or Faults")
+	}
+	s.inj.Reschedule(faults, len(s.Cores), s.seed)
 }
 
 // staticPlan computes VLS's one-off partition: the roofline plan over each

@@ -1,0 +1,112 @@
+package arch
+
+import (
+	"occamy/internal/coproc"
+	"occamy/internal/cpu"
+	"occamy/internal/fault"
+	"occamy/internal/mem"
+	"occamy/internal/obs"
+	"occamy/internal/sim"
+)
+
+// This file composes the per-component checkpoints into a whole-system
+// snapshot, the substrate for shared-warm-up sweeps: simulate a sweep's
+// common prefix once, Checkpoint, then fork every sweep point from the
+// snapshot with RestoreCheckpoint (+ SetFaultSchedule for fault sweeps).
+// A restored run is bit-identical to a straight run of the same
+// configuration — cycles, every counter, attribution, recovery log — which
+// the differential tests in checkpoint_test.go enforce across all four
+// architectures.
+
+// ctlState is the fault controller's checkpoint.
+type ctlState struct {
+	perCoreFailed []int
+	cursor        int
+	recs          []Recovery
+	open          []int
+}
+
+func (ctl *faultCtl) snapshot() *ctlState {
+	if ctl == nil {
+		return nil
+	}
+	return &ctlState{
+		perCoreFailed: append([]int(nil), ctl.perCoreFailed...),
+		cursor:        ctl.cursor,
+		recs:          append([]Recovery(nil), ctl.recs...),
+		open:          append([]int(nil), ctl.open...),
+	}
+}
+
+func (ctl *faultCtl) restore(st *ctlState) {
+	if ctl == nil || st == nil {
+		return
+	}
+	copy(ctl.perCoreFailed, st.perCoreFailed)
+	ctl.cursor = st.cursor
+	ctl.recs = append(ctl.recs[:0], st.recs...)
+	ctl.open = append(ctl.open[:0], st.open...)
+}
+
+// SystemState is a complete, deep system checkpoint. It captures mutable
+// simulation state only — configuration and wiring (workloads, machine
+// parameters, tick order, probe sinks) are not in it, so a snapshot restores
+// only onto the System it was taken from (or one built identically).
+type SystemState struct {
+	engine sim.EngineState
+	hier   mem.HierarchyState
+	coproc coproc.CheckpointState
+	cores  []cpu.FullState
+	probe  *obs.ProbeState
+	ctl    *ctlState
+	inj    fault.InjectorState
+}
+
+// Cycle returns the cycle the checkpoint was taken at.
+func (st *SystemState) Cycle() uint64 { return st.engine.Cycle() }
+
+// Checkpoint captures the full machine state at the current cycle.
+func (s *System) Checkpoint() *SystemState {
+	st := &SystemState{
+		engine: s.Engine.Snapshot(),
+		hier:   s.Hier.Snapshot(),
+		coproc: s.Coproc.Checkpoint(),
+		probe:  s.Probe.Snapshot(),
+		ctl:    s.faults.snapshot(),
+		inj:    s.inj.Snapshot(),
+	}
+	for _, core := range s.Cores {
+		st.cores = append(st.cores, core.Checkpoint())
+	}
+	return st
+}
+
+// RestoreCheckpoint rewinds the system to a Checkpoint. The fault schedule is
+// restored as-is (cursors rewound on the same schedule); fork a different
+// sweep point by calling SetFaultSchedule afterwards.
+func (s *System) RestoreCheckpoint(st *SystemState) {
+	s.Engine.Restore(st.engine)
+	s.Hier.Restore(st.hier)
+	s.Coproc.RestoreCheckpoint(st.coproc)
+	for c, core := range s.Cores {
+		core.RestoreCheckpoint(st.cores[c])
+	}
+	s.Probe.Restore(st.probe)
+	s.faults.restore(st.ctl)
+	s.inj.Restore(st.inj)
+}
+
+// RunTo simulates until the clock reaches cycle (a no-op when already
+// there), the natural way to advance to a sweep's checkpoint cycle. Unlike
+// Run it does not stop at completion — callers pick checkpoint cycles well
+// inside the run.
+func (s *System) RunTo(cycle uint64) error {
+	now := s.Engine.Cycle()
+	if cycle <= now {
+		return nil
+	}
+	if _, err := s.Engine.RunUntil(func() bool { return s.Engine.Cycle() >= cycle }, cycle-now); err != nil {
+		return err
+	}
+	return nil
+}

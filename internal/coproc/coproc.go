@@ -64,12 +64,23 @@ const (
 	// window caps the renamed, in-flight region per core (ROB size);
 	// physical-register availability bounds it further.
 	window = 120
+	// queueRing is the ring capacity backing the pool: the smallest power
+	// of two >= queueCap, so position indices map to slots with one mask.
+	queueRing = 256
+	queueMask = queueRing - 1
 )
 
 type coreState struct {
+	// queue is a fixed ring of queueRing slots. head, renamed and tail are
+	// monotonically increasing stream positions (never reset); at() maps a
+	// position to its slot. Occupancy (tail-head) is bounded by queueCap <
+	// queueRing, so a live entry is never overwritten and — unlike the old
+	// grow-and-compact slice — steady-state operation neither allocates nor
+	// re-copies the backlog.
 	queue []XInst
 	head  int
-	// renamed is the index one past the last renamed instruction: the
+	tail  int
+	// renamed is the position one past the last renamed instruction: the
 	// region [head, renamed) holds physical destination registers and is
 	// eligible for out-of-order issue.
 	renamed int
@@ -112,6 +123,9 @@ type coreState struct {
 
 	busyTimeline *sim.Timeline // average busy lanes per 1000 cycles
 }
+
+// at returns the pool slot of stream position i (valid for head <= i < tail).
+func (st *coreState) at(i int) *XInst { return &st.queue[i&queueMask] }
 
 // LaneEvent records one lane-management action, for the allocated-lanes
 // timelines of Figures 2 and 14(b) and for trace export.
@@ -165,7 +179,10 @@ type Coproc struct {
 	cycleBusyLanes []float64 // per-core busy lanes this cycle
 
 	// events is the lane-management log (bounded; see laneEventCap).
-	events []LaneEvent
+	// decArena backs the events' Decisions slices in chunks, so logging
+	// does not allocate per event.
+	events   []LaneEvent
+	decArena []int
 
 	// probe is the observability hook (nil when the run is not observed;
 	// every obs method is nil-receiver-safe).
@@ -196,7 +213,11 @@ func (cp *Coproc) logEvent(e LaneEvent) {
 	if len(cp.events) >= laneEventCap {
 		return
 	}
-	e.Decisions = make([]int, cp.cfg.Cores)
+	n := cp.cfg.Cores
+	if len(cp.decArena) < n {
+		cp.decArena = make([]int, 256*n)
+	}
+	e.Decisions, cp.decArena = cp.decArena[:n:n], cp.decArena[n:]
 	for c := range e.Decisions {
 		e.Decisions[c] = cp.tbl.Decision(c)
 	}
@@ -227,7 +248,7 @@ func New(cfg Config, vecPort mem.SharedPort, data *mem.Memory, model roofline.Mo
 	}
 	lanes := cfg.Lanes()
 	for c := 0; c < cfg.Cores; c++ {
-		st := &coreState{busyTimeline: sim.NewTimeline(1000)}
+		st := &coreState{busyTimeline: sim.NewTimeline(1000), queue: make([]XInst, queueRing)}
 		st.done.init()
 		st.z = make([][]float32, isa.NumZRegs)
 		backing := make([]float32, isa.NumZRegs*lanes)
@@ -282,8 +303,8 @@ func (cp *Coproc) ReadSysNow(c int, sys isa.SysReg) uint32 { return cp.tbl.ReadR
 func (cp *Coproc) MemInFlight(c int, now uint64) int {
 	st := cp.cores[c]
 	pending := 0
-	for i := st.head; i < len(st.queue); i++ {
-		if !st.queue[i].issued && st.queue[i].Op.IsVectorMem() {
+	for i := st.head; i < st.tail; i++ {
+		if x := st.at(i); !x.issued && x.Op.IsVectorMem() {
 			pending++
 		}
 	}
@@ -308,7 +329,7 @@ const (
 // registers are allocated later, at rename).
 func (cp *Coproc) Transmit(x XInst) TransmitStatus {
 	st := cp.cores[x.Core]
-	if len(st.queue)-st.head >= queueCap {
+	if st.tail-st.head >= queueCap {
 		return TransmitQueueFull
 	}
 	// cp.cycles equals the current cycle here: cores tick before the
@@ -322,7 +343,8 @@ func (cp *Coproc) Transmit(x XInst) TransmitStatus {
 	if !x.Op.IsEMSIMD() {
 		cp.renameAndApply(&x, st)
 	}
-	st.queue = append(st.queue, x)
+	*st.at(st.tail) = x
+	st.tail++
 	return TransmitOK
 }
 
@@ -333,8 +355,8 @@ func (cp *Coproc) Transmit(x XInst) TransmitStatus {
 // cores.
 func (cp *Coproc) renameTick(c int, now uint64) {
 	st := cp.cores[c]
-	for st.renamed < len(st.queue) && st.renamed-st.head < window {
-		x := &st.queue[st.renamed]
+	for st.renamed < st.tail && st.renamed-st.head < window {
+		x := st.at(st.renamed)
 		if !x.Op.IsEMSIMD() && hasZDst(x.Op) {
 			if !cp.canRename(c, now) {
 				cp.renameStallNow[c] = true
@@ -477,13 +499,13 @@ func (cp *Coproc) applyFunctional(x *XInst, st *coreState) {
 // quiescent state for the core).
 func (cp *Coproc) PoolFull(c int) bool {
 	st := cp.cores[c]
-	return len(st.queue)-st.head >= queueCap
+	return st.tail-st.head >= queueCap
 }
 
 // QueueLen reports the occupancy of core c's instruction pool.
 func (cp *Coproc) QueueLen(c int) int {
 	st := cp.cores[c]
-	return len(st.queue) - st.head
+	return st.tail - st.head
 }
 
 // Name implements sim.Component.
@@ -513,7 +535,7 @@ func (cp *Coproc) Tick(now uint64) {
 	lanes := float64(cp.cfg.Lanes())
 	totalBusy := 0.0
 	for c, st := range cp.cores {
-		if st.head < len(st.queue) || st.inflight.Count(now) > 0 {
+		if st.head < st.tail || st.inflight.Count(now) > 0 {
 			st.lastActive = now
 		}
 		st.busyTimeline.Record(now, cp.cycleBusyLanes[c])
@@ -523,12 +545,6 @@ func (cp *Coproc) Tick(now uint64) {
 			st.renameStalls++
 			cp.stats.Inc("coproc.rename.stalls")
 			cp.renameStallNow[c] = false
-		}
-		// Compact the queue backing array occasionally.
-		if st.head > 2*queueCap {
-			st.queue = append(st.queue[:0], st.queue[st.head:]...)
-			st.renamed -= st.head
-			st.head = 0
 		}
 	}
 	cp.busyLaneCycles += totalBusy / lanes
@@ -582,14 +598,14 @@ func (x *XInst) depsReady(st *coreState, now uint64) bool {
 // whole window (the Figure 13 effect on FTS).
 func (cp *Coproc) tickCore(c int, now uint64, budget *issueBudget) {
 	st := cp.cores[c]
-	for st.head < len(st.queue) && st.queue[st.head].issued {
+	for st.head < st.tail && st.at(st.head).issued {
 		st.head++
 	}
 	cp.renameTick(c, now)
 	// Fault-injected issue gates (Private victim serialization, FTS
 	// shared-structure stalls) close the whole issue stage on off cycles.
 	if cp.flt != nil && !cp.flt.issueAllowed(c, now) {
-		if st.head < len(st.queue) {
+		if st.head < st.tail {
 			cp.probe.Signal(c, obs.SigExeBUWait)
 		}
 		return
@@ -598,7 +614,7 @@ func (cp *Coproc) tickCore(c int, now uint64, budget *issueBudget) {
 	memBlocked := false   // LHQ/MSHR structural stall: no younger memory op may issue
 	storeBlocked := false // stores issue in order among themselves
 	for i := st.head; i < end; i++ {
-		x := &st.queue[i]
+		x := st.at(i)
 		if x.issued {
 			continue
 		}
@@ -843,7 +859,7 @@ func (cp *Coproc) Cycles() uint64 { return cp.cycles }
 // Quiescent reports whether core c has no queued or in-flight work.
 func (cp *Coproc) Quiescent(c int, now uint64) bool {
 	st := cp.cores[c]
-	return st.head >= len(st.queue) && st.inflight.Count(now) == 0
+	return st.head >= st.tail && st.inflight.Count(now) == 0
 }
 
 // LastActive returns the latest cycle core c had queued or in-flight work.
@@ -866,12 +882,24 @@ func (cp *Coproc) DrainWaitCycles(c int) uint64 { return cp.cores[c].drainWait }
 // SaveVecState copies core c's architectural vector registers, for OS
 // context switching (§5). The caller must ensure quiescence.
 func (cp *Coproc) SaveVecState(c int) [][]float32 {
+	return cp.CopyVecState(c, nil)
+}
+
+// CopyVecState is SaveVecState into a caller-owned buffer: dst's backing
+// arrays are reused when the shapes match (a task's repeated preemptions then
+// cost no allocation), and the possibly re-allocated buffer is returned.
+func (cp *Coproc) CopyVecState(c int, dst [][]float32) [][]float32 {
 	st := cp.cores[c]
-	out := make([][]float32, len(st.z))
-	for r := range st.z {
-		out[r] = append([]float32(nil), st.z[r]...)
+	if len(dst) != len(st.z) {
+		dst = make([][]float32, len(st.z))
 	}
-	return out
+	for r := range st.z {
+		if len(dst[r]) != len(st.z[r]) {
+			dst[r] = make([]float32, len(st.z[r]))
+		}
+		copy(dst[r], st.z[r])
+	}
+	return dst
 }
 
 // RestoreVecState installs previously saved vector registers on core c.

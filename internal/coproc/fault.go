@@ -227,7 +227,7 @@ type PipeSnapshot struct {
 func (cp *Coproc) PipelineSnapshot(c int, now uint64) PipeSnapshot {
 	st := cp.cores[c]
 	ps := PipeSnapshot{
-		QueueLen:   len(st.queue) - st.head,
+		QueueLen:   st.tail - st.head,
 		Renamed:    st.renamed - st.head,
 		Inflight:   st.inflight.Count(now),
 		LHQ:        st.lhq.Count(now),
@@ -239,9 +239,9 @@ func (cp *Coproc) PipelineSnapshot(c int, now uint64) PipeSnapshot {
 		VL:         cp.VL(c),
 		Decision:   cp.tbl.Decision(c),
 	}
-	for i := st.head; i < len(st.queue); i++ {
-		if !st.queue[i].issued {
-			ps.HeadOp = st.queue[i].Op.String()
+	for i := st.head; i < st.tail; i++ {
+		if x := st.at(i); !x.issued {
+			ps.HeadOp = x.Op.String()
 			break
 		}
 	}

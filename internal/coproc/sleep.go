@@ -62,11 +62,11 @@ type sleepFx struct {
 func (cp *Coproc) coreSleep(c int, now uint64) (fx sleepFx, wake uint64, ok bool) {
 	wake = uint64(sim.NeverWake)
 	st := cp.cores[c]
-	if st.head < len(st.queue) && st.queue[st.head].issued {
+	if st.head < st.tail && st.at(st.head).issued {
 		return fx, 0, false // head would advance
 	}
-	if st.renamed < len(st.queue) && st.renamed-st.head < window {
-		x := &st.queue[st.renamed]
+	if st.renamed < st.tail && st.renamed-st.head < window {
+		x := st.at(st.renamed)
 		if x.Op.IsEMSIMD() || !hasZDst(x.Op) || cp.canRename(c, now) {
 			return fx, 0, false // renamer would advance
 		}
@@ -76,7 +76,7 @@ func (cp *Coproc) coreSleep(c int, now uint64) (fx sleepFx, wake uint64, ok bool
 	memBlocked := false
 	storeBlocked := false
 	for i := st.head; i < st.renamed; i++ {
-		x := &st.queue[i]
+		x := st.at(i)
 		if x.issued {
 			continue
 		}
@@ -221,7 +221,7 @@ func (cp *Coproc) SkipTicks(from, n uint64) {
 				cp.vecProbe.ReplayRetries(from, n, fx.retryAddr, fx.retrySize, fx.retryWrite, c)
 			}
 		}
-		if st.head < len(st.queue) {
+		if st.head < st.tail {
 			st.lastActive = from + n - 1
 		} else if m := st.inflight.max(); m > from {
 			// inflight.Count(t) > 0 exactly for t < m: the last

@@ -76,12 +76,16 @@ type Core struct {
 	tailActive int
 
 	// phase tracks the current compiler phase for attribution.
-	phase           int
-	phaseCycleNames []string
-	poolFullName    string
-	mobStallName    string
-	renameBlockName string
-	haltCycle       uint64
+	phase             int
+	phaseCycleNames   []string
+	phaseEnteredNames []string
+	poolFullName      string
+	mobStallName      string
+	renameBlockName   string
+	haltCycleName     string
+	reconfigName      string
+	monitorName       string
+	haltCycle         uint64
 
 	// probe is the observability hook; nil when the run is not observed
 	// (every obs method is nil-receiver-safe). phaseStart is the cycle the
@@ -109,16 +113,27 @@ func New(id int, cfg Config, prog *isa.Program, cp *coproc.Coproc, l1 mem.Port, 
 		id: id, cfg: cfg, prog: prog, cp: cp, l1: l1, data: data, stats: stats,
 		tailActive: -1, phase: -1,
 	}
-	// Pre-build per-phase counter names to keep the tick path
-	// allocation-free.
-	c.phaseCycleNames = make([]string, prog.NumPhases+1)
-	for p := 0; p <= prog.NumPhases; p++ {
-		c.phaseCycleNames[p] = fmt.Sprintf("cpu%d.phase%d.cycles", id, p-1)
-	}
+	// Pre-build every counter name the execute path can touch: the tick
+	// path must stay allocation-free, so no fmt.Sprintf after construction.
+	c.buildPhaseNames(prog)
 	c.poolFullName = fmt.Sprintf("cpu%d.pool_full_stall", id)
 	c.mobStallName = fmt.Sprintf("cpu%d.mob_stall", id)
 	c.renameBlockName = fmt.Sprintf("cpu%d.rename_block_stall", id)
+	c.haltCycleName = fmt.Sprintf("cpu%d.halt_cycle", id)
+	c.reconfigName = fmt.Sprintf("cpu%d.reconfig_insts", id)
+	c.monitorName = fmt.Sprintf("cpu%d.monitor_insts", id)
 	return c
+}
+
+// buildPhaseNames (re)builds the per-phase counter names for prog; indexed by
+// phase+1 so the pre-phase prologue (phase -1) has a slot.
+func (c *Core) buildPhaseNames(prog *isa.Program) {
+	c.phaseCycleNames = make([]string, prog.NumPhases+1)
+	c.phaseEnteredNames = make([]string, prog.NumPhases+1)
+	for p := 0; p <= prog.NumPhases; p++ {
+		c.phaseCycleNames[p] = fmt.Sprintf("cpu%d.phase%d.cycles", c.id, p-1)
+		c.phaseEnteredNames[p] = fmt.Sprintf("cpu%d.phase%d.entered_cycle", c.id, p-1)
+	}
 }
 
 // Halted reports whether the program has executed HALT.
@@ -164,7 +179,7 @@ func (c *Core) Tick(now uint64) {
 			c.closePhaseSlice(now)
 			c.phase = in.Phase
 			c.phaseStart = now
-			c.stats.Set(fmt.Sprintf("cpu%d.phase%d.entered_cycle", c.id, c.phase), now)
+			c.stats.Set(c.phaseEnteredNames[c.phase+1], now)
 		}
 		if !c.execute(&in, now) {
 			return
@@ -240,7 +255,7 @@ func (c *Core) execute(in *isa.Inst, now uint64) bool {
 		c.halted = true
 		c.haltCycle = now
 		c.closePhaseSlice(now)
-		c.stats.Set(fmt.Sprintf("cpu%d.halt_cycle", c.id), now)
+		c.stats.Set(c.haltCycleName, now)
 		return true
 	case isa.OpMovI:
 		c.xw(in.Dst, in.Imm, now+c.cfg.IntLat)
@@ -475,7 +490,7 @@ func (c *Core) execEMSIMD(in *isa.Inst, now uint64) bool {
 			}
 			c.xReady[in.Dst] = notReady // response will unblock
 			c.probe.Signal(c.id, obs.SigDrain)
-			c.stats.Inc(fmt.Sprintf("cpu%d.reconfig_insts", c.id))
+			c.stats.Inc(c.reconfigName)
 			c.pc++
 			return true
 		}
@@ -483,7 +498,7 @@ func (c *Core) execEMSIMD(in *isa.Inst, now uint64) bool {
 		c.xw(in.Dst, int64(c.cp.ReadSysNow(c.id, in.Sys)), now+c.cfg.EMSIMDLat)
 		if in.Sys == isa.SysDecision {
 			c.probe.Signal(c.id, obs.SigMonitor)
-			c.stats.Inc(fmt.Sprintf("cpu%d.monitor_insts", c.id))
+			c.stats.Inc(c.monitorName)
 		}
 		c.pc++
 		return true
@@ -504,7 +519,7 @@ func (c *Core) execEMSIMD(in *isa.Inst, now uint64) bool {
 	switch in.Sys {
 	case isa.SysVL:
 		c.probe.Signal(c.id, obs.SigDrain)
-		c.stats.Inc(fmt.Sprintf("cpu%d.reconfig_insts", c.id))
+		c.stats.Inc(c.reconfigName)
 	case isa.SysOI:
 		c.probe.Signal(c.id, obs.SigMonitor)
 	}
@@ -614,10 +629,47 @@ func (c *Core) Restore(s State) {
 		c.fReady[i] = 0
 	}
 	// Rebuild per-phase counter names for the (possibly new) program.
-	c.phaseCycleNames = make([]string, s.Prog.NumPhases+1)
-	for p := 0; p <= s.Prog.NumPhases; p++ {
-		c.phaseCycleNames[p] = fmt.Sprintf("cpu%d.phase%d.cycles", c.id, p-1)
+	c.buildPhaseNames(s.Prog)
+}
+
+// FullState is a cycle-accurate checkpoint of the core. Unlike State — the
+// OS context-switch view, which requires quiescence and clears the
+// scoreboards — it also preserves the register-ready timestamps, park
+// status, the open attribution slice, and the progress counters, so a
+// restored run resumes mid-flight bit-identically to one that never stopped.
+type FullState struct {
+	st         State
+	xReady     [isa.NumXRegs]uint64
+	fReady     [isa.NumFRegs]uint64
+	parked     bool
+	phaseStart uint64
+	insts      uint64
+	elems      uint64
+}
+
+// Checkpoint captures the core's complete simulation state at any cycle —
+// no quiescence precondition.
+func (c *Core) Checkpoint() FullState {
+	return FullState{
+		st:         c.Snapshot(),
+		xReady:     c.xReady,
+		fReady:     c.fReady,
+		parked:     c.parked,
+		phaseStart: c.phaseStart,
+		insts:      c.insts,
+		elems:      c.elems,
 	}
+}
+
+// RestoreCheckpoint rewinds the core to a Checkpoint.
+func (c *Core) RestoreCheckpoint(s FullState) {
+	c.Restore(s.st)
+	c.xReady = s.xReady
+	c.fReady = s.fReady
+	c.parked = s.parked
+	c.phaseStart = s.phaseStart
+	c.insts = s.insts
+	c.elems = s.elems
 }
 
 // NewState builds the boot state for a fresh task.

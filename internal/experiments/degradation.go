@@ -24,14 +24,21 @@ import (
 // light compute core's surplus first, the knees last — which is exactly the
 // robustness claim under test.
 const (
-	// degFaultAt is the injection cycle: late enough that both cores are
-	// well into their strip loops, early enough that the whole run executes
-	// degraded (the quick configs finish within a few thousand cycles).
-	degFaultAt = 500
+	// degFaultAt is the injection cycle. It serves two masters: the study
+	// needs every phase still in flight when the fault lands (the earliest
+	// core retires around cycle 5600, so 5000 keeps all sixteen strip loops
+	// live), and the sweep's warm-up sharing wants the fault as late as
+	// possible — the fault-free prefix [0, degFaultAt) is identical across
+	// every failure count, so it is simulated once per architecture,
+	// checkpointed, and every sweep point forks from the snapshot.
+	degFaultAt = 5000
 	// degStall is the forward-progress watchdog threshold: a victim that
 	// stops retiring (dead Private half, zero-lane VLS partition) is
 	// converted into a DNF data point instead of burning the cycle budget.
-	degStall = 200_000
+	// The longest legitimate progress gap in this sweep is a drain-gated
+	// revocation of a few hundred cycles; 25k keeps an order of magnitude
+	// of headroom while letting DNF points terminate quickly.
+	degStall = 25_000
 )
 
 // degChain builds a compute-bound workload: one stream in, one out, a
@@ -119,11 +126,18 @@ type Degradation struct {
 }
 
 // Degradation sweeps f = 0..N-1 permanently failed ExeBUs over all four
-// architectures. Every point is an independent deterministic simulation, so
-// the sweep parallelizes across the host CPUs. The group is a fixed size —
-// Config.Scale is deliberately not applied, because the study's validity
-// depends on the fault landing while every phase is still in flight (the
-// group is already sized for quick runs).
+// architectures. The group is a fixed size — Config.Scale is deliberately not
+// applied, because the study's validity depends on the fault landing while
+// every phase is still in flight (the group is already sized for quick runs).
+//
+// All of an architecture's points share the fault-free prefix [0, degFaultAt)
+// bit-exactly, so by default the sweep simulates that prefix once per
+// architecture, checkpoints, and forks every failure count from the snapshot
+// with a swapped-in fault schedule — the points run serially per architecture
+// (they reuse one System), with the four architectures in parallel.
+// Config.NoSnapshot selects the legacy shape instead: every point an
+// independent full simulation, parallel across all points. Both paths produce
+// bit-identical sweeps (TestDegradationSnapshotPathIdentical).
 func (c Config) Degradation() (*Degradation, error) {
 	pair := degradationGroup()
 	probe, err := arch.Build(arch.Occamy, pair, arch.Options{Seed: c.Seed})
@@ -137,38 +151,8 @@ func (c Config) Degradation() (*Degradation, error) {
 		out.Points[kind] = make([]DegPoint, units)
 	}
 
-	type job struct {
-		kind arch.Kind
-		f    int
-	}
-	jobs := make([]job, 0, len(arch.Kinds)*units)
-	for _, kind := range arch.Kinds {
-		for f := 0; f < units; f++ {
-			jobs = append(jobs, job{kind, f})
-		}
-	}
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, c.maxParallel())
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			p, err := c.degradationPoint(j.kind, pair, j.f)
-			if err != nil {
-				errs[i] = fmt.Errorf("degradation %s f=%d: %w", j.kind, j.f, err)
-				return
-			}
-			out.Points[j.kind][j.f] = p
-		}(i, j)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := c.degradationPoints(pair, units, out); err != nil {
+		return nil, err
 	}
 
 	// Normalize to each architecture's own fault-free throughput.
@@ -187,11 +171,100 @@ func (c Config) Degradation() (*Degradation, error) {
 	return out, nil
 }
 
-// degradationPoint runs one sweep point. A watchdog stall or cycle-budget
-// exhaustion is a DNF data point (the partial result still carries the cycle
-// and element counts), not a sweep error.
+// degradationPoints fills out.Points via the snapshot-forked path (default)
+// or the independent-runs path (Config.NoSnapshot).
+func (c Config) degradationPoints(pair workload.CoSchedule, units int, out *Degradation) error {
+	if c.NoSnapshot {
+		type job struct {
+			kind arch.Kind
+			f    int
+		}
+		jobs := make([]job, 0, len(arch.Kinds)*units)
+		for _, kind := range arch.Kinds {
+			for f := 0; f < units; f++ {
+				jobs = append(jobs, job{kind, f})
+			}
+		}
+		errs := make([]error, len(jobs))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, c.maxParallel())
+		for i, j := range jobs {
+			wg.Add(1)
+			go func(i int, j job) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				p, err := c.degradationPoint(j.kind, pair, j.f)
+				if err != nil {
+					errs[i] = fmt.Errorf("degradation %s f=%d: %w", j.kind, j.f, err)
+					return
+				}
+				out.Points[j.kind][j.f] = p
+			}(i, j)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, len(arch.Kinds))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.maxParallel())
+	for i, kind := range arch.Kinds {
+		wg.Add(1)
+		go func(i int, kind arch.Kind) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = c.degradationForked(kind, pair, units, out.Points[kind])
+		}(i, kind)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// degradationForked runs one architecture's full column: warm the shared
+// fault-free prefix up once, checkpoint just before the injection cycle, then
+// fork every failure count from the snapshot. Identical construction to the
+// straight path (WireInjector keeps the injector registered even at f=0, as
+// Faults does for f>0), so every point is bit-identical to an independent
+// from-zero run with that schedule.
+func (c Config) degradationForked(kind arch.Kind, pair workload.CoSchedule, units int, pts []DegPoint) error {
+	sys, err := arch.Build(kind, pair, arch.Options{
+		Seed: c.Seed, LegacyTick: c.LegacyTick, StallCycles: degStall, WireInjector: true,
+	})
+	if err != nil {
+		return fmt.Errorf("degradation %s: %w", kind, err)
+	}
+	if err := sys.RunTo(degFaultAt); err != nil {
+		return fmt.Errorf("degradation %s: warm-up: %w", kind, err)
+	}
+	snap := sys.Checkpoint()
+	for f := 0; f < units; f++ {
+		sys.RestoreCheckpoint(snap)
+		if f > 0 {
+			sys.SetFaultSchedule([]fault.Fault{{Kind: fault.ExeBU, Count: f, At: degFaultAt}})
+		} else {
+			sys.SetFaultSchedule(nil)
+		}
+		res, rerr := sys.Run(c.MaxCycles)
+		pts[f] = degPointFrom(f, res, rerr)
+	}
+	return nil
+}
+
+// degradationPoint runs one independent sweep point from cycle zero.
 func (c Config) degradationPoint(kind arch.Kind, pair workload.CoSchedule, f int) (DegPoint, error) {
-	opts := arch.Options{Seed: c.Seed, LegacyTick: c.LegacyTick, StallCycles: degStall}
+	opts := arch.Options{Seed: c.Seed, LegacyTick: c.LegacyTick, StallCycles: degStall, WireInjector: true}
 	if f > 0 {
 		opts.Faults = []fault.Fault{{Kind: fault.ExeBU, Count: f, At: degFaultAt}}
 	}
@@ -200,6 +273,13 @@ func (c Config) degradationPoint(kind arch.Kind, pair workload.CoSchedule, f int
 		return DegPoint{}, err
 	}
 	res, rerr := sys.Run(c.MaxCycles)
+	return degPointFrom(f, res, rerr), nil
+}
+
+// degPointFrom folds a run's outcome into a sweep point. A watchdog stall or
+// cycle-budget exhaustion is a DNF data point (the partial result still
+// carries the cycle and element counts), not a sweep error.
+func degPointFrom(f int, res *arch.Result, rerr error) DegPoint {
 	p := DegPoint{Failed: f}
 	if res != nil {
 		p.Cycles, p.Elems = res.Cycles, res.Elems
@@ -214,10 +294,10 @@ func (c Config) degradationPoint(kind arch.Kind, pair workload.CoSchedule, f int
 	}
 	if rerr != nil {
 		p.Reason = rerr.Error()
-		return p, nil
+		return p
 	}
 	p.Completed = true
-	return p, nil
+	return p
 }
 
 // Render produces the retention and time-to-repartition tables.

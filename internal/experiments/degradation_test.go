@@ -60,6 +60,29 @@ func TestDegradationOccamyRetainsMost(t *testing.T) {
 	}
 }
 
+// TestDegradationSnapshotPathIdentical is the sweep-level differential test
+// for warm-up sharing: the snapshot-forked sweep (default) and the
+// independent-runs sweep (NoSnapshot) must agree on every point of every
+// architecture — cycles, elements, retention, recovery times, DNF verdicts
+// and reasons — because forking from the shared-prefix checkpoint is an
+// execution strategy, not a model change.
+func TestDegradationSnapshotPathIdentical(t *testing.T) {
+	forked := degSweep(t) // the shared sweep uses the default snapshot path
+	cfg := Quick()
+	cfg.NoSnapshot = true
+	straight, err := cfg.Degradation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range arch.Kinds {
+		a := fmt.Sprintf("%+v", forked.Points[kind])
+		b := fmt.Sprintf("%+v", straight.Points[kind])
+		if a != b {
+			t.Errorf("%s: snapshot-forked sweep diverges from independent runs\nforked:   %s\nstraight: %s", kind, a, b)
+		}
+	}
+}
+
 // TestDegradationRender smoke-checks the report.
 func TestDegradationRender(t *testing.T) {
 	out := degSweep(t).Render()

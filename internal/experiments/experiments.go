@@ -35,6 +35,13 @@ type Config struct {
 	// LegacyTick forces the every-cycle engine path, disabling skip-ahead
 	// fast-forwarding (A/B validation; results are bit-identical).
 	LegacyTick bool
+	// NoSnapshot disables checkpoint/restore warm-up sharing in sweeps
+	// whose points share a simulation prefix (the degradation study): every
+	// point then runs independently from cycle zero. Results are
+	// bit-identical either way; the switch exists for A/B validation and
+	// for measuring the snapshot path's wall-clock win (occamy-bench
+	// -nosnapshot).
+	NoSnapshot bool
 }
 
 // Default returns the full-size configuration.

@@ -98,6 +98,51 @@ func (inj *Injector) Tick(now uint64) {
 	inj.handler.Poll(now)
 }
 
+// InjectorState is the injector's checkpoint: the schedule cursors. The
+// event list itself is configuration (fully resolved at construction) and is
+// not captured — a restore rewinds the cursors on the same schedule.
+type InjectorState struct {
+	next    int
+	applied int
+}
+
+// Snapshot captures the schedule cursors (zero value on a nil injector, so
+// fault-free architectures checkpoint uniformly).
+func (inj *Injector) Snapshot() InjectorState {
+	if inj == nil {
+		return InjectorState{}
+	}
+	return InjectorState{next: inj.next, applied: inj.applied}
+}
+
+// Restore rewinds the cursors. Events at or before the restored cycle that
+// had already fired will not re-fire unless the snapshot predates them.
+func (inj *Injector) Restore(st InjectorState) {
+	if inj == nil {
+		return
+	}
+	inj.next = st.next
+	inj.applied = st.applied
+}
+
+// Reschedule replaces the injector's fault schedule in place and rewinds the
+// cursors, exactly as if the injector had been built with the new schedule.
+// This is the fork point for checkpointed sweeps: warm one run up with an
+// empty schedule, checkpoint, then per sweep point restore the system and
+// swap in that point's faults. Events scheduled at or before the current
+// cycle fire on the next Tick (late application), matching what a fresh
+// build restarted at cycle zero would have already applied — so schedules
+// should place their faults after the checkpoint cycle.
+func (inj *Injector) Reschedule(faults []Fault, cores int, seed uint64) {
+	if inj == nil {
+		return
+	}
+	fresh := NewInjector(faults, cores, seed, inj.handler)
+	inj.events = fresh.events
+	inj.next = 0
+	inj.applied = 0
+}
+
 // splitmix64 is the standard 64-bit mixing step; deterministic victim
 // selection needs nothing stronger.
 func splitmix64(x uint64) uint64 {

@@ -186,6 +186,36 @@ func (t *ResourceTbl) RestoreVL(c, l int) {
 	t.status[c] = 1
 }
 
+// TblState is a deep copy of the resource table's registers and fault
+// exclusions, for checkpoint/restore.
+type TblState struct {
+	failed   int
+	oi       []uint32
+	decision []uint32
+	vl       []uint32
+	status   []uint32
+}
+
+// Snapshot captures the table's full state.
+func (t *ResourceTbl) Snapshot() TblState {
+	return TblState{
+		failed:   t.failed,
+		oi:       append([]uint32(nil), t.oi...),
+		decision: append([]uint32(nil), t.decision...),
+		vl:       append([]uint32(nil), t.vl...),
+		status:   append([]uint32(nil), t.status...),
+	}
+}
+
+// Restore rewinds the table to a Snapshot taken on a same-shaped instance.
+func (t *ResourceTbl) Restore(st TblState) {
+	t.failed = st.failed
+	copy(t.oi, st.oi)
+	copy(t.decision, st.decision)
+	copy(t.vl, st.vl)
+	copy(t.status, st.status)
+}
+
 // ActiveOIs returns the decoded <OI> of every core; cores not executing a
 // phase hold the zero pair.
 func (t *ResourceTbl) ActiveOIs() []isa.OIPair {

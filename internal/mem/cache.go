@@ -38,6 +38,19 @@ type Cache struct {
 	// setMask and setShift locate the set index in an address.
 	setMask  uint64
 	setShift uint
+	// Precomputed counter cells (nil without a stats registry). Bumping a
+	// cell is allocation-free; concatenating the counter name per access —
+	// the previous form — was the simulator's dominant steady-state
+	// allocation source.
+	cHit, cMiss, cReject, cWriteback, cPrefetch *uint64
+	// retryHits is ReplayRetries' reusable scratch buffer.
+	retryHits []hitLine
+}
+
+// hitLine is one leading resident line of a replayed retry attempt.
+type hitLine struct {
+	way *cacheLine
+	b   int
 }
 
 type cacheLine struct {
@@ -76,6 +89,13 @@ func NewCache(cfg CacheConfig, next Port, stats *sim.Stats) *Cache {
 	lines := make([]cacheLine, numSets*cfg.Ways)
 	for i := range c.sets {
 		c.sets[i], lines = lines[:cfg.Ways], lines[cfg.Ways:]
+	}
+	if stats != nil {
+		c.cHit = stats.Counter(cfg.Name + ".hit")
+		c.cMiss = stats.Counter(cfg.Name + ".miss")
+		c.cReject = stats.Counter(cfg.Name + ".mshr_reject")
+		c.cWriteback = stats.Counter(cfg.Name + ".writeback")
+		c.cPrefetch = stats.Counter(cfg.Name + ".prefetch")
 	}
 	return c
 }
@@ -144,7 +164,7 @@ func (c *Cache) accessLine(now uint64, lineAddr uint64, reqBytes int, write bool
 				ways[w].prefetched = false
 				c.prefetch(now, lineAddr, who)
 			}
-			c.count("hit")
+			c.count(c.cHit)
 			xfer := c.bw.consume(now, reqBytes)
 			return maxU64(xfer, now+c.cfg.LatencyCycles), true
 		}
@@ -154,14 +174,14 @@ func (c *Cache) accessLine(now uint64, lineAddr uint64, reqBytes int, write bool
 	// check comes first so a rejected request consumes no downstream
 	// bandwidth (retries must not inflate the next level's queue).
 	if !c.miss.hasSlot(now, who) {
-		c.count("mshr_reject")
+		c.count(c.cReject)
 		return 0, false
 	}
 	fillDone, ok := c.next.Access(now+c.cfg.LatencyCycles, lineAddr, LineBytes, false)
 	if !ok {
 		return 0, false
 	}
-	c.count("miss")
+	c.count(c.cMiss)
 	c.miss.reserve(fillDone, who)
 	c.prefetch(now, lineAddr, who)
 	victim := 0
@@ -179,7 +199,7 @@ func (c *Cache) accessLine(now uint64, lineAddr uint64, reqBytes int, write bool
 		// the demand fill (eviction buffers).
 		wbAddr := (ways[victim].tag << (c.setShift + popcount(c.setMask))) | (set << c.setShift)
 		c.next.Access(now, wbAddr, LineBytes, true)
-		c.count("writeback")
+		c.count(c.cWriteback)
 	}
 	ways[victim] = cacheLine{valid: true, dirty: write, tag: tag, lru: now}
 	xfer := c.bw.consume(now, LineBytes)
@@ -247,11 +267,7 @@ func (c *Cache) ReplayRetries(from, n uint64, addr uint64, size int, write bool,
 	}
 	first, lines := lineSpan(addr, size)
 	end := addr + uint64(size)
-	type hitLine struct {
-		way *cacheLine
-		b   int
-	}
-	var hits []hitLine
+	hits := c.retryHits[:0]
 	for i := 0; i < lines; i++ {
 		lineAddr := first + uint64(i*LineBytes)
 		set := (lineAddr >> c.setShift) & c.setMask
@@ -287,10 +303,11 @@ func (c *Cache) ReplayRetries(from, n uint64, addr uint64, size int, write bool,
 			h.way.dirty = true
 		}
 	}
-	if c.stats != nil {
-		c.stats.Add(c.cfg.Name+".hit", uint64(len(hits))*n)
-		c.stats.Add(c.cfg.Name+".mshr_reject", n)
+	if c.cHit != nil {
+		*c.cHit += uint64(len(hits)) * n
+		*c.cReject += n
 	}
+	c.retryHits = hits[:0]
 }
 
 // prefetch issues next-line fills after a demand miss (attributed to the
@@ -311,7 +328,7 @@ func (c *Cache) prefetch(now uint64, lineAddr uint64, who int) {
 		}
 		c.miss.reserve(fillDone, who)
 		c.install(now, pf, fillDone, false)
-		c.count("prefetch")
+		c.count(c.cPrefetch)
 	}
 }
 
@@ -345,7 +362,7 @@ func (c *Cache) install(now uint64, lineAddr uint64, _ uint64, dirty bool) {
 	if ways[victim].valid && ways[victim].dirty {
 		wbAddr := (ways[victim].tag << (c.setShift + popcount(c.setMask))) | (set << c.setShift)
 		c.next.Access(now, wbAddr, LineBytes, true)
-		c.count("writeback")
+		c.count(c.cWriteback)
 	}
 	// Install with slightly-stale LRU so demand lines outrank prefetches.
 	lru := uint64(0)
@@ -355,26 +372,65 @@ func (c *Cache) install(now uint64, lineAddr uint64, _ uint64, dirty bool) {
 	ways[victim] = cacheLine{valid: true, dirty: dirty, prefetched: true, tag: tag, lru: lru}
 }
 
-func (c *Cache) count(event string) {
-	if c.stats != nil {
-		c.stats.Inc(c.cfg.Name + "." + event)
+func (c *Cache) count(cell *uint64) {
+	if cell != nil {
+		*cell++
 	}
 }
 
 // Hits and Misses report the demand access counts (requires a stats registry).
 func (c *Cache) Hits() uint64 {
-	if c.stats == nil {
+	if c.cHit == nil {
 		return 0
 	}
-	return c.stats.Get(c.cfg.Name + ".hit")
+	return *c.cHit
 }
 
 // Misses reports the demand miss count.
 func (c *Cache) Misses() uint64 {
-	if c.stats == nil {
+	if c.cMiss == nil {
 		return 0
 	}
-	return c.stats.Get(c.cfg.Name + ".miss")
+	return *c.cMiss
+}
+
+// CacheState is a deep, cycle-accurate snapshot of a Cache: every tag-array
+// line, the bandwidth meter's exact float occupancy (including any fault-
+// injected derating), and the outstanding-miss reservations. Counter values
+// are NOT included — they live in the engine-wide sim.Stats registry, which
+// snapshots separately.
+type CacheState struct {
+	lines         []cacheLine
+	bytesPerCycle float64
+	nextFree      float64
+	pending       []missEntry
+}
+
+// Snapshot captures the cache's full timing state.
+func (c *Cache) Snapshot() CacheState {
+	ways := len(c.sets[0])
+	st := CacheState{
+		lines:         make([]cacheLine, 0, len(c.sets)*ways),
+		bytesPerCycle: c.bw.bytesPerCycle,
+		nextFree:      c.bw.nextFree,
+		pending:       append([]missEntry(nil), c.miss.pending...),
+	}
+	for _, set := range c.sets {
+		st.lines = append(st.lines, set...)
+	}
+	return st
+}
+
+// Restore rewinds the cache to a Snapshot taken on an identically configured
+// instance.
+func (c *Cache) Restore(st CacheState) {
+	ways := len(c.sets[0])
+	for i, set := range c.sets {
+		copy(set, st.lines[i*ways:(i+1)*ways])
+	}
+	c.bw.bytesPerCycle = st.bytesPerCycle
+	c.bw.nextFree = st.nextFree
+	c.miss.pending = append(c.miss.pending[:0], st.pending...)
 }
 
 func popcount(x uint64) uint {

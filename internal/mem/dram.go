@@ -23,6 +23,9 @@ type DRAM struct {
 	// lat is the access-latency histogram; nil when the run is not
 	// observed (a nil *Histogram ignores Observe).
 	lat *obs.Histogram
+	// Precomputed counter cells (nil without a stats registry); see
+	// Cache for why the per-access name concatenation had to go.
+	cBytes, cWrites, cReads *uint64
 }
 
 // SetProbe attaches the observability probe (nil disables). The histogram
@@ -34,7 +37,13 @@ func NewDRAM(cfg DRAMConfig, stats *sim.Stats) *DRAM {
 	if cfg.Name == "" {
 		cfg.Name = "dram"
 	}
-	return &DRAM{cfg: cfg, bw: bwMeter{bytesPerCycle: cfg.BytesPerCycle}, stats: stats}
+	d := &DRAM{cfg: cfg, bw: bwMeter{bytesPerCycle: cfg.BytesPerCycle}, stats: stats}
+	if stats != nil {
+		d.cBytes = stats.Counter(cfg.Name + ".bytes")
+		d.cWrites = stats.Counter(cfg.Name + ".writes")
+		d.cReads = stats.Counter(cfg.Name + ".reads")
+	}
+	return d
 }
 
 // SetBWFactor derates (or restores) the sustained bandwidth to factor times
@@ -55,13 +64,32 @@ func (d *DRAM) Access(now uint64, addr uint64, size int, write bool) (uint64, bo
 	// the bus even when latency would otherwise hide them.
 	xfer := d.bw.consume(now+d.cfg.LatencyCycles, size)
 	d.lat.Observe(xfer - now)
-	if d.stats != nil {
-		d.stats.Add(d.cfg.Name+".bytes", uint64(size))
+	if d.cBytes != nil {
+		*d.cBytes += uint64(size)
 		if write {
-			d.stats.Inc(d.cfg.Name + ".writes")
+			*d.cWrites++
 		} else {
-			d.stats.Inc(d.cfg.Name + ".reads")
+			*d.cReads++
 		}
 	}
 	return xfer, true
+}
+
+// DRAMState is a cycle-accurate snapshot of the DRAM's timing state: the
+// bandwidth meter's exact float occupancy and its (possibly fault-derated)
+// rate. Counters live in the engine registry and snapshot there.
+type DRAMState struct {
+	bytesPerCycle float64
+	nextFree      float64
+}
+
+// Snapshot captures the DRAM timing state.
+func (d *DRAM) Snapshot() DRAMState {
+	return DRAMState{bytesPerCycle: d.bw.bytesPerCycle, nextFree: d.bw.nextFree}
+}
+
+// Restore rewinds the DRAM to a Snapshot.
+func (d *DRAM) Restore(st DRAMState) {
+	d.bw.bytesPerCycle = st.bytesPerCycle
+	d.bw.nextFree = st.nextFree
 }

@@ -109,3 +109,39 @@ func NewHierarchy(cfg HierarchyConfig, stats *sim.Stats) *Hierarchy {
 func (h *Hierarchy) SetProbe(p *obs.Probe) {
 	h.DRAM.SetProbe(p)
 }
+
+// HierarchyState is a deep snapshot of the whole memory system: functional
+// contents plus every level's timing state.
+type HierarchyState struct {
+	Mem      MemoryState
+	L1D      []CacheState
+	VecCache CacheState
+	L2       CacheState
+	DRAM     DRAMState
+}
+
+// Snapshot captures the hierarchy's full functional and timing state.
+func (h *Hierarchy) Snapshot() HierarchyState {
+	st := HierarchyState{
+		Mem:      h.Mem.Snapshot(),
+		VecCache: h.VecCache.Snapshot(),
+		L2:       h.L2.Snapshot(),
+		DRAM:     h.DRAM.Snapshot(),
+	}
+	for _, l1 := range h.L1D {
+		st.L1D = append(st.L1D, l1.Snapshot())
+	}
+	return st
+}
+
+// Restore rewinds the hierarchy to a Snapshot taken on an identically
+// configured instance.
+func (h *Hierarchy) Restore(st HierarchyState) {
+	h.Mem.Restore(st.Mem)
+	h.VecCache.Restore(st.VecCache)
+	h.L2.Restore(st.L2)
+	h.DRAM.Restore(st.DRAM)
+	for c, l1 := range h.L1D {
+		l1.Restore(st.L1D[c])
+	}
+}

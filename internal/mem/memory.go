@@ -114,3 +114,39 @@ func (m *Memory) ReadF32Slice(addr uint64, n int) []float32 {
 	}
 	return out
 }
+
+// MemoryState is a deep snapshot of the functional address space.
+type MemoryState struct {
+	pages map[uint64][]byte
+}
+
+// Snapshot deep-copies every allocated page. Workload footprints are tens of
+// MB, so this is the bulk of a system checkpoint's size — but it is taken
+// once per sweep, not per point.
+func (m *Memory) Snapshot() MemoryState {
+	st := MemoryState{pages: make(map[uint64][]byte, len(m.pages))}
+	for idx, p := range m.pages {
+		st.pages[idx] = append([]byte(nil), p...)
+	}
+	return st
+}
+
+// Restore rewinds the address space to a Snapshot. Pages allocated since the
+// snapshot are dropped; snapshot pages are copied back in so the restored
+// memory does not alias the checkpoint (it can be restored again).
+func (m *Memory) Restore(st MemoryState) {
+	for idx := range m.pages {
+		if _, ok := st.pages[idx]; !ok {
+			delete(m.pages, idx)
+		}
+	}
+	for idx, p := range st.pages {
+		dst, ok := m.pages[idx]
+		if !ok {
+			dst = make([]byte, pageSize)
+			m.pages[idx] = dst
+		}
+		copy(dst, p)
+	}
+	m.lastIdx, m.lastPage = 0, nil
+}

@@ -296,6 +296,63 @@ func (p *Probe) SkipTicks(from, n uint64) {
 	}
 }
 
+// ProbeState is a deep snapshot of the probe's accumulated accounting: the
+// in-cycle signal masks, the per-core bucket charges, and every histogram's
+// values. The Perfetto sink is NOT captured — trace emission is streaming
+// I/O, and checkpointed runs are expected to disable it.
+type ProbeState struct {
+	mask    []Sig
+	buckets [][NumBuckets]uint64
+	total   []uint64
+	hists   map[string]Histogram
+}
+
+// Snapshot captures the probe's accounting (nil on a nil probe).
+func (p *Probe) Snapshot() *ProbeState {
+	if p == nil {
+		return nil
+	}
+	st := &ProbeState{
+		mask:    append([]Sig(nil), p.mask...),
+		buckets: append([][NumBuckets]uint64(nil), p.buckets...),
+		total:   append([]uint64(nil), p.total...),
+		hists:   make(map[string]Histogram, len(p.hists)),
+	}
+	for n, h := range p.hists {
+		st.hists[n] = *h
+	}
+	return st
+}
+
+// Restore rewinds the probe to a Snapshot. Histograms created since the
+// snapshot are reset to empty (their pointers, cached by components, stay
+// valid); histograms named only in the snapshot are re-created.
+func (p *Probe) Restore(st *ProbeState) {
+	if p == nil || st == nil {
+		return
+	}
+	copy(p.mask, st.mask)
+	copy(p.buckets, st.buckets)
+	copy(p.total, st.total)
+	for n, h := range p.hists {
+		if saved, ok := st.hists[n]; ok {
+			name := h.name
+			*h = saved
+			h.name = name
+		} else {
+			*h = Histogram{name: h.name}
+		}
+	}
+	for n, saved := range st.hists {
+		if _, ok := p.hists[n]; !ok {
+			h := p.Hist(n)
+			name := h.name
+			*h = saved
+			h.name = name
+		}
+	}
+}
+
 // CoreAttribution is one core's final cycle accounting.
 type CoreAttribution struct {
 	// Buckets holds charged cycles, indexed by Bucket.

@@ -197,9 +197,11 @@ func (s *Scheduler) tickDraining(c int, now uint64) {
 	id := s.running[c]
 	t := s.tasks[id]
 	core := s.sys.Cores[c]
-	// Save the full context: scalar, vector and EM-SIMD registers.
+	// Save the full context: scalar, vector and EM-SIMD registers. The
+	// task's previous save buffer is reused, so repeated preemptions of a
+	// long-lived task do not allocate.
 	t.st = core.Snapshot()
-	t.vec = s.sys.Coproc.SaveVecState(c)
+	t.vec = s.sys.Coproc.CopyVecState(c, t.vec)
 	t.vl = s.sys.Coproc.Tbl().VL(c)
 	ctx, err := Save(s.sys.Coproc.Manager(), c)
 	if err != nil {

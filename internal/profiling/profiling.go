@@ -1,0 +1,81 @@
+// Package profiling wires Go's runtime profilers into the command-line
+// tools (occamy-sim, occamy-bench): CPU profiles, heap profiles and a
+// one-line allocation report for eyeballing the hot path's GC behaviour
+// without a profile viewer. The simulator's steady state is allocation-free
+// by contract (internal/arch TestSteadyStateZeroAlloc); these hooks are how
+// that contract was established and how regressions are chased down.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Session owns the running profilers; Stop flushes and closes them.
+type Session struct {
+	cpuFile *os.File
+	memPath string
+	before  runtime.MemStats
+	allocs  bool
+}
+
+// Start begins the requested profilers. cpuPath/memPath name output files
+// ("" disables each); allocs arms the Stop-time allocation report. The
+// returned Session is never nil; call Stop exactly once when the measured
+// work is done.
+func Start(cpuPath, memPath string, allocs bool) (*Session, error) {
+	s := &Session{memPath: memPath, allocs: allocs}
+	if allocs {
+		runtime.ReadMemStats(&s.before)
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		s.cpuFile = f
+	}
+	return s, nil
+}
+
+// Stop ends the CPU profile, writes the heap profile and prints the
+// allocation report (to stderr, so it composes with redirected reports).
+func (s *Session) Stop() error {
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		s.cpuFile = nil
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		runtime.GC() // materialize a settled heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	if s.allocs {
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		fmt.Fprintf(os.Stderr,
+			"allocs: %d objects, %.1f MB allocated, %d GC cycles\n",
+			after.Mallocs-s.before.Mallocs,
+			float64(after.TotalAlloc-s.before.TotalAlloc)/(1<<20),
+			after.NumGC-s.before.NumGC)
+	}
+	return nil
+}

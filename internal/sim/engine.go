@@ -90,8 +90,13 @@ type Engine struct {
 	probeBackoff uint64
 
 	// wdThreshold arms the forward-progress watchdog (see watchdog.go);
-	// 0 keeps it disarmed.
+	// 0 keeps it disarmed. wd is the engine-owned detector, created lazily
+	// on the first armed RunUntil and persistent across calls, so stall
+	// detection depends only on model history — a run split into several
+	// RunUntil segments (e.g. around a checkpoint) detects a stall at the
+	// same cycle an unsplit run does.
 	wdThreshold uint64
+	wd          *watchdog
 }
 
 // maxProbeBackoff caps the probe interval during live stretches. The cap
@@ -182,6 +187,67 @@ func (e *Engine) skipTo(target uint64) {
 	e.skippedTicks += n
 }
 
+// EngineState is the engine's checkpoint: the clock, the skip-ahead
+// bookkeeping and the full counter registry. The component list and watchdog
+// threshold are configuration, not state.
+type EngineState struct {
+	cycle        uint64
+	skips        uint64
+	skippedTicks uint64
+	probeAt      uint64
+	probeBackoff uint64
+	stats        map[string]uint64
+	// Watchdog detector state (wdArmed false when none existed at the
+	// snapshot): restoring it keeps stall detection segmentation-invariant.
+	wdArmed      bool
+	wdLast       []uint64
+	wdLastChange []uint64
+	wdNextCheck  uint64
+}
+
+// Cycle returns the cycle the snapshot was taken at.
+func (st EngineState) Cycle() uint64 { return st.cycle }
+
+// Snapshot captures the engine's clock and counters.
+func (e *Engine) Snapshot() EngineState {
+	st := EngineState{
+		cycle:        e.cycle,
+		skips:        e.skips,
+		skippedTicks: e.skippedTicks,
+		probeAt:      e.probeAt,
+		probeBackoff: e.probeBackoff,
+		stats:        e.stats.Snapshot(),
+	}
+	if e.wd != nil {
+		st.wdArmed = true
+		st.wdLast = append([]uint64(nil), e.wd.last...)
+		st.wdLastChange = append([]uint64(nil), e.wd.lastChange...)
+		st.wdNextCheck = e.wd.nextCheck
+	}
+	return st
+}
+
+// Restore rewinds the engine to a Snapshot. Counter cells handed out by
+// Stats.Counter stay valid (they are written in place, see Stats.Restore).
+func (e *Engine) Restore(st EngineState) {
+	e.cycle = st.cycle
+	e.skips = st.skips
+	e.skippedTicks = st.skippedTicks
+	e.probeAt = st.probeAt
+	e.probeBackoff = st.probeBackoff
+	e.stats.Restore(st.stats)
+	if !st.wdArmed {
+		e.wd = nil
+		return
+	}
+	if e.wd == nil {
+		e.wd = e.newWatchdog(st.cycle)
+	}
+	copy(e.wd.last, st.wdLast)
+	copy(e.wd.lastChange, st.wdLastChange)
+	e.wd.nextCheck = st.wdNextCheck
+}
+
 // RunUntil steps the engine until done() reports true or maxCycles elapse.
 // It returns the number of cycles executed and an error if the cycle budget
 // was exhausted before done() held, which in this codebase always indicates a
@@ -197,7 +263,10 @@ func (e *Engine) RunUntil(done func() bool, maxCycles uint64) (uint64, error) {
 	start := e.cycle
 	var wd *watchdog
 	if e.wdThreshold > 0 {
-		wd = e.newWatchdog(start)
+		if e.wd == nil {
+			e.wd = e.newWatchdog(start)
+		}
+		wd = e.wd
 	}
 	for !done() {
 		if e.cycle-start >= maxCycles {

@@ -74,3 +74,27 @@ func (t *Timeline) Points() []float64 {
 
 // Len returns the number of buckets with at least one sample slot allocated.
 func (t *Timeline) Len() int { return len(t.sums) }
+
+// TimelineState is a deep copy of a Timeline's accumulated buckets.
+type TimelineState struct {
+	sums    []float64
+	counts  []uint64
+	current uint64
+}
+
+// Snapshot captures the timeline for checkpoint/restore.
+func (t *Timeline) Snapshot() TimelineState {
+	return TimelineState{
+		sums:    append([]float64(nil), t.sums...),
+		counts:  append([]uint64(nil), t.counts...),
+		current: t.current,
+	}
+}
+
+// Restore rewinds the timeline to a Snapshot (bucket width is configuration,
+// not state, and is unchanged).
+func (t *Timeline) Restore(st TimelineState) {
+	t.sums = append(t.sums[:0], st.sums...)
+	t.counts = append(t.counts[:0], st.counts...)
+	t.current = st.current
+}

@@ -53,7 +53,7 @@ func (e *BudgetError) Error() string {
 // cycle budget runs out. Zero disarms. The watchdog is skip-ahead
 // compatible — a skipped window is progress by construction (every component
 // declared quiescence-until-wake), so each jump resets the stall clock.
-func (e *Engine) SetWatchdog(threshold uint64) { e.wdThreshold = threshold }
+func (e *Engine) SetWatchdog(threshold uint64) { e.wdThreshold = threshold; e.wd = nil }
 
 // Watchdog returns the armed stall threshold (0 = disarmed).
 func (e *Engine) Watchdog() uint64 { return e.wdThreshold }
