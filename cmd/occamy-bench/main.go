@@ -18,6 +18,7 @@ import (
 	"occamy/internal/area"
 	"occamy/internal/experiments"
 	"occamy/internal/profiling"
+	"occamy/internal/telemetry"
 )
 
 func main() {
@@ -29,6 +30,8 @@ func main() {
 		par    = flag.Int("j", 0, "max concurrent simulations in sweeps (0 = one per CPU)")
 		leg    = flag.Bool("legacy-tick", false, "force the every-cycle engine path (disable skip-ahead; results are bit-identical)")
 		nosnap = flag.Bool("nosnapshot", false, "run every sweep point independently from cycle zero instead of forking shared warm-up from a checkpoint (A/B validation; results are bit-identical)")
+		teleA  = flag.String("telemetry", "", "serve live telemetry for the campaign's runs on this address: GET /metrics (OpenMetrics), /events (JSONL), /stream (SSE)")
+		teleW  = flag.Uint64("telemetry-window", 0, "telemetry sampling window in sim cycles (0 = default 4096)")
 		cpuPr  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memPr  = flag.String("memprofile", "", "write a heap profile to this file")
 		allocs = flag.Bool("allocs", false, "print an allocation/GC report for the run to stderr")
@@ -46,6 +49,17 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "occamy-bench:", err)
 		os.Exit(1)
+	}
+
+	if *teleA != "" {
+		srv := telemetry.NewServer()
+		if err := srv.Start(*teleA); err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving on http://%s (/metrics, /events, /stream)\n", srv.Addr())
+		cfg.Telemetry = srv
+		cfg.TelemetryWindow = *teleW
 	}
 
 	prof, err := profiling.Start(*cpuPr, *memPr, *allocs)

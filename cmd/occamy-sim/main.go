@@ -4,7 +4,8 @@
 // Usage:
 //
 //	occamy-sim -arch occamy -w0 spec/WL20 -w1 spec/WL17
-//	occamy-sim -arch all -w0 cv/WL6 -w1 cv/WL1 -timeline
+//	occamy-sim -arch all -w0 cv/WL6 -w1 cv/WL1 -ascii-timeline
+//	occamy-sim -arch occamy -telemetry 127.0.0.1:9464 -timeline run.json
 //	occamy-sim -list
 package main
 
@@ -14,8 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"time"
 
 	"occamy"
 	"occamy/internal/profiling"
@@ -41,7 +44,11 @@ func main() {
 		w1       = flag.String("w1", "spec/WL17", "workload for Core1 (compute side); @file.json for a custom definition")
 		scale    = flag.Float64("scale", 1.0, "trip-count scale (use <1 for quick runs)")
 		seed     = flag.Uint64("seed", 1, "workload data seed")
-		timeline = flag.Bool("timeline", false, "print busy-lane timelines")
+		timeline = flag.String("timeline", "", "write the run's telemetry windows and event log as Perfetto counter tracks to this JSON file (open in ui.perfetto.dev); with -arch all, the architecture name is appended to the stem")
+		asciiTL  = flag.Bool("ascii-timeline", false, "print busy-lane timelines as ascii strips")
+		teleAddr = flag.String("telemetry", "", "serve live telemetry on this address (e.g. 127.0.0.1:9464): GET /metrics (OpenMetrics), /events (JSONL), /stream (SSE)")
+		teleWin  = flag.Uint64("telemetry-window", 0, "telemetry sampling window in sim cycles (0 = default 4096)")
+		teleHold = flag.Duration("telemetry-hold", 0, "keep the telemetry server up this long after the runs finish (interrupt ends the hold early)")
 		list     = flag.Bool("list", false, "list available workloads and exit")
 		traceDir = flag.String("trace", "", "directory to write JSON/CSV traces into")
 		oiTable  = flag.Bool("oi", false, "print each workload's per-phase operational intensities")
@@ -112,6 +119,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
 	}
+	var teleSrv *occamy.TelemetryServer
+	if *teleAddr != "" {
+		teleSrv = occamy.NewTelemetryServer()
+		if err := teleSrv.Start(*teleAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving on http://%s (/metrics, /events, /stream)\n", teleSrv.Addr())
+	}
 	sched := occamy.NewSchedule(fmt.Sprintf("%s+%s", r0.Name(), r1.Name()), r0, r1)
 	if *oiTable {
 		for _, ref := range []occamy.WorkloadRef{r0, r1} {
@@ -128,6 +144,9 @@ func main() {
 		cfg.PerfettoPath = perfettoPath(*perfetto, kind, len(kinds) > 1)
 		cfg.LegacyTick = *legacy
 		cfg.Faults = *faults
+		cfg.Telemetry = teleSrv
+		cfg.TelemetryWindow = *teleWin
+		cfg.TimelinePath = perfettoPath(*timeline, kind, len(kinds) > 1)
 		if *stall > 0 {
 			cfg.StallCycles = *stall
 		}
@@ -148,7 +167,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(rep.Summary())
-		if *timeline {
+		if *asciiTL {
 			for c := range rep.Cores {
 				fmt.Printf("  core%d |%s|\n", c, rep.AsciiTimeline(c, 32))
 			}
@@ -169,6 +188,21 @@ func main() {
 		if cfg.PerfettoPath != "" {
 			fmt.Printf("perfetto trace written to %s (open in ui.perfetto.dev)\n", cfg.PerfettoPath)
 		}
+		if cfg.TimelinePath != "" {
+			fmt.Printf("telemetry timeline written to %s (open in ui.perfetto.dev)\n", cfg.TimelinePath)
+		}
+	}
+	if teleSrv != nil {
+		if *teleHold > 0 {
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt)
+			fmt.Fprintf(os.Stderr, "telemetry: holding server for %s (interrupt to finish)\n", *teleHold)
+			select {
+			case <-time.After(*teleHold):
+			case <-sig:
+			}
+		}
+		teleSrv.Close()
 	}
 	if err := prof.Stop(); err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)

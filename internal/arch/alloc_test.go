@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"occamy/internal/obs"
+	"occamy/internal/telemetry"
 	"occamy/internal/workload"
 )
 
@@ -76,6 +77,28 @@ func TestSteadyStateZeroAllocProfiled(t *testing.T) {
 			}
 			if avg := measureSteadyAllocs(t, sys); avg != 0 {
 				t.Errorf("%s: profiled steady-state tick allocates %.2f objects per 80-cycle window, want 0", kind, avg)
+			}
+		})
+	}
+}
+
+// TestSteadyStateZeroAllocTelemetry repeats the contract with the telemetry
+// sampler live. The 64-cycle window puts a boundary (a full sample: bucket
+// deltas, histogram diffs, quantiles, ring-slot writes) inside every measured
+// 80-tick span — sampling itself must be allocation-free, not just the
+// between-boundary ticks.
+func TestSteadyStateZeroAllocTelemetry(t *testing.T) {
+	for _, kind := range Kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			sys, err := Build(kind, allocGroup(), Options{
+				Seed:      5,
+				Telemetry: &telemetry.Config{Window: 64},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if avg := measureSteadyAllocs(t, sys); avg != 0 {
+				t.Errorf("%s: telemetry steady-state tick allocates %.2f objects per 80-cycle window, want 0", kind, avg)
 			}
 		})
 	}

@@ -25,6 +25,7 @@ import (
 	"occamy/internal/obs"
 	"occamy/internal/roofline"
 	"occamy/internal/sim"
+	"occamy/internal/telemetry"
 	"occamy/internal/workload"
 )
 
@@ -102,6 +103,12 @@ type Options struct {
 	// sim.StallError (wrapped in a DiagError carrying the machine dump).
 	// 0 leaves the watchdog disarmed.
 	StallCycles uint64
+	// Telemetry, when non-nil, builds a windowed time-series sampler
+	// (internal/telemetry) registered after the probe so each window sees
+	// fully attributed cycles. It implies Obs.Attribution (the sampler
+	// reads the per-core bucket deltas). The sampler is a sim.Sleeper, so
+	// skip-ahead stays enabled; boundaries become forced wake points.
+	Telemetry *telemetry.Config
 }
 
 // MachineTuning overrides hardware parameters relative to the Table 4
@@ -211,6 +218,10 @@ type System struct {
 	StaticVLs []int
 	// Probe is the observability hub; nil when Options.Obs was zero.
 	Probe *obs.Probe
+	// Tele is the telemetry sampler; nil when Options.Telemetry was nil.
+	// A nil *Sampler is safe to use (every method no-ops), so callers can
+	// wire it unconditionally.
+	Tele *telemetry.Sampler
 	// faults is the fault controller; nil when Options.Faults was empty
 	// and WireInjector was off.
 	faults *faultCtl
@@ -326,6 +337,11 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 		sys.inj = fault.NewInjector(opts.Faults, n, opts.Seed, sys.faults)
 		engine.Register(sys.inj)
 	}
+	if opts.Telemetry != nil {
+		// The sampler diffs per-core cycle buckets and retire-latency
+		// histograms; both live on the probe.
+		opts.Obs.Attribution = true
+	}
 	if opts.Obs.Enabled() {
 		probe := obs.NewProbe(n, opts.Obs.Sink)
 		for _, core := range sys.Cores {
@@ -343,6 +359,33 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 			}
 		}
 		sys.Probe = probe
+	}
+	if opts.Telemetry != nil {
+		srcs := telemetry.Sources{
+			Cp:    cp,
+			Tbl:   cp.Tbl(),
+			Probe: sys.Probe,
+			Stats: stats,
+			Lanes: ccfg.Lanes(),
+		}
+		for _, core := range sys.Cores {
+			srcs.Cores = append(srcs.Cores, core)
+		}
+		tele := telemetry.NewSampler(*opts.Telemetry, srcs)
+		sys.Tele = tele
+		// Registered after the probe: a window closing at cycle k sees the
+		// probe's attribution for every cycle up to and including k.
+		engine.Register(tele)
+		cp.SetLaneEventSink(func(e coproc.LaneEvent) {
+			kind := telemetry.EvLaneReject
+			switch e.Kind {
+			case "repartition":
+				kind = telemetry.EvLaneRepartition
+			case "reconfigure":
+				kind = telemetry.EvLaneReconfigure
+			}
+			tele.Emit(e.Cycle, kind, e.Core, uint64(e.VL), "")
+		})
 	}
 	if opts.StallCycles > 0 {
 		engine.SetWatchdog(opts.StallCycles)

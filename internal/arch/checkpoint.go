@@ -7,6 +7,7 @@ import (
 	"occamy/internal/mem"
 	"occamy/internal/obs"
 	"occamy/internal/sim"
+	"occamy/internal/telemetry"
 )
 
 // This file composes the per-component checkpoints into a whole-system
@@ -60,6 +61,7 @@ type SystemState struct {
 	probe  *obs.ProbeState
 	ctl    *ctlState
 	inj    fault.InjectorState
+	tele   *telemetry.SamplerState
 }
 
 // Cycle returns the cycle the checkpoint was taken at.
@@ -74,10 +76,12 @@ func (s *System) Checkpoint() *SystemState {
 		probe:  s.Probe.Snapshot(),
 		ctl:    s.faults.snapshot(),
 		inj:    s.inj.Snapshot(),
+		tele:   s.Tele.Snapshot(),
 	}
 	for _, core := range s.Cores {
 		st.cores = append(st.cores, core.Checkpoint())
 	}
+	s.Tele.EmitMeta(s.Engine.Cycle(), telemetry.EvCheckpoint, "")
 	return st
 }
 
@@ -94,6 +98,8 @@ func (s *System) RestoreCheckpoint(st *SystemState) {
 	s.Probe.Restore(st.probe)
 	s.faults.restore(st.ctl)
 	s.inj.Restore(st.inj)
+	s.Tele.Restore(st.tele)
+	s.Tele.EmitMeta(s.Engine.Cycle(), telemetry.EvRestore, "")
 }
 
 // RunTo simulates until the clock reaches cycle (a no-op when already

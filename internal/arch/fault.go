@@ -8,6 +8,7 @@ import (
 	"occamy/internal/coproc"
 	"occamy/internal/fault"
 	"occamy/internal/obs"
+	"occamy/internal/telemetry"
 )
 
 // Recovery records how the system reacted to one injected fault: the cycle it
@@ -112,6 +113,7 @@ func (ctl *faultCtl) Apply(f fault.Fault, now uint64) {
 		cp.SetLinkFault(f.Core, f.Delay, now)
 	}
 	ctl.recs = append(ctl.recs, rec)
+	ctl.sys.Tele.Emit(now, telemetry.EvFaultApply, f.Core, uint64(f.Count), f.String())
 }
 
 // Revert implements fault.Handler (end of a transient window).
@@ -132,6 +134,7 @@ func (ctl *faultCtl) Revert(f fault.Fault, now uint64) {
 	case fault.XmitLink:
 		cp.ClearLinkFault(f.Core)
 	}
+	ctl.sys.Tele.Emit(now, telemetry.EvFaultRevert, f.Core, uint64(f.Count), "")
 }
 
 // react propagates the current failed-unit census into each architecture's
@@ -229,6 +232,8 @@ func (ctl *faultCtl) closeRecoveries(now uint64) {
 	}
 	for _, i := range ctl.open {
 		ctl.recs[i].Done = now
+		ctl.sys.Tele.Emit(now, telemetry.EvRecoveryDone,
+			ctl.recs[i].Fault.Core, now-ctl.recs[i].At, "")
 	}
 	ctl.open = ctl.open[:0]
 }
@@ -316,6 +321,7 @@ func (s *System) Diagnose(err error) *DiagnosticDump {
 		d.Recoveries = s.faults.Recoveries()
 	}
 	d.LinkDrops = s.Coproc.LinkDrops()
+	s.Tele.Emit(now, telemetry.EvWatchdog, -1, 0, d.Reason)
 	return d
 }
 

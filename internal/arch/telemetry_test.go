@@ -1,0 +1,114 @@
+package arch
+
+import (
+	"testing"
+
+	"occamy/internal/fault"
+	"occamy/internal/telemetry"
+)
+
+// teleDigest finishes a run's telemetry (closing the final partial window)
+// and returns the deterministic digest over every retained window and event.
+func teleDigest(sys *System) uint64 {
+	sys.Tele.Flush(sys.Engine.Cycle())
+	return sys.Tele.Digest()
+}
+
+// TestTelemetrySkipLegacyBitIdentical extends the engine's skip-ahead
+// equivalence contract to the sampler: the windows and events a run produces
+// must be bit-identical whether quiescent cycles are elided or simulated one
+// by one. The sampler is a sim.Sleeper whose boundaries are forced wake
+// points, so skip-ahead stays enabled around it — this test is what makes
+// that arrangement safe.
+func TestTelemetrySkipLegacyBitIdentical(t *testing.T) {
+	for _, kind := range Kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			pair := ckGroup()
+			opts := Options{Seed: 11, Telemetry: &telemetry.Config{Window: 128}}
+
+			fast, err := Build(kind, pair, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resFast := mustRun(t, fast)
+
+			opts.LegacyTick = true
+			slow, err := Build(kind, pair, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resSlow := mustRun(t, slow)
+
+			if resFast.Cycles != resSlow.Cycles {
+				t.Fatalf("runs diverge before telemetry: %d vs %d cycles", resFast.Cycles, resSlow.Cycles)
+			}
+			df, ds := teleDigest(fast), teleDigest(slow)
+			if df != ds {
+				t.Errorf("telemetry digest diverges: skip-ahead %#x, legacy %#x", df, ds)
+			}
+			if fast.Tele.Produced() == 0 {
+				t.Error("run produced no telemetry windows; test is vacuous")
+			}
+		})
+	}
+}
+
+// TestTelemetryCheckpointForkBitIdentical is the observability half of the
+// shared-warm-up contract: a run forked from a checkpoint must produce
+// bit-identical telemetry — windows, quantiles, fault/recovery events — to a
+// straight run of the same configuration, and the same checkpoint must be
+// reusable across fault schedules.
+func TestTelemetryCheckpointForkBitIdentical(t *testing.T) {
+	const warm = 500
+	schedules := [][]fault.Fault{
+		nil,
+		{{Kind: fault.ExeBU, Count: 2, At: 700}},
+		{{Kind: fault.ExeBU, Count: 1, At: 650, For: 1500}},
+	}
+	for _, kind := range Kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			pair := ckGroup()
+			base := Options{Seed: 11, WireInjector: true, Telemetry: &telemetry.Config{Window: 128}}
+
+			forked, err := Build(kind, pair, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := forked.RunTo(warm); err != nil {
+				t.Fatal(err)
+			}
+			snap := forked.Checkpoint()
+
+			for i, faults := range schedules {
+				opts := base
+				opts.Faults = faults
+				straight, err := Build(kind, pair, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustRun(t, straight)
+				want := teleDigest(straight)
+
+				forked.RestoreCheckpoint(snap)
+				forked.SetFaultSchedule(faults)
+				mustRun(t, forked)
+				if got := teleDigest(forked); got != want {
+					t.Errorf("schedule %d: forked telemetry digest %#x, straight %#x", i, got, want)
+				}
+				if len(faults) > 0 {
+					evs := forked.Tele.Events(nil)
+					seen := false
+					for _, e := range evs {
+						if e.Kind == telemetry.EvFaultApply {
+							seen = true
+							break
+						}
+					}
+					if !seen {
+						t.Errorf("schedule %d: no %s event in forked log", i, telemetry.EvFaultApply)
+					}
+				}
+			}
+		})
+	}
+}

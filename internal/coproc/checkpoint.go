@@ -41,6 +41,7 @@ type ckCore struct {
 	draining       bool
 	drainStart     uint64
 	lastActive     uint64
+	busyLaneAccum  float64
 	timeline       sim.TimelineState
 }
 
@@ -104,6 +105,7 @@ func (cp *Coproc) Checkpoint() CheckpointState {
 			draining:       c.draining,
 			drainStart:     c.drainStart,
 			lastActive:     c.lastActive,
+			busyLaneAccum:  c.busyLaneAccum,
 			timeline:       c.busyTimeline.Snapshot(),
 		}
 		lanes := cp.cfg.Lanes()
@@ -163,6 +165,7 @@ func (cp *Coproc) RestoreCheckpoint(st CheckpointState) {
 		c.draining = ck.draining
 		c.drainStart = ck.drainStart
 		c.lastActive = ck.lastActive
+		c.busyLaneAccum = ck.busyLaneAccum
 		c.busyTimeline.Restore(ck.timeline)
 		for r := range c.z {
 			copy(c.z[r], ck.z[r*lanes:(r+1)*lanes])

@@ -47,6 +47,10 @@ type XInst struct {
 	seq              uint64
 	dep1, dep2, dep3 uint64
 	issued           bool
+	// enq is the cycle the instruction was transmitted; issue-time
+	// completion minus enq is the issue→retire latency histogrammed for
+	// telemetry.
+	enq uint64
 	// respVal is the precomputed scalar response for VMOVX0 (the value
 	// is architecturally determined at transmit; timing at issue).
 	respVal uint64
@@ -122,6 +126,12 @@ type coreState struct {
 	lastActive uint64
 
 	busyTimeline *sim.Timeline // average busy lanes per 1000 cycles
+
+	// busyLaneAccum is the cumulative busy-lane count for this core alone
+	// (the per-core counterpart of Coproc.busyLaneCycles); the telemetry
+	// sampler diffs it at window boundaries into per-core occupancy. The
+	// sleep mirror needs no update: quiescent windows have zero busy lanes.
+	busyLaneAccum float64
 }
 
 // at returns the pool slot of stream position i (valid for head <= i < tail).
@@ -187,6 +197,15 @@ type Coproc struct {
 	// probe is the observability hook (nil when the run is not observed;
 	// every obs method is nil-receiver-safe).
 	probe *obs.Probe
+	// retireHists caches the per-core issue→retire latency histograms
+	// (nil entries when unobserved; Observe is nil-receiver-safe). Resolved
+	// once in SetProbe so the issue hot path never touches the registry map.
+	retireHists []*obs.Histogram
+
+	// laneSink, when set, receives every logged LaneEvent — the telemetry
+	// event log's tap. Invoked only on lane-management actions, never on
+	// the per-cycle path.
+	laneSink func(LaneEvent)
 
 	// flt holds injected fault effects; nil on healthy runs, so the
 	// fault hooks cost one pointer check on the hot path (see fault.go).
@@ -198,8 +217,23 @@ type Coproc struct {
 	progress uint64
 }
 
-// SetProbe attaches the observability probe (nil disables).
-func (cp *Coproc) SetProbe(p *obs.Probe) { cp.probe = p }
+// SetProbe attaches the observability probe (nil disables) and resolves the
+// per-core retire-latency histograms once, so issue-time observations stay
+// allocation-free.
+func (cp *Coproc) SetProbe(p *obs.Probe) {
+	cp.probe = p
+	if cp.retireHists == nil {
+		cp.retireHists = make([]*obs.Histogram, cp.cfg.Cores)
+	}
+	for c := range cp.retireHists {
+		cp.retireHists[c] = p.Hist(obs.RetireHistName(c)) // nil when p is nil
+	}
+}
+
+// SetLaneEventSink taps the lane-management event log: sink receives every
+// LaneEvent logEvent records (after its Decisions snapshot is filled). Nil
+// disables the tap.
+func (cp *Coproc) SetLaneEventSink(sink func(LaneEvent)) { cp.laneSink = sink }
 
 // laneEventCap bounds the event log (repartitions are rare; this is a
 // safety net for pathological runs).
@@ -222,6 +256,9 @@ func (cp *Coproc) logEvent(e LaneEvent) {
 		e.Decisions[c] = cp.tbl.Decision(c)
 	}
 	cp.events = append(cp.events, e)
+	if cp.laneSink != nil {
+		cp.laneSink(e)
+	}
 }
 
 // LaneEvents returns the lane-management log in cycle order.
@@ -338,6 +375,7 @@ func (cp *Coproc) Transmit(x XInst) TransmitStatus {
 	if cp.flt != nil && !cp.flt.linkAccept(x.Core, cp.cycles) {
 		return TransmitLinkDown
 	}
+	x.enq = cp.cycles
 	st.seqCounter++
 	x.seq = st.seqCounter
 	if !x.Op.IsEMSIMD() {
@@ -539,6 +577,7 @@ func (cp *Coproc) Tick(now uint64) {
 			st.lastActive = now
 		}
 		st.busyTimeline.Record(now, cp.cycleBusyLanes[c])
+		st.busyLaneAccum += cp.cycleBusyLanes[c]
 		totalBusy += cp.cycleBusyLanes[c]
 		if cp.renameStallNow[c] {
 			cp.probe.Signal(c, obs.SigRenameStall)
@@ -714,6 +753,9 @@ func (cp *Coproc) issueCompute(c int, x *XInst, now uint64) issueStatus {
 	}
 	cp.probe.Signal(c, obs.SigVecIssue)
 	done := now + cp.latFor(x.Op)
+	if cp.retireHists != nil {
+		cp.retireHists[c].Observe(done - x.enq)
+	}
 	if hasZDst(x.Op) {
 		cp.issuePhys(c, done)
 	}
@@ -742,6 +784,9 @@ func (cp *Coproc) issueMem(c int, x *XInst, now uint64) issueStatus {
 		}
 		st.done.set(x.seq, now)
 		cp.probe.Signal(c, obs.SigVecIssue)
+		if cp.retireHists != nil {
+			cp.retireHists[c].Observe(now - x.enq)
+		}
 		st.memIssued++
 		return issueOK
 	}
@@ -761,6 +806,9 @@ func (cp *Coproc) issueMem(c int, x *XInst, now uint64) issueStatus {
 		st.done.set(x.seq, done)
 		st.lhq.Add(done)
 		st.inflight.Add(done)
+		if cp.retireHists != nil {
+			cp.retireHists[c].Observe(done - x.enq)
+		}
 	} else { // store
 		if st.stq.Count(now) >= cp.cfg.STQ {
 			cp.probe.Signal(c, obs.SigLSUWait)
@@ -780,6 +828,9 @@ func (cp *Coproc) issueMem(c int, x *XInst, now uint64) issueStatus {
 		st.done.set(x.seq, done)
 		st.stq.Add(done)
 		st.inflight.Add(done)
+		if cp.retireHists != nil {
+			cp.retireHists[c].Observe(done - x.enq)
+		}
 	}
 	cp.probe.Signal(c, obs.SigVecIssue)
 	st.memIssued++
@@ -874,6 +925,18 @@ func (cp *Coproc) BusyTimeline(c int) *sim.Timeline { return cp.cores[c].busyTim
 // ComputeIssued returns the number of SIMD compute instructions core c has
 // issued (the numerator of the paper's SIMD issue rate).
 func (cp *Coproc) ComputeIssued(c int) uint64 { return cp.cores[c].computeIssued }
+
+// MemIssued returns the number of vector memory instructions core c has
+// issued.
+func (cp *Coproc) MemIssued(c int) uint64 { return cp.cores[c].memIssued }
+
+// RenameStalls returns the cycles core c's rename stage stalled on physical
+// registers (Figure 13's metric, per core).
+func (cp *Coproc) RenameStalls(c int) uint64 { return cp.cores[c].renameStalls }
+
+// BusyLaneCycles returns core c's cumulative busy-lane count (lane·cycles);
+// the telemetry sampler diffs it at window boundaries into occupancy.
+func (cp *Coproc) BusyLaneCycles(c int) float64 { return cp.cores[c].busyLaneAccum }
 
 // DrainWaitCycles returns cycles core c's MSR <VL> spent waiting for its
 // pipeline to drain (Figure 15's reconfiguration overhead).

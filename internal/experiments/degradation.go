@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -300,6 +301,27 @@ func degPointFrom(f int, res *arch.Result, rerr error) DegPoint {
 	return p
 }
 
+// TTRStats summarizes one architecture's completed time-to-repartition
+// column across the sweep: min, lower-median p50 and max in cycles over the
+// n completed recoveries (points with a recovery window that settled before
+// the run ended). n == 0 means the architecture reacts combinationally or
+// nothing settled.
+func (d *Degradation) TTRStats(kind arch.Kind) (min, p50, max uint64, n int) {
+	ttrs := make([]uint64, 0, d.Units)
+	for f := 1; f < d.Units; f++ {
+		p := d.Points[kind][f]
+		if p.HasTTR && !p.TTRPending {
+			ttrs = append(ttrs, p.TTR)
+		}
+	}
+	if len(ttrs) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Slice(ttrs, func(i, j int) bool { return ttrs[i] < ttrs[j] })
+	n = len(ttrs)
+	return ttrs[0], ttrs[(n-1)/2], ttrs[n-1], n
+}
+
 // Render produces the retention and time-to-repartition tables.
 func (d *Degradation) Render() string {
 	var b strings.Builder
@@ -357,6 +379,12 @@ func (d *Degradation) Render() string {
 		tt.Add(row...)
 	}
 	b.WriteString(tt.String())
+	for _, kind := range repl {
+		if min, p50, max, n := d.TTRStats(kind); n > 0 {
+			fmt.Fprintf(&b, "%s TTR: min %d  p50 %d  max %d cycles (%d completed recoveries)\n",
+				kind, min, p50, max, n)
+		}
+	}
 	b.WriteString("\nOccamy's elastic repartition keeps every core on the surviving units, so\nit retains the most throughput at every failure count; the static splits\nlose whole partitions (Private), strand lanes (VLS) or stall everyone\nthrough the shared structures (FTS).\n")
 	return b.String()
 }

@@ -17,6 +17,7 @@ import (
 
 	"occamy/internal/arch"
 	"occamy/internal/metrics"
+	"occamy/internal/telemetry"
 	"occamy/internal/workload"
 )
 
@@ -42,6 +43,14 @@ type Config struct {
 	// for measuring the snapshot path's wall-clock win (occamy-bench
 	// -nosnapshot).
 	NoSnapshot bool
+	// Telemetry, when non-nil, attaches every experiment run's live sampler
+	// to the given HTTP server (occamy-bench -telemetry): long campaigns
+	// become observable mid-flight via GET /metrics, /events and /stream.
+	// The server retains the newest runs up to its cap.
+	Telemetry *telemetry.Server
+	// TelemetryWindow is the sampling window in cycles (0 = default 4096);
+	// only meaningful with Telemetry set.
+	TelemetryWindow uint64
 }
 
 // Default returns the full-size configuration.
@@ -65,11 +74,16 @@ func (c Config) sched(s workload.CoSchedule) workload.CoSchedule {
 func (c Config) runOne(kind arch.Kind, s workload.CoSchedule, opts arch.Options) (*arch.System, *arch.Result, error) {
 	opts.Seed = c.Seed
 	opts.LegacyTick = c.LegacyTick
+	if c.Telemetry != nil && opts.Telemetry == nil {
+		opts.Telemetry = &telemetry.Config{Window: c.TelemetryWindow}
+	}
 	sys, err := arch.Build(kind, c.sched(s), opts)
 	if err != nil {
 		return nil, nil, err
 	}
+	c.Telemetry.Attach(s.Name+"-"+kind.String(), sys.Tele)
 	res, err := sys.Run(c.MaxCycles)
+	sys.Tele.Flush(sys.Engine.Cycle())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -106,6 +120,7 @@ func (c Config) Sweep(verify bool) (*metrics.Sweep, error) {
 	errs := make([]error, len(pairs))
 
 	var wg sync.WaitGroup
+	var totals metrics.Accumulator
 	sem := make(chan struct{}, c.maxParallel())
 	for i, p := range pairs {
 		wg.Add(1)
@@ -126,6 +141,15 @@ func (c Config) Sweep(verify bool) (*metrics.Sweep, error) {
 					}
 				}
 			}
+			// Each worker merges a private registry: counter totals are
+			// order-independent, so -j N matches a serial sweep exactly.
+			vol := metrics.NewRegistry()
+			for _, res := range results {
+				vol.Count("sims", 1)
+				vol.Count("sim.cycles", res.Cycles)
+				vol.Count("sim.elems", res.Elems)
+			}
+			totals.Merge(vol)
 			rows[i] = metrics.PairRow{Name: p.Name, Results: results}
 		}(i, p)
 	}
@@ -135,7 +159,7 @@ func (c Config) Sweep(verify bool) (*metrics.Sweep, error) {
 			return nil, err
 		}
 	}
-	return &metrics.Sweep{Rows: rows}, nil
+	return &metrics.Sweep{Rows: rows, Totals: totals.Snapshot()}, nil
 }
 
 // maxParallel bounds concurrent simulations (each uses one goroutine and a

@@ -50,7 +50,47 @@ func (c Config) HTMLReport(w io.Writer) error {
 	}
 	page.Section("Figure 16 — four-core scalability", htmlreport.PreTable(f16.Render()))
 
+	// Degradation sweep + recovery TTR summary.
+	deg, err := c.Degradation()
+	if err != nil {
+		return err
+	}
+	addDegradation(page, deg)
+
 	return page.Write(w)
+}
+
+// addDegradation renders the fault-degradation study: per-architecture
+// throughput retention under failed ExeBUs, and the recovery
+// time-to-repartition summary for the lane-replanning architectures.
+func addDegradation(page *htmlreport.Page, d *Degradation) {
+	labels := make([]string, 0, d.Units)
+	for f := 0; f < d.Units; f++ {
+		labels = append(labels, fmt.Sprintf("%d", f))
+	}
+	var series []htmlreport.Series
+	for _, kind := range arch.Kinds {
+		vals := make([]float64, 0, d.Units)
+		for f := 0; f < d.Units; f++ {
+			vals = append(vals, 100*d.Points[kind][f].Retention)
+		}
+		series = append(series, htmlreport.Series{Name: kind.String(), Values: vals})
+	}
+	blocks := []string{
+		htmlreport.P("Throughput retained relative to each architecture's own fault-free " +
+			"run, as permanently failed ExeBUs accumulate (x axis = failed units). " +
+			"Zero bars are DNF points: the victim stalled and the watchdog ended the run."),
+		htmlreport.BarChart("throughput retention (%)", labels, series, 100, "%.0f"),
+	}
+	for _, kind := range arch.Kinds {
+		if min, p50, max, n := d.TTRStats(kind); n > 0 {
+			blocks = append(blocks, htmlreport.P(fmt.Sprintf(
+				"%s recovery time-to-repartition: min %d, p50 %d, max %d cycles "+
+					"across %d completed recoveries.", kind, min, p50, max, n)))
+		}
+	}
+	blocks = append(blocks, htmlreport.PreTable(d.Render()))
+	page.Section("Degradation — failed units and recovery TTR", blocks...)
 }
 
 // addFigure2 renders the motivating example: per-architecture busy-lane

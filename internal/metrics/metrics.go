@@ -90,6 +90,10 @@ func (r PairRow) OverheadFrac() (monitor, reconfig float64) {
 // architecture.
 type Sweep struct {
 	Rows []PairRow
+	// Totals aggregates run-volume counters across the sweep's workers
+	// ("sims", "sim.cycles", "sim.elems"); nil when the producer did not
+	// accumulate them.
+	Totals *Registry
 }
 
 // GeomeanSpeedup aggregates per-core speedups across pairs (the "GM" bar).

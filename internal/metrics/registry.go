@@ -1,0 +1,99 @@
+package metrics
+
+import "sync"
+
+// Registry is a bag of named counters and gauges: counters accumulate
+// (monotonic sums — simulated cycles, completed runs, retired elements),
+// gauges hold a last-written value (a utilization, a rate). It is the
+// merge-friendly aggregation unit for sweeps that fan runs out across
+// goroutines: each worker fills a private Registry, and the results merge
+// deterministically regardless of completion order.
+//
+// A Registry itself is not safe for concurrent use; wrap one in an
+// Accumulator to share it between -j workers.
+type Registry struct {
+	Counters map[string]uint64
+	Gauges   map[string]float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		Counters: make(map[string]uint64),
+		Gauges:   make(map[string]float64),
+	}
+}
+
+// Count adds delta to the named counter.
+func (r *Registry) Count(name string, delta uint64) {
+	if r.Counters == nil {
+		r.Counters = make(map[string]uint64)
+	}
+	r.Counters[name] += delta
+}
+
+// Gauge sets the named gauge.
+func (r *Registry) Gauge(name string, v float64) {
+	if r.Gauges == nil {
+		r.Gauges = make(map[string]float64)
+	}
+	r.Gauges[name] = v
+}
+
+// Merge folds other into r: counters add, gauges take other's value (last
+// merge wins). Counter merging is commutative and associative, so any merge
+// order over a set of worker registries produces the same totals; a nil
+// other is an identity.
+func (r *Registry) Merge(other *Registry) {
+	if other == nil {
+		return
+	}
+	for k, v := range other.Counters {
+		r.Count(k, v)
+	}
+	for k, v := range other.Gauges {
+		r.Gauge(k, v)
+	}
+}
+
+// Clone returns a deep copy (for snapshot-then-keep-counting patterns).
+func (r *Registry) Clone() *Registry {
+	out := NewRegistry()
+	out.Merge(r)
+	return out
+}
+
+// Accumulator is a mutex-protected Registry for concurrent sweep workers:
+// every method is safe to call from any goroutine.
+type Accumulator struct {
+	mu sync.Mutex
+	r  Registry
+}
+
+// Count adds delta to the named counter.
+func (a *Accumulator) Count(name string, delta uint64) {
+	a.mu.Lock()
+	a.r.Count(name, delta)
+	a.mu.Unlock()
+}
+
+// Gauge sets the named gauge.
+func (a *Accumulator) Gauge(name string, v float64) {
+	a.mu.Lock()
+	a.r.Gauge(name, v)
+	a.mu.Unlock()
+}
+
+// Merge folds a worker's private registry into the accumulator.
+func (a *Accumulator) Merge(other *Registry) {
+	a.mu.Lock()
+	a.r.Merge(other)
+	a.mu.Unlock()
+}
+
+// Snapshot returns a deep copy of the current totals.
+func (a *Accumulator) Snapshot() *Registry {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.r.Clone()
+}

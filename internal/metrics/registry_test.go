@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// regFrom builds a registry from parallel name/value slices (quick-generated
+// raw material mapped onto a small key space so collisions actually happen).
+func regFrom(vals []uint16) *Registry {
+	r := NewRegistry()
+	for i, v := range vals {
+		r.Count(fmt.Sprintf("c%d", i%4), uint64(v))
+		r.Gauge(fmt.Sprintf("g%d", i%3), float64(v))
+	}
+	return r
+}
+
+// TestMergeCommutativeCounters: for any two registries, a⊕b and b⊕a hold the
+// same counter totals (counter merge is addition).
+func TestMergeCommutativeCounters(t *testing.T) {
+	f := func(av, bv []uint16) bool {
+		ab := regFrom(av)
+		ab.Merge(regFrom(bv))
+		ba := regFrom(bv)
+		ba.Merge(regFrom(av))
+		if len(ab.Counters) != len(ba.Counters) {
+			return false
+		}
+		for k, v := range ab.Counters {
+			if ba.Counters[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeAssociative: (a⊕b)⊕c equals a⊕(b⊕c) for counters.
+func TestMergeAssociative(t *testing.T) {
+	f := func(av, bv, cv []uint16) bool {
+		left := regFrom(av)
+		left.Merge(regFrom(bv))
+		left.Merge(regFrom(cv))
+
+		bc := regFrom(bv)
+		bc.Merge(regFrom(cv))
+		right := regFrom(av)
+		right.Merge(bc)
+
+		for k, v := range left.Counters {
+			if right.Counters[k] != v {
+				return false
+			}
+		}
+		return len(left.Counters) == len(right.Counters)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeIdentity: merging an empty or nil registry changes nothing, and
+// merging into an empty registry reproduces the source.
+func TestMergeIdentity(t *testing.T) {
+	f := func(av []uint16) bool {
+		a := regFrom(av)
+		want := a.Clone()
+		a.Merge(nil)
+		a.Merge(NewRegistry())
+		for k, v := range want.Counters {
+			if a.Counters[k] != v {
+				return false
+			}
+		}
+		for k, v := range want.Gauges {
+			if a.Gauges[k] != v {
+				return false
+			}
+		}
+		empty := NewRegistry()
+		empty.Merge(a)
+		return len(empty.Counters) == len(a.Counters) && len(empty.Gauges) == len(a.Gauges)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeSumsEqualTotal: splitting a stream of increments across K worker
+// registries and merging must equal counting them all into one registry —
+// the property that makes -j sweeps report the same totals as serial ones.
+func TestMergeSumsEqualTotal(t *testing.T) {
+	f := func(vals []uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		serial := NewRegistry()
+		workers := []*Registry{NewRegistry(), NewRegistry(), NewRegistry()}
+		for _, v := range vals {
+			name := fmt.Sprintf("c%d", v%5)
+			serial.Count(name, uint64(v))
+			workers[rng.Intn(len(workers))].Count(name, uint64(v))
+		}
+		merged := NewRegistry()
+		for _, w := range workers {
+			merged.Merge(w)
+		}
+		if len(merged.Counters) != len(serial.Counters) {
+			return false
+		}
+		for k, v := range serial.Counters {
+			if merged.Counters[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneIsolation: mutating a clone must not leak into the original.
+func TestCloneIsolation(t *testing.T) {
+	a := NewRegistry()
+	a.Count("x", 5)
+	a.Gauge("g", 1.5)
+	b := a.Clone()
+	b.Count("x", 10)
+	b.Gauge("g", 9)
+	if a.Counters["x"] != 5 || a.Gauges["g"] != 1.5 {
+		t.Fatalf("clone mutation leaked into original: %+v", a)
+	}
+}
+
+// TestAccumulatorConcurrentMerge is the -race test for the concurrent -j
+// sweep pattern: many workers counting and merging private registries into
+// one Accumulator, with concurrent Snapshot readers. The final totals must
+// equal the arithmetic sum regardless of interleaving.
+func TestAccumulatorConcurrentMerge(t *testing.T) {
+	const workers, perWorker = 16, 500
+	var acc Accumulator
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			private := NewRegistry()
+			for i := 0; i < perWorker; i++ {
+				private.Count("runs", 1)
+				private.Count("cycles", uint64(i))
+				acc.Count("direct", 1)
+			}
+			acc.Gauge(fmt.Sprintf("worker%d", w), float64(w))
+			acc.Merge(private)
+		}(w)
+	}
+	// Concurrent readers exercise Snapshot against in-flight merges.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				snap := acc.Snapshot()
+				if snap.Counters["runs"] > workers*perWorker {
+					t.Error("snapshot overshot final total")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	final := acc.Snapshot()
+	if got := final.Counters["runs"]; got != workers*perWorker {
+		t.Fatalf("runs = %d, want %d", got, workers*perWorker)
+	}
+	if got := final.Counters["direct"]; got != workers*perWorker {
+		t.Fatalf("direct = %d, want %d", got, workers*perWorker)
+	}
+	wantCycles := uint64(workers) * uint64(perWorker*(perWorker-1)/2)
+	if got := final.Counters["cycles"]; got != wantCycles {
+		t.Fatalf("cycles = %d, want %d", got, wantCycles)
+	}
+	for w := 0; w < workers; w++ {
+		if final.Gauges[fmt.Sprintf("worker%d", w)] != float64(w) {
+			t.Fatalf("gauge worker%d missing", w)
+		}
+	}
+}

@@ -18,12 +18,24 @@ type Histogram struct {
 	buckets [65]uint64 // buckets[i] counts values with bit-length i (0 = value 0)
 }
 
+// NumBins is the number of power-of-two bins: one per bit-length 0..64
+// (bin 0 holds the value 0).
+const NumBins = 65
+
 // Name returns the histogram's registry name (e.g. "dram.latency").
 func (h *Histogram) Name() string {
 	if h == nil {
 		return ""
 	}
 	return h.name
+}
+
+// RetireHistName is the registry name of core c's issue→retire latency
+// histogram. It lives here because both the co-processor (the writer) and
+// the telemetry sampler (the windowed reader) resolve the same histogram
+// by name at setup time.
+func RetireHistName(c int) string {
+	return fmt.Sprintf("coproc.c%d.retire.latency", c)
 }
 
 // Observe records one value. Safe on a nil histogram.
@@ -72,6 +84,96 @@ func (h *Histogram) Max() uint64 {
 		return 0
 	}
 	return h.max
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// CopyBins copies the power-of-two bin counts into dst without allocating —
+// the telemetry sampler diffs consecutive copies into windowed views. A nil
+// histogram zeroes dst.
+func (h *Histogram) CopyBins(dst *[NumBins]uint64) {
+	if h == nil {
+		*dst = [NumBins]uint64{}
+		return
+	}
+	*dst = h.buckets
+}
+
+// Quantile returns the q-quantile (q in [0, 1], clamped) of the observed
+// values, estimated from the power-of-two bins and clamped to the observed
+// [min, max]. The edge cases are defined, not garbage: an empty histogram
+// reports 0, a single-observation histogram reports that observation
+// exactly, and q <= 0 / q >= 1 report min / max exactly.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if h.count == 1 {
+		return float64(h.min) // min == max == the sample
+	}
+	if q <= 0 {
+		return float64(h.min)
+	}
+	if q >= 1 {
+		return float64(h.max)
+	}
+	v := QuantileBins(&h.buckets, q)
+	if v < float64(h.min) {
+		v = float64(h.min)
+	}
+	if v > float64(h.max) {
+		v = float64(h.max)
+	}
+	return v
+}
+
+// QuantileBins estimates the q-quantile from raw power-of-two bin counts —
+// the allocation-free primitive behind Histogram.Quantile, also used on
+// windowed bin deltas where no min/max is tracked. Empty bins report 0. The
+// estimate interpolates linearly inside the bin holding rank q*(n-1), so a
+// single observation lands on its bin's lower bound.
+func QuantileBins(bins *[NumBins]uint64, q float64) float64 {
+	var n uint64
+	for _, c := range bins {
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n-1)
+	cum := 0.0
+	for i, c := range bins {
+		if c == 0 {
+			continue
+		}
+		fc := float64(c)
+		if rank < cum+fc {
+			lo, hi := binBounds(i)
+			frac := (rank - cum) / fc
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += fc
+	}
+	// Floating-point fallthrough: report the top occupied bin's upper bound.
+	for i := NumBins - 1; i >= 0; i-- {
+		if bins[i] > 0 {
+			_, hi := binBounds(i)
+			return float64(hi)
+		}
+	}
+	return 0
 }
 
 // String renders the histogram as one compact report line plus a row per

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileEdgeCases pins the defined-value contract: empty histograms
+// report 0, single-sample histograms report the sample, and q outside (0,1)
+// reports the observed extremes — for every quantile anyone would ask for.
+func TestQuantileEdgeCases(t *testing.T) {
+	qs := []float64{-1, 0, 0.25, 0.5, 0.9, 0.99, 1, 2}
+
+	t.Run("nil", func(t *testing.T) {
+		var h *Histogram
+		for _, q := range qs {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("nil.Quantile(%g) = %g, want 0", q, got)
+			}
+		}
+	})
+
+	t.Run("empty", func(t *testing.T) {
+		h := &Histogram{name: "empty"}
+		for _, q := range qs {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("empty.Quantile(%g) = %g, want 0", q, got)
+			}
+		}
+	})
+
+	for _, sample := range []uint64{0, 1, 2, 7, 1000, 1 << 40} {
+		h := &Histogram{name: "single"}
+		h.Observe(sample)
+		for _, q := range qs {
+			if got := h.Quantile(q); got != float64(sample) {
+				t.Errorf("single(%d).Quantile(%g) = %g, want %d", sample, q, got, sample)
+			}
+		}
+	}
+}
+
+// TestQuantileTable walks known distributions through the bucketed estimate.
+func TestQuantileTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []uint64
+		q       float64
+		min     float64 // inclusive bounds on the acceptable estimate
+		max     float64
+	}{
+		{"two-min", []uint64{10, 1000}, 0, 10, 10},
+		{"two-max", []uint64{10, 1000}, 1, 1000, 1000},
+		{"two-median-between", []uint64{10, 1000}, 0.5, 10, 1000},
+		{"uniform-p0", []uint64{1, 2, 3, 4, 5, 6, 7, 8}, 0, 1, 1},
+		{"uniform-p100", []uint64{1, 2, 3, 4, 5, 6, 7, 8}, 1, 8, 8},
+		// The true median of 1..8 is 4.5; the power-of-two estimate must
+		// land inside the bucket range covering it.
+		{"uniform-p50", []uint64{1, 2, 3, 4, 5, 6, 7, 8}, 0.5, 2, 7},
+		// All samples equal: every quantile is that value.
+		{"constant", []uint64{64, 64, 64, 64}, 0.5, 64, 64},
+		{"constant-p99", []uint64{64, 64, 64, 64}, 0.99, 64, 64},
+		// Heavily skewed: p99 must reach into the tail's bucket.
+		{"skewed-p99", append(make([]uint64, 0, 101), func() []uint64 {
+			s := make([]uint64, 100)
+			for i := range s {
+				s[i] = 5
+			}
+			return append(s, 100000)
+		}()...), 0.99, 5, 100000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := &Histogram{name: tc.name}
+			for _, v := range tc.samples {
+				h.Observe(v)
+			}
+			got := h.Quantile(tc.q)
+			if got < tc.min || got > tc.max {
+				t.Errorf("Quantile(%g) = %g, want in [%g, %g]", tc.q, got, tc.min, tc.max)
+			}
+		})
+	}
+}
+
+// TestQuantileMonotonic: the estimate must not decrease as q grows.
+func TestQuantileMonotonic(t *testing.T) {
+	h := &Histogram{name: "mono"}
+	v := uint64(1)
+	for i := 0; i < 200; i++ {
+		h.Observe(v)
+		v = v*3%4093 + 1
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%g) = %g < previous %g", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestQuantileBins covers the raw-bins primitive used on windowed deltas.
+func TestQuantileBins(t *testing.T) {
+	var bins [NumBins]uint64
+	if got := QuantileBins(&bins, 0.5); got != 0 {
+		t.Errorf("empty bins: got %g, want 0", got)
+	}
+	// A single observation of 100 lands in bin 7 ([64, 127]); the estimate
+	// must stay inside that bin.
+	bins[7] = 1
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := QuantileBins(&bins, q)
+		if got < 64 || got > 127 {
+			t.Errorf("single-obs bins Quantile(%g) = %g, want in [64, 127]", q, got)
+		}
+	}
+	// CopyBins on nil zeroes the destination.
+	bins[7] = 1
+	var h *Histogram
+	h.CopyBins(&bins)
+	for i, c := range bins {
+		if c != 0 {
+			t.Fatalf("nil CopyBins left bin %d = %d", i, c)
+		}
+	}
+}
+
+// TestQuantileMatchesBinsPlusClamp: the histogram method is the bins
+// primitive clamped to [min, max] (except for the exact single-sample and
+// q∈{0,1} shortcuts).
+func TestQuantileMatchesBinsPlusClamp(t *testing.T) {
+	h := &Histogram{name: "clamp"}
+	for _, v := range []uint64{100, 120, 90, 70} {
+		h.Observe(v)
+	}
+	var bins [NumBins]uint64
+	h.CopyBins(&bins)
+	raw := QuantileBins(&bins, 0.5)
+	got := h.Quantile(0.5)
+	want := math.Min(math.Max(raw, float64(h.Min())), float64(h.Max()))
+	if got != want {
+		t.Errorf("Quantile(0.5) = %g, want clamp(%g) = %g", got, raw, want)
+	}
+	if got < 70 || got > 120 {
+		t.Errorf("Quantile(0.5) = %g outside observed [70, 120]", got)
+	}
+}

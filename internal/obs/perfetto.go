@@ -188,6 +188,24 @@ func ValidatePerfetto(r io.Reader) error {
 				return fmt.Errorf("perfetto: event %d: complete slice missing dur", i)
 			}
 		}
+		if ph == "C" {
+			// A counter sample without a numeric series value renders as an
+			// empty track; the exporters must never produce one.
+			args, ok := e["args"].(map[string]any)
+			if !ok || len(args) == 0 {
+				return fmt.Errorf("perfetto: event %d: counter missing args", i)
+			}
+			numeric := false
+			for _, v := range args {
+				if _, ok := v.(float64); ok {
+					numeric = true
+					break
+				}
+			}
+			if !numeric {
+				return fmt.Errorf("perfetto: event %d: counter %q has no numeric series", i, e["name"])
+			}
+		}
 	}
 	return nil
 }

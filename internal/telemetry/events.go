@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// eventLine is the JSONL wire form of one event, with the run label the
+// server adds when multiplexing several attached runs.
+type eventLine struct {
+	Run string `json:"run,omitempty"`
+	Event
+}
+
+// WriteEventsJSONL writes the sampler's retained events — deterministic ring
+// first (oldest surviving entry onward), then the host-side meta log — one
+// JSON object per line, each tagged with the run label.
+func (s *Sampler) WriteEventsJSONL(w io.Writer, label string) error {
+	events := s.Events(nil)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(eventLine{Run: label, Event: events[i]}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ValidateEventsJSONL checks an event log: every non-empty line is a JSON
+// object with a non-empty "kind" string and a numeric "cycle". Used by the
+// tests and by `occamy-trace -check-events` in CI. An empty log is valid —
+// healthy steady-state runs emit no discrete events.
+func ValidateEventsJSONL(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal(line, &obj); err != nil {
+			return fmt.Errorf("events: line %d: invalid JSON: %w", lineNo, err)
+		}
+		kind, ok := obj["kind"].(string)
+		if !ok || kind == "" {
+			return fmt.Errorf("events: line %d: missing kind", lineNo)
+		}
+		if _, ok := obj["cycle"].(float64); !ok {
+			return fmt.Errorf("events: line %d: missing cycle", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("events: read: %w", err)
+	}
+	return nil
+}

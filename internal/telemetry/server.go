@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// maxAttachedRuns bounds the server's memory when a long bench campaign
+// attaches hundreds of samplers: the oldest runs are evicted (their samplers
+// stay alive for whoever else holds them; the server just stops serving
+// them).
+const maxAttachedRuns = 64
+
+// Server exposes attached samplers over HTTP:
+//
+//	GET /metrics  — OpenMetrics text across all attached runs
+//	GET /events   — structured event log, one JSON object per line
+//	GET /stream   — SSE: one event per closed window (any run)
+//	GET /healthz  — liveness
+//
+// The server never blocks or allocates on the simulation's tick path: window
+// boundaries only bump a version counter and broadcast a condition variable.
+type Server struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	version uint64
+	closed  bool
+	runs    []serverRun
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+type serverRun struct {
+	label string
+	s     *Sampler
+}
+
+// NewServer returns a server with no attached runs and no listener.
+func NewServer() *Server {
+	sv := &Server{}
+	sv.cond = sync.NewCond(&sv.mu)
+	return sv
+}
+
+// Attach registers a sampler under a run label and subscribes to its window
+// notifications. Labels should be unique per run; the newest maxAttachedRuns
+// are retained.
+func (sv *Server) Attach(label string, s *Sampler) {
+	if sv == nil || s == nil {
+		return
+	}
+	sv.mu.Lock()
+	sv.runs = append(sv.runs, serverRun{label: label, s: s})
+	if len(sv.runs) > maxAttachedRuns {
+		// Drop the oldest; copy to release the evicted samplers.
+		keep := make([]serverRun, maxAttachedRuns)
+		copy(keep, sv.runs[len(sv.runs)-maxAttachedRuns:])
+		sv.runs = keep
+	}
+	sv.mu.Unlock()
+	s.OnWindow(sv.bump)
+}
+
+// bump wakes every /stream subscriber. Allocation-free: safe to call from a
+// window boundary inside the simulation tick.
+func (sv *Server) bump() {
+	sv.mu.Lock()
+	sv.version++
+	sv.mu.Unlock()
+	sv.cond.Broadcast()
+}
+
+// Handler returns the server's routing table (also used by httptest).
+func (sv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", sv.handleMetrics)
+	mux.HandleFunc("/events", sv.handleEvents)
+	mux.HandleFunc("/stream", sv.handleStream)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Start listens on addr (e.g. "127.0.0.1:9464"; ":0" picks a free port) and
+// serves in a background goroutine.
+func (sv *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	sv.mu.Lock()
+	sv.ln = ln
+	sv.srv = &http.Server{Handler: sv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	srv := sv.srv
+	sv.mu.Unlock()
+	go srv.Serve(ln) //nolint:errcheck // Close() shuts it down
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (sv *Server) Addr() string {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.ln == nil {
+		return ""
+	}
+	return sv.ln.Addr().String()
+}
+
+// Close stops the listener and unblocks every /stream subscriber.
+func (sv *Server) Close() error {
+	sv.mu.Lock()
+	sv.closed = true
+	srv := sv.srv
+	sv.srv, sv.ln = nil, nil
+	sv.mu.Unlock()
+	sv.cond.Broadcast()
+	if srv != nil {
+		return srv.Close()
+	}
+	return nil
+}
+
+// snapshotRuns copies the attached-run list for lock-free iteration.
+func (sv *Server) snapshotRuns() []serverRun {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return append([]serverRun(nil), sv.runs...)
+}
+
+func (sv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	runs := sv.snapshotRuns()
+	views := make([]LabeledView, len(runs))
+	for i, r := range runs {
+		views[i] = LabeledView{Label: r.label, View: r.s.View()}
+	}
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	RenderOpenMetrics(w, views) //nolint:errcheck // client gone
+}
+
+func (sv *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, r := range sv.snapshotRuns() {
+		r.s.WriteEventsJSONL(w, r.label) //nolint:errcheck // client gone
+	}
+}
+
+// streamUpdate is one SSE payload: the per-run window watermarks.
+type streamUpdate struct {
+	Version uint64            `json:"version"`
+	Runs    []streamRunStatus `json:"runs"`
+}
+
+type streamRunStatus struct {
+	Run     string `json:"run"`
+	Windows uint64 `json:"windows"`
+	Cycle   uint64 `json:"cycle"`
+	Events  uint64 `json:"events"`
+}
+
+func (sv *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+
+	// Wake the cond loop when the client goes away.
+	done := r.Context().Done()
+	go func() {
+		<-done
+		sv.cond.Broadcast()
+	}()
+
+	enc := json.NewEncoder(w)
+	var last uint64
+	first := true
+	for {
+		sv.mu.Lock()
+		for !first && sv.version == last && !sv.closed && !ctxDone(done) {
+			sv.cond.Wait()
+		}
+		version := sv.version
+		closed := sv.closed
+		sv.mu.Unlock()
+		if closed || ctxDone(done) {
+			return
+		}
+		first = false
+		last = version
+
+		upd := streamUpdate{Version: version}
+		for _, run := range sv.snapshotRuns() {
+			v := run.s.View()
+			upd.Runs = append(upd.Runs, streamRunStatus{
+				Run: run.label, Windows: v.Produced, Cycle: v.EndCycle, Events: v.EventsTotal,
+			})
+		}
+		if _, err := fmt.Fprint(w, "data: "); err != nil {
+			return
+		}
+		if err := enc.Encode(upd); err != nil { // Encode appends the newline
+			return
+		}
+		if _, err := fmt.Fprint(w, "\n"); err != nil {
+			return
+		}
+		fl.Flush()
+	}
+}
+
+func ctxDone(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	sv := NewServer()
+	r := newRig(t, 2, Config{Window: 100})
+	sv.Attach("occamy", r.s)
+	r.drive(0, 400)
+	r.s.Emit(250, EvLaneReconfigure, 1, 4, "")
+
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	if err := ValidateOpenMetrics(strings.NewReader(metrics)); err != nil {
+		t.Fatalf("/metrics invalid: %v\n%s", err, metrics)
+	}
+	if !strings.Contains(metrics, `occamy_sim_cycles{run="occamy"} 400`) {
+		t.Errorf("/metrics missing live cycle gauge:\n%s", metrics)
+	}
+
+	events := get("/events")
+	if err := ValidateEventsJSONL(strings.NewReader(events)); err != nil {
+		t.Fatalf("/events invalid: %v\n%s", err, events)
+	}
+	if !strings.Contains(events, EvLaneReconfigure) {
+		t.Errorf("/events missing emitted event:\n%s", events)
+	}
+
+	if h := get("/healthz"); !strings.Contains(h, "ok") {
+		t.Errorf("/healthz = %q", h)
+	}
+}
+
+func TestServerStreamDeliversWindowUpdates(t *testing.T) {
+	sv := NewServer()
+	r := newRig(t, 1, Config{Window: 10})
+	sv.Attach("run0", r.s)
+	if err := sv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+
+	resp, err := http.Get("http://" + sv.Addr() + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+				lines <- line
+			}
+		}
+		close(lines)
+	}()
+
+	// The stream sends an initial snapshot immediately.
+	select {
+	case l := <-lines:
+		if !strings.Contains(l, `"run0"`) {
+			t.Fatalf("initial stream payload = %q", l)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no initial SSE payload")
+	}
+
+	// A closed window must push an update.
+	r.s.Tick(10)
+	select {
+	case l := <-lines:
+		if !strings.Contains(l, `"windows":1`) {
+			t.Fatalf("window update payload = %q", l)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no SSE payload after window close")
+	}
+}
+
+// TestServerConcurrentRuns hammers the server from parallel samplers and
+// parallel readers; run under -race this is the concurrency property test.
+func TestServerConcurrentRuns(t *testing.T) {
+	sv := NewServer()
+	const nruns = 4
+	rigs := make([]*rig, nruns)
+	for i := range rigs {
+		rigs[i] = newRig(t, 2, Config{Window: 20, Windows: 8, Events: 32})
+		sv.Attach("run"+string(rune('a'+i)), rigs[i].s)
+	}
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for _, r := range rigs {
+		wg.Add(1)
+		go func(r *rig) {
+			defer wg.Done()
+			for now := uint64(1); now <= 2000; now++ {
+				if now%3 == 0 {
+					r.cores[0].insts++
+					r.cp.busy[0] += 4
+				}
+				if now%50 == 0 {
+					r.s.Emit(now, EvLaneReconfigure, 0, now%8, "")
+				}
+				if now%20 == 0 {
+					r.s.Tick(now)
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				for _, path := range []string{"/metrics", "/events"} {
+					resp, err := http.Get(ts.URL + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := ValidateOpenMetrics(resp.Body); err != nil {
+		t.Fatalf("final /metrics invalid: %v", err)
+	}
+}
+
+func TestServerEviction(t *testing.T) {
+	sv := NewServer()
+	for i := 0; i < maxAttachedRuns+5; i++ {
+		r := newRig(t, 1, Config{Window: 10, Windows: 2, Events: 2})
+		sv.Attach("r", r.s)
+	}
+	if got := len(sv.snapshotRuns()); got != maxAttachedRuns {
+		t.Fatalf("retained runs = %d, want %d", got, maxAttachedRuns)
+	}
+}

@@ -1,0 +1,356 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"occamy/internal/obs"
+	"occamy/internal/sim"
+)
+
+// Fake sources: hand-driven state the tests mutate between boundaries.
+
+type fakeCore struct {
+	halted, parked bool
+	insts, elems   uint64
+}
+
+func (f *fakeCore) Halted() bool     { return f.halted }
+func (f *fakeCore) Parked() bool     { return f.parked }
+func (f *fakeCore) Progress() uint64 { return f.insts }
+func (f *fakeCore) Elems() uint64    { return f.elems }
+
+type fakeCp struct {
+	compute, mem, stalls []uint64
+	busy                 []float64
+	vl                   []int
+}
+
+func (f *fakeCp) ComputeIssued(c int) uint64   { return f.compute[c] }
+func (f *fakeCp) MemIssued(c int) uint64       { return f.mem[c] }
+func (f *fakeCp) RenameStalls(c int) uint64    { return f.stalls[c] }
+func (f *fakeCp) BusyLaneCycles(c int) float64 { return f.busy[c] }
+func (f *fakeCp) VL(c int) int                 { return f.vl[c] }
+
+type fakeTbl struct {
+	al, usable, failed, total int
+	decisions                 []int
+}
+
+func (f *fakeTbl) AL() int            { return f.al }
+func (f *fakeTbl) Usable() int        { return f.usable }
+func (f *fakeTbl) Failed() int        { return f.failed }
+func (f *fakeTbl) Total() int         { return f.total }
+func (f *fakeTbl) Decision(c int) int { return f.decisions[c] }
+
+type rig struct {
+	cores []*fakeCore
+	cp    *fakeCp
+	tbl   *fakeTbl
+	probe *obs.Probe
+	stats *sim.Stats
+	s     *Sampler
+}
+
+func newRig(t *testing.T, n int, cfg Config) *rig {
+	t.Helper()
+	r := &rig{
+		cp: &fakeCp{
+			compute: make([]uint64, n), mem: make([]uint64, n),
+			stalls: make([]uint64, n), busy: make([]float64, n), vl: make([]int, n),
+		},
+		tbl:   &fakeTbl{al: 8, usable: 8, total: 8, decisions: make([]int, n)},
+		probe: obs.NewProbe(n, nil),
+		stats: sim.NewStats(),
+	}
+	srcs := Sources{Cp: r.cp, Tbl: r.tbl, Probe: r.probe, Stats: r.stats, Lanes: 32}
+	for i := 0; i < n; i++ {
+		c := &fakeCore{}
+		r.cores = append(r.cores, c)
+		srcs.Cores = append(srcs.Cores, c)
+	}
+	r.s = NewSampler(cfg, srcs)
+	return r
+}
+
+func TestWindowDeltasAndGauges(t *testing.T) {
+	r := newRig(t, 2, Config{Window: 100})
+	s := r.s
+
+	// Window 1: core 0 does work; core 1 idles.
+	r.cores[0].insts, r.cores[0].elems = 50, 800
+	r.cp.compute[0], r.cp.busy[0], r.cp.vl[0] = 40, 1600, 6
+	r.cp.vl[1] = 2
+	h := r.probe.Hist(obs.RetireHistName(0))
+	for i := 0; i < 10; i++ {
+		h.Observe(20)
+	}
+	s.Tick(50) // not a boundary: no window
+	if got := s.Produced(); got != 0 {
+		t.Fatalf("windows after non-boundary tick = %d, want 0", got)
+	}
+	s.Tick(100)
+	if got := s.Produced(); got != 1 {
+		t.Fatalf("windows = %d, want 1", got)
+	}
+	var w Window
+	if !s.CopyWindow(0, &w) {
+		t.Fatal("CopyWindow(0) failed")
+	}
+	if w.EndCycle != 100 || w.Cycles != 100 {
+		t.Fatalf("window bounds = (%d, %d), want (100, 100)", w.EndCycle, w.Cycles)
+	}
+	c0 := w.Cores[0]
+	if c0.Insts != 50 || c0.Elems != 800 || c0.Compute != 40 {
+		t.Fatalf("core0 deltas = %+v", c0)
+	}
+	if c0.BusyLanes != 1600 {
+		t.Fatalf("core0 busy = %g, want 1600", c0.BusyLanes)
+	}
+	if c0.VL != 6 || c0.Headroom != 5 {
+		t.Fatalf("core0 vl/headroom = %d/%d, want 6/5", c0.VL, c0.Headroom)
+	}
+	if c0.RetireCount != 10 || c0.RetireP50 < 16 || c0.RetireP50 > 31 {
+		t.Fatalf("core0 retire = n%d p50=%g, want n10 p50 in [16,31]", c0.RetireCount, c0.RetireP50)
+	}
+	// Occupancy: 1600 lane·cycles over 100 cycles of a 32-lane array = 0.5.
+	if w.Occupancy != 0.5 {
+		t.Fatalf("occupancy = %g, want 0.5", w.Occupancy)
+	}
+
+	// Window 2: nothing moves — all deltas must be zero; halted core's
+	// headroom is its whole partition.
+	r.cores[1].halted = true
+	s.Tick(200)
+	if !s.CopyWindow(1, &w) {
+		t.Fatal("CopyWindow(1) failed")
+	}
+	if w.Cores[0].Insts != 0 || w.Cores[0].Compute != 0 || w.Cores[0].RetireCount != 0 {
+		t.Fatalf("quiet window deltas nonzero: %+v", w.Cores[0])
+	}
+	if !w.Cores[1].Halted || w.Cores[1].Headroom != 2 {
+		t.Fatalf("halted core1 headroom = %d, want 2 (full VL)", w.Cores[1].Headroom)
+	}
+}
+
+func TestSleeperContract(t *testing.T) {
+	r := newRig(t, 1, Config{Window: 64})
+	s := r.s
+	if wake, q := s.NextWake(0); !q || wake != 64 {
+		t.Fatalf("NextWake(0) = (%d, %v), want (64, true)", wake, q)
+	}
+	if wake, q := s.NextWake(63); !q || wake != 64 {
+		t.Fatalf("NextWake(63) = (%d, %v), want (64, true)", wake, q)
+	}
+	if _, q := s.NextWake(64); q {
+		t.Fatal("NextWake(64): boundary must not be quiescent")
+	}
+	if wake, q := s.NextWake(65); !q || wake != 128 {
+		t.Fatalf("NextWake(65) = (%d, %v), want (128, true)", wake, q)
+	}
+	s.SkipTicks(1, 63) // must be a no-op
+	if got := s.Produced(); got != 0 {
+		t.Fatalf("SkipTicks produced %d windows", got)
+	}
+}
+
+func TestEventRingWrap(t *testing.T) {
+	r := newRig(t, 1, Config{Window: 10, Events: 4})
+	s := r.s
+	for i := 0; i < 6; i++ {
+		s.Emit(uint64(i), EvLaneReconfigure, 0, uint64(i), "")
+	}
+	if got := s.EventsProduced(); got != 6 {
+		t.Fatalf("EventsProduced = %d, want 6", got)
+	}
+	evs := s.Events(nil)
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	if evs[0].Cycle != 2 || evs[3].Cycle != 5 {
+		t.Fatalf("ring order wrong: first=%d last=%d", evs[0].Cycle, evs[3].Cycle)
+	}
+	s.EmitMeta(7, EvCheckpoint, "fork A")
+	evs = s.Events(nil)
+	if len(evs) != 5 || !evs[4].Meta {
+		t.Fatalf("meta event missing: %+v", evs)
+	}
+	// Meta events stay out of the digest.
+	d1 := s.Digest()
+	s.EmitMeta(8, EvRestore, "")
+	if d2 := s.Digest(); d2 != d1 {
+		t.Fatal("meta event changed the digest")
+	}
+	// Deterministic events do change it.
+	s.Emit(9, EvFaultApply, -1, 1, "")
+	if d3 := s.Digest(); d3 == d1 {
+		t.Fatal("deterministic event did not change the digest")
+	}
+}
+
+// run drives the rig through identical state mutations; used to compare
+// snapshot/restore replays.
+func (r *rig) drive(from, to uint64) {
+	w := r.s.Window()
+	for now := from + 1; now <= to; now++ {
+		if now%7 == 0 {
+			r.cores[0].insts += 3
+			r.cp.compute[0] += 2
+			r.cp.busy[0] += 12
+			r.probe.Hist(obs.RetireHistName(0)).Observe(now % 40)
+		}
+		if now%97 == 0 {
+			r.s.Emit(now, EvLaneReconfigure, 0, now%8, "")
+		}
+		if now%w == 0 {
+			r.s.Tick(now)
+		}
+	}
+}
+
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	r := newRig(t, 2, Config{Window: 50, Windows: 8, Events: 16})
+	r.drive(0, 300)
+	st := r.s.Snapshot()
+	dAtFork := r.s.Digest()
+
+	// Continue the base run.
+	r.drive(300, 700)
+	dBase := r.s.Digest()
+
+	// Rewind: digest must return to the fork point...
+	// (source state must be rewound too for a true replay, so re-create it)
+	r.s.Restore(st)
+	if got := r.s.Digest(); got != dAtFork {
+		t.Fatalf("restored digest = %#x, want fork-point %#x", got, dAtFork)
+	}
+	// ...and replaying the same source evolution must reproduce the base
+	// run's telemetry bit-identically. Rebuild the sources at fork state.
+	r2 := newRig(t, 2, Config{Window: 50, Windows: 8, Events: 16})
+	r2.drive(0, 300)
+	r2.s.Restore(st)
+	r2.drive(300, 700)
+	if got := r2.s.Digest(); got != dBase {
+		t.Fatalf("forked digest = %#x, want base %#x", got, dBase)
+	}
+}
+
+func TestFlushPartialWindow(t *testing.T) {
+	r := newRig(t, 1, Config{Window: 100})
+	r.cores[0].insts = 5
+	r.s.Tick(100)
+	r.cores[0].insts = 9
+	r.s.Flush(142)
+	if got := r.s.Produced(); got != 2 {
+		t.Fatalf("windows = %d, want 2", got)
+	}
+	var w Window
+	r.s.CopyWindow(1, &w)
+	if w.EndCycle != 142 || w.Cycles != 42 || w.Cores[0].Insts != 4 {
+		t.Fatalf("partial window = end%d len%d insts%d, want 142/42/4", w.EndCycle, w.Cycles, w.Cores[0].Insts)
+	}
+	// Flush at the same cycle is a no-op.
+	r.s.Flush(142)
+	if got := r.s.Produced(); got != 2 {
+		t.Fatalf("double flush produced %d windows", got)
+	}
+}
+
+func TestOpenMetricsRendersAndValidates(t *testing.T) {
+	r := newRig(t, 2, Config{Window: 100})
+	r.drive(0, 400)
+	var buf bytes.Buffer
+	if err := r.s.WriteOpenMetrics(&buf, "occamy/f2"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := ValidateOpenMetrics(strings.NewReader(out)); err != nil {
+		t.Fatalf("rendered output fails validation: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"occamy_core_vl_granules{run=\"occamy/f2\",core=\"0\"}",
+		"occamy_core_retire_latency_cycles{run=\"occamy/f2\",core=\"1\",quantile=\"0.99\"}",
+		"occamy_repartitions_total",
+		"# EOF",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestValidateOpenMetricsRejects(t *testing.T) {
+	cases := map[string]string{
+		"no-eof":           "# TYPE a gauge\na 1\n",
+		"sample-sans-type": "a 1\n# EOF\n",
+		"counter-no-total": "# TYPE a counter\na 1\n# EOF\n",
+		"bad-value":        "# TYPE a gauge\na xyz\n# EOF\n",
+		"dup-type":         "# TYPE a gauge\n# TYPE a gauge\na 1\n# EOF\n",
+		"unterminated":     "# TYPE a gauge\na{x=\"1 5\n# EOF\n",
+		"empty":            "# EOF\n",
+	}
+	for name, in := range cases {
+		if err := ValidateOpenMetrics(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+}
+
+func TestEventsJSONLRoundTrip(t *testing.T) {
+	r := newRig(t, 1, Config{Window: 10})
+	r.s.Emit(5, EvFaultApply, 0, 2, "exebu x2")
+	r.s.Emit(40, EvRecoveryDone, 0, 35, "")
+	r.s.EmitMeta(60, EvCheckpoint, "")
+	var buf bytes.Buffer
+	if err := r.s.WriteEventsJSONL(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateEventsJSONL(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("round-trip failed: %v\n%s", err, buf.String())
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 3 {
+		t.Fatalf("lines = %d, want 3", n)
+	}
+	if err := ValidateEventsJSONL(strings.NewReader("{\"cycle\":1}\n")); err == nil {
+		t.Error("kind-less event validated")
+	}
+	if err := ValidateEventsJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage validated")
+	}
+	if err := ValidateEventsJSONL(strings.NewReader("")); err != nil {
+		t.Errorf("empty log must validate (healthy runs have no events): %v", err)
+	}
+}
+
+func TestTimelineValidatesAsPerfetto(t *testing.T) {
+	r := newRig(t, 2, Config{Window: 100})
+	r.drive(0, 500)
+	r.s.Emit(123, EvLaneRepartition, -1, 0, "")
+	var buf bytes.Buffer
+	n, err := r.s.WriteTimeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("empty timeline")
+	}
+	if err := obs.ValidatePerfetto(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("timeline fails Perfetto validation: %v", err)
+	}
+}
+
+func TestNilSamplerSafe(t *testing.T) {
+	var s *Sampler
+	s.Emit(1, EvFaultApply, 0, 0, "")
+	s.EmitMeta(1, EvCheckpoint, "")
+	s.Flush(10)
+	s.Restore(nil)
+	if s.Snapshot() != nil || s.Digest() != 0 || s.Produced() != 0 || s.Retained() != 0 {
+		t.Fatal("nil sampler leaked state")
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"occamy/internal/obs"
+)
+
+// This file renders the sampler's full retained history as Perfetto counter
+// tracks: one process per core carrying occupancy / VL / headroom / latency
+// quantile tracks, plus a "telemetry" pseudo-process with the system-wide
+// tracks (AL, usable units, window repartitions, host throughput), with the
+// event log overlaid as instants. The output is a Chrome trace-event JSON
+// array that ui.perfetto.dev opens directly, produced with the same exporter
+// (and validated by the same checker) as internal/obs's slice traces.
+
+// timelineTid is the thread instants attach to inside each process (counter
+// events are process-scoped and carry no tid).
+const timelineTid = 0
+
+// WriteTimeline renders every retained window and event as a Perfetto trace
+// and writes it, returning the number of trace events written. Call Flush
+// first to include the final partial window.
+func (s *Sampler) WriteTimeline(w io.Writer) (int, error) {
+	if s == nil {
+		return 0, writeEmptyTrace(w)
+	}
+	n := s.Retained()
+	cores := 0
+	if n > 0 {
+		var probeW Window
+		if s.CopyWindow(0, &probeW) {
+			cores = len(probeW.Cores)
+		}
+	}
+	sysPid := cores // pseudo-process after the per-core pids
+
+	sink := obs.NewPerfetto(0)
+	for c := 0; c < cores; c++ {
+		sink.EmitProcessName(c, coreProcName(c))
+		sink.EmitThreadName(c, timelineTid, "events")
+	}
+	sink.EmitProcessName(sysPid, "telemetry")
+	sink.EmitThreadName(sysPid, timelineTid, "events")
+
+	var win Window
+	for i := 0; i < n; i++ {
+		if !s.CopyWindow(i, &win) {
+			break
+		}
+		ts := win.EndCycle
+		sink.EmitCounter(sysPid, "telemetry.al_granules", "granules", ts, float64(win.ALGranules))
+		sink.EmitCounter(sysPid, "telemetry.exebus_usable", "units", ts, float64(win.UsableBUs))
+		sink.EmitCounter(sysPid, "telemetry.exebus_failed", "units", ts, float64(win.FailedBUs))
+		sink.EmitCounter(sysPid, "telemetry.repartitions", "per-window", ts, float64(win.Repartitions))
+		sink.EmitCounter(sysPid, "telemetry.occupancy", "fraction", ts, win.Occupancy)
+		sink.EmitCounter(sysPid, "telemetry.host_mcycles_per_s", "Mc/s", ts, win.HostCyclesPerSec()/1e6)
+		for c := range win.Cores {
+			cw := &win.Cores[c]
+			mean := 0.0
+			if win.Cycles > 0 {
+				mean = cw.BusyLanes / float64(win.Cycles)
+			}
+			sink.EmitCounter(c, "telemetry.busy_lanes", "lanes", ts, mean)
+			sink.EmitCounter(c, "telemetry.vl", "granules", ts, float64(cw.VL))
+			sink.EmitCounter(c, "telemetry.fairness_headroom", "granules", ts, float64(cw.Headroom))
+			sink.EmitCounter(c, "telemetry.retire_p50", "cycles", ts, cw.RetireP50)
+			sink.EmitCounter(c, "telemetry.retire_p99", "cycles", ts, cw.RetireP99)
+		}
+	}
+	for _, e := range s.Events(nil) {
+		pid := sysPid
+		if e.Core >= 0 && e.Core < cores {
+			pid = e.Core
+		}
+		sink.EmitInstant(pid, timelineTid, e.Kind, e.Cycle, map[string]any{"arg": float64(e.Arg)})
+	}
+	return sink.Write(w)
+}
+
+func writeEmptyTrace(w io.Writer) error {
+	_, err := io.WriteString(w, "[]\n")
+	return err
+}
+
+func coreProcName(c int) string { return fmt.Sprintf("core%d", c) }

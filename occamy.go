@@ -31,6 +31,7 @@ import (
 	"occamy/internal/lanemgr"
 	"occamy/internal/obs"
 	"occamy/internal/roofline"
+	"occamy/internal/telemetry"
 	"occamy/internal/trace"
 	"occamy/internal/workload"
 )
@@ -115,6 +116,24 @@ type Config struct {
 	// cycles, the run aborts with a DiagnosticError instead of burning
 	// MaxCycles. Zero disables the watchdog.
 	StallCycles uint64
+	// Telemetry, when non-nil, attaches the run's live sampler to the
+	// given server before simulation starts, so GET /metrics, /events and
+	// /stream serve fresh windows while the run is in flight. Implies
+	// windowed sampling (see TelemetryWindow).
+	Telemetry *TelemetryServer
+	// TelemetryWindow is the sampling window in cycles; 0 uses the default
+	// (4096) when sampling is enabled. Setting it nonzero enables sampling
+	// even without a server or timeline path (for Report.Telemetry).
+	TelemetryWindow uint64
+	// TimelinePath, when non-empty, writes the run's sampled windows and
+	// event log as Perfetto counter tracks (Chrome trace-event JSON,
+	// openable in ui.perfetto.dev). Implies windowed sampling.
+	TimelinePath string
+}
+
+// telemetryEnabled reports whether the run should build a sampler.
+func (c Config) telemetryEnabled() bool {
+	return c.Telemetry != nil || c.TimelinePath != "" || c.TelemetryWindow > 0
 }
 
 // Validate checks the configuration for shape errors — an unknown
@@ -348,6 +367,21 @@ type Diagnostic = arch.DiagnosticDump
 // underlying sim.StallError / sim.BudgetError.
 type DiagnosticError = arch.DiagError
 
+// TelemetryServer serves attached runs' live telemetry over HTTP: GET
+// /metrics (OpenMetrics text), /events (one JSON object per line), /stream
+// (server-sent events, one update per closed window) and /healthz. Build one
+// with NewTelemetryServer, Start it on an address, and pass it to every run
+// that should be visible (Config.Telemetry).
+type TelemetryServer = telemetry.Server
+
+// NewTelemetryServer returns a telemetry server with no attached runs and no
+// listener; call Start("127.0.0.1:9464") to serve.
+func NewTelemetryServer() *TelemetryServer { return telemetry.NewServer() }
+
+// TelemetrySampler is a run's windowed telemetry sampler (Report.Telemetry):
+// programmatic access to the retained windows, quantiles and event log.
+type TelemetrySampler = telemetry.Sampler
+
 // Run simulates sched on cfg.Arch until every core completes.
 func Run(cfg Config, sched Schedule) (*Report, error) {
 	var sink *obs.Perfetto
@@ -361,13 +395,22 @@ func Run(cfg Config, sched Schedule) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Attach(sanitize(sched.inner.Name)+"-"+cfg.Arch.String(), sys.Tele)
+	}
 	maxCycles := cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 200_000_000
 	}
 	res, err := sys.Run(maxCycles)
+	sys.Tele.Flush(sys.Engine.Cycle())
 	if err != nil {
 		return nil, err
+	}
+	if cfg.TimelinePath != "" {
+		if err := writeTimeline(cfg.TimelinePath, sys.Tele); err != nil {
+			return nil, fmt.Errorf("occamy: writing telemetry timeline: %w", err)
+		}
 	}
 	if cfg.Verify {
 		if err := sys.CheckResults(2e-3); err != nil {
@@ -393,6 +436,19 @@ func Run(cfg Config, sched Schedule) (*Report, error) {
 		}
 	}
 	return newReport(sys, res), nil
+}
+
+// writeTimeline dumps the sampler's retained history as a Perfetto trace.
+func writeTimeline(path string, tele *telemetry.Sampler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, werr := tele.WriteTimeline(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // writeTrace exports the run's series and events into dir.
@@ -443,6 +499,10 @@ func buildSystem(cfg Config, sched Schedule, o obs.Options) (*arch.System, error
 	if lanesPerCore <= 0 {
 		lanesPerCore = 16
 	}
+	var teleCfg *telemetry.Config
+	if cfg.telemetryEnabled() {
+		teleCfg = &telemetry.Config{Window: cfg.TelemetryWindow}
+	}
 	return arch.Build(cfg.Arch, s, arch.Options{
 		ExeBUs:        lanesPerCore / 4 * s.Cores(),
 		MonitorPeriod: cfg.MonitorPeriod,
@@ -452,6 +512,7 @@ func buildSystem(cfg Config, sched Schedule, o obs.Options) (*arch.System, error
 		LegacyTick:    cfg.LegacyTick,
 		Faults:        faults,
 		StallCycles:   cfg.StallCycles,
+		Telemetry:     teleCfg,
 	})
 }
 

@@ -2,6 +2,7 @@ package occamy
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"occamy/internal/arch"
@@ -71,6 +72,10 @@ type Report struct {
 	// Histograms holds the rendered latency histograms collected during a
 	// profiled run (e.g. dram.latency, coproc.drain.cycles).
 	Histograms []string
+	// Telemetry is the run's windowed sampler (nil unless Config enabled
+	// telemetry): retained time-series windows, latency quantiles and the
+	// structured event log, for programmatic consumers.
+	Telemetry *TelemetrySampler
 }
 
 func newReport(sys *arch.System, res *arch.Result) *Report {
@@ -106,7 +111,28 @@ func newReport(sys *arch.System, res *arch.Result) *Report {
 			r.Histograms = append(r.Histograms, h.String())
 		}
 	}
+	r.Telemetry = sys.Tele
 	return r
+}
+
+// TTRStats summarizes time-to-repartition over the run's completed
+// recoveries: minimum, lower-median p50 and maximum in cycles, plus the count
+// n of completed recoveries. Pending recoveries (the run ended first) are
+// excluded; n == 0 means nothing completed.
+func (r *Report) TTRStats() (min, p50, max uint64, n int) {
+	ttrs := make([]uint64, 0, len(r.Recoveries))
+	for _, rec := range r.Recoveries {
+		if rec.Pending {
+			continue
+		}
+		ttrs = append(ttrs, rec.TimeToRepartition())
+	}
+	if len(ttrs) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Slice(ttrs, func(i, j int) bool { return ttrs[i] < ttrs[j] })
+	n = len(ttrs)
+	return ttrs[0], ttrs[(n-1)/2], ttrs[n-1], n
 }
 
 // TopDown renders the per-core cycle-attribution table: one row per bucket
@@ -173,6 +199,10 @@ func (r *Report) Summary() string {
 			fmt.Fprintf(&b, "  fault %s: applied at %d, recovered in %d cycles\n",
 				rec.Fault, rec.At, rec.TimeToRepartition())
 		}
+	}
+	if min, p50, max, n := r.TTRStats(); n > 0 {
+		fmt.Fprintf(&b, "  recovery TTR (cycles): min %d  p50 %d  max %d  (%d completed)\n",
+			min, p50, max, n)
 	}
 	if r.LinkDrops > 0 {
 		fmt.Fprintf(&b, "  dropped transmissions: %d\n", r.LinkDrops)
