@@ -10,10 +10,12 @@ package occamy
 // the paper-vs-measured comparison).
 
 import (
+	"fmt"
 	"testing"
 
 	"occamy/internal/arch"
 	"occamy/internal/area"
+	"occamy/internal/coproc"
 	"occamy/internal/experiments"
 	"occamy/internal/isa"
 	"occamy/internal/lanemgr"
@@ -272,11 +274,11 @@ func BenchmarkEngineSkipAhead(b *testing.B) {
 // cycles; the occasional restore is in-place and amortizes to nothing.
 //
 // CI gates on this benchmark: cmd/occamy-benchgate compares ns/op against
-// the committed BENCH_PR5.json baseline (±10%) and fails on any nonzero
+// the committed BENCH_PR7.json baseline (±10%) and fails on any nonzero
 // allocs/op. Refresh the baseline with:
 //
 //	go test -run xxx -bench SteadyStateTick -benchmem -count 3 . |
-//	    go run ./cmd/occamy-benchgate -baseline BENCH_PR5.json -update
+//	    go run ./cmd/occamy-benchgate -baseline BENCH_PR7.json -update
 func BenchmarkSteadyStateTick(b *testing.B) {
 	reg := workload.NewRegistry()
 	dot := *reg.Kernel("dotProd")
@@ -291,6 +293,51 @@ func BenchmarkSteadyStateTick(b *testing.B) {
 	for _, kind := range arch.Kinds {
 		b.Run(kind.String(), func(b *testing.B) {
 			sys, err := arch.Build(kind, group, arch.Options{Seed: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Engine.SetSkipAhead(false)
+			if err := sys.RunTo(warm); err != nil {
+				b.Fatal(err)
+			}
+			snap := sys.Checkpoint()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sys.Engine.Cycle() >= recycle {
+					sys.RestoreCheckpoint(snap)
+				}
+				sys.Engine.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkSteadyStateTickTopo64 is the clustered counterpart: the headline
+// 64-core machine over 4 co-processor clusters behind the routed fabric
+// (hop latency 2, 8 transmits/cluster/cycle). ns/op is ns per simulated
+// cycle of the whole 64-core machine; allocs/op must stay 0 — the same
+// contract internal/arch TestSteadyStateZeroAllocTopo64 enforces exactly.
+// The name shares the SteadyStateTick prefix so the CI benchmark gate
+// (-bench SteadyStateTick) covers both machines.
+func BenchmarkSteadyStateTickTopo64(b *testing.B) {
+	reg := workload.NewRegistry()
+	names := []string{"dotProd", "wsm51", "rho_eos1", "rgb2hsv"}
+	group := workload.CoSchedule{Name: "steady64"}
+	for c := 0; c < 64; c++ {
+		k := *reg.Kernel(names[c%len(names)])
+		k.Elems, k.Repeats = 512+64*(c%4), 20
+		group.W = append(group.W, &workload.Workload{
+			Name: fmt.Sprintf("steady64.c%d", c), Phases: []*workload.Kernel{&k},
+		})
+	}
+	const warm, recycle = 2001, 20_000
+	for _, kind := range arch.Kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			sys, err := arch.Build(kind, group, arch.Options{
+				Seed:     5,
+				Topology: &coproc.Topology{Clusters: 4, HopLatency: 2, HopBandwidth: 8},
+			})
 			if err != nil {
 				b.Fatal(err)
 			}

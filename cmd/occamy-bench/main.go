@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table3|table4|fig2|fig10|fig11|fig12|fig13|fig14|table5|fig15|fig16|topdown|ablations|dse|degradation|all")
+		exp    = flag.String("exp", "all", "experiment: table3|table4|fig2|fig10|fig11|fig12|fig13|fig14|table5|fig15|fig16|topdown|ablations|dse|degradation|all, or scale (hierarchical 4→64-core sweep; never part of all)")
 		scale  = flag.Float64("scale", 1.0, "trip-count scale")
 		seed   = flag.Uint64("seed", 1, "workload data seed")
 		html   = flag.String("html", "", "write a self-contained HTML report (SVG charts) to this file and exit")
@@ -201,5 +201,17 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(d.Render())
+	}
+
+	// The hierarchical sweep (4→64 cores × 1→4 clusters × 4 architectures =
+	// 60 full runs) is opt-in: it extends the paper's evaluation rather than
+	// reproducing a figure, and at full scale it dominates the campaign.
+	if strings.EqualFold(*exp, "scale") {
+		section("Scalability — hierarchical lane management, 4→64 cores")
+		s, err := cfg.Scalability(nil, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(s.Render())
 	}
 }

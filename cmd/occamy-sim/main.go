@@ -58,6 +58,9 @@ func main() {
 		stats    = flag.Bool("stats", false, "dump the full sorted counter registry (implies -profile)")
 		legacy   = flag.Bool("legacy-tick", false, "force the every-cycle engine path (disable skip-ahead; results are bit-identical)")
 		faults   = flag.String("faults", "", `fault-injection spec: "kind[:target...]@at[+for]; ..." (e.g. "exebu:2@10000+5000; xmit:core0@2000+8000"), or @file.json`)
+		clusters = flag.Int("clusters", 1, "number of co-processor clusters (1 = the flat machine; cores and ExeBUs must divide evenly over clusters)")
+		hopLat   = flag.Uint64("hop-lat", 0, "CPU→coproc fabric hop latency in cycles (0 = direct wiring, bit-identical to the flat machine)")
+		hopBW    = flag.Int("hop-bw", 0, "fabric transmissions a cluster accepts per cycle (0 = unlimited)")
 		stall    = flag.Uint64("stall-cycles", 0, "abort with a diagnostic dump if no instruction retires for this many cycles (0 = the DefaultConfig watchdog)")
 		cpuPr    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memPr    = flag.String("memprofile", "", "write a heap profile to this file")
@@ -147,6 +150,9 @@ func main() {
 		cfg.Telemetry = teleSrv
 		cfg.TelemetryWindow = *teleWin
 		cfg.TimelinePath = perfettoPath(*timeline, kind, len(kinds) > 1)
+		if *clusters != 1 || *hopLat != 0 || *hopBW != 0 {
+			cfg.Topology = &occamy.Topology{Clusters: *clusters, HopLatency: *hopLat, HopBandwidth: *hopBW}
+		}
 		if *stall > 0 {
 			cfg.StallCycles = *stall
 		}

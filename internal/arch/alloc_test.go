@@ -3,6 +3,7 @@ package arch
 import (
 	"testing"
 
+	"occamy/internal/coproc"
 	"occamy/internal/obs"
 	"occamy/internal/telemetry"
 	"occamy/internal/workload"
@@ -99,6 +100,48 @@ func TestSteadyStateZeroAllocTelemetry(t *testing.T) {
 			}
 			if avg := measureSteadyAllocs(t, sys); avg != 0 {
 				t.Errorf("%s: telemetry steady-state tick allocates %.2f objects per 80-cycle window, want 0", kind, avg)
+			}
+		})
+	}
+}
+
+// TestSteadyStateZeroAllocTopo64 extends the contract to the headline
+// clustered machine: 64 cores over 4 co-processor clusters with a
+// latency/bandwidth-limited fabric. Routing, bandwidth accounting, the
+// two-level repartition and any tenant migrations all happen inside the
+// measured windows and none of it may allocate.
+func TestSteadyStateZeroAllocTopo64(t *testing.T) {
+	for _, kind := range Kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			sys, err := Build(kind, wideGroup(64), Options{
+				Seed:     5,
+				Topology: &coproc.Topology{Clusters: 4, HopLatency: 2, HopBandwidth: 8},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if avg := measureSteadyAllocs(t, sys); avg != 0 {
+				t.Errorf("%s: 64-core clustered steady-state tick allocates %.2f objects per 80-cycle window, want 0", kind, avg)
+			}
+		})
+	}
+}
+
+// TestSteadyStateZeroAllocTopo64Telemetry repeats the clustered contract with
+// the windowed sampler live, including the per-cluster gauge series.
+func TestSteadyStateZeroAllocTopo64Telemetry(t *testing.T) {
+	for _, kind := range Kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			sys, err := Build(kind, wideGroup(64), Options{
+				Seed:      5,
+				Topology:  &coproc.Topology{Clusters: 4, HopLatency: 2, HopBandwidth: 8},
+				Telemetry: &telemetry.Config{Window: 64},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if avg := measureSteadyAllocs(t, sys); avg != 0 {
+				t.Errorf("%s: 64-core clustered telemetry tick allocates %.2f objects per 80-cycle window, want 0", kind, avg)
 			}
 		})
 	}

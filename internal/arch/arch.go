@@ -109,6 +109,14 @@ type Options struct {
 	// reads the per-core bucket deltas). The sampler is a sim.Sleeper, so
 	// skip-ahead stays enabled; boundaries become forced wake points.
 	Telemetry *telemetry.Config
+	// Topology builds a clustered machine: Topology.Clusters co-processor
+	// instances, each owning an even shard of ExeBUs, reached through the
+	// routed CPU→coproc fabric (coproc.Complex) with per-hop latency and
+	// per-cluster acceptance bandwidth. nil keeps the flat single-instance
+	// wiring. A 1-cluster topology with zero hop latency is bit-identical
+	// to nil (differential-tested): the routed path adds structure, never
+	// timing, until the topology says otherwise.
+	Topology *coproc.Topology
 }
 
 // MachineTuning overrides hardware parameters relative to the Table 4
@@ -206,10 +214,26 @@ func (m *MachineTuning) apply(h *mem.HierarchyConfig, c *coproc.Config) {
 
 // System is a fully wired simulated machine executing one co-schedule.
 type System struct {
-	Kind     Kind
-	Engine   *sim.Engine
-	Hier     *mem.Hierarchy
-	Coproc   *coproc.Coproc
+	Kind   Kind
+	Engine *sim.Engine
+	Hier   *mem.Hierarchy
+	// Coproc is the first (on a flat build, the only) co-processor
+	// instance. Code that reasons about one shard (the oversubscription
+	// scheduler, single-cluster tests) uses it directly; machine-wide
+	// views go through Cplx.
+	Coproc *coproc.Coproc
+	// Clusters lists every co-processor instance in fabric order; len 1 on
+	// a flat build (Clusters[0] == Coproc).
+	Clusters []*coproc.Coproc
+	// Cplx is the machine-wide co-processor view: the routed Complex over
+	// Clusters. Every build has one (a flat machine wraps its single
+	// instance in a 1-cluster complex) so reports, diagnostics and
+	// telemetry aggregate uniformly; the scalar cores are wired through the
+	// Complex — fabric delays, bandwidth, migration — only when
+	// Options.Topology was non-nil.
+	Cplx *coproc.Complex
+	// Topo echoes Options.Topology (nil on flat builds).
+	Topo     *coproc.Topology
 	Cores    []*cpu.Core
 	Compiled []*compiler.Compiled
 	Sched    workload.CoSchedule
@@ -249,12 +273,29 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 		return nil, err
 	}
 
+	topo := coproc.Topology{Clusters: 1}
+	if opts.Topology != nil {
+		topo = *opts.Topology
+		if err := topo.Validate(n, opts.ExeBUs); err != nil {
+			return nil, fmt.Errorf("arch: %w", err)
+		}
+	}
+	clusters := topo.Clusters
+
 	for i, f := range opts.Faults {
 		if err := f.Validate(); err != nil {
 			return nil, fmt.Errorf("arch: fault %d: %w", i, err)
 		}
 		if f.Core != fault.AnyCore && f.Core >= n {
 			return nil, fmt.Errorf("arch: fault %d: core %d out of range (%d cores)", i, f.Core, n)
+		}
+		if f.Cluster != fault.AnyCluster && (f.Cluster < 0 || f.Cluster >= clusters) {
+			return nil, fmt.Errorf("arch: fault %d: cluster %d out of range (topology has %d cluster(s))",
+				i, f.Cluster, clusters)
+		}
+		if opts.Topology != nil && f.Kind == fault.ExeBU && f.Count > opts.ExeBUs/clusters {
+			return nil, fmt.Errorf("arch: fault %d: exebu count %d exceeds the %d-unit cluster shard",
+				i, f.Count, opts.ExeBUs/clusters)
 		}
 	}
 
@@ -268,6 +309,12 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 	}
 	hier := mem.NewHierarchy(hcfg, stats)
 	ccfg.ExeBUs = opts.ExeBUs
+	for _, w := range sched.W {
+		if len(w.Phases) > ccfg.MaxPhases {
+			ccfg.MaxPhases = len(w.Phases)
+		}
+	}
+	group := n / clusters
 	var staticVLs []int
 	switch kind {
 	case Private:
@@ -281,25 +328,69 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 		ccfg.Elastic = false
 		ccfg.SharedIssue = true
 		ccfg.SharedVRF = true
+		// The Table 4 shared pool (160 registers) serves up to 4 tenants;
+		// larger machines scale it proportionally, keeping the same
+		// registers-per-tenant ratio so FTS stays buildable — and fairly
+		// provisioned — at 64 cores.
+		if ccfg.PhysRegs < 40*n {
+			ccfg.PhysRegs = 40 * n
+		}
 		if opts.FTSPhysRegs > 0 {
 			ccfg.PhysRegs = opts.FTSPhysRegs
 		}
 	case VLS:
 		ccfg.Elastic = false
-		if len(opts.StaticVLs) == n {
+		switch {
+		case len(opts.StaticVLs) == n:
 			ccfg.FixedVLs = opts.StaticVLs
-		} else {
+		case clusters == 1:
 			ccfg.FixedVLs = staticPlan(model, sched, opts.ExeBUs)
+		default:
+			// One static plan per cluster over the cores it hosts,
+			// scattered into the machine-wide vector.
+			ccfg.FixedVLs = make([]int, n)
+			for k := 0; k < clusters; k++ {
+				sub := workload.CoSchedule{Name: sched.Name, W: sched.W[k*group : (k+1)*group]}
+				copy(ccfg.FixedVLs[k*group:], staticPlan(model, sub, opts.ExeBUs/clusters))
+			}
 		}
 		staticVLs = ccfg.FixedVLs
 	case Occamy:
 		ccfg.Elastic = true
 	}
-	if err := ccfg.Validate(); err != nil {
-		return nil, err
-	}
 
-	cp := coproc.New(ccfg, hier.VecCache, hier.Mem, model, stats)
+	var cls []*coproc.Coproc
+	if opts.Topology == nil {
+		if err := ccfg.Validate(); err != nil {
+			return nil, err
+		}
+		cls = []*coproc.Coproc{coproc.New(ccfg, hier.VecCache, hier.Mem, model, stats)}
+	} else {
+		// Each cluster hosts every core's row (global IDs index every
+		// shard; foreign rows stay inert) but owns only its ExeBU shard,
+		// and shared-structure arithmetic divides by its resident tenants.
+		for k := 0; k < clusters; k++ {
+			kcfg := ccfg
+			kcfg.ExeBUs = opts.ExeBUs / clusters
+			kcfg.ActiveCores = group
+			if kcfg.SharedVRF {
+				kcfg.PhysRegs = ccfg.PhysRegs / clusters
+			}
+			if len(ccfg.FixedVLs) > 0 {
+				vls := make([]int, n)
+				copy(vls[k*group:(k+1)*group], ccfg.FixedVLs[k*group:(k+1)*group])
+				kcfg.FixedVLs = vls
+			}
+			if err := kcfg.Validate(); err != nil {
+				return nil, fmt.Errorf("arch: cluster %d: %w", k, err)
+			}
+			cp := coproc.New(kcfg, hier.VecCache, hier.Mem, model, stats)
+			cp.SetName(fmt.Sprintf("coproc%d", k))
+			cls = append(cls, cp)
+		}
+	}
+	cplx := coproc.NewComplex(topo, cls)
+	cp := cls[0]
 
 	mode := compiler.ModeFixed
 	if kind == Occamy {
@@ -307,7 +398,12 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 	}
 	sys := &System{
 		Kind: kind, Engine: engine, Hier: hier, Coproc: cp,
+		Clusters: cls, Cplx: cplx, Topo: opts.Topology,
 		Sched: sched, Stats: stats, StaticVLs: staticVLs,
+	}
+	var port cpu.CoprocPort = cp
+	if opts.Topology != nil {
+		port = cplx
 	}
 	for c, w := range sched.W {
 		comp, err := compiler.Compile(w, compiler.Options{
@@ -320,15 +416,17 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 			return nil, fmt.Errorf("arch: compile %s for core %d: %w", w.Name, c, err)
 		}
 		comp.InitData(hier.Mem, opts.Seed+uint64(c)*7919+1)
-		core := cpu.New(c, cpu.DefaultConfig(), comp.Program, cp, hier.L1D[c], hier.Mem, stats)
+		core := cpu.New(c, cpu.DefaultConfig(), comp.Program, port, hier.L1D[c], hier.Mem, stats)
 		sys.Compiled = append(sys.Compiled, comp)
 		sys.Cores = append(sys.Cores, core)
 		engine.Register(core)
 	}
-	engine.Register(cp)
-	cp.SetResponder(func(core int, reg isa.Reg, val uint64, ready uint64) {
-		sys.Cores[core].HandleResult(core, reg, val, ready)
-	})
+	for _, ci := range cls {
+		engine.Register(ci)
+		ci.SetResponder(func(core int, reg isa.Reg, val uint64, ready uint64) {
+			sys.Cores[core].HandleResult(core, reg, val, ready)
+		})
+	}
 	sys.seed = opts.Seed
 	if len(opts.Faults) > 0 || opts.WireInjector {
 		// The injector ticks after the co-processor (faults land on cycle
@@ -347,7 +445,9 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 		for _, core := range sys.Cores {
 			core.SetProbe(probe)
 		}
-		cp.SetProbe(probe)
+		for _, ci := range cls {
+			ci.SetProbe(probe)
+		}
 		hier.SetProbe(probe)
 		// The probe must tick last so it sees the whole cycle's signals.
 		engine.Register(probe)
@@ -361,12 +461,23 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 		sys.Probe = probe
 	}
 	if opts.Telemetry != nil {
+		// A flat build samples the single instance directly; a clustered
+		// build samples the Complex's machine-wide aggregates (identical
+		// values at 1 cluster, so the digests match bit-for-bit). The
+		// per-cluster table series get one entry per shard either way.
 		srcs := telemetry.Sources{
-			Cp:    cp,
-			Tbl:   cp.Tbl(),
+			Cp:    telemetry.CoprocSource(cp),
+			Tbl:   telemetry.TableSource(cp.Tbl()),
 			Probe: sys.Probe,
 			Stats: stats,
-			Lanes: ccfg.Lanes(),
+			Lanes: coproc.LanesPerGranule * opts.ExeBUs,
+		}
+		if opts.Topology != nil {
+			srcs.Cp = cplx
+			srcs.Tbl = cplx
+		}
+		for _, ci := range cls {
+			srcs.Tables = append(srcs.Tables, ci.Tbl())
 		}
 		for _, core := range sys.Cores {
 			srcs.Cores = append(srcs.Cores, core)
@@ -376,7 +487,7 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 		// Registered after the probe: a window closing at cycle k sees the
 		// probe's attribution for every cycle up to and including k.
 		engine.Register(tele)
-		cp.SetLaneEventSink(func(e coproc.LaneEvent) {
+		sink := func(e coproc.LaneEvent) {
 			kind := telemetry.EvLaneReject
 			switch e.Kind {
 			case "repartition":
@@ -385,7 +496,10 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 				kind = telemetry.EvLaneReconfigure
 			}
 			tele.Emit(e.Cycle, kind, e.Core, uint64(e.VL), "")
-		})
+		}
+		for _, ci := range cls {
+			ci.SetLaneEventSink(sink)
+		}
 	}
 	if opts.StallCycles > 0 {
 		engine.SetWatchdog(opts.StallCycles)
@@ -444,7 +558,7 @@ func staticPlan(model roofline.Model, sched workload.CoSchedule, total int) []in
 func (s *System) Done() bool {
 	now := s.Engine.Cycle()
 	for c, core := range s.Cores {
-		if !core.Halted() || !s.Coproc.Quiescent(c, now) {
+		if !core.Halted() || !s.Cplx.Quiescent(c, now) {
 			return false
 		}
 	}
@@ -467,7 +581,7 @@ func (s *System) Run(maxCycles uint64) (*Result, error) {
 func (s *System) pcDump() string {
 	out := ""
 	for c, core := range s.Cores {
-		out += fmt.Sprintf("core%d pc=%d halted=%v vl=%d ", c, core.PC(), core.Halted(), s.Coproc.VL(c))
+		out += fmt.Sprintf("core%d pc=%d halted=%v vl=%d ", c, core.PC(), core.Halted(), s.Cplx.VL(c))
 	}
 	return out
 }

@@ -22,7 +22,7 @@ import (
 // ctlState is the fault controller's checkpoint.
 type ctlState struct {
 	perCoreFailed []int
-	cursor        int
+	cursors       []int
 	recs          []Recovery
 	open          []int
 }
@@ -33,7 +33,7 @@ func (ctl *faultCtl) snapshot() *ctlState {
 	}
 	return &ctlState{
 		perCoreFailed: append([]int(nil), ctl.perCoreFailed...),
-		cursor:        ctl.cursor,
+		cursors:       append([]int(nil), ctl.cursors...),
 		recs:          append([]Recovery(nil), ctl.recs...),
 		open:          append([]int(nil), ctl.open...),
 	}
@@ -44,7 +44,7 @@ func (ctl *faultCtl) restore(st *ctlState) {
 		return
 	}
 	copy(ctl.perCoreFailed, st.perCoreFailed)
-	ctl.cursor = st.cursor
+	copy(ctl.cursors, st.cursors)
 	ctl.recs = append(ctl.recs[:0], st.recs...)
 	ctl.open = append(ctl.open[:0], st.open...)
 }
@@ -54,14 +54,15 @@ func (ctl *faultCtl) restore(st *ctlState) {
 // parameters, tick order, probe sinks) are not in it, so a snapshot restores
 // only onto the System it was taken from (or one built identically).
 type SystemState struct {
-	engine sim.EngineState
-	hier   mem.HierarchyState
-	coproc coproc.CheckpointState
-	cores  []cpu.FullState
-	probe  *obs.ProbeState
-	ctl    *ctlState
-	inj    fault.InjectorState
-	tele   *telemetry.SamplerState
+	engine  sim.EngineState
+	hier    mem.HierarchyState
+	coprocs []coproc.CheckpointState // one per cluster, in fabric order
+	cplx    coproc.ComplexState
+	cores   []cpu.FullState
+	probe   *obs.ProbeState
+	ctl     *ctlState
+	inj     fault.InjectorState
+	tele    *telemetry.SamplerState
 }
 
 // Cycle returns the cycle the checkpoint was taken at.
@@ -72,11 +73,14 @@ func (s *System) Checkpoint() *SystemState {
 	st := &SystemState{
 		engine: s.Engine.Snapshot(),
 		hier:   s.Hier.Snapshot(),
-		coproc: s.Coproc.Checkpoint(),
+		cplx:   s.Cplx.Checkpoint(),
 		probe:  s.Probe.Snapshot(),
 		ctl:    s.faults.snapshot(),
 		inj:    s.inj.Snapshot(),
 		tele:   s.Tele.Snapshot(),
+	}
+	for _, cp := range s.Clusters {
+		st.coprocs = append(st.coprocs, cp.Checkpoint())
 	}
 	for _, core := range s.Cores {
 		st.cores = append(st.cores, core.Checkpoint())
@@ -91,7 +95,10 @@ func (s *System) Checkpoint() *SystemState {
 func (s *System) RestoreCheckpoint(st *SystemState) {
 	s.Engine.Restore(st.engine)
 	s.Hier.Restore(st.hier)
-	s.Coproc.RestoreCheckpoint(st.coproc)
+	for k, cp := range s.Clusters {
+		cp.RestoreCheckpoint(st.coprocs[k])
+	}
+	s.Cplx.RestoreCheckpoint(st.cplx)
 	for c, core := range s.Cores {
 		core.RestoreCheckpoint(st.cores[c])
 	}

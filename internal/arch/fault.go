@@ -64,18 +64,43 @@ type faultCtl struct {
 	sys *System
 	n   int
 	// perCoreFailed assigns failed ExeBUs to cores' static partitions
-	// (round-robin over the cursor) for the architectures whose loss is
-	// per-core (Private, VLS). The assignment is a modeling abstraction —
-	// which physical unit died is irrelevant, only how many per partition.
+	// (round-robin over the per-cluster cursor) for the architectures whose
+	// loss is per-core (Private, VLS). The assignment is a modeling
+	// abstraction — which physical unit died is irrelevant, only how many
+	// per partition — and it walks only the cores built onto the failed
+	// cluster, since a shard's dead units cannot shrink a partition living
+	// on another shard.
 	perCoreFailed []int
-	cursor        int
+	cursors       []int // one round-robin cursor per cluster
 	recs          []Recovery
 	open          []int // indices into recs of recoveries not yet Done
 }
 
 func newFaultCtl(sys *System) *faultCtl {
 	n := len(sys.Cores)
-	return &faultCtl{sys: sys, n: n, perCoreFailed: make([]int, n)}
+	return &faultCtl{
+		sys: sys, n: n,
+		perCoreFailed: make([]int, n),
+		cursors:       make([]int, len(sys.Clusters)),
+	}
+}
+
+// clusterOf resolves a fault's target cluster: an explicit clN names that
+// shard, AnyCluster defaults to cluster 0 (deterministic, and the flat
+// machine's only choice).
+func (ctl *faultCtl) clusterOf(f fault.Fault) int {
+	if f.Cluster == fault.AnyCluster {
+		return 0
+	}
+	return f.Cluster
+}
+
+// members returns the half-open core-ID range built onto cluster k. Fault
+// accounting uses the build-time grouping, not the migrated assignment: the
+// static per-core loss model applies to Private/VLS, which never migrate.
+func (ctl *faultCtl) members(k int) (lo, hi int) {
+	g := ctl.n / len(ctl.sys.Clusters)
+	return k * g, (k + 1) * g
 }
 
 // Recoveries returns the reaction log so far.
@@ -90,27 +115,42 @@ func (ctl *faultCtl) Recoveries() []Recovery {
 
 // Apply implements fault.Handler.
 func (ctl *faultCtl) Apply(f fault.Fault, now uint64) {
-	cp := ctl.sys.Coproc
 	rec := Recovery{Fault: f, At: now, Done: now}
 	switch f.Kind {
 	case fault.ExeBU:
+		k := ctl.clusterOf(f)
+		cp := ctl.sys.Clusters[k]
 		actual := cp.Tbl().Fail(f.Count)
+		lo, hi := ctl.members(k)
 		for i := 0; i < actual; i++ {
-			ctl.perCoreFailed[ctl.cursor]++
-			ctl.cursor = (ctl.cursor + 1) % ctl.n
+			ctl.perCoreFailed[lo+ctl.cursors[k]]++
+			ctl.cursors[k] = (ctl.cursors[k] + 1) % (hi - lo)
 		}
-		ctl.react()
+		ctl.react(k)
 		switch ctl.sys.Kind {
 		case Occamy, VLS:
 			// Completion is detected by Poll (lane plans settle later).
 			ctl.open = append(ctl.open, len(ctl.recs))
 		}
 	case fault.RegBank:
-		cp.CutRegs(f.Core, f.Count)
+		// The core's physical register file travels with the core, not the
+		// fabric: cut its pool on every shard so the loss follows it
+		// through migrations (foreign rows rename nothing, so only the
+		// home cut is ever observable).
+		for _, cp := range ctl.sys.Clusters {
+			cp.CutRegs(f.Core, f.Count)
+		}
 	case fault.Bandwidth:
 		ctl.bwTarget(f.Level).SetBWFactor(f.Factor)
 	case fault.XmitLink:
-		cp.SetLinkFault(f.Core, f.Delay, now)
+		if f.Cluster == fault.AnyCluster {
+			// The core's dispatch path is faulty wherever it transmits.
+			for _, cp := range ctl.sys.Clusters {
+				cp.SetLinkFault(f.Core, f.Delay, now)
+			}
+		} else {
+			ctl.sys.Clusters[f.Cluster].SetLinkFault(f.Core, f.Delay, now)
+		}
 	}
 	ctl.recs = append(ctl.recs, rec)
 	ctl.sys.Tele.Emit(now, telemetry.EvFaultApply, f.Core, uint64(f.Count), f.String())
@@ -118,30 +158,41 @@ func (ctl *faultCtl) Apply(f fault.Fault, now uint64) {
 
 // Revert implements fault.Handler (end of a transient window).
 func (ctl *faultCtl) Revert(f fault.Fault, now uint64) {
-	cp := ctl.sys.Coproc
 	switch f.Kind {
 	case fault.ExeBU:
+		k := ctl.clusterOf(f)
+		cp := ctl.sys.Clusters[k]
 		actual := cp.Tbl().Repair(f.Count)
+		lo, hi := ctl.members(k)
 		for i := 0; i < actual; i++ {
-			ctl.cursor = (ctl.cursor - 1 + ctl.n) % ctl.n
-			ctl.perCoreFailed[ctl.cursor]--
+			ctl.cursors[k] = (ctl.cursors[k] - 1 + (hi - lo)) % (hi - lo)
+			ctl.perCoreFailed[lo+ctl.cursors[k]]--
 		}
-		ctl.react()
+		ctl.react(k)
 	case fault.RegBank:
-		cp.RestoreRegs(f.Core, f.Count)
+		for _, cp := range ctl.sys.Clusters {
+			cp.RestoreRegs(f.Core, f.Count)
+		}
 	case fault.Bandwidth:
 		ctl.bwTarget(f.Level).SetBWFactor(1)
 	case fault.XmitLink:
-		cp.ClearLinkFault(f.Core)
+		if f.Cluster == fault.AnyCluster {
+			for _, cp := range ctl.sys.Clusters {
+				cp.ClearLinkFault(f.Core)
+			}
+		} else {
+			ctl.sys.Clusters[f.Cluster].ClearLinkFault(f.Core)
+		}
 	}
 	ctl.sys.Tele.Emit(now, telemetry.EvFaultRevert, f.Core, uint64(f.Count), "")
 }
 
-// react propagates the current failed-unit census into each architecture's
-// control state. Called after every Fail/Repair.
-func (ctl *faultCtl) react() {
-	cp := ctl.sys.Coproc
+// react propagates cluster k's failed-unit census into each architecture's
+// control state. Called after every Fail/Repair on that shard.
+func (ctl *faultCtl) react(k int) {
+	cp := ctl.sys.Clusters[k]
 	tbl := cp.Tbl()
+	lo, hi := ctl.members(k)
 	switch ctl.sys.Kind {
 	case Occamy:
 		// Fresh plan over the survivors; elastic monitors do the rest.
@@ -150,7 +201,7 @@ func (ctl *faultCtl) react() {
 		// Schedule strip-boundary revocations down to the surviving share
 		// of each static partition; SetForcedVL cancels instead of growing,
 		// so a transient repair never force-grows a fixed-mode binary.
-		for c := range ctl.perCoreFailed {
+		for c := lo; c < hi; c++ {
 			want := ctl.sys.StaticVLs[c] - ctl.perCoreFailed[c]
 			if want < 0 {
 				want = 0
@@ -158,11 +209,12 @@ func (ctl *faultCtl) react() {
 			cp.SetForcedVL(c, want)
 		}
 	case Private:
-		for c := range ctl.perCoreFailed {
+		for c := lo; c < hi; c++ {
 			half := ctl.sys.StaticVLs[c]
 			cp.SetIssueGate(c, gatePeriod(half, ctl.perCoreFailed[c]))
 		}
 	case FTS:
+		// Only this shard's tenants time-share its dead units.
 		cp.SetSharedGate(gatePeriod(tbl.Total(), tbl.Failed()))
 	}
 }
@@ -199,31 +251,42 @@ func (ctl *faultCtl) closeRecoveries(now uint64) {
 	if len(ctl.open) == 0 {
 		return
 	}
-	cp := ctl.sys.Coproc
-	tbl := cp.Tbl()
 	settled := false
 	switch ctl.sys.Kind {
 	case Occamy:
-		sum, active := 0, 0
-		for c, core := range ctl.sys.Cores {
-			sum += tbl.VL(c)
-			if !core.Halted() {
-				active++
-			}
-		}
-		target := tbl.Usable()
-		if active > target {
-			// The repartition floor grants one granule per active core
-			// even when fewer survive (time-shared); allow that much.
-			target = active
-		}
-		settled = sum <= target
-	case VLS:
+		// Every shard's plan must fit its survivors (tenants counted on
+		// their current home, so a mid-migration machine is not "settled"
+		// early).
 		settled = true
-		for c := range ctl.sys.Cores {
-			if cp.ForcedVLPending(c) {
+		for k, cp := range ctl.sys.Clusters {
+			tbl := cp.Tbl()
+			sum, active := 0, 0
+			for c, core := range ctl.sys.Cores {
+				sum += tbl.VL(c)
+				if !core.Halted() && ctl.sys.Cplx.Home(c) == k {
+					active++
+				}
+			}
+			target := tbl.Usable()
+			if active > target {
+				// The repartition floor grants one granule per active core
+				// even when fewer survive (time-shared); allow that much.
+				target = active
+			}
+			if sum > target {
 				settled = false
 				break
+			}
+		}
+	case VLS:
+		settled = true
+	vls:
+		for _, cp := range ctl.sys.Clusters {
+			for c := range ctl.sys.Cores {
+				if cp.ForcedVLPending(c) {
+					settled = false
+					break vls
+				}
 			}
 		}
 	}
@@ -260,7 +323,10 @@ type DiagnosticDump struct {
 	Reason string `json:"reason"`
 
 	Cores []CoreDiag `json:"cores"`
-	Lanes LaneDiag   `json:"lanes"`
+	// Lanes is the machine-wide lane-table view (sums across shards); on a
+	// clustered machine ClusterLanes breaks it down per shard.
+	Lanes        LaneDiag   `json:"lanes"`
+	ClusterLanes []LaneDiag `json:"cluster_lanes,omitempty"`
 	// Attribution maps obs bucket names to charged cycles per core; nil
 	// when the run was not observed.
 	Attribution []map[string]uint64 `json:"attribution,omitempty"`
@@ -295,15 +361,23 @@ func (s *System) Diagnose(err error) *DiagnosticDump {
 	d := &DiagnosticDump{
 		Arch: s.Kind.String(), Sched: s.Sched.Name, Cycle: now, Reason: err.Error(),
 	}
-	tbl := s.Coproc.Tbl()
-	d.Lanes = LaneDiag{Total: tbl.Total(), Failed: tbl.Failed(), Usable: tbl.Usable(), AL: tbl.AL()}
+	d.Lanes = LaneDiag{Total: s.Cplx.Total(), Failed: s.Cplx.Failed(), Usable: s.Cplx.Usable(), AL: s.Cplx.AL()}
 	for c, core := range s.Cores {
-		d.Lanes.VLs = append(d.Lanes.VLs, s.Coproc.VL(c))
-		d.Lanes.Decisions = append(d.Lanes.Decisions, tbl.Decision(c))
+		home := s.Clusters[s.Cplx.Home(c)]
+		d.Lanes.VLs = append(d.Lanes.VLs, s.Cplx.VL(c))
+		d.Lanes.Decisions = append(d.Lanes.Decisions, s.Cplx.Decision(c))
 		d.Cores = append(d.Cores, CoreDiag{
 			ID: c, PC: core.PC(), Halted: core.Halted(), Parked: core.Parked(),
-			Insts: core.Progress(), Pipe: s.Coproc.PipelineSnapshot(c, now),
+			Insts: core.Progress(), Pipe: home.PipelineSnapshot(c, now),
 		})
+	}
+	if len(s.Clusters) > 1 {
+		for _, cp := range s.Clusters {
+			tbl := cp.Tbl()
+			d.ClusterLanes = append(d.ClusterLanes, LaneDiag{
+				Total: tbl.Total(), Failed: tbl.Failed(), Usable: tbl.Usable(), AL: tbl.AL(),
+			})
+		}
 	}
 	if p := s.Probe; p != nil {
 		for c := range s.Cores {
@@ -320,7 +394,7 @@ func (s *System) Diagnose(err error) *DiagnosticDump {
 	if s.faults != nil {
 		d.Recoveries = s.faults.Recoveries()
 	}
-	d.LinkDrops = s.Coproc.LinkDrops()
+	d.LinkDrops = s.Cplx.LinkDrops()
 	s.Tele.Emit(now, telemetry.EvWatchdog, -1, 0, d.Reason)
 	return d
 }
@@ -332,6 +406,10 @@ func (d *DiagnosticDump) String() string {
 	fmt.Fprintf(&b, "reason: %s\n", d.Reason)
 	fmt.Fprintf(&b, "lanes: total=%d failed=%d usable=%d AL=%d vl=%v decision=%v\n",
 		d.Lanes.Total, d.Lanes.Failed, d.Lanes.Usable, d.Lanes.AL, d.Lanes.VLs, d.Lanes.Decisions)
+	for k, cl := range d.ClusterLanes {
+		fmt.Fprintf(&b, "  cluster%d: total=%d failed=%d usable=%d AL=%d\n",
+			k, cl.Total, cl.Failed, cl.Usable, cl.AL)
+	}
 	for _, c := range d.Cores {
 		fmt.Fprintf(&b, "core%d: pc=%d halted=%v parked=%v insts=%d\n",
 			c.ID, c.PC, c.Halted, c.Parked, c.Insts)

@@ -69,22 +69,27 @@ type Result struct {
 	Recoveries []Recovery
 	// LinkDrops counts CPU→coproc transmissions dropped by XmitLink faults.
 	LinkDrops uint64
+	// Migrations counts completed tenant moves between co-processor
+	// clusters, and FabricRefusals the transmissions the bandwidth-limited
+	// fabric turned away; both stay zero on flat (single-cluster) builds.
+	Migrations     uint64
+	FabricRefusals uint64
 }
 
 func (s *System) collect() *Result {
 	res := &Result{
 		Arch:         s.Kind,
 		Sched:        s.Sched.Name,
-		Utilization:  s.Coproc.Utilization(),
+		Utilization:  s.Cplx.Utilization(),
 		Repartitions: s.Stats.Get("coproc.repartitions"),
 		Reconfigures: s.Stats.Get("coproc.reconfigures"),
 		StaticVLs:    s.StaticVLs,
 	}
 	width := float64(8) // cpu.DefaultConfig().Width
 	for c, core := range s.Cores {
-		snap := s.Coproc.CoreSnapshot(c)
+		snap := s.Cplx.CoreSnapshot(c)
 		cycles := core.HaltCycle()
-		if la := s.Coproc.LastActive(c); la > cycles {
+		if la := s.Cplx.LastActive(c); la > cycles {
 			cycles = la
 		}
 		if cycles > res.Cycles {
@@ -133,7 +138,9 @@ func (s *System) collect() *Result {
 		res.Elems += cr.Elems
 		res.Cores = append(res.Cores, cr)
 	}
-	res.LinkDrops = s.Coproc.LinkDrops()
+	res.LinkDrops = s.Cplx.LinkDrops()
+	res.Migrations = s.Cplx.Migrations()
+	res.FabricRefusals = s.Cplx.FabricRefusals()
 	if s.faults != nil {
 		res.Recoveries = s.faults.Recoveries()
 	}

@@ -40,6 +40,7 @@ type ckCore struct {
 	drainWait      uint64
 	draining       bool
 	drainStart     uint64
+	lastReject     int
 	lastActive     uint64
 	busyLaneAccum  float64
 	timeline       sim.TimelineState
@@ -104,6 +105,7 @@ func (cp *Coproc) Checkpoint() CheckpointState {
 			drainWait:      c.drainWait,
 			draining:       c.draining,
 			drainStart:     c.drainStart,
+			lastReject:     c.lastReject,
 			lastActive:     c.lastActive,
 			busyLaneAccum:  c.busyLaneAccum,
 			timeline:       c.busyTimeline.Snapshot(),
@@ -164,6 +166,7 @@ func (cp *Coproc) RestoreCheckpoint(st CheckpointState) {
 		c.drainWait = ck.drainWait
 		c.draining = ck.draining
 		c.drainStart = ck.drainStart
+		c.lastReject = ck.lastReject
 		c.lastActive = ck.lastActive
 		c.busyLaneAccum = ck.busyLaneAccum
 		c.busyTimeline.Restore(ck.timeline)

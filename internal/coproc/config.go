@@ -32,6 +32,13 @@ type Config struct {
 	// uses 8 (32 lanes) for the 2-core configuration.
 	ExeBUs int
 
+	// ActiveCores is the number of cores actually resident on this instance
+	// (0 means all of Cores). A clustered machine builds each shard with the
+	// machine-wide Cores rows — global core IDs index directly, foreign rows
+	// stay inert — but shared-structure arithmetic (the FTS register-file
+	// quota) must divide by the tenants this shard really hosts.
+	ActiveCores int
+
 	// ComputeIssue and MemIssue are the per-core (or, with SharedIssue,
 	// global) issue budgets per cycle: Table 4's "Vector Issue Width - 4
 	// (SIMD Execution Units - 2, ld/st Units - 2)".
@@ -55,6 +62,12 @@ type Config struct {
 	// LHQ and STQ are per-core load/store queue capacities (Figure 5).
 	LHQ int
 	STQ int
+
+	// MaxPhases is the largest compiler phase count across the programs
+	// this instance will execute (0 applies a small default). It only
+	// pre-sizes the per-phase issue counters so that a core entering a
+	// late phase mid-run does not grow a slice on the tick path.
+	MaxPhases int
 
 	// Latencies in cycles.
 	ComputeLat uint64 // simple FP ops (add/mul/mla/min/max/abs/neg)
@@ -96,12 +109,16 @@ func (c Config) Validate() error {
 	if c.ArchRegs <= 0 {
 		return fmt.Errorf("coproc: ArchRegs must be positive, got %d", c.ArchRegs)
 	}
+	if c.ActiveCores < 0 || c.ActiveCores > c.Cores {
+		return fmt.Errorf("coproc: ActiveCores must be in [0, Cores], got %d with %d cores",
+			c.ActiveCores, c.Cores)
+	}
 	// Renaming needs at least one spare physical register beyond the
 	// permanently-held architectural mappings, per namespace.
 	if c.SharedVRF {
-		if c.PhysRegs <= c.ArchRegs*c.Cores {
-			return fmt.Errorf("coproc: shared VRF needs PhysRegs > ArchRegs*Cores, got %d <= %d*%d",
-				c.PhysRegs, c.ArchRegs, c.Cores)
+		if c.PhysRegs <= c.ArchRegs*c.activeCores() {
+			return fmt.Errorf("coproc: shared VRF needs PhysRegs > ArchRegs*resident cores, got %d <= %d*%d",
+				c.PhysRegs, c.ArchRegs, c.activeCores())
 		}
 	} else if c.PhysRegs <= c.ArchRegs {
 		return fmt.Errorf("coproc: PhysRegs must exceed ArchRegs, got %d <= %d",
@@ -160,6 +177,15 @@ const LanesPerGranule = 4
 
 // Lanes returns the total 32-bit lane count (for utilization metrics).
 func (c Config) Lanes() int { return LanesPerGranule * c.ExeBUs }
+
+// activeCores resolves the resident-tenant count (ActiveCores, defaulting to
+// Cores when unset).
+func (c Config) activeCores() int {
+	if c.ActiveCores > 0 {
+		return c.ActiveCores
+	}
+	return c.Cores
+}
 
 // LanesPerGranule returns the machine's lane multiplier, carried into trace
 // exports so downstream consumers reconstruct lane counts from granule

@@ -47,6 +47,11 @@ type XInst struct {
 	seq              uint64
 	dep1, dep2, dep3 uint64
 	issued           bool
+	// notBefore is the cycle the instruction arrives at its cluster after
+	// crossing the CPU→coproc fabric (Complex.Transmit stamps it); zero (or
+	// any past cycle) means the instruction is already resident. The renamer
+	// will not look at an instruction still in flight.
+	notBefore uint64
 	// enq is the cycle the instruction was transmitted; issue-time
 	// completion minus enq is the issue→retire latency histogrammed for
 	// telemetry.
@@ -120,6 +125,14 @@ type coreState struct {
 	draining   bool
 	drainStart uint64
 
+	// lastReject is the <VL> of the most recently logged rejected MSR,
+	// or -1 once a grant (or a new plan) ends the streak. The monitor
+	// retries a rejected reconfiguration every few cycles until lanes
+	// free up; the event log keeps the first rejection of each streak
+	// and drops the identical retries (the reject *counter* still
+	// counts every attempt).
+	lastReject int
+
 	// lastActive is the latest cycle with queued or in-flight work, i.e.
 	// the core's true completion time (the scalar core halts before the
 	// co-processor finishes its backlog).
@@ -154,10 +167,11 @@ type LaneEvent struct {
 
 // Coproc is the co-processor instance shared by all scalar cores.
 type Coproc struct {
-	cfg Config
-	tbl *lanemgr.ResourceTbl
-	mgr *lanemgr.Manager
-	vec mem.SharedPort
+	cfg  Config
+	name string
+	tbl  *lanemgr.ResourceTbl
+	mgr  *lanemgr.Manager
+	vec  mem.SharedPort
 	// vecProbe is vec's optional skip-ahead capability (nil when the port
 	// cannot predict rejects; the sleep mirror then treats every pending
 	// access as live).
@@ -270,9 +284,10 @@ func New(cfg Config, vecPort mem.SharedPort, data *mem.Memory, model roofline.Mo
 	if cfg.Cores <= 0 || cfg.ExeBUs <= 0 {
 		panic(fmt.Sprintf("coproc: bad config %+v", cfg))
 	}
-	tbl := lanemgr.NewResourceTbl(cfg.Cores, cfg.ExeBUs)
+	tbl := lanemgr.NewResourceTbl(lanemgr.Topology{Clusters: 1, Cores: cfg.Cores, ExeBUs: cfg.ExeBUs})
 	cp := &Coproc{
 		cfg:            cfg,
+		name:           "coproc",
 		tbl:            tbl,
 		mgr:            lanemgr.NewManager(model, tbl),
 		vec:            vecPort,
@@ -285,8 +300,27 @@ func New(cfg Config, vecPort mem.SharedPort, data *mem.Memory, model roofline.Mo
 	}
 	lanes := cfg.Lanes()
 	for c := 0; c < cfg.Cores; c++ {
-		st := &coreState{busyTimeline: sim.NewTimeline(1000), queue: make([]XInst, queueRing)}
+		st := &coreState{busyTimeline: sim.NewTimeline(1000), queue: make([]XInst, queueRing), lastReject: -1}
 		st.done.init()
+		// Pre-size the hold trackers to their architectural bounds so
+		// steady-state Add never grows a backing array: LHQ/STQ are hard
+		// caps, register holds cannot exceed the physical pool, and
+		// writeback holds are bounded by the queues plus a generous pipe's
+		// worth of compute issues. On small machines the trackers plateau
+		// within the warm-up anyway; at 64 cores the plateau arrives late
+		// enough to leak growth into measured steady-state windows.
+		st.lhq.releases = make([]uint64, 0, cfg.LHQ)
+		st.stq.releases = make([]uint64, 0, cfg.STQ)
+		st.inflight.releases = make([]uint64, 0, cfg.LHQ+cfg.STQ+256)
+		st.pool.issued.releases = make([]uint64, 0, cfg.PhysRegs)
+		// Slot 0 is the pre-phase prologue; a slot per compiler phase
+		// follows. Pre-sizing keeps addPhaseCompute off the allocator
+		// when a late phase is first entered mid-run.
+		phaseCap := cfg.MaxPhases + 1
+		if phaseCap < 8 {
+			phaseCap = 8
+		}
+		st.computeByPhase = make([]uint64, 0, phaseCap)
 		st.z = make([][]float32, isa.NumZRegs)
 		backing := make([]float32, isa.NumZRegs*lanes)
 		for r := range st.z {
@@ -395,6 +429,13 @@ func (cp *Coproc) renameTick(c int, now uint64) {
 	st := cp.cores[c]
 	for st.renamed < st.tail && st.renamed-st.head < window {
 		x := st.at(st.renamed)
+		if x.notBefore > now {
+			// Still crossing the fabric: rename is in program order, so
+			// nothing younger may be considered either. The wait shows up in
+			// the ExeBU-wait attribution bucket, like any dispatch delay.
+			cp.probe.Signal(c, obs.SigExeBUWait)
+			return
+		}
 		if !x.Op.IsEMSIMD() && hasZDst(x.Op) {
 			if !cp.canRename(c, now) {
 				cp.renameStallNow[c] = true
@@ -423,13 +464,13 @@ func (cp *Coproc) canRename(c int, now uint64) bool {
 		}
 		return cp.cfg.ArchRegs+cp.cores[c].pool.held(now) < phys
 	}
-	committed := cp.cfg.ArchRegs * cp.cfg.Cores
+	committed := cp.cfg.ArchRegs * cp.cfg.activeCores()
 	phys := cp.cfg.PhysRegs
 	if cp.flt != nil {
 		phys -= cp.flt.regsCutTotal
 	}
 	free := phys - committed
-	quota := free / cp.cfg.Cores
+	quota := free / cp.cfg.activeCores()
 	if cp.cores[c].pool.held(now) >= quota {
 		return false
 	}
@@ -547,7 +588,12 @@ func (cp *Coproc) QueueLen(c int) int {
 }
 
 // Name implements sim.Component.
-func (cp *Coproc) Name() string { return "coproc" }
+func (cp *Coproc) Name() string { return cp.name }
+
+// SetName renames the component for engine registration — a clustered
+// machine registers each shard as "coproc0", "coproc1", … so engine dumps
+// and checkpoints stay unambiguous. Must be called before registration.
+func (cp *Coproc) SetName(name string) { cp.name = name }
 
 // Tick implements sim.Component: one cycle of the co-processor.
 func (cp *Coproc) Tick(now uint64) {

@@ -33,6 +33,7 @@ func (cp *Coproc) execEMSIMD(c int, x *XInst, now uint64) bool {
 				return false
 			}
 			cp.mgr.OnOIWrite(c, isa.UnpackOI(x.Val))
+			st.lastReject = -1
 			if traceEMSIMD {
 				fmt.Printf("[%d] core%d MSR OI %v -> dec0=%d dec1=%d\n",
 					now, c, isa.UnpackOI(x.Val), cp.tbl.Decision(0), cp.tbl.Decision(1))
@@ -68,8 +69,15 @@ func (cp *Coproc) execEMSIMD(c int, x *XInst, now uint64) bool {
 					start = st.drainStart
 				}
 				h.Observe(now - start)
-				cp.probe.Sink().EmitComplete(c, obs.TidEMSIMD, "drain",
-					start, now-start, map[string]any{"vl": int(x.Val)})
+				// Only a drain that actually waited becomes a trace
+				// slice: the monitor's retry loop re-executes MSR <VL>
+				// with an empty pipeline every few cycles, and emitting
+				// (and allocating args for) each zero-length window
+				// would flood the trace from the steady-state path.
+				if s := cp.probe.Sink(); s != nil && now > start {
+					s.EmitComplete(c, obs.TidEMSIMD, "drain",
+						start, now-start, map[string]any{"vl": int(x.Val)})
+				}
 			}
 			st.draining = false
 			cp.probe.Signal(c, obs.SigDrain)
@@ -79,6 +87,7 @@ func (cp *Coproc) execEMSIMD(c int, x *XInst, now uint64) bool {
 					now, c, x.Val, ok, cp.tbl.VL(0), cp.tbl.VL(1), cp.tbl.AL(), cp.tbl.Decision(0), cp.tbl.Decision(1))
 			}
 			if ok {
+				st.lastReject = -1
 				cp.stats.Inc("coproc.reconfigures")
 				cp.logEvent(LaneEvent{Cycle: now, Core: c, Kind: "reconfigure", VL: int(x.Val)})
 				if cp.cfg.PoisonOnReconfigure {
@@ -86,7 +95,14 @@ func (cp *Coproc) execEMSIMD(c int, x *XInst, now uint64) bool {
 				}
 			} else {
 				cp.stats.Inc("coproc.reconfigure_rejects")
-				cp.logEvent(LaneEvent{Cycle: now, Core: c, Kind: "reject", VL: int(x.Val)})
+				// The monitor loop retries a rejected <VL> until the
+				// table can grant it; log only the first rejection of
+				// the streak so a long contention spin cannot flood
+				// (or allocate in) the event log.
+				if st.lastReject != int(x.Val) {
+					st.lastReject = int(x.Val)
+					cp.logEvent(LaneEvent{Cycle: now, Core: c, Kind: "reject", VL: int(x.Val)})
+				}
 			}
 			return true
 		default:

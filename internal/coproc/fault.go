@@ -85,16 +85,20 @@ func (cp *Coproc) ForcedVLPending(c int) bool {
 }
 
 // StripBoundary is called by the scalar core when it samples the vector
-// length for a new strip (OpRdElems): the only point a fault revocation may
-// land.
-func (cp *Coproc) StripBoundary(c int) {
+// length for a new strip (OpRdElems): the only point a fault revocation — or,
+// on a clustered machine, a tenant migration — may land. It reports whether
+// the core may start the strip; a plain (single-cluster) co-processor never
+// withholds the boundary, while Complex returns false during the drained
+// window of an in-flight migration.
+func (cp *Coproc) StripBoundary(c int) bool {
 	if cp.flt == nil {
-		return
+		return true
 	}
 	if want := cp.flt.forceVL[c]; want >= 0 {
 		cp.tbl.ForceVL(c, want)
 		cp.flt.forceVL[c] = -1
 	}
+	return true
 }
 
 // SetIssueGate throttles core c to one issue window every gate cycles

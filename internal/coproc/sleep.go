@@ -67,11 +67,20 @@ func (cp *Coproc) coreSleep(c int, now uint64) (fx sleepFx, wake uint64, ok bool
 	}
 	if st.renamed < st.tail && st.renamed-st.head < window {
 		x := st.at(st.renamed)
-		if x.Op.IsEMSIMD() || !hasZDst(x.Op) || cp.canRename(c, now) {
+		switch {
+		case x.notBefore > now:
+			// Still crossing the CPU→coproc fabric: rename repeats the same
+			// arrival stall until the stamped cycle.
+			fx.sig |= obs.SigExeBUWait
+			if x.notBefore < wake {
+				wake = x.notBefore
+			}
+		case x.Op.IsEMSIMD() || !hasZDst(x.Op) || cp.canRename(c, now):
 			return fx, 0, false // renamer would advance
+		default:
+			fx.sig |= obs.SigRenameStall
+			fx.renameStall = true
 		}
-		fx.sig |= obs.SigRenameStall
-		fx.renameStall = true
 	}
 	memBlocked := false
 	storeBlocked := false

@@ -53,12 +53,33 @@ func DefaultConfig() Config {
 
 const notReady = math.MaxUint64
 
+// CoprocPort is the CPU-facing surface of the co-processor: everything the
+// scalar pipeline needs from the vector side. A flat machine wires the
+// *coproc.Coproc itself; a clustered machine wires the routed
+// *coproc.Complex, which stamps fabric delays and redirects migrated cores —
+// the scalar core cannot tell the difference.
+type CoprocPort interface {
+	// Transmit enqueues an instruction into the core's instruction pool.
+	Transmit(coproc.XInst) coproc.TransmitStatus
+	// PoolFull mirrors Transmit's refusal predicate for the skip-ahead scan.
+	PoolFull(core int) bool
+	// VL is the core's configured vector length in granules.
+	VL(core int) int
+	// ReadSysNow reads a system register combinationally (§4.1.1).
+	ReadSysNow(core int, sys isa.SysReg) uint32
+	// MemInFlight counts outstanding vector memory operations (MOB gate).
+	MemInFlight(core int, now uint64) int
+	// StripBoundary lands pending width revocations and migrations; false
+	// means the core must hold the strip boundary (drain in progress).
+	StripBoundary(core int) bool
+}
+
 // Core is one scalar CPU core executing a compiled program.
 type Core struct {
 	id    int
 	cfg   Config
 	prog  *isa.Program
-	cp    *coproc.Coproc
+	cp    CoprocPort
 	l1    mem.Port
 	data  *mem.Memory
 	stats *sim.Stats
@@ -108,7 +129,7 @@ func (c *Core) SetProbe(p *obs.Probe) { c.probe = p }
 
 // New builds a core. l1 is the core's private L1D port; data the functional
 // memory.
-func New(id int, cfg Config, prog *isa.Program, cp *coproc.Coproc, l1 mem.Port, data *mem.Memory, stats *sim.Stats) *Core {
+func New(id int, cfg Config, prog *isa.Program, cp CoprocPort, l1 mem.Port, data *mem.Memory, stats *sim.Stats) *Core {
 	c := &Core{
 		id: id, cfg: cfg, prog: prog, cp: cp, l1: l1, data: data, stats: stats,
 		tailActive: -1, phase: -1,
@@ -122,6 +143,14 @@ func New(id int, cfg Config, prog *isa.Program, cp *coproc.Coproc, l1 mem.Port, 
 	c.haltCycleName = fmt.Sprintf("cpu%d.halt_cycle", id)
 	c.reconfigName = fmt.Sprintf("cpu%d.reconfig_insts", id)
 	c.monitorName = fmt.Sprintf("cpu%d.monitor_insts", id)
+	// Materialize the counters too, not just their names: Stats creates a
+	// counter on first touch, and on a large machine a core's first
+	// pool-full stall can land arbitrarily deep into the run — inside a
+	// window the zero-allocation contract measures.
+	for _, n := range []string{c.poolFullName, c.mobStallName,
+		c.renameBlockName, c.haltCycleName, c.reconfigName, c.monitorName} {
+		stats.Counter(n)
+	}
 	return c
 }
 
@@ -133,6 +162,10 @@ func (c *Core) buildPhaseNames(prog *isa.Program) {
 	for p := 0; p <= prog.NumPhases; p++ {
 		c.phaseCycleNames[p] = fmt.Sprintf("cpu%d.phase%d.cycles", c.id, p-1)
 		c.phaseEnteredNames[p] = fmt.Sprintf("cpu%d.phase%d.entered_cycle", c.id, p-1)
+		// Materialized eagerly: a late phase is first entered mid-run,
+		// and creating its counter then would allocate on the tick path.
+		c.stats.Counter(c.phaseCycleNames[p])
+		c.stats.Counter(c.phaseEnteredNames[p])
 	}
 }
 
@@ -295,7 +328,12 @@ func (c *Core) execute(in *isa.Inst, now uint64) bool {
 		// The strip boundary: any pending fault revocation of this core's
 		// vector length lands here, never mid-strip (a width change between
 		// the sampled bound and the body's stores would strand elements).
-		c.cp.StripBoundary(c.id)
+		// A clustered machine also completes tenant migrations here; while
+		// one is draining the boundary is withheld and the core waits.
+		if !c.cp.StripBoundary(c.id) {
+			c.probe.Signal(c.id, obs.SigDrain)
+			return false
+		}
 		n := int64(coproc.LanesPerGranule * c.cp.VL(c.id))
 		if n == 0 {
 			// A fixed-mode binary whose lanes are all revoked can never

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"occamy/internal/arch"
+)
+
+// TestScalabilityQuick smoke-tests the hierarchical sweep on its smallest
+// corner: 4 and 8 cores, flat and 2-cluster, all architectures. It pins the
+// invariants the full sweep relies on rather than any absolute number.
+func TestScalabilityQuick(t *testing.T) {
+	s, err := Quick().Scalability([]int{4, 8}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2*2*len(arch.Kinds) {
+		t.Fatalf("got %d points, want %d", len(s.Points), 2*2*len(arch.Kinds))
+	}
+	for i := range s.Points {
+		p := &s.Points[i]
+		if p.Cycles == 0 || p.Throughput <= 0 {
+			t.Errorf("%dc/%dcl %s: empty point (%d cycles, %.2f elems/kcyc)",
+				p.Cores, p.Clusters, p.Kind, p.Cycles, p.Throughput)
+		}
+		if p.Fairness <= 0 || p.Fairness > 1.0000001 {
+			t.Errorf("%dc/%dcl %s: Jain index %f out of (0,1]",
+				p.Cores, p.Clusters, p.Kind, p.Fairness)
+		}
+		if p.Clusters == 1 && (p.Migrations != 0 || p.FabricRefusals != 0) {
+			t.Errorf("%dc flat %s: flat machine reported migrations=%d refusals=%d",
+				p.Cores, p.Kind, p.Migrations, p.FabricRefusals)
+		}
+	}
+	// The same workload on the same flat machine: the 4-core group is a
+	// prefix of the 8-core group only in shape, but each size must at
+	// least complete more total work per the larger machine.
+	if p4, p8 := s.Point(4, 1, arch.Occamy), s.Point(8, 1, arch.Occamy); p4 != nil && p8 != nil {
+		if p8.Cycles == p4.Cycles {
+			t.Error("8-core run finished in identical cycles to 4-core run (suspicious)")
+		}
+	}
+	if r := s.Render(); !strings.Contains(r, "Fairness") || !strings.Contains(r, "Occamy") {
+		t.Error("render missing expected columns")
+	}
+}

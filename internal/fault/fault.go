@@ -59,6 +59,14 @@ func (k Kind) String() string {
 // deterministically from its seed.
 const AnyCore = -1
 
+// AnyCluster means "no cluster named in the spec". On a flat machine (one
+// co-processor) it is indistinguishable from cluster 0; on a clustered
+// topology the architecture layer resolves it per kind — ExeBU faults land on
+// cluster 0 (a deterministic default) while XmitLink faults degrade the
+// victim core's link into every cluster (the core's dispatch path is faulty
+// wherever it transmits).
+const AnyCluster = -1
+
 // Fault is one injection: a kind, a target, and a cycle window.
 type Fault struct {
 	Kind Kind `json:"kind"`
@@ -69,6 +77,14 @@ type Fault struct {
 	// lets the injector pick one from the seed). Ignored for ExeBU and
 	// Bandwidth faults.
 	Core int `json:"core,omitempty"`
+	// Cluster scopes ExeBU and XmitLink faults to one co-processor cluster
+	// of a clustered topology ("exebu:cl1:2@5000"). AnyCluster leaves the
+	// choice to the architecture layer; on a flat machine both mean the
+	// single co-processor. Ignored for RegBank and Bandwidth faults. Note
+	// the zero value names cluster 0 explicitly, which coincides with the
+	// flat machine's only cluster — specs built by ParseSpec/ParseJSON get
+	// AnyCluster when no cluster is named.
+	Cluster int `json:"cluster,omitempty"`
 	// Level names the degraded memory level for Bandwidth faults:
 	// "dram", "l2" or "vec".
 	Level string `json:"level,omitempty"`
@@ -90,6 +106,9 @@ func (f Fault) String() string {
 	b.WriteString(f.Kind.String())
 	switch f.Kind {
 	case ExeBU:
+		if f.Cluster > 0 {
+			fmt.Fprintf(&b, ":cl%d", f.Cluster)
+		}
 		if f.Count != 1 {
 			fmt.Fprintf(&b, ":%d", f.Count)
 		}
@@ -101,6 +120,9 @@ func (f Fault) String() string {
 	case Bandwidth:
 		fmt.Fprintf(&b, ":%s:%g", f.Level, f.Factor)
 	case XmitLink:
+		if f.Cluster > 0 {
+			fmt.Fprintf(&b, ":cl%d", f.Cluster)
+		}
 		if f.Core != AnyCore {
 			fmt.Fprintf(&b, ":core%d", f.Core)
 		}
@@ -142,6 +164,9 @@ func (f Fault) Validate() error {
 	if f.Core < AnyCore {
 		return fmt.Errorf("fault: %s: bad core %d", f.Kind, f.Core)
 	}
+	if f.Cluster < AnyCluster {
+		return fmt.Errorf("fault: %s: bad cluster %d", f.Kind, f.Cluster)
+	}
 	return nil
 }
 
@@ -151,10 +176,12 @@ func (f Fault) Validate() error {
 //	exebu@50000            one ExeBU fails permanently at cycle 50000
 //	exebu:3@50000          three ExeBUs fail permanently
 //	exebu:2@50000+20000    two ExeBUs fail transiently for 20000 cycles
+//	exebu:cl1:2@50000      two ExeBUs of co-processor cluster 1 fail
 //	regs:core1:32@2000     core 1 loses 32 physical registers
 //	bw:dram:0.5@1000+9000  DRAM bandwidth halved for 9000 cycles
 //	xmit:core0@500+2000    core 0's dispatch link drops transmissions
 //	xmit:core0:16@500+2000 same, with a 16-cycle base retry backoff
+//	xmit:cl0:core1@500+2000 core 1's fabric link into cluster 0 only
 //
 // A spec starting with '@' names a JSON file (see ParseJSON).
 func ParseSpec(spec string) ([]Fault, error) {
@@ -187,16 +214,23 @@ func parseEntry(entry string) (Fault, error) {
 		return Fault{}, fmt.Errorf("fault: %q: %v", entry, err)
 	}
 	parts := strings.Split(head, ":")
-	f := Fault{Count: 1, Core: AnyCore, At: at, For: dur}
+	f := Fault{Count: 1, Core: AnyCore, Cluster: AnyCluster, At: at, For: dur}
 	switch parts[0] {
 	case "exebu":
 		f.Kind = ExeBU
-		if len(parts) > 2 {
-			return Fault{}, fmt.Errorf("fault: %q: exebu takes at most one :count", entry)
+		args := parts[1:]
+		if len(args) > 0 && strings.HasPrefix(args[0], "cl") && !strings.HasPrefix(args[0], "core") {
+			if f.Cluster, err = strconv.Atoi(args[0][2:]); err != nil {
+				return Fault{}, fmt.Errorf("fault: %q: bad cluster %q", entry, args[0])
+			}
+			args = args[1:]
 		}
-		if len(parts) == 2 {
-			if f.Count, err = strconv.Atoi(parts[1]); err != nil {
-				return Fault{}, fmt.Errorf("fault: %q: bad count %q", entry, parts[1])
+		if len(args) > 1 {
+			return Fault{}, fmt.Errorf("fault: %q: exebu takes at most one :clN and one :count", entry)
+		}
+		if len(args) == 1 {
+			if f.Count, err = strconv.Atoi(args[0]); err != nil {
+				return Fault{}, fmt.Errorf("fault: %q: bad count %q", entry, args[0])
 			}
 		}
 	case "regs":
@@ -232,6 +266,12 @@ func parseEntry(entry string) (Fault, error) {
 				}
 				continue
 			}
+			if strings.HasPrefix(a, "cl") {
+				if f.Cluster, err = strconv.Atoi(a[2:]); err != nil {
+					return Fault{}, fmt.Errorf("fault: %q: bad cluster %q", entry, a)
+				}
+				continue
+			}
 			if f.Delay, err = strconv.ParseUint(a, 10, 64); err != nil {
 				return Fault{}, fmt.Errorf("fault: %q: bad delay %q", entry, a)
 			}
@@ -263,14 +303,15 @@ func parseWindow(s string) (at, dur uint64, err error) {
 
 // jsonFault mirrors Fault with a string kind, the natural JSON form.
 type jsonFault struct {
-	Kind   string  `json:"kind"`
-	Count  int     `json:"count"`
-	Core   *int    `json:"core"`
-	Level  string  `json:"level"`
-	Factor float64 `json:"factor"`
-	At     uint64  `json:"at"`
-	For    uint64  `json:"for"`
-	Delay  uint64  `json:"delay"`
+	Kind    string  `json:"kind"`
+	Count   int     `json:"count"`
+	Core    *int    `json:"core"`
+	Cluster *int    `json:"cluster"`
+	Level   string  `json:"level"`
+	Factor  float64 `json:"factor"`
+	At      uint64  `json:"at"`
+	For     uint64  `json:"for"`
+	Delay   uint64  `json:"delay"`
 }
 
 // ParseJSON parses the JSON file form of a fault spec: a list of objects with
@@ -282,12 +323,15 @@ func ParseJSON(data []byte) ([]Fault, error) {
 	}
 	var faults []Fault
 	for i, j := range raw {
-		f := Fault{Count: j.Count, Core: AnyCore, Level: j.Level, Factor: j.Factor, At: j.At, For: j.For, Delay: j.Delay}
+		f := Fault{Count: j.Count, Core: AnyCore, Cluster: AnyCluster, Level: j.Level, Factor: j.Factor, At: j.At, For: j.For, Delay: j.Delay}
 		if f.Count == 0 {
 			f.Count = 1
 		}
 		if j.Core != nil {
 			f.Core = *j.Core
+		}
+		if j.Cluster != nil {
+			f.Cluster = *j.Cluster
 		}
 		switch j.Kind {
 		case "exebu":

@@ -11,17 +11,21 @@ func TestParseSpec(t *testing.T) {
 		want []Fault
 	}{
 		{"", nil},
-		{"exebu@50000", []Fault{{Kind: ExeBU, Count: 1, Core: AnyCore, At: 50000}}},
-		{"exebu:3@50000", []Fault{{Kind: ExeBU, Count: 3, Core: AnyCore, At: 50000}}},
-		{"exebu:2@50000+20000", []Fault{{Kind: ExeBU, Count: 2, Core: AnyCore, At: 50000, For: 20000}}},
-		{"regs:core1:32@2000", []Fault{{Kind: RegBank, Count: 32, Core: 1, At: 2000}}},
-		{"regs:16@2000+100", []Fault{{Kind: RegBank, Count: 16, Core: AnyCore, At: 2000, For: 100}}},
-		{"bw:dram:0.5@1000+9000", []Fault{{Kind: Bandwidth, Count: 1, Core: AnyCore, Level: "dram", Factor: 0.5, At: 1000, For: 9000}}},
-		{"xmit:core0@500+2000", []Fault{{Kind: XmitLink, Count: 1, Core: 0, At: 500, For: 2000}}},
-		{"xmit:core0:16@500+2000", []Fault{{Kind: XmitLink, Count: 1, Core: 0, Delay: 16, At: 500, For: 2000}}},
+		{"exebu@50000", []Fault{{Kind: ExeBU, Count: 1, Core: AnyCore, Cluster: AnyCluster, At: 50000}}},
+		{"exebu:3@50000", []Fault{{Kind: ExeBU, Count: 3, Core: AnyCore, Cluster: AnyCluster, At: 50000}}},
+		{"exebu:2@50000+20000", []Fault{{Kind: ExeBU, Count: 2, Core: AnyCore, Cluster: AnyCluster, At: 50000, For: 20000}}},
+		{"regs:core1:32@2000", []Fault{{Kind: RegBank, Count: 32, Core: 1, Cluster: AnyCluster, At: 2000}}},
+		{"regs:16@2000+100", []Fault{{Kind: RegBank, Count: 16, Core: AnyCore, Cluster: AnyCluster, At: 2000, For: 100}}},
+		{"bw:dram:0.5@1000+9000", []Fault{{Kind: Bandwidth, Count: 1, Core: AnyCore, Cluster: AnyCluster, Level: "dram", Factor: 0.5, At: 1000, For: 9000}}},
+		{"xmit:core0@500+2000", []Fault{{Kind: XmitLink, Count: 1, Core: 0, Cluster: AnyCluster, At: 500, For: 2000}}},
+		{"xmit:core0:16@500+2000", []Fault{{Kind: XmitLink, Count: 1, Core: 0, Cluster: AnyCluster, Delay: 16, At: 500, For: 2000}}},
+		{"exebu:cl1:2@50000", []Fault{{Kind: ExeBU, Count: 2, Core: AnyCore, Cluster: 1, At: 50000}}},
+		{"exebu:cl2@50000", []Fault{{Kind: ExeBU, Count: 1, Core: AnyCore, Cluster: 2, At: 50000}}},
+		{"xmit:cl0:core1@500+2000", []Fault{{Kind: XmitLink, Count: 1, Core: 1, Cluster: 0, At: 500, For: 2000}}},
+		{"xmit:cl3:core0:16@500+2000", []Fault{{Kind: XmitLink, Count: 1, Core: 0, Cluster: 3, Delay: 16, At: 500, For: 2000}}},
 		{"exebu@100; bw:l2:0.25@200+50", []Fault{
-			{Kind: ExeBU, Count: 1, Core: AnyCore, At: 100},
-			{Kind: Bandwidth, Count: 1, Core: AnyCore, Level: "l2", Factor: 0.25, At: 200, For: 50},
+			{Kind: ExeBU, Count: 1, Core: AnyCore, Cluster: AnyCluster, At: 100},
+			{Kind: Bandwidth, Count: 1, Core: AnyCore, Cluster: AnyCluster, Level: "l2", Factor: 0.25, At: 200, For: 50},
 		}},
 	}
 	for _, c := range cases {
@@ -50,6 +54,9 @@ func TestParseSpecErrors(t *testing.T) {
 		"regs@100",         // missing count
 		"regs:coreX:8@100", // bad core
 		"exebu@100+0",      // zero transient duration
+		"exebu:clX@100",    // bad cluster
+		"exebu:cl-2@100",   // cluster below AnyCluster
+		"xmit:clX@100+5",   // bad cluster
 	}
 	for _, spec := range bad {
 		if _, err := ParseSpec(spec); err == nil {
@@ -61,9 +68,11 @@ func TestParseSpecErrors(t *testing.T) {
 func TestParseSpecRoundTrip(t *testing.T) {
 	specs := []string{
 		"exebu:2@50000+20000",
+		"exebu:cl1:2@50000",
 		"regs:core1:32@2000",
 		"bw:dram:0.5@1000+9000",
 		"xmit:core0:16@500+2000",
+		"xmit:cl2:core0@500+2000",
 	}
 	for _, spec := range specs {
 		fs, err := ParseSpec(spec)
@@ -95,10 +104,10 @@ func TestParseJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []Fault{
-		{Kind: ExeBU, Count: 2, Core: AnyCore, At: 1000, For: 500},
-		{Kind: RegBank, Count: 32, Core: 1, At: 2000},
-		{Kind: Bandwidth, Count: 1, Core: AnyCore, Level: "dram", Factor: 0.5, At: 3000, For: 100},
-		{Kind: XmitLink, Count: 1, Core: 0, At: 4000, For: 50, Delay: 4},
+		{Kind: ExeBU, Count: 2, Core: AnyCore, Cluster: AnyCluster, At: 1000, For: 500},
+		{Kind: RegBank, Count: 32, Core: 1, Cluster: AnyCluster, At: 2000},
+		{Kind: Bandwidth, Count: 1, Core: AnyCore, Cluster: AnyCluster, Level: "dram", Factor: 0.5, At: 3000, For: 100},
+		{Kind: XmitLink, Count: 1, Core: 0, Cluster: AnyCluster, At: 4000, For: 50, Delay: 4},
 	}
 	if !reflect.DeepEqual(fs, want) {
 		t.Errorf("ParseJSON = %+v, want %+v", fs, want)

@@ -7,7 +7,7 @@ import (
 )
 
 func TestFailRepairShrinksUsablePool(t *testing.T) {
-	tbl := NewResourceTbl(2, 8)
+	tbl := newTbl(2, 8)
 	if got := tbl.Fail(3); got != 3 {
 		t.Fatalf("Fail(3) = %d, want 3", got)
 	}
@@ -36,7 +36,7 @@ func TestFailRepairShrinksUsablePool(t *testing.T) {
 // shrunk usable pool. The signed AL view goes negative; the raw MRS view
 // saturates at zero.
 func TestNegativeALAfterFault(t *testing.T) {
-	tbl := NewResourceTbl(2, 8)
+	tbl := newTbl(2, 8)
 	tbl.TryReconfigure(0, 4)
 	tbl.TryReconfigure(1, 4)
 	tbl.Fail(2)
@@ -52,7 +52,7 @@ func TestNegativeALAfterFault(t *testing.T) {
 // after a fault, neither could grow, but each can shrink toward its share of
 // the surviving pool — the sequence that unwinds over-allocation.
 func TestShrinkAlwaysSucceedsWhenOverAllocated(t *testing.T) {
-	tbl := NewResourceTbl(2, 8)
+	tbl := newTbl(2, 8)
 	tbl.TryReconfigure(0, 4)
 	tbl.TryReconfigure(1, 4)
 	tbl.Fail(2) // usable 6, allocated 8
@@ -78,7 +78,7 @@ func TestShrinkAlwaysSucceedsWhenOverAllocated(t *testing.T) {
 }
 
 func TestForceVLShrinkOnly(t *testing.T) {
-	tbl := NewResourceTbl(2, 8)
+	tbl := newTbl(2, 8)
 	tbl.TryReconfigure(0, 4)
 	tbl.ForceVL(0, 2)
 	if tbl.VL(0) != 2 {
@@ -97,7 +97,7 @@ func TestForceVLShrinkOnly(t *testing.T) {
 // TestRepartitionPlansOverSurvivors: after units fail, fresh decisions fit
 // the usable pool and keep the fairness floor.
 func TestRepartitionPlansOverSurvivors(t *testing.T) {
-	tbl := NewResourceTbl(2, 8)
+	tbl := newTbl(2, 8)
 	mgr := NewManager(mdl, tbl)
 	compute := isa.OIPair{Issue: 1, Mem: 1}
 	mgr.OnOIWrite(0, compute)

@@ -1,0 +1,8 @@
+package lanemgr
+
+// newTbl is the shared test fixture: one single-cluster shard with the given
+// core count and ExeBU budget — the flat table every pre-hierarchy test was
+// written against.
+func newTbl(cores, total int) *ResourceTbl {
+	return NewResourceTbl(Topology{Clusters: 1, Cores: cores, ExeBUs: total})
+}

@@ -1,0 +1,152 @@
+package lanemgr
+
+import (
+	"testing"
+
+	"occamy/internal/isa"
+	"occamy/internal/roofline"
+)
+
+// newHier builds a hierarchy of `clusters` shards over `cores` cores sharing
+// `exebus` machine-wide ExeBUs, wiring each Manager's AfterRepartition into
+// Balance exactly as the co-processor complex does.
+func newHier(clusters, cores, exebus int) *Hier {
+	topo := Topology{Clusters: clusters, Cores: cores, ExeBUs: exebus}
+	mdl := roofline.Default()
+	mgrs := make([]*Manager, clusters)
+	for k := range mgrs {
+		mgrs[k] = NewManager(mdl, NewResourceTbl(topo))
+	}
+	h := NewHier(topo, mgrs)
+	for _, m := range mgrs {
+		m.AfterRepartition = h.Balance
+	}
+	return h
+}
+
+func TestHierInitialAssignmentGroupsCores(t *testing.T) {
+	h := newHier(2, 8, 16)
+	for c := 0; c < 8; c++ {
+		want := c / 4
+		if h.Home(c) != want {
+			t.Errorf("core %d assigned to cluster %d, want %d", c, h.Home(c), want)
+		}
+	}
+	if h.Topo.PerCluster() != 8 {
+		t.Fatalf("per-cluster budget = %d, want 8", h.Topo.PerCluster())
+	}
+}
+
+func TestHierBalanceProposesMigrationOnImbalance(t *testing.T) {
+	h := newHier(2, 8, 16)
+	var got []int
+	h.OnMigrate = func(core, from, to int) bool {
+		got = []int{core, from, to}
+		return true
+	}
+	compute := isa.OIPair{Issue: 1, Mem: 1}
+	light := isa.OIPair{Issue: 0.05, Mem: 0.05}
+	// Cluster 0 hosts three tenants (cores 0-2), cluster 1 one (core 4):
+	// imbalance 2 >= threshold. Core 2's light phase earns the smallest
+	// decision, so it is the victim.
+	for _, c := range []int{0, 1} {
+		h.Mgrs[0].OnOIWrite(c, compute)
+	}
+	h.Mgrs[1].OnOIWrite(4, compute)
+	h.Mgrs[0].OnOIWrite(2, light)
+	if got == nil {
+		t.Fatal("imbalanced clusters proposed no migration")
+	}
+	if got[0] != 2 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("proposal (core=%d from=%d to=%d), want (2, 0, 1)", got[0], got[1], got[2])
+	}
+	// The proposal alone must not move the assignment.
+	if h.Home(2) != 0 {
+		t.Fatal("assignment changed before CompleteMigration")
+	}
+	h.CompleteMigration(2, 1)
+	if h.Home(2) != 1 || h.Migrations != 1 {
+		t.Fatalf("after completion: home=%d migrations=%d", h.Home(2), h.Migrations)
+	}
+}
+
+func TestHierBalanceRespectsThreshold(t *testing.T) {
+	h := newHier(2, 8, 16)
+	proposed := false
+	h.OnMigrate = func(core, from, to int) bool {
+		proposed = true
+		return true
+	}
+	compute := isa.OIPair{Issue: 1, Mem: 1}
+	// Two tenants vs one: imbalance 1 < DefaultThreshold. OIs are installed
+	// directly and one repartition judges the settled state, as a machine
+	// whose phases announced before any plan ran.
+	h.Mgrs[0].Tbl.SetOI(0, compute)
+	h.Mgrs[0].Tbl.SetOI(1, compute)
+	h.Mgrs[1].Tbl.SetOI(4, compute)
+	h.Mgrs[0].Repartition()
+	h.Mgrs[1].Repartition()
+	if proposed {
+		t.Fatal("one tenant of imbalance must sit below the hysteresis threshold")
+	}
+}
+
+func TestHierBalanceWeighsDegradedShards(t *testing.T) {
+	h := newHier(2, 8, 16)
+	var got []int
+	h.OnMigrate = func(core, from, to int) bool {
+		got = []int{core, from, to}
+		return true
+	}
+	// Equal tenant counts, but cluster 0 lost most of its shard: its
+	// active/usable load dominates. Tenant-count hysteresis still gates the
+	// move, so equal counts must not migrate even under degradation.
+	h.Mgrs[0].Tbl.Fail(6)
+	compute := isa.OIPair{Issue: 1, Mem: 1}
+	h.Mgrs[0].Tbl.SetOI(0, compute)
+	h.Mgrs[0].Tbl.SetOI(1, compute)
+	h.Mgrs[1].Tbl.SetOI(4, compute)
+	h.Mgrs[1].Tbl.SetOI(5, compute)
+	h.Mgrs[0].Repartition()
+	h.Mgrs[1].Repartition()
+	if got != nil {
+		t.Fatalf("equal tenant counts migrated: %v", got)
+	}
+	// A third tenant on the degraded shard crosses the threshold; the
+	// degraded cluster must be chosen as the source.
+	h.Mgrs[0].Tbl.SetOI(2, compute)
+	h.Mgrs[1].Tbl.SetOI(5, isa.OIPair{})
+	h.Mgrs[1].Repartition()
+	h.Mgrs[0].Repartition()
+	if got == nil {
+		t.Fatal("overloaded degraded shard proposed no migration")
+	}
+	if got[1] != 0 || got[2] != 1 {
+		t.Fatalf("migration direction (from=%d to=%d), want (0, 1)", got[1], got[2])
+	}
+}
+
+func TestHierSingleClusterNeverMigrates(t *testing.T) {
+	h := newHier(1, 4, 8)
+	h.OnMigrate = func(core, from, to int) bool {
+		t.Fatal("single-cluster hierarchy proposed a migration")
+		return false
+	}
+	for c := 0; c < 4; c++ {
+		h.Mgrs[0].OnOIWrite(c, isa.OIPair{Issue: 1, Mem: 1})
+	}
+}
+
+func TestHierSnapshotRestore(t *testing.T) {
+	h := newHier(2, 4, 8)
+	st := h.Snapshot()
+	h.CompleteMigration(0, 1)
+	h.CompleteMigration(3, 0)
+	if h.Home(0) != 1 || h.Home(3) != 0 || h.Migrations != 2 {
+		t.Fatal("migrations not recorded")
+	}
+	h.Restore(st)
+	if h.Home(0) != 0 || h.Home(3) != 1 || h.Migrations != 0 {
+		t.Fatalf("restore did not rewind: assign=%v migrations=%d", h.Assign, h.Migrations)
+	}
+}

@@ -9,7 +9,7 @@ import (
 )
 
 func TestResourceTblInitialState(t *testing.T) {
-	tbl := NewResourceTbl(2, 8)
+	tbl := newTbl(2, 8)
 	if tbl.Cores() != 2 || tbl.Total() != 8 {
 		t.Fatalf("dims: cores=%d total=%d", tbl.Cores(), tbl.Total())
 	}
@@ -24,7 +24,7 @@ func TestResourceTblInitialState(t *testing.T) {
 }
 
 func TestTryReconfigureGrowShrink(t *testing.T) {
-	tbl := NewResourceTbl(2, 8)
+	tbl := newTbl(2, 8)
 	if !tbl.TryReconfigure(0, 5) {
 		t.Fatal("grow from free pool must succeed")
 	}
@@ -52,7 +52,7 @@ func TestTryReconfigureGrowShrink(t *testing.T) {
 }
 
 func TestTryReconfigureSameValueAndZero(t *testing.T) {
-	tbl := NewResourceTbl(2, 8)
+	tbl := newTbl(2, 8)
 	tbl.TryReconfigure(0, 4)
 	if !tbl.TryReconfigure(0, 4) {
 		t.Fatal("rewriting the current VL must succeed")
@@ -66,14 +66,14 @@ func TestTryReconfigureSameValueAndZero(t *testing.T) {
 }
 
 func TestTryReconfigureRejectsOutOfRange(t *testing.T) {
-	tbl := NewResourceTbl(1, 8)
+	tbl := newTbl(1, 8)
 	if tbl.TryReconfigure(0, 9) || tbl.TryReconfigure(0, -1) {
 		t.Fatal("out-of-range VL must fail")
 	}
 }
 
 func TestReadRawMatchesTypedAccessors(t *testing.T) {
-	tbl := NewResourceTbl(2, 8)
+	tbl := newTbl(2, 8)
 	oi := isa.OIPair{Issue: 0.5, Mem: 0.25}
 	tbl.SetOI(1, oi)
 	tbl.SetDecision(1, 3)
@@ -242,7 +242,7 @@ func TestPlanDegenerateMoreWorkloadsThanLanes(t *testing.T) {
 }
 
 func TestManagerPublishesDecisions(t *testing.T) {
-	tbl := NewResourceTbl(2, 8)
+	tbl := newTbl(2, 8)
 	mgr := NewManager(mdl, tbl)
 	mgr.OnOIWrite(0, isa.OIPair{Issue: 0.09, Mem: 0.09})
 	mgr.OnOIWrite(1, isa.OIPair{Issue: 1, Mem: 1})

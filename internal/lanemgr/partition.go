@@ -90,6 +90,13 @@ type Manager struct {
 	// Repartitions counts plan computations, for the Figure 15 overhead
 	// accounting.
 	Repartitions uint64
+	// AfterRepartition, when non-nil, runs at the end of every Repartition.
+	// In a sharded machine it is the seam between the two planning levels:
+	// each cluster's Manager remains the per-cluster pass (fairness floor and
+	// <OI>-driven decisions over that cluster's ExeBUs, semantics unchanged),
+	// and the hook hands control to Hier.Balance, the global pass that
+	// reassigns cores between clusters when load diverges.
+	AfterRepartition func()
 }
 
 // NewManager returns a lane manager over tbl using roofline model m.
@@ -148,4 +155,7 @@ func (g *Manager) Repartition() {
 		g.Tbl.SetDecision(c, vl)
 	}
 	g.Repartitions++
+	if g.AfterRepartition != nil {
+		g.AfterRepartition()
+	}
 }

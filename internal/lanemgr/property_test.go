@@ -1,0 +1,201 @@
+package lanemgr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"occamy/internal/isa"
+	"occamy/internal/roofline"
+)
+
+// decodeOIs expands a compact byte spec into per-core <OI> registers: 0 marks
+// an inactive core, anything else a live phase with an intensity derived from
+// the byte. Shared by the property and fuzz harnesses below.
+func decodeOIs(spec []byte) []isa.OIPair {
+	ois := make([]isa.OIPair, len(spec))
+	for i, b := range spec {
+		if b == 0 {
+			continue
+		}
+		ois[i] = isa.OIPair{
+			Issue: float64(b%64)/16 + 0.004,
+			Mem:   float64(b/4%64)/16 + 0.004,
+		}
+	}
+	return ois
+}
+
+// checkPartition asserts the partitioner's invariants for a decision vector
+// published over the given pool. It returns a non-empty description of the
+// first violated invariant, or "".
+func checkPartition(ois []isa.OIPair, dec []int, usable, failed int) string {
+	active, sum := 0, 0
+	for c, d := range dec {
+		if d < 0 {
+			return "negative decision"
+		}
+		if ois[c].IsZero() && d != 0 {
+			return "inactive core received lanes"
+		}
+		if !ois[c].IsZero() {
+			active++
+		}
+		sum += d
+	}
+	// Fairness floor: whenever the pool can cover every active core, each
+	// gets at least one ExeBU; under a degraded pool (failed units) the floor
+	// holds unconditionally — the cores time-share the survivors.
+	if active <= usable || failed > 0 {
+		for c, d := range dec {
+			if !ois[c].IsZero() && d < 1 {
+				return "fairness floor violated"
+			}
+		}
+	}
+	// Conservation: an idle machine pins every decision at zero; otherwise
+	// the full usable pool is handed out (free lanes help nobody). A pool
+	// degraded by faults below the active-core count instead publishes
+	// exactly the floor (one granule per active tenant, time-shared); the
+	// same shortage without faults keeps the strict first-come budget.
+	switch {
+	case active == 0:
+		if sum != 0 {
+			return "lanes granted with no active core"
+		}
+	case usable >= active || failed == 0:
+		if sum != usable {
+			return "usable pool not fully distributed"
+		}
+	default:
+		if sum != active {
+			return "degraded pool must publish exactly the floor"
+		}
+	}
+	return ""
+}
+
+// TestRepartitionProperty drives Manager.Repartition across randomized core
+// counts, <OI> registers and failure masks, asserting the full invariant set:
+// decisions conserve the pool, respect the fairness floor, fit the usable
+// ExeBUs, and starve only inactive cores.
+func TestRepartitionProperty(t *testing.T) {
+	mdl := roofline.Default()
+	f := func(spec []byte, totSeed, failSeed uint8) bool {
+		if len(spec) == 0 {
+			spec = []byte{1}
+		}
+		if len(spec) > 16 {
+			spec = spec[:16]
+		}
+		total := int(totSeed%31) + 1
+		tbl := newTbl(len(spec), total)
+		mgr := NewManager(mdl, tbl)
+		failed := tbl.Fail(int(failSeed) % (total + 1))
+		ois := decodeOIs(spec)
+		for c, oi := range ois {
+			tbl.SetOI(c, oi)
+		}
+		mgr.Repartition()
+		dec := make([]int, tbl.Cores())
+		for c := range dec {
+			dec[c] = tbl.Decision(c)
+		}
+		if msg := checkPartition(ois, dec, tbl.Usable(), failed); msg != "" {
+			t.Logf("spec=%v total=%d failed=%d dec=%v: %s", spec, total, failed, dec, msg)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepartitionPropertyAfterRepair extends the mask walk over time: fail,
+// replan, repair, replan — the invariants must hold at every step, and a full
+// repair must restore the fault-free distribution exactly.
+func TestRepartitionPropertyAfterRepair(t *testing.T) {
+	mdl := roofline.Default()
+	f := func(spec []byte, totSeed, failSeed uint8) bool {
+		if len(spec) == 0 || len(spec) > 12 {
+			spec = []byte{7, 0, 200}
+		}
+		total := int(totSeed%15) + 1
+		tbl := newTbl(len(spec), total)
+		mgr := NewManager(mdl, tbl)
+		ois := decodeOIs(spec)
+		for c, oi := range ois {
+			tbl.SetOI(c, oi)
+		}
+		mgr.Repartition()
+		ref := make([]int, tbl.Cores())
+		for c := range ref {
+			ref[c] = tbl.Decision(c)
+		}
+		failed := tbl.Fail(int(failSeed) % (total + 1))
+		mgr.Repartition()
+		dec := make([]int, tbl.Cores())
+		for c := range dec {
+			dec[c] = tbl.Decision(c)
+		}
+		if msg := checkPartition(ois, dec, tbl.Usable(), failed); msg != "" {
+			t.Logf("degraded: %s", msg)
+			return false
+		}
+		tbl.Repair(failed)
+		mgr.Repartition()
+		for c := range ref {
+			if tbl.Decision(c) != ref[c] {
+				t.Logf("repair did not restore decision[%d]: %d != %d", c, tbl.Decision(c), ref[c])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzPlan is the coverage-guided variant: arbitrary byte specs become core
+// populations, pool sizes and failure masks, and the Plan invariants must
+// hold for every input the fuzzer discovers.
+func FuzzPlan(f *testing.F) {
+	f.Add([]byte{1, 0, 255, 128}, uint8(8), uint8(0))
+	f.Add([]byte{3, 3, 3, 3, 3, 3, 3, 3, 3}, uint8(4), uint8(2))
+	f.Add([]byte{0, 0}, uint8(1), uint8(1))
+	f.Add([]byte{200}, uint8(31), uint8(30))
+	mdl := roofline.Default()
+	f.Fuzz(func(t *testing.T, spec []byte, totSeed, failSeed uint8) {
+		if len(spec) == 0 || len(spec) > 64 {
+			t.Skip()
+		}
+		total := int(totSeed%63) + 1
+		ois := decodeOIs(spec)
+		usable := total - int(failSeed)%(total+1)
+		plan := Plan(mdl, ois, usable)
+		sum, active := 0, 0
+		for c, vl := range plan {
+			if vl < 0 {
+				t.Fatalf("negative allocation %d for core %d", vl, c)
+			}
+			if ois[c].IsZero() && vl != 0 {
+				t.Fatalf("inactive core %d allocated %d granules", c, vl)
+			}
+			if !ois[c].IsZero() {
+				active++
+			}
+			sum += vl
+		}
+		if sum > usable {
+			t.Fatalf("plan %v oversubscribes the pool: %d > %d", plan, sum, usable)
+		}
+		if active <= usable {
+			for c, vl := range plan {
+				if !ois[c].IsZero() && vl < 1 {
+					t.Fatalf("fairness floor violated for core %d in %v", c, plan)
+				}
+			}
+		}
+	})
+}

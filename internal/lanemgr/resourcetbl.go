@@ -24,18 +24,54 @@ type ResourceTbl struct {
 	status   []uint32
 }
 
-// NewResourceTbl returns a table for cores CPU cores sharing total ExeBUs.
-// All lanes start free: every <VL> is 0 and <AL> = total.
-func NewResourceTbl(cores, total int) *ResourceTbl {
-	if cores <= 0 || total <= 0 {
-		panic(fmt.Sprintf("lanemgr: bad ResourceTbl dims cores=%d total=%d", cores, total))
+// Topology describes how the machine's ExeBUs are sharded across
+// co-processor clusters. ExeBUs is the machine-wide total; each cluster's
+// resource table manages ExeBUs/Clusters of them. The flat single-table
+// machine is Topology{Clusters: 1, Cores: C, ExeBUs: N}.
+type Topology struct {
+	// Clusters is the number of co-processor clusters (>= 1).
+	Clusters int
+	// Cores is the number of CPU cores the table serves. Every shard keeps a
+	// row per global core ID — rows for cores homed on other clusters stay
+	// inert — so no ID translation exists anywhere in the data path.
+	Cores int
+	// ExeBUs is the machine-wide ExeBU count, divided evenly over clusters.
+	ExeBUs int
+}
+
+// Validate checks the shard arithmetic and returns an actionable error.
+func (t Topology) Validate() error {
+	if t.Clusters < 1 {
+		return fmt.Errorf("lanemgr: topology needs at least 1 cluster, got %d", t.Clusters)
+	}
+	if t.Cores < 1 {
+		return fmt.Errorf("lanemgr: topology needs at least 1 core, got %d", t.Cores)
+	}
+	if t.ExeBUs < t.Clusters {
+		return fmt.Errorf("lanemgr: %d ExeBUs cannot cover %d clusters (need >= 1 each)", t.ExeBUs, t.Clusters)
+	}
+	if t.ExeBUs%t.Clusters != 0 {
+		return fmt.Errorf("lanemgr: %d ExeBUs do not shard evenly over %d clusters", t.ExeBUs, t.Clusters)
+	}
+	return nil
+}
+
+// PerCluster returns the ExeBU budget of one shard.
+func (t Topology) PerCluster() int { return t.ExeBUs / t.Clusters }
+
+// NewResourceTbl returns one cluster shard of topo: a table with a row per
+// CPU core sharing the cluster's ExeBUs/Clusters execution units. All lanes
+// start free: every <VL> is 0 and <AL> = the shard budget.
+func NewResourceTbl(topo Topology) *ResourceTbl {
+	if err := topo.Validate(); err != nil {
+		panic(err)
 	}
 	return &ResourceTbl{
-		total:    total,
-		oi:       make([]uint32, cores),
-		decision: make([]uint32, cores),
-		vl:       make([]uint32, cores),
-		status:   make([]uint32, cores),
+		total:    topo.PerCluster(),
+		oi:       make([]uint32, topo.Cores),
+		decision: make([]uint32, topo.Cores),
+		vl:       make([]uint32, topo.Cores),
+		status:   make([]uint32, topo.Cores),
 	}
 }
 

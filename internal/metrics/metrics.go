@@ -30,6 +30,21 @@ func Geomean(xs []float64) float64 {
 	return math.Exp(sum / float64(n))
 }
 
+// Jain returns Jain's fairness index over xs: (Σx)² / (n·Σx²), which is 1
+// when all entries are equal and 1/n when a single entry dominates. It
+// returns 0 for an empty or all-zero input.
+func Jain(xs []float64) float64 {
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 || len(xs) == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
 // PairRow is one x-axis entry of Figures 10/11/13/15: a co-running pair
 // measured on all four architectures.
 type PairRow struct {

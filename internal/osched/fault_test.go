@@ -16,7 +16,7 @@ import (
 // planner's degraded suggestion instead of waiting for lanes that no longer
 // exist.
 func TestRestoreAfterPoolShrink(t *testing.T) {
-	tbl := lanemgr.NewResourceTbl(2, 8)
+	tbl := lanemgr.NewResourceTbl(lanemgr.Topology{Clusters: 1, Cores: 2, ExeBUs: 8})
 	mgr := lanemgr.NewManager(roofline.Default(), tbl)
 	oi := isa.OIPair{Issue: 1, Mem: 1}
 	mgr.OnOIWrite(0, oi)

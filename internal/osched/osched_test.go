@@ -10,7 +10,7 @@ import (
 
 func setup(t *testing.T) *lanemgr.Manager {
 	t.Helper()
-	tbl := lanemgr.NewResourceTbl(2, 8)
+	tbl := lanemgr.NewResourceTbl(lanemgr.Topology{Clusters: 1, Cores: 2, ExeBUs: 8})
 	return lanemgr.NewManager(roofline.Default(), tbl)
 }
 

@@ -110,6 +110,11 @@ type Sources struct {
 	// Lanes is the full SIMD array width in lanes, the denominator of the
 	// occupancy fraction.
 	Lanes int
+	// Tables lists one TableSource per co-processor cluster, in fabric
+	// order, for the per-cluster series; a flat machine wires its single
+	// table here too. Empty disables the per-cluster series (and removes
+	// them from Digest), so pre-topology samplers hash unchanged.
+	Tables []TableSource
 }
 
 // CoreWindow is one core's slice of a sampling window. Counter-like fields
@@ -145,6 +150,15 @@ type CoreWindow struct {
 	RetireP99   float64
 }
 
+// ClusterWindow is one co-processor cluster's resource-table gauges at a
+// window boundary (the per-cluster telemetry series of a clustered topology).
+type ClusterWindow struct {
+	ALGranules int
+	UsableBUs  int
+	FailedBUs  int
+	TotalBUs   int
+}
+
 // Window is one closed sampling window.
 type Window struct {
 	Index    uint64 // sequence number, 0-based
@@ -169,6 +183,9 @@ type Window struct {
 	HostNanos int64
 
 	Cores []CoreWindow
+	// Clusters holds the per-cluster table gauges, one entry per
+	// Sources.Tables element; empty when no Tables were wired.
+	Clusters []ClusterWindow
 }
 
 // HostCyclesPerSec converts HostNanos into a simulation throughput gauge.
@@ -282,6 +299,9 @@ func NewSampler(cfg Config, src Sources) *Sampler {
 	}
 	for i := range s.wins {
 		s.wins[i].Cores = make([]CoreWindow, n)
+		if len(src.Tables) > 0 {
+			s.wins[i].Clusters = make([]ClusterWindow, len(src.Tables))
+		}
 	}
 	s.prev.cores = make([]prevCore, n)
 	for c := range s.hists {
@@ -378,6 +398,13 @@ func (s *Sampler) sample(now uint64) {
 		w.UsableBUs = tbl.Usable()
 		w.FailedBUs = tbl.Failed()
 		w.TotalBUs = tbl.Total()
+	}
+	for k, tbl := range s.src.Tables {
+		cw := &w.Clusters[k]
+		cw.ALGranules = tbl.AL()
+		cw.UsableBUs = tbl.Usable()
+		cw.FailedBUs = tbl.Failed()
+		cw.TotalBUs = tbl.Total()
 	}
 
 	totalBusy := 0.0
@@ -530,8 +557,14 @@ func (s *Sampler) CopyWindow(i int, dst *Window) bool {
 		cores = make([]CoreWindow, len(src.Cores))
 	}
 	copy(cores, src.Cores)
+	clusters := dst.Clusters
+	if len(clusters) != len(src.Clusters) {
+		clusters = make([]ClusterWindow, len(src.Clusters))
+	}
+	copy(clusters, src.Clusters)
 	*dst = *src
 	dst.Cores = cores
+	dst.Clusters = clusters
 	return true
 }
 
@@ -595,6 +628,7 @@ func (s *Sampler) Snapshot() *SamplerState {
 		st.wins[i] = s.wins[i]
 		st.wins[i].HostNanos = 0 // host residue stays out of checkpoints
 		st.wins[i].Cores = append([]CoreWindow(nil), s.wins[i].Cores...)
+		st.wins[i].Clusters = append([]ClusterWindow(nil), s.wins[i].Clusters...)
 	}
 	st.prev = s.prev
 	st.prev.cores = append([]prevCore(nil), s.prev.cores...)
@@ -614,8 +648,11 @@ func (s *Sampler) Restore(st *SamplerState) {
 	for i := range s.wins {
 		cores := s.wins[i].Cores
 		copy(cores, st.wins[i].Cores)
+		clusters := s.wins[i].Clusters
+		copy(clusters, st.wins[i].Clusters)
 		s.wins[i] = st.wins[i]
 		s.wins[i].Cores = cores
+		s.wins[i].Clusters = clusters
 	}
 	copy(s.events, st.events)
 	s.nev = st.nev
@@ -664,6 +701,13 @@ func (s *Sampler) Digest() uint64 {
 		putI(w.UsableBUs)
 		putI(w.FailedBUs)
 		putI(w.TotalBUs)
+		for k := range w.Clusters {
+			kw := &w.Clusters[k]
+			putI(kw.ALGranules)
+			putI(kw.UsableBUs)
+			putI(kw.FailedBUs)
+			putI(kw.TotalBUs)
+		}
 		putF(w.Occupancy)
 		for c := range w.Cores {
 			cw := &w.Cores[c]

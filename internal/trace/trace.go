@@ -60,7 +60,7 @@ func Capture(sys *arch.System, res *arch.Result) *Run {
 		Cycles:          res.Cycles,
 		Util:            res.Utilization,
 		BucketCycles:    1000,
-		LanesPerGranule: sys.Coproc.LanesPerGranule(),
+		LanesPerGranule: sys.Cplx.LanesPerGranule(),
 	}
 	for c, cr := range res.Cores {
 		run.Cores = append(run.Cores, Core{
@@ -70,10 +70,10 @@ func Capture(sys *arch.System, res *arch.Result) *Run {
 			RenameStallFrac: cr.RenameStallFrac,
 			PhaseCycles:     cr.PhaseCycles,
 			PhaseIssueRates: cr.PhaseIssueRates,
-			BusyLanes:       sys.Coproc.BusyTimeline(c).Points(),
+			BusyLanes:       sys.Cplx.BusyTimeline(c).Points(),
 		})
 	}
-	for _, e := range sys.Coproc.LaneEvents() {
+	for _, e := range sys.Cplx.LaneEvents() {
 		run.Events = append(run.Events, LaneEvent{
 			Cycle: e.Cycle, Core: e.Core, Kind: e.Kind, VL: e.VL, Decisions: e.Decisions,
 		})

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"occamy/internal/arch"
+	"occamy/internal/coproc"
 	"occamy/internal/fault"
 	"occamy/internal/isa"
 	"occamy/internal/lanemgr"
@@ -129,7 +130,17 @@ type Config struct {
 	// event log as Perfetto counter tracks (Chrome trace-event JSON,
 	// openable in ui.perfetto.dev). Implies windowed sampling.
 	TimelinePath string
+	// Topology shapes the co-processor side of the machine: the number of
+	// co-processor clusters (each owning an even shard of the ExeBUs), the
+	// fabric group width, and the hop latency/bandwidth of the routed
+	// CPU→coproc fabric. Nil keeps the flat single-co-processor machine; a
+	// 1-cluster topology with zero hop latency is bit-identical to nil.
+	Topology *Topology
 }
+
+// Topology describes a clustered machine for Config.Topology: N co-processor
+// instances behind a routed fabric. See the field docs in internal/coproc.
+type Topology = coproc.Topology
 
 // telemetryEnabled reports whether the run should build a sampler.
 func (c Config) telemetryEnabled() bool {
@@ -160,8 +171,27 @@ func (c Config) Validate() error {
 			return fmt.Errorf("occamy: %w", err)
 		}
 	}
-	if _, err := parseFaults(c.Faults); err != nil {
+	clusters := 1
+	if t := c.Topology; t != nil {
+		if t.Clusters < 1 {
+			return fmt.Errorf("occamy: Topology.Clusters must be >= 1, got %d (omit Topology for the flat single-co-processor machine)", t.Clusters)
+		}
+		if t.CoresPerGroup < 0 {
+			return fmt.Errorf("occamy: Topology.CoresPerGroup must be >= 0, got %d (0 derives cores/clusters)", t.CoresPerGroup)
+		}
+		if t.HopBandwidth < 0 {
+			return fmt.Errorf("occamy: Topology.HopBandwidth must be >= 0, got %d (0 means unlimited)", t.HopBandwidth)
+		}
+		clusters = t.Clusters
+	}
+	faults, err := parseFaults(c.Faults)
+	if err != nil {
 		return err
+	}
+	for _, f := range faults {
+		if f.Cluster != fault.AnyCluster && f.Cluster >= clusters {
+			return fmt.Errorf("occamy: fault %q targets cluster %d but the topology has %d cluster(s)", f.String(), f.Cluster, clusters)
+		}
 	}
 	return nil
 }
@@ -513,6 +543,7 @@ func buildSystem(cfg Config, sched Schedule, o obs.Options) (*arch.System, error
 		Faults:        faults,
 		StallCycles:   cfg.StallCycles,
 		Telemetry:     teleCfg,
+		Topology:      cfg.Topology,
 	})
 }
 

@@ -103,7 +103,7 @@ func newReport(sys *arch.System, res *arch.Result) *Report {
 			OverheadReconfigFrac: cr.OverheadReconfigFrac,
 			Attribution:          cr.Attribution,
 		})
-		r.LaneTimelines = append(r.LaneTimelines, sys.Coproc.BusyTimeline(c).Points())
+		r.LaneTimelines = append(r.LaneTimelines, sys.Cplx.BusyTimeline(c).Points())
 	}
 	if sys.Probe != nil {
 		r.Stats = sys.Stats.Snapshot()
