@@ -20,6 +20,7 @@ import (
 	"occamy/internal/isa"
 	"occamy/internal/lanemgr"
 	"occamy/internal/roofline"
+	"occamy/internal/traffic"
 	"occamy/internal/workload"
 )
 
@@ -274,11 +275,11 @@ func BenchmarkEngineSkipAhead(b *testing.B) {
 // cycles; the occasional restore is in-place and amortizes to nothing.
 //
 // CI gates on this benchmark: cmd/occamy-benchgate compares ns/op against
-// the committed BENCH_PR7.json baseline (±10%) and fails on any nonzero
+// the committed BENCH_PR8.json baseline (±10%) and fails on any nonzero
 // allocs/op. Refresh the baseline with:
 //
 //	go test -run xxx -bench SteadyStateTick -benchmem -count 3 . |
-//	    go run ./cmd/occamy-benchgate -baseline BENCH_PR7.json -update
+//	    go run ./cmd/occamy-benchgate -baseline BENCH_PR8.json -update
 func BenchmarkSteadyStateTick(b *testing.B) {
 	reg := workload.NewRegistry()
 	dot := *reg.Kernel("dotProd")
@@ -353,6 +354,45 @@ func BenchmarkSteadyStateTickTopo64(b *testing.B) {
 					sys.RestoreCheckpoint(snap)
 				}
 				sys.Engine.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkSteadyStateTickTraffic measures the warm per-cycle cost with the
+// open-loop traffic layer active: Poisson arrivals, tenant churn and the
+// preemptive osched scheduler all ticking alongside the cores. ns/op is ns
+// per simulated cycle of the loaded machine; allocs/op must stay 0 — the
+// arrival engine's rings, task contexts and vector save buffers are all
+// preallocated (internal/traffic TestSteadyStateZeroAllocTraffic enforces
+// the same bound exactly, per architecture). The name shares the
+// SteadyStateTick prefix so the CI benchmark gate (-bench SteadyStateTick)
+// covers the traffic path too.
+func BenchmarkSteadyStateTickTraffic(b *testing.B) {
+	spec, err := traffic.ParseSpec(
+		"poisson:load=16,tenants=3,cores=2,horizon=6000,slice=300,elems=128,repeats=1,churn=500:700,maxtasks=4096")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const warm, recycle = 2001, 5_000
+	for _, kind := range arch.Kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			sc, err := traffic.Build(kind, spec, arch.Options{Seed: 19})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc.Sys.Engine.SetSkipAhead(false)
+			if _, err := sc.Sys.Engine.RunUntil(func() bool { return sc.Sys.Engine.Cycle() >= warm }, 1_000_000); err != nil {
+				b.Fatal(err)
+			}
+			snap := sc.Snapshot()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sc.Sys.Engine.Cycle() >= recycle {
+					sc.RestoreSnapshot(snap)
+				}
+				sc.Sys.Engine.Step()
 			}
 		})
 	}

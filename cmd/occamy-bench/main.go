@@ -23,7 +23,9 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table3|table4|fig2|fig10|fig11|fig12|fig13|fig14|table5|fig15|fig16|topdown|ablations|dse|degradation|all, or scale (hierarchical 4→64-core sweep; never part of all)")
+		exp    = flag.String("exp", "all", "experiment: table3|table4|fig2|fig10|fig11|fig12|fig13|fig14|table5|fig15|fig16|topdown|ablations|dse|degradation|traffic|all, or scale (hierarchical 4→64-core sweep; never part of all)")
+		tspec  = flag.String("traffic-spec", "", "base arrival-process spec for -exp traffic (\"\" = the default 4-tenant Poisson mix; the load= field is swept)")
+		tfault = flag.Bool("faults", false, "double the -exp traffic sweep with a transient-fault variant (2 ExeBUs lost through the middle half of the horizon)")
 		scale  = flag.Float64("scale", 1.0, "trip-count scale")
 		seed   = flag.Uint64("seed", 1, "workload data seed")
 		html   = flag.String("html", "", "write a self-contained HTML report (SVG charts) to this file and exit")
@@ -201,6 +203,15 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(d.Render())
+	}
+
+	if want("traffic") {
+		section("Traffic — open-loop overload sweep with per-tenant SLOs")
+		tr, err := cfg.Traffic(*tspec, *tfault)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(tr.Render())
 	}
 
 	// The hierarchical sweep (4→64 cores × 1→4 clusters × 4 architectures =

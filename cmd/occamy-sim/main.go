@@ -58,6 +58,7 @@ func main() {
 		stats    = flag.Bool("stats", false, "dump the full sorted counter registry (implies -profile)")
 		legacy   = flag.Bool("legacy-tick", false, "force the every-cycle engine path (disable skip-ahead; results are bit-identical)")
 		faults   = flag.String("faults", "", `fault-injection spec: "kind[:target...]@at[+for]; ..." (e.g. "exebu:2@10000+5000; xmit:core0@2000+8000"), or @file.json`)
+		trafSpec = flag.String("traffic", "", `open-loop traffic spec instead of -w0/-w1: "process:key=value,..." (e.g. "poisson:load=2,tenants=6,churn=8000:20000"); prints the per-tenant SLO report`)
 		clusters = flag.Int("clusters", 1, "number of co-processor clusters (1 = the flat machine; cores and ExeBUs must divide evenly over clusters)")
 		hopLat   = flag.Uint64("hop-lat", 0, "CPU→coproc fabric hop latency in cycles (0 = direct wiring, bit-identical to the flat machine)")
 		hopBW    = flag.Int("hop-bw", 0, "fabric transmissions a cluster accepts per cycle (0 = unlimited)")
@@ -107,16 +108,6 @@ func main() {
 		}
 	}
 
-	r0, err := resolveWorkload(*w0)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "w0: %v\n", err)
-		os.Exit(2)
-	}
-	r1, err := resolveWorkload(*w1)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "w1: %v\n", err)
-		os.Exit(2)
-	}
 	prof, err := profiling.Start(*cpuPr, *memPr, *allocs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
@@ -131,71 +122,121 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "telemetry: serving on http://%s (/metrics, /events, /stream)\n", teleSrv.Addr())
 	}
-	sched := occamy.NewSchedule(fmt.Sprintf("%s+%s", r0.Name(), r1.Name()), r0, r1)
-	if *oiTable {
-		for _, ref := range []occamy.WorkloadRef{r0, r1} {
-			fmt.Printf("%s phases (oi_issue, oi_mem): %v\n", ref.Name(), ref.PhaseOIs())
+	if *trafSpec != "" {
+		// Open-loop traffic mode: the spec defines the offered work, so the
+		// -w0/-w1 schedule path (and its workload resolution) is bypassed.
+		for _, kind := range kinds {
+			cfg := occamy.DefaultConfig(kind)
+			cfg.MaxCycles = 0 // let the spec's horizon size the budget
+			cfg.Seed = *seed
+			cfg.Machine = tuning
+			cfg.LegacyTick = *legacy
+			cfg.Faults = *faults
+			cfg.Telemetry = teleSrv
+			cfg.TelemetryWindow = *teleWin
+			cfg.TimelinePath = perfettoPath(*timeline, kind, len(kinds) > 1)
+			cfg.Traffic = *trafSpec
+			if *clusters != 1 || *hopLat != 0 || *hopBW != 0 {
+				cfg.Topology = &occamy.Topology{Clusters: *clusters, HopLatency: *hopLat, HopBandwidth: *hopBW}
+			}
+			if *stall > 0 {
+				cfg.StallCycles = *stall
+			}
+			if err := cfg.Validate(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s\n", err)
+				os.Exit(2)
+			}
+			rep, err := occamy.RunTraffic(cfg)
+			if err != nil {
+				var derr *occamy.DiagnosticError
+				if errors.As(err, &derr) {
+					fmt.Fprintln(os.Stderr, derr.Dump)
+				}
+				fmt.Fprintf(os.Stderr, "%s: %v\n", kind, err)
+				os.Exit(1)
+			}
+			fmt.Printf("=== %s ===\n%s", kind, rep.Summary())
+			if cfg.TimelinePath != "" {
+				fmt.Printf("telemetry timeline written to %s (open in ui.perfetto.dev)\n", cfg.TimelinePath)
+			}
 		}
-	}
-	for _, kind := range kinds {
-		cfg := occamy.DefaultConfig(kind)
-		cfg.Scale = *scale
-		cfg.Seed = *seed
-		cfg.TraceDir = *traceDir
-		cfg.Machine = tuning
-		cfg.Profile = *profile || *stats
-		cfg.PerfettoPath = perfettoPath(*perfetto, kind, len(kinds) > 1)
-		cfg.LegacyTick = *legacy
-		cfg.Faults = *faults
-		cfg.Telemetry = teleSrv
-		cfg.TelemetryWindow = *teleWin
-		cfg.TimelinePath = perfettoPath(*timeline, kind, len(kinds) > 1)
-		if *clusters != 1 || *hopLat != 0 || *hopBW != 0 {
-			cfg.Topology = &occamy.Topology{Clusters: *clusters, HopLatency: *hopLat, HopBandwidth: *hopBW}
-		}
-		if *stall > 0 {
-			cfg.StallCycles = *stall
-		}
-		if err := cfg.Validate(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s\n", err)
+	} else {
+		r0, err := resolveWorkload(*w0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "w0: %v\n", err)
 			os.Exit(2)
 		}
-		rep, err := occamy.Run(cfg, sched)
+		r1, err := resolveWorkload(*w1)
 		if err != nil {
-			// A wedged or budget-exhausted run carries a machine-state dump —
-			// print it so the user sees *where* it stopped, not just that it
-			// stopped.
-			var derr *occamy.DiagnosticError
-			if errors.As(err, &derr) {
-				fmt.Fprintln(os.Stderr, derr.Dump)
-			}
-			fmt.Fprintf(os.Stderr, "%s: %v\n", kind, err)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "w1: %v\n", err)
+			os.Exit(2)
 		}
-		fmt.Print(rep.Summary())
-		if *asciiTL {
-			for c := range rep.Cores {
-				fmt.Printf("  core%d |%s|\n", c, rep.AsciiTimeline(c, 32))
+		sched := occamy.NewSchedule(fmt.Sprintf("%s+%s", r0.Name(), r1.Name()), r0, r1)
+		if *oiTable {
+			for _, ref := range []occamy.WorkloadRef{r0, r1} {
+				fmt.Printf("%s phases (oi_issue, oi_mem): %v\n", ref.Name(), ref.PhaseOIs())
 			}
 		}
-		if *profile || *stats {
-			fmt.Println("\ntop-down cycle attribution:")
-			fmt.Print(rep.TopDown())
-			for _, h := range rep.Histograms {
-				fmt.Print(h)
+		for _, kind := range kinds {
+			cfg := occamy.DefaultConfig(kind)
+			cfg.Scale = *scale
+			cfg.Seed = *seed
+			cfg.TraceDir = *traceDir
+			cfg.Machine = tuning
+			cfg.Profile = *profile || *stats
+			cfg.PerfettoPath = perfettoPath(*perfetto, kind, len(kinds) > 1)
+			cfg.LegacyTick = *legacy
+			cfg.Faults = *faults
+			cfg.Telemetry = teleSrv
+			cfg.TelemetryWindow = *teleWin
+			cfg.TimelinePath = perfettoPath(*timeline, kind, len(kinds) > 1)
+			if *clusters != 1 || *hopLat != 0 || *hopBW != 0 {
+				cfg.Topology = &occamy.Topology{Clusters: *clusters, HopLatency: *hopLat, HopBandwidth: *hopBW}
 			}
-		}
-		if *stats {
-			fmt.Println("\ncounters:")
-			for _, name := range sortedKeys(rep.Stats) {
-				fmt.Printf("  %-40s %d\n", name, rep.Stats[name])
+			if *stall > 0 {
+				cfg.StallCycles = *stall
 			}
-		}
-		if cfg.PerfettoPath != "" {
-			fmt.Printf("perfetto trace written to %s (open in ui.perfetto.dev)\n", cfg.PerfettoPath)
-		}
-		if cfg.TimelinePath != "" {
-			fmt.Printf("telemetry timeline written to %s (open in ui.perfetto.dev)\n", cfg.TimelinePath)
+			if err := cfg.Validate(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s\n", err)
+				os.Exit(2)
+			}
+			rep, err := occamy.Run(cfg, sched)
+			if err != nil {
+				// A wedged or budget-exhausted run carries a machine-state dump —
+				// print it so the user sees *where* it stopped, not just that it
+				// stopped.
+				var derr *occamy.DiagnosticError
+				if errors.As(err, &derr) {
+					fmt.Fprintln(os.Stderr, derr.Dump)
+				}
+				fmt.Fprintf(os.Stderr, "%s: %v\n", kind, err)
+				os.Exit(1)
+			}
+			fmt.Print(rep.Summary())
+			if *asciiTL {
+				for c := range rep.Cores {
+					fmt.Printf("  core%d |%s|\n", c, rep.AsciiTimeline(c, 32))
+				}
+			}
+			if *profile || *stats {
+				fmt.Println("\ntop-down cycle attribution:")
+				fmt.Print(rep.TopDown())
+				for _, h := range rep.Histograms {
+					fmt.Print(h)
+				}
+			}
+			if *stats {
+				fmt.Println("\ncounters:")
+				for _, name := range sortedKeys(rep.Stats) {
+					fmt.Printf("  %-40s %d\n", name, rep.Stats[name])
+				}
+			}
+			if cfg.PerfettoPath != "" {
+				fmt.Printf("perfetto trace written to %s (open in ui.perfetto.dev)\n", cfg.PerfettoPath)
+			}
+			if cfg.TimelinePath != "" {
+				fmt.Printf("telemetry timeline written to %s (open in ui.perfetto.dev)\n", cfg.TimelinePath)
+			}
 		}
 	}
 	if teleSrv != nil {

@@ -1,0 +1,132 @@
+// Package archtest is the reusable differential/property harness behind the
+// repo's bit-identity guarantees. Scenario layers (arch differential tests,
+// the traffic engine, future schedulers) express a run as a function
+// returning an FNV-64a outcome digest; the harness runs variant sets —
+// skip-ahead vs legacy tick, -j 1 vs -j N, straight vs checkpoint-fork —
+// and fails with a per-variant digest table when any pair diverges.
+//
+// The contract a digest function must honor: it builds its entire world
+// from its own inputs (no shared mutable state), and the digest covers
+// every outcome the variant is supposed to reproduce — not internal
+// scratch state that may legitimately differ between equivalent executions.
+package archtest
+
+import (
+	"hash"
+	"hash/fnv"
+	"math"
+	"sync"
+	"testing"
+)
+
+// Digest builds an FNV-64a digest from typed values; a convenience over
+// hand-rolled byte packing so every test digests fields the same way.
+type Digest struct {
+	h   hash.Hash64
+	buf [8]byte
+}
+
+// NewDigest returns an empty digest builder.
+func NewDigest() *Digest { return &Digest{h: fnv.New64a()} }
+
+// U64 folds values in little-endian order.
+func (d *Digest) U64(vs ...uint64) {
+	for _, v := range vs {
+		for i := 0; i < 8; i++ {
+			d.buf[i] = byte(v >> (8 * i))
+		}
+		d.h.Write(d.buf[:8])
+	}
+}
+
+// I64 folds signed values.
+func (d *Digest) I64(vs ...int64) {
+	for _, v := range vs {
+		d.U64(uint64(v))
+	}
+}
+
+// F64 folds the IEEE-754 bit pattern (bit-identity, not tolerance).
+func (d *Digest) F64(vs ...float64) {
+	for _, v := range vs {
+		d.U64(math.Float64bits(v))
+	}
+}
+
+// Bool folds a flag.
+func (d *Digest) Bool(b bool) {
+	if b {
+		d.U64(1)
+	} else {
+		d.U64(0)
+	}
+}
+
+// Str folds a length-prefixed string.
+func (d *Digest) Str(s string) {
+	d.U64(uint64(len(s)))
+	d.h.Write([]byte(s))
+}
+
+// Sum returns the digest value; the builder remains usable.
+func (d *Digest) Sum() uint64 { return d.h.Sum64() }
+
+// Variant is one execution strategy of the same logical scenario.
+type Variant struct {
+	Name string
+	Run  func(t *testing.T) uint64
+}
+
+// CheckVariants runs every variant sequentially and fails the test unless
+// all digests are identical, reporting the full table on divergence.
+func CheckVariants(t *testing.T, variants []Variant) {
+	t.Helper()
+	if len(variants) < 2 {
+		t.Fatal("archtest: need at least two variants to compare")
+	}
+	digests := make([]uint64, len(variants))
+	for i, v := range variants {
+		digests[i] = v.Run(t)
+	}
+	report(t, variants, digests)
+}
+
+// CheckVariantsParallel runs every variant in its own goroutine (the -j N
+// equivalence property: concurrent execution must not perturb outcomes)
+// and fails unless all digests agree.
+func CheckVariantsParallel(t *testing.T, variants []Variant) {
+	t.Helper()
+	if len(variants) < 2 {
+		t.Fatal("archtest: need at least two variants to compare")
+	}
+	digests := make([]uint64, len(variants))
+	var wg sync.WaitGroup
+	for i, v := range variants {
+		wg.Add(1)
+		go func(i int, v Variant) {
+			defer wg.Done()
+			digests[i] = v.Run(t)
+		}(i, v)
+	}
+	wg.Wait()
+	report(t, variants, digests)
+}
+
+func report(t *testing.T, variants []Variant, digests []uint64) {
+	t.Helper()
+	base := digests[0]
+	diverged := false
+	for _, d := range digests[1:] {
+		if d != base {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		return
+	}
+	for i, v := range variants {
+		t.Errorf("archtest: variant %-24s digest %016x", v.Name, digests[i])
+	}
+	t.Fatalf("archtest: %d variants diverged", len(variants))
+}

@@ -100,6 +100,8 @@ type Core struct {
 	phase             int
 	phaseCycleNames   []string
 	phaseEnteredNames []string
+	phaseCyclePool    []string
+	phaseEnteredPool  []string
 	poolFullName      string
 	mobStallName      string
 	renameBlockName   string
@@ -154,18 +156,32 @@ func New(id int, cfg Config, prog *isa.Program, cp CoprocPort, l1 mem.Port, data
 	return c
 }
 
-// buildPhaseNames (re)builds the per-phase counter names for prog; indexed by
-// phase+1 so the pre-phase prologue (phase -1) has a slot.
+// buildPhaseNames (re)installs the per-phase counter names for prog; indexed
+// by phase+1 so the pre-phase prologue (phase -1) has a slot. The names depend
+// only on the core id and the phase index, so they live in a grown-once pool:
+// swapping in a program no larger than any already seen — a context switch
+// between an OS scheduler's tasks — allocates nothing.
 func (c *Core) buildPhaseNames(prog *isa.Program) {
-	c.phaseCycleNames = make([]string, prog.NumPhases+1)
-	c.phaseEnteredNames = make([]string, prog.NumPhases+1)
-	for p := 0; p <= prog.NumPhases; p++ {
-		c.phaseCycleNames[p] = fmt.Sprintf("cpu%d.phase%d.cycles", c.id, p-1)
-		c.phaseEnteredNames[p] = fmt.Sprintf("cpu%d.phase%d.entered_cycle", c.id, p-1)
+	n := prog.NumPhases + 1
+	c.PrewarmPhases(prog.NumPhases)
+	c.phaseCycleNames = c.phaseCyclePool[:n]
+	c.phaseEnteredNames = c.phaseEnteredPool[:n]
+}
+
+// PrewarmPhases extends the phase counter-name pool (and materializes the
+// counters) up to numPhases. Schedulers that swap precompiled tasks onto the
+// core call this at registration time so no dispatch on the tick path ever
+// builds a name.
+func (c *Core) PrewarmPhases(numPhases int) {
+	for p := len(c.phaseCyclePool); p <= numPhases; p++ {
+		cn := fmt.Sprintf("cpu%d.phase%d.cycles", c.id, p-1)
+		en := fmt.Sprintf("cpu%d.phase%d.entered_cycle", c.id, p-1)
+		c.phaseCyclePool = append(c.phaseCyclePool, cn)
+		c.phaseEnteredPool = append(c.phaseEnteredPool, en)
 		// Materialized eagerly: a late phase is first entered mid-run,
 		// and creating its counter then would allocate on the tick path.
-		c.stats.Counter(c.phaseCycleNames[p])
-		c.stats.Counter(c.phaseEnteredNames[p])
+		c.stats.Counter(cn)
+		c.stats.Counter(en)
 	}
 }
 

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"occamy/internal/arch"
+)
+
+// TestTrafficSweepQuick drives the full overload sweep shape — every load,
+// every architecture, clean and faulted — on a reduced spec, and checks the
+// acceptance properties: every point produced a conservation-clean report
+// and the elastic architecture starved no tenant at any load.
+func TestTrafficSweepQuick(t *testing.T) {
+	cfg := Quick()
+	sweep, err := cfg.Traffic("poisson:tenants=3,cores=2,horizon=8000,slice=400,elems=384,repeats=1,churn=900:1300", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPoints := len(TrafficLoads) * 2
+	for _, kind := range arch.Kinds {
+		pts := sweep.Points[kind]
+		if len(pts) != wantPoints {
+			t.Fatalf("%s: %d points, want %d", kind, len(pts), wantPoints)
+		}
+		for _, p := range pts {
+			if p.Report == nil {
+				t.Fatalf("%s load=%gx faulted=%v: missing report", kind, p.Load, p.Faulted)
+			}
+			if p.Report.Total.Arrivals == 0 {
+				t.Fatalf("%s load=%gx faulted=%v: no arrivals", kind, p.Load, p.Faulted)
+			}
+			if p.Report.Total.Completed == 0 {
+				t.Fatalf("%s load=%gx faulted=%v: nothing completed", kind, p.Load, p.Faulted)
+			}
+		}
+	}
+	if st := sweep.Starvations(arch.Occamy); len(st) > 0 {
+		t.Fatalf("Occamy fairness floor violated: %v", st)
+	}
+	out := sweep.Render()
+	for _, want := range []string{"p99 sojourn", "SLO attainment", "Per-tenant detail, Occamy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

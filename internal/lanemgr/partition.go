@@ -28,7 +28,20 @@ const gainEpsilon = 1e-9
 // free. If there are more active workloads than ExeBUs, the first come first
 // (the paper assumes M <= C <= N, so this is a defensive degenerate case).
 func Plan(m roofline.Model, ois []isa.OIPair, total int) []int {
-	vls := make([]int, len(ois))
+	return planInto(m, ois, total, make([]int, len(ois)), make([]cand, 0, len(ois)))
+}
+
+// cand is one candidate row of the marginal-gain sort in Plan.
+type cand struct {
+	idx  int
+	gain float64
+}
+
+// planInto is Plan over caller-owned buffers: vls must be len(ois) and
+// zeroed, cands is scratch for the gain sort. The Manager's Repartition path
+// uses it with pooled buffers so the per-<OI>-write plan computation is
+// allocation-free.
+func planInto(m roofline.Model, ois []isa.OIPair, total int, vls []int, cands []cand) []int {
 	remaining := total
 
 	// Step 1: fairness floor.
@@ -44,11 +57,6 @@ func Plan(m roofline.Model, ois []isa.OIPair, total int) []int {
 	}
 
 	// Steps 2-3: marginal-gain rounds.
-	type cand struct {
-		idx  int
-		gain float64
-	}
-	cands := make([]cand, 0, len(ois))
 	for remaining > 0 {
 		cands = cands[:0]
 		for i, oi := range ois {
@@ -90,6 +98,12 @@ type Manager struct {
 	// Repartitions counts plan computations, for the Figure 15 overhead
 	// accounting.
 	Repartitions uint64
+	// Scratch buffers reused across Repartition calls (grown once, then
+	// steady-state allocation-free — repartitioning is on the context-switch
+	// hot path under preemptive traffic).
+	scratchOIs  []isa.OIPair
+	scratchVLs  []int
+	scratchCand []cand
 	// AfterRepartition, when non-nil, runs at the end of every Repartition.
 	// In a sharded machine it is the seam between the two planning levels:
 	// each cluster's Manager remains the per-cluster pass (fairness floor and
@@ -121,8 +135,17 @@ func (g *Manager) OnOIWrite(c int, oi isa.OIPair) {
 // Planning runs over the usable pool, so after a fault has excluded units
 // the fresh decisions fit the surviving ExeBUs (fairness floor included).
 func (g *Manager) Repartition() {
-	ois := g.Tbl.ActiveOIs()
-	plan := Plan(g.Model, ois, g.Tbl.Usable())
+	n := g.Tbl.Cores()
+	if cap(g.scratchOIs) < n {
+		g.scratchOIs = make([]isa.OIPair, 0, n)
+		g.scratchVLs = make([]int, n)
+		g.scratchCand = make([]cand, 0, n)
+	}
+	ois := g.Tbl.ActiveOIsInto(g.scratchOIs[:0])
+	for i := range g.scratchVLs {
+		g.scratchVLs[i] = 0
+	}
+	plan := planInto(g.Model, ois, g.Tbl.Usable(), g.scratchVLs[:n], g.scratchCand[:0])
 	free := g.Tbl.Usable()
 	active := 0
 	for c, vl := range plan {

@@ -255,9 +255,16 @@ func (t *ResourceTbl) Restore(st TblState) {
 // ActiveOIs returns the decoded <OI> of every core; cores not executing a
 // phase hold the zero pair.
 func (t *ResourceTbl) ActiveOIs() []isa.OIPair {
-	out := make([]isa.OIPair, t.Cores())
-	for c := range out {
-		out[c] = t.OI(c)
+	return t.ActiveOIsInto(make([]isa.OIPair, 0, t.Cores()))
+}
+
+// ActiveOIsInto appends the decoded <OI> of every core to dst and returns it.
+// Repartitioning runs on every <OI> write — a context-switch-rate event under
+// preemptive scheduling — so the manager reuses one scratch buffer instead of
+// allocating per plan.
+func (t *ResourceTbl) ActiveOIsInto(dst []isa.OIPair) []isa.OIPair {
+	for c := 0; c < t.Cores(); c++ {
+		dst = append(dst, t.OI(c))
 	}
-	return out
+	return dst
 }

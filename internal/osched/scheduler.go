@@ -7,12 +7,13 @@ import (
 	"occamy/internal/compiler"
 	"occamy/internal/cpu"
 	"occamy/internal/isa"
+	"occamy/internal/sim"
 	"occamy/internal/workload"
 )
 
-// Scheduler is a preemptive round-robin OS scheduler over an elastic
-// (Occamy) system: it time-slices more tasks than cores, saving and
-// restoring full contexts — scalar registers, vector registers and the five
+// Scheduler is a preemptive OS scheduler over a built system: it time-slices
+// more tasks than cores, saving and restoring full contexts — scalar
+// registers, vector registers and (on the elastic architecture) the five
 // EM-SIMD dedicated registers — at quiescent points only, exactly as §5
 // prescribes ("the OS will save the contexts ... when all the pipelines
 // (including those in Occamy) are drained, and restore <OI> using MSR to
@@ -20,10 +21,20 @@ import (
 //
 // It extends the paper: §5 assumes lane partitioning and task scheduling
 // work independently; this realizes the interaction so it can be studied
-// (see TestSchedulerOversubscribed and examples/scheduler).
+// (see TestSchedulerOversubscribed and examples/scheduler). Tasks are
+// admitted through a FIFO ready ring — either all at once (Start, the
+// classic oversubscribed batch) or one by one as they arrive
+// (EnqueueReady, driven by internal/traffic) — and can be suspended,
+// resumed and canceled mid-run for tenant-churn scenarios.
+//
+// On non-elastic architectures (Private, FTS, VLS) tasks are compiled
+// VL-agnostic (compiler.ModeFixed), so contexts migrate freely between
+// cores with different fixed vector lengths and no EM-SIMD state exists to
+// save; the elastic-only steps are skipped.
 type Scheduler struct {
-	sys   *arch.System
-	slice uint64
+	sys     *arch.System
+	slice   uint64
+	elastic bool
 
 	// tasks holds every task's saved context; running[c] is the task id
 	// on core c (-1 = idle).
@@ -35,8 +46,34 @@ type Scheduler struct {
 	sliceEnd    []uint64
 	pendingIn   []int // task id being switched in (during restore)
 
-	// Switches counts completed context switches.
+	// queue is the FIFO ready ring (circular buffer, presized at AddTask so
+	// steady-state admission never allocates). Stale entries — tasks
+	// canceled or suspended while queued — are skipped lazily at pop.
+	queue []int32
+	qhead int
+	qlen  int
+
+	hooks Hooks
+
+	// Switches counts completed context switches (preemptions and
+	// evictions, not completions).
 	Switches uint64
+}
+
+// Hooks observes task lifecycle transitions; all methods are called from
+// the scheduler's Tick, in deterministic order. A nil Hooks is valid.
+type Hooks interface {
+	// TaskRunning fires when a task (re)starts executing on a core; first
+	// is true on its very first dispatch.
+	TaskRunning(id int, now uint64, first bool)
+	// TaskPreempted fires when a task's context is saved and the task is
+	// returned to the ready ring.
+	TaskPreempted(id int, now uint64)
+	// TaskSuspended fires when a running task is forced off its core by
+	// Suspend or Cancel (tenant churn) after its context is saved.
+	TaskSuspended(id int, now uint64)
+	// TaskCompleted fires when a task halts and its pipelines drain.
+	TaskCompleted(id int, now uint64)
 }
 
 type task struct {
@@ -45,7 +82,14 @@ type task struct {
 	vec  [][]float32
 	em   Context
 	vl   int // lanes held when preempted (granules)
-	done bool
+
+	vecValid  bool // vec holds a real saved state (not just a warm buffer)
+	started   bool
+	done      bool
+	canceled  bool
+	suspended bool
+	enqueued  bool
+	evict     bool // running task: deschedule at next quiescent point
 }
 
 type switchPhase uint8
@@ -56,14 +100,14 @@ const (
 	acquiring             // restoring: waiting to re-acquire the saved VL
 )
 
-// NewScheduler wraps an already-built elastic system whose cores were
-// created with placeholder programs; use BuildOversubscribed for the common
-// case.
+// NewScheduler wraps an already-built system whose cores were created with
+// placeholder programs; use Oversubscribed for the common batch case.
 func NewScheduler(sys *arch.System, slice uint64) *Scheduler {
 	n := len(sys.Cores)
 	s := &Scheduler{
 		sys:         sys,
 		slice:       slice,
+		elastic:     sys.Kind == arch.Occamy,
 		running:     make([]int, n),
 		switchState: make([]switchPhase, n),
 		sliceEnd:    make([]uint64, n),
@@ -76,55 +120,153 @@ func NewScheduler(sys *arch.System, slice uint64) *Scheduler {
 	return s
 }
 
-// AddTask registers a compiled task. Tasks added before Start are scheduled
-// round-robin.
+// SetHooks installs the lifecycle observer (nil disables).
+func (s *Scheduler) SetHooks(h Hooks) { s.hooks = h }
+
+// AddTask registers a compiled task. It pre-warms every core's phase-name
+// pool and the task's vector save buffer so that no later dispatch,
+// preemption or save on the tick path allocates.
 func (s *Scheduler) AddTask(name string, prog cpu.State) int {
-	s.tasks = append(s.tasks, &task{name: name, st: prog, vl: 0})
+	t := &task{name: name, st: prog, vl: 0}
+	if prog.Prog != nil {
+		for _, core := range s.sys.Cores {
+			core.PrewarmPhases(prog.Prog.NumPhases)
+		}
+	}
+	t.vec = s.sys.Coproc.CopyVecState(0, nil) // right shape; contents unused until vecValid
+	s.tasks = append(s.tasks, t)
+	s.growQueue(len(s.tasks) + 1)
 	return len(s.tasks) - 1
 }
 
-// Start dispatches the first len(cores) tasks.
-func (s *Scheduler) Start() {
-	for c := range s.running {
-		if next := s.pickNext(-1); next >= 0 {
-			s.dispatch(c, next, 0)
-		}
+// growQueue resizes the ready ring to hold at least n entries, preserving
+// FIFO order. Called at AddTask time only — the ring never grows mid-run.
+func (s *Scheduler) growQueue(n int) {
+	if len(s.queue) >= n {
+		return
 	}
+	nq := make([]int32, 2*n)
+	for i := 0; i < s.qlen; i++ {
+		nq[i] = s.queue[(s.qhead+i)%len(s.queue)]
+	}
+	s.queue = nq
+	s.qhead = 0
 }
 
-// pickNext returns the next not-done, not-running task after id, or -1.
-func (s *Scheduler) pickNext(after int) int {
-	n := len(s.tasks)
-	for i := 1; i <= n; i++ {
-		cand := (after + i) % n
-		if after < 0 {
-			cand = (i - 1) % n
-		}
-		t := s.tasks[cand]
-		if t.done || s.isRunning(cand) || s.isPending(cand) {
+func (s *Scheduler) enqueue(id int) {
+	t := s.tasks[id]
+	if t.enqueued {
+		return
+	}
+	if s.qlen == len(s.queue) {
+		s.growQueue(s.qlen + 1) // unreachable after AddTask presizing
+	}
+	s.queue[(s.qhead+s.qlen)%len(s.queue)] = int32(id)
+	s.qlen++
+	t.enqueued = true
+}
+
+// popReady returns the next runnable task from the ring, lazily discarding
+// stale entries (canceled, or suspended while queued), or -1.
+func (s *Scheduler) popReady() int {
+	for s.qlen > 0 {
+		id := int(s.queue[s.qhead])
+		s.qhead = (s.qhead + 1) % len(s.queue)
+		s.qlen--
+		t := s.tasks[id]
+		t.enqueued = false
+		if t.done || t.canceled || t.suspended {
 			continue
 		}
-		return cand
+		return id
 	}
 	return -1
 }
 
-func (s *Scheduler) isRunning(id int) bool {
-	for _, r := range s.running {
-		if r == id {
-			return true
-		}
+// EnqueueReady admits task id to the ready ring (open-loop arrival). Safe
+// to call from another component's Tick in the same cycle; the scheduler
+// ticks after its producers and will consider the task this cycle.
+func (s *Scheduler) EnqueueReady(id int) {
+	t := s.tasks[id]
+	if t.done || t.canceled || t.suspended {
+		return
 	}
-	return false
+	s.enqueue(id)
 }
 
-func (s *Scheduler) isPending(id int) bool {
-	for _, p := range s.pendingIn {
-		if p == id {
-			return true
+// Suspend forces task id off the system at the next quiescent point: a
+// running task drains and saves its context; a queued task is parked where
+// it stands. Resume re-admits it. Models a tenant leaving.
+func (s *Scheduler) Suspend(id int) {
+	t := s.tasks[id]
+	if t.done || t.canceled || t.suspended {
+		return
+	}
+	if c := s.coreOf(id); c >= 0 {
+		// Mid-strip is fine: the drain path saves the exact VL.
+		t.evict = true
+		if s.switchState[c] == runFreely {
+			s.sys.Cores[c].Park()
+			s.switchState[c] = draining
+		}
+		return
+	}
+	t.suspended = true
+}
+
+// Resume re-admits a suspended task (tenant re-entry). Its saved context —
+// including the exact VL it was preempted with — is restored on dispatch.
+func (s *Scheduler) Resume(id int) {
+	t := s.tasks[id]
+	if t.done || t.canceled || !t.suspended {
+		return
+	}
+	t.suspended = false
+	s.enqueue(id)
+}
+
+// Cancel permanently removes task id: queued work is discarded, a running
+// task is drained off its core first. Models reneging on tenant exit.
+func (s *Scheduler) Cancel(id int) {
+	t := s.tasks[id]
+	if t.done || t.canceled {
+		return
+	}
+	t.canceled = true
+	if c := s.coreOf(id); c >= 0 {
+		t.evict = true
+		if s.switchState[c] == runFreely {
+			s.sys.Cores[c].Park()
+			s.switchState[c] = draining
 		}
 	}
-	return false
+}
+
+func (s *Scheduler) coreOf(id int) int {
+	for c, r := range s.running {
+		if r == id {
+			return c
+		}
+	}
+	for c, p := range s.pendingIn {
+		if p == id {
+			return c
+		}
+	}
+	return -1
+}
+
+// Start admits every registered task and dispatches onto all cores (the
+// classic oversubscribed batch entry point).
+func (s *Scheduler) Start() {
+	for id := range s.tasks {
+		s.EnqueueReady(id)
+	}
+	for c := range s.running {
+		if next := s.popReady(); next >= 0 {
+			s.dispatch(c, next, 0)
+		}
+	}
 }
 
 // dispatch begins switching task id onto core c.
@@ -132,12 +274,14 @@ func (s *Scheduler) dispatch(c, id int, now uint64) {
 	t := s.tasks[id]
 	s.sys.Cores[c].Restore(t.st)
 	s.sys.Cores[c].Park()
-	if t.vec != nil {
+	if t.vecValid {
 		s.sys.Coproc.RestoreVecState(c, t.vec)
 	}
-	// Restoring a non-zero <OI> triggers a repartition (§5), so the
-	// incoming task's behaviour immediately influences the plan.
-	Restore(s.sys.Coproc.Manager(), c, t.em)
+	if s.elastic {
+		// Restoring a non-zero <OI> triggers a repartition (§5), so the
+		// incoming task's behaviour immediately influences the plan.
+		Restore(s.sys.Coproc.Manager(), c, t.em)
+	}
 	s.pendingIn[c] = id
 	s.switchState[c] = acquiring
 	_ = now
@@ -166,7 +310,7 @@ func (s *Scheduler) tickRunning(c int, now uint64) {
 	id := s.running[c]
 	if id < 0 {
 		// Idle core: adopt any waiting task.
-		if next := s.pickNext(-1); next >= 0 {
+		if next := s.popReady(); next >= 0 {
 			s.dispatch(c, next, now)
 		}
 		return
@@ -174,16 +318,24 @@ func (s *Scheduler) tickRunning(c int, now uint64) {
 	t := s.tasks[id]
 	core := s.sys.Cores[c]
 	if core.Halted() && s.sys.Coproc.Quiescent(c, now) {
-		// Task finished: release its lanes and context.
+		// Task finished: release its context and the core.
 		t.done = true
 		t.st = core.Snapshot()
 		s.running[c] = -1
-		if next := s.pickNext(id); next >= 0 {
+		if s.hooks != nil {
+			s.hooks.TaskCompleted(id, now)
+		}
+		if next := s.popReady(); next >= 0 {
 			s.dispatch(c, next, now)
+		} else if s.elastic {
+			// Nobody to run: hand the dead task's lanes back to the pool
+			// so peers can grow instead of idling them until the next
+			// arrival. Save captures-and-releases; the context is dead.
+			_, _ = Save(s.sys.Coproc.Manager(), c)
 		}
 		return
 	}
-	if now >= s.sliceEnd[c] && s.pickNext(id) >= 0 {
+	if now >= s.sliceEnd[c] && s.qlen > 0 {
 		// Preempt: stop fetching and wait for the pipelines to drain.
 		core.Park()
 		s.switchState[c] = draining
@@ -197,20 +349,47 @@ func (s *Scheduler) tickDraining(c int, now uint64) {
 	id := s.running[c]
 	t := s.tasks[id]
 	core := s.sys.Cores[c]
-	// Save the full context: scalar, vector and EM-SIMD registers. The
-	// task's previous save buffer is reused, so repeated preemptions of a
-	// long-lived task do not allocate.
+	// Save the full context: scalar, vector and (elastic only) EM-SIMD
+	// registers. The task's save buffer was preallocated at AddTask, so
+	// preemptions of a long-lived task do not allocate.
 	t.st = core.Snapshot()
 	t.vec = s.sys.Coproc.CopyVecState(c, t.vec)
+	t.vecValid = true
+	// Record the preemption-time width for every mode: fixed-mode cores can
+	// also change VL while the task is off-core (a fault revocation landing
+	// at another task's strip boundary), and the mid-strip state only
+	// resumes soundly under this exact width.
 	t.vl = s.sys.Coproc.Tbl().VL(c)
-	ctx, err := Save(s.sys.Coproc.Manager(), c)
-	if err != nil {
-		panic(fmt.Sprintf("osched: %v", err)) // quiescence was checked
+	if s.elastic {
+		ctx, err := Save(s.sys.Coproc.Manager(), c)
+		if err != nil {
+			panic(fmt.Sprintf("osched: %v", err)) // quiescence was checked
+		}
+		t.em = ctx
 	}
-	t.em = ctx
 	s.running[c] = -1
 	s.Switches++
-	if next := s.pickNext(id); next >= 0 {
+	evicted := t.evict
+	t.evict = false
+	if evicted {
+		if !t.canceled {
+			t.suspended = true
+		}
+		if s.hooks != nil {
+			s.hooks.TaskSuspended(id, now)
+		}
+		if next := s.popReady(); next >= 0 {
+			s.dispatch(c, next, now)
+		} else {
+			s.switchState[c] = runFreely
+		}
+		return
+	}
+	if s.hooks != nil {
+		s.hooks.TaskPreempted(id, now)
+	}
+	if next := s.popReady(); next >= 0 {
+		s.enqueue(id)
 		s.dispatch(c, next, now)
 	} else {
 		// Nobody waiting after all: resume the same task.
@@ -228,7 +407,7 @@ func (s *Scheduler) tickAcquiring(c int, now uint64) {
 	// switch can land mid-strip, and the strip's bookkeeping (elements per
 	// iteration, store predicates) silently corrupts under any other
 	// length — elastic code only changes VL at strip boundaries.
-	if t.vl > 0 {
+	if s.elastic && t.vl > 0 {
 		tbl := s.sys.Coproc.Tbl()
 		if !tbl.TryReconfigure(c, t.vl) {
 			if t.vl <= tbl.Usable() {
@@ -242,23 +421,111 @@ func (s *Scheduler) tickAcquiring(c int, now uint64) {
 			// decision at its next strip boundary, where it is safe.
 			tbl.RestoreVL(c, t.vl)
 		}
+	} else if !s.elastic && t.vl > 0 {
+		// Fixed-mode binaries never renegotiate, but a fault revocation can
+		// have shrunk the core's width while the task was off-core. Unlike
+		// the elastic case there is no monitor to repay an over-commit, so
+		// the resume must wait until the exact width is re-grantable (the
+		// transient fault's repair returns the units). A permanent loss
+		// leaves the task waiting — the watchdog's DNF, the honest
+		// static-partitioning outcome.
+		if tbl := s.sys.Coproc.Tbl(); tbl.VL(c) != t.vl && !tbl.TryReconfigure(c, t.vl) {
+			return // retry next cycle
+		}
 	}
 	s.pendingIn[c] = -1
 	s.running[c] = id
 	s.sliceEnd[c] = now + s.slice
 	s.switchState[c] = runFreely
 	s.sys.Cores[c].Unpark()
+	first := !t.started
+	t.started = true
+	if s.hooks != nil {
+		s.hooks.TaskRunning(id, now, first)
+	}
+	if t.evict {
+		// Suspend/Cancel landed while the task was mid-acquire: honor it
+		// now that the context is installed, via the normal drain path.
+		s.sys.Cores[c].Park()
+		s.switchState[c] = draining
+	}
 }
 
-// Done reports whether every task has completed.
+// NextWake implements sim.Sleeper so oversubscribed and traffic-driven runs
+// can still skip quiescent windows. The scheduler is quiescent — no Tick on
+// [now, wake) changes its state — exactly when every core runs freely, no
+// running core has halted (a completion it must process), no idle core has
+// ready work, and every preemption horizon (slice end with a non-empty ready
+// ring) lies in the future. Completions cannot slip into a skipped window:
+// a core must tick for real to execute HALT, and the very next probe sees
+// Halted() and goes live.
+func (s *Scheduler) NextWake(now uint64) (uint64, bool) {
+	wake := uint64(sim.NeverWake)
+	for c := range s.running {
+		if s.switchState[c] != runFreely {
+			return 0, false
+		}
+		id := s.running[c]
+		if id < 0 {
+			if s.qlen > 0 {
+				return 0, false
+			}
+			continue
+		}
+		if s.sys.Cores[c].Halted() {
+			return 0, false
+		}
+		if s.qlen > 0 {
+			if now >= s.sliceEnd[c] {
+				return 0, false
+			}
+			if s.sliceEnd[c] < wake {
+				wake = s.sliceEnd[c]
+			}
+		}
+	}
+	return wake, true
+}
+
+// SkipTicks implements sim.Sleeper; the scheduler keys everything off
+// absolute cycle numbers, so skipped windows need no catch-up.
+func (s *Scheduler) SkipTicks(from, n uint64) {}
+
+// Done reports whether every task has completed or been canceled.
 func (s *Scheduler) Done() bool {
 	for _, t := range s.tasks {
-		if !t.done {
+		if !t.done && !t.canceled {
 			return false
 		}
 	}
 	return true
 }
+
+// NumTasks returns the number of registered tasks.
+func (s *Scheduler) NumTasks() int { return len(s.tasks) }
+
+// TaskDone reports whether task id ran to completion.
+func (s *Scheduler) TaskDone(id int) bool { return s.tasks[id].done }
+
+// TaskStarted reports whether task id was ever dispatched.
+func (s *Scheduler) TaskStarted(id int) bool { return s.tasks[id].started }
+
+// TaskCanceled reports whether task id was canceled.
+func (s *Scheduler) TaskCanceled(id int) bool { return s.tasks[id].canceled }
+
+// TaskSuspendedNow reports whether task id is currently suspended.
+func (s *Scheduler) TaskSuspendedNow(id int) bool { return s.tasks[id].suspended }
+
+// TaskRunningNow reports whether task id currently occupies a core
+// (executing or mid-switch).
+func (s *Scheduler) TaskRunningNow(id int) bool { return s.coreOf(id) >= 0 }
+
+// QueueLen returns the current ready-ring occupancy (including entries that
+// will be lazily discarded as stale).
+func (s *Scheduler) QueueLen() int { return s.qlen }
+
+// RunningOn returns the task id executing on core c, or -1.
+func (s *Scheduler) RunningOn(c int) int { return s.running[c] }
 
 // TaskNames returns the registered task names in order.
 func (s *Scheduler) TaskNames() []string {
@@ -267,6 +534,99 @@ func (s *Scheduler) TaskNames() []string {
 		out[i] = t.name
 	}
 	return out
+}
+
+// TaskState is one task's checkpointed context.
+type TaskState struct {
+	St  cpu.State
+	Vec [][]float32
+	Em  Context
+	VL  int
+
+	VecValid  bool
+	Started   bool
+	Done      bool
+	Canceled  bool
+	Suspended bool
+	Enqueued  bool
+	Evict     bool
+}
+
+// SchedState is a deterministic deep snapshot of the scheduler, composable
+// with arch.System.Checkpoint for bit-identical forked runs.
+type SchedState struct {
+	Running     []int
+	SwitchState []uint8
+	SliceEnd    []uint64
+	PendingIn   []int
+	Queue       []int32 // logical FIFO contents, head first
+	Switches    uint64
+	Tasks       []TaskState
+}
+
+// Snapshot captures the scheduler state. The returned state shares nothing
+// mutable with the live scheduler.
+func (s *Scheduler) Snapshot() SchedState {
+	st := SchedState{
+		Running:     append([]int(nil), s.running...),
+		SwitchState: make([]uint8, len(s.switchState)),
+		SliceEnd:    append([]uint64(nil), s.sliceEnd...),
+		PendingIn:   append([]int(nil), s.pendingIn...),
+		Queue:       make([]int32, s.qlen),
+		Switches:    s.Switches,
+		Tasks:       make([]TaskState, len(s.tasks)),
+	}
+	for i, p := range s.switchState {
+		st.SwitchState[i] = uint8(p)
+	}
+	for i := 0; i < s.qlen; i++ {
+		st.Queue[i] = s.queue[(s.qhead+i)%len(s.queue)]
+	}
+	for i, t := range s.tasks {
+		ts := TaskState{
+			St: t.st, Em: t.em, VL: t.vl,
+			VecValid: t.vecValid, Started: t.started, Done: t.done,
+			Canceled: t.canceled, Suspended: t.suspended,
+			Enqueued: t.enqueued, Evict: t.evict,
+		}
+		ts.Vec = make([][]float32, len(t.vec))
+		for r := range t.vec {
+			ts.Vec[r] = append([]float32(nil), t.vec[r]...)
+		}
+		st.Tasks[i] = ts
+	}
+	return st
+}
+
+// Restore reinstalls a state captured by Snapshot on the same scheduler
+// shape (same cores, same registered tasks).
+func (s *Scheduler) Restore(st SchedState) {
+	copy(s.running, st.Running)
+	for i, p := range st.SwitchState {
+		s.switchState[i] = switchPhase(p)
+	}
+	copy(s.sliceEnd, st.SliceEnd)
+	copy(s.pendingIn, st.PendingIn)
+	s.qhead = 0
+	s.qlen = len(st.Queue)
+	copy(s.queue, st.Queue)
+	s.Switches = st.Switches
+	for i, ts := range st.Tasks {
+		t := s.tasks[i]
+		t.st, t.em, t.vl = ts.St, ts.Em, ts.VL
+		t.vecValid, t.started, t.done = ts.VecValid, ts.Started, ts.Done
+		t.canceled, t.suspended = ts.Canceled, ts.Suspended
+		t.enqueued, t.evict = ts.Enqueued, ts.Evict
+		if len(t.vec) != len(ts.Vec) {
+			t.vec = make([][]float32, len(ts.Vec))
+		}
+		for r := range ts.Vec {
+			if len(t.vec[r]) != len(ts.Vec[r]) {
+				t.vec[r] = make([]float32, len(ts.Vec[r]))
+			}
+			copy(t.vec[r], ts.Vec[r])
+		}
+	}
 }
 
 // Oversubscribed builds an elastic system with the given workloads
@@ -284,9 +644,33 @@ func OversubscribedOpts(ws []*workload.Workload, cores int, slice uint64, maxCyc
 	if len(ws) < cores {
 		return nil, nil, nil, fmt.Errorf("osched: need at least %d workloads", cores)
 	}
-	// Build the system with placeholder idle programs; tasks are compiled
-	// separately with disjoint data segments and swapped in by the
-	// scheduler.
+	sys, err := BuildHost(arch.Occamy, cores, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sched := NewScheduler(sys, slice)
+	var compiled []*compiler.Compiled
+	for i, w := range ws {
+		comp, err := CompileTask(sys, w, i, opts.Seed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		compiled = append(compiled, comp)
+		sched.AddTask(w.Name, cpu.NewState(comp.Program))
+	}
+	sys.Engine.Register(sched)
+	ParkCores(sys)
+	sched.Start()
+	if _, err := sys.Engine.RunUntil(func() bool { return sched.Done() }, maxCycles); err != nil {
+		return nil, nil, nil, err
+	}
+	return sched, sys, compiled, nil
+}
+
+// BuildHost builds a system of the given architecture with placeholder boot
+// programs, ready to host scheduler-swapped tasks; internal/traffic uses it
+// to run arrival scenarios on every policy.
+func BuildHost(kind arch.Kind, cores int, opts arch.Options) (*arch.System, error) {
 	placeholder := make([]*workload.Workload, cores)
 	for c := range placeholder {
 		placeholder[c] = &workload.Workload{Name: fmt.Sprintf("boot%d", c), Phases: []*workload.Kernel{{
@@ -296,34 +680,34 @@ func OversubscribedOpts(ws []*workload.Workload, cores int, slice uint64, maxCyc
 			Elems: 64, Repeats: 1,
 		}}}
 	}
-	sys, err := arch.Build(arch.Occamy, workload.CoSchedule{Name: "osched", W: placeholder}, opts)
+	return arch.Build(kind, workload.CoSchedule{Name: "osched", W: placeholder}, opts)
+}
+
+// CompileTask compiles w as schedulable task number i on sys: elastic
+// EM-SIMD code on Occamy, VL-agnostic fixed-VL code elsewhere, with a data
+// segment disjoint from every other task's and from the boot placeholders.
+func CompileTask(sys *arch.System, w *workload.Workload, i int, seed uint64) (*compiler.Compiled, error) {
+	mode := compiler.ModeElastic
+	if sys.Kind != arch.Occamy {
+		mode = compiler.ModeFixed
+	}
+	comp, err := compiler.Compile(w, compiler.Options{
+		Mode:     mode,
+		BaseAddr: uint64(i+8) << 32, // clear of the placeholders' segments
+	})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
-	sched := NewScheduler(sys, slice)
-	var compiled []*compiler.Compiled
-	for i, w := range ws {
-		comp, err := compiler.Compile(w, compiler.Options{
-			Mode:     compiler.ModeElastic,
-			BaseAddr: uint64(i+8) << 32, // clear of the placeholders' segments
-		})
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		comp.InitData(sys.Hier.Mem, opts.Seed+uint64(i)*131+7)
-		compiled = append(compiled, comp)
-		sched.AddTask(w.Name, cpu.NewState(comp.Program))
-	}
-	sys.Engine.Register(sched)
-	// Park the placeholder programs forever; the scheduler owns the cores.
+	comp.InitData(sys.Hier.Mem, seed+uint64(i)*131+7)
+	return comp, nil
+}
+
+// ParkCores replaces every core's boot program with a parked halt loop; the
+// scheduler owns the cores from here on.
+func ParkCores(sys *arch.System) {
 	for c := range sys.Cores {
 		sys.Cores[c].Restore(cpu.NewState(haltProgram()))
 	}
-	sched.Start()
-	if _, err := sys.Engine.RunUntil(func() bool { return sched.Done() }, maxCycles); err != nil {
-		return nil, nil, nil, err
-	}
-	return sched, sys, compiled, nil
 }
 
 // haltProgram is the parked-core idle program.

@@ -49,6 +49,14 @@ type View struct {
 	CyclesPerSec float64 // host-side simulation throughput, last window
 	EventsTotal  uint64
 	Cores        []CoreView
+
+	// Traffic slice: present only when a traffic injector is wired.
+	HasTraffic       bool
+	Traffic          TrafficWindow // last closed window's slice
+	TrafficArrived   uint64        // cumulative, as of the last boundary
+	TrafficAdmitted  uint64
+	TrafficCompleted uint64
+	TrafficCanceled  uint64
 }
 
 // View returns the sampler's current exportable state. Before the first
@@ -77,6 +85,14 @@ func (s *Sampler) View() View {
 		v.TotalBUs = last.TotalBUs
 		v.Occupancy = last.Occupancy
 		v.CyclesPerSec = last.HostCyclesPerSec()
+		if last.HasTraffic {
+			v.HasTraffic = true
+			v.Traffic = last.Traffic
+			v.TrafficArrived = s.prev.trafArrived
+			v.TrafficAdmitted = s.prev.trafAdmitted
+			v.TrafficCompleted = s.prev.trafCompleted
+			v.TrafficCanceled = s.prev.trafCanceled
+		}
 	}
 	for c := range v.Cores {
 		cv := &v.Cores[c]

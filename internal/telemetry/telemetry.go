@@ -115,6 +115,11 @@ type Sources struct {
 	// table here too. Empty disables the per-cluster series (and removes
 	// them from Digest), so pre-topology samplers hash unchanged.
 	Tables []TableSource
+	// Traffic, when non-nil, adds the open-loop traffic series (queue
+	// depth, task flow, latency quantiles) to every window; usually wired
+	// post-build via WireTraffic. Nil disables the series and keeps
+	// non-traffic digests unchanged.
+	Traffic TrafficSource
 }
 
 // CoreWindow is one core's slice of a sampling window. Counter-like fields
@@ -186,6 +191,11 @@ type Window struct {
 	// Clusters holds the per-cluster table gauges, one entry per
 	// Sources.Tables element; empty when no Tables were wired.
 	Clusters []ClusterWindow
+
+	// Traffic is the open-loop traffic slice, valid iff HasTraffic (a
+	// TrafficSource was wired when the window closed).
+	Traffic    TrafficWindow
+	HasTraffic bool
 }
 
 // HostCyclesPerSec converts HostNanos into a simulation throughput gauge.
@@ -246,6 +256,14 @@ type prevState struct {
 	repart uint64
 	reconf uint64
 	cores  []prevCore
+
+	// Cumulative traffic baselines (zero until WireTraffic).
+	trafArrived   uint64
+	trafAdmitted  uint64
+	trafCompleted uint64
+	trafCanceled  uint64
+	trafSojourn   [obs.NumBins]uint64
+	trafAdmit     [obs.NumBins]uint64
 }
 
 // Sampler is the windowed time-series sampler. It implements sim.Component
@@ -474,6 +492,8 @@ func (s *Sampler) sample(now uint64) {
 	} else {
 		w.Occupancy = 0
 	}
+
+	s.sampleTraffic(w)
 
 	s.prev.cycle = now
 	s.prev.repart, s.prev.reconf = repart, reconf
@@ -709,6 +729,22 @@ func (s *Sampler) Digest() uint64 {
 			putI(kw.TotalBUs)
 		}
 		putF(w.Occupancy)
+		if w.HasTraffic {
+			// Gated on wiring so pre-traffic samplers hash unchanged.
+			tw := &w.Traffic
+			putI(tw.Queued)
+			putI(tw.Running)
+			put(tw.Arrived)
+			put(tw.Admitted)
+			put(tw.Completed)
+			put(tw.Canceled)
+			put(tw.SojournCount)
+			putF(tw.SojournP50)
+			putF(tw.SojournP99)
+			put(tw.AdmitCount)
+			putF(tw.AdmitP50)
+			putF(tw.AdmitP99)
+		}
 		for c := range w.Cores {
 			cw := &w.Cores[c]
 			for _, b := range cw.Buckets {

@@ -1,0 +1,64 @@
+package traffic
+
+import (
+	"testing"
+
+	"occamy/internal/arch"
+)
+
+// allocSpec is tuned so every 80-tick measurement window contains real
+// traffic work: a dense arrival stream (the load axis saturated, small tasks), a
+// short slice so preemptions land in-window, and fast churn so tenant
+// exits/re-entries exercise the cancel/suspend/resume paths too.
+func allocSpec() Spec {
+	s, err := ParseSpec("poisson:load=16,tenants=3,cores=2,horizon=6000,slice=300,elems=128,repeats=1,churn=500:700,maxtasks=4096")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// measureTrafficAllocs mirrors internal/arch's measureSteadyAllocs: warm
+// past cycle 2000 (cold-start allocations: first dispatches, first vector
+// saves, timeline-bucket growth), then measure 11 windows of 80 real ticks.
+// The measured span [2001, 2881) crosses no 1000-cycle timeline-bucket
+// boundary, so a nonzero result is genuine per-arrival/per-switch garbage.
+func measureTrafficAllocs(t *testing.T, sc *Scenario) float64 {
+	t.Helper()
+	sc.Sys.Engine.SetSkipAhead(false)
+	if _, err := sc.Sys.Engine.RunUntil(func() bool { return sc.Sys.Engine.Cycle() >= 2001 }, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return testing.AllocsPerRun(10, func() {
+		for i := 0; i < 80; i++ {
+			sc.Sys.Engine.Step()
+		}
+	})
+}
+
+// TestSteadyStateZeroAllocTraffic is the arrival engine's hot-path
+// allocation contract: with open-loop arrivals, preemptive scheduling and
+// tenant churn all active, the steady-state tick allocates nothing — on
+// every architecture. Event rings, task contexts, vector save buffers,
+// phase-name pools and latency bins are all preallocated at build time.
+func TestSteadyStateZeroAllocTraffic(t *testing.T) {
+	for _, kind := range arch.Kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			sc, err := Build(kind, allocSpec(), arch.Options{Seed: 19})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := measureTrafficAllocs(t, sc); got != 0 {
+				t.Fatalf("steady-state traffic tick allocates %.2f allocs per 80-cycle window, want 0", got)
+			}
+			// The window must have exercised real traffic, not idle ticks.
+			if sc.Src.Arrived() < 50 {
+				t.Fatalf("only %d arrivals by cycle %d — window under-loaded", sc.Src.Arrived(), sc.Sys.Engine.Cycle())
+			}
+			if sc.Sched.Switches == 0 {
+				t.Fatal("no context switches in the measured span")
+			}
+		})
+	}
+}

@@ -1,0 +1,304 @@
+package traffic
+
+import (
+	"math"
+	"sort"
+
+	"occamy/internal/workload"
+)
+
+// rng is splitmix64: a tiny, seedable, platform-independent generator. The
+// traffic layer never touches math/rand — every stream is derived from the
+// (spec, seed) pair so traces regenerate bit-identically anywhere.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// exp returns an exponential variate with the given mean (cycles).
+func (r *rng) exp(mean float64) float64 {
+	u := r.float()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1-u) * mean
+}
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Arrival is one pregenerated task arrival.
+type Arrival struct {
+	Cycle   uint64
+	Tenant  int32
+	Kernel  int32 // index into Trace.Kernels
+	Elems   int32
+	Repeats int32
+}
+
+// ChurnEvent is a tenant exit (On=false) or re-entry (On=true).
+type ChurnEvent struct {
+	Cycle  uint64
+	Tenant int32
+	On     bool
+}
+
+// Trace is the fully materialized, deterministic scenario: everything the
+// running engine consumes is in here, pregenerated and sorted.
+type Trace struct {
+	Arrivals []Arrival
+	Churn    []ChurnEvent
+	Kernels  []string // resolved mix kernel names, spec order
+	Horizon  uint64
+	// ServiceEst is the estimated mean cycles to serve one task on one
+	// core — the capacity model behind Spec.Load.
+	ServiceEst float64
+	// Truncated counts arrivals dropped by Spec.MaxTasks (never silent).
+	Truncated int
+}
+
+// Calibrated cycles-per-element constants for the capacity estimate:
+// memory-bound kernels (oi_mem < 1) stream from DRAM and cost more cycles
+// per element than cache-resident compute-bound kernels, and tasks below the
+// compiler's multi-version threshold run the non-vectorized variant at
+// roughly an order of magnitude more cycles per element. These only scale
+// the Load axis; the reported latencies are always measured, not modeled.
+const (
+	cpeMemory  = 4.0
+	cpeCompute = 1.5
+	cpeScalar  = 24.0
+	// scalarThreshold mirrors the compiler's default ScalarThreshold: trip
+	// counts below it take the §6.3 non-vectorized version.
+	scalarThreshold = 128
+	// Arrival sizes are jittered uniformly over [jitterLo, jitterHi) times
+	// Spec.Elems (see genArrivals), so a spec near the threshold serves a
+	// blend of scalar and vectorized tasks.
+	jitterLo = 0.6
+	jitterHi = 1.4
+)
+
+// EstimateServiceCycles returns the mix-weighted mean service demand of one
+// task in cycles, the denominator of the offered-load calculation. It
+// accounts for the multi-version scalar fallback: the fraction of the
+// arrival-size jitter range falling below the vectorization threshold is
+// charged at the scalar rate.
+func EstimateServiceCycles(s *Spec) float64 {
+	// Fraction of arrivals expected to run the non-vectorized version.
+	pScalar := (scalarThreshold/float64(s.Elems) - jitterLo) / (jitterHi - jitterLo)
+	if pScalar < 0 {
+		pScalar = 0
+	} else if pScalar > 1 {
+		pScalar = 1
+	}
+	reg := workload.NewRegistry()
+	var wsum, acc float64
+	for _, m := range s.Mix {
+		k := reg.Kernel(m.Kernel)
+		cpe := cpeCompute
+		if k.OI().Mem < 1 {
+			cpe = cpeMemory
+		}
+		cpe = pScalar*cpeScalar + (1-pScalar)*cpe
+		acc += float64(m.Weight) * float64(s.Elems*s.Repeats) * cpe
+		wsum += float64(m.Weight)
+	}
+	return acc / wsum
+}
+
+// Generate materializes the scenario for the given seed (spec.Seed wins
+// when non-zero). Pure: same (spec, seed) in, bit-identical trace out.
+func Generate(s *Spec, seed uint64) *Trace {
+	if s.Seed != 0 {
+		seed = s.Seed
+	}
+	tr := &Trace{Horizon: s.Horizon, ServiceEst: EstimateServiceCycles(s)}
+	for _, m := range s.Mix {
+		tr.Kernels = append(tr.Kernels, m.Kernel)
+	}
+	// Cumulative mix weights for kernel selection.
+	cum := make([]int, len(s.Mix))
+	total := 0
+	for i, m := range s.Mix {
+		total += m.Weight
+		cum[i] = total
+	}
+	pickKernel := func(r *rng) int32 {
+		w := r.intn(total) + 1
+		for i, c := range cum {
+			if w <= c {
+				return int32(i)
+			}
+		}
+		return int32(len(cum) - 1)
+	}
+
+	totalRate := s.Load * float64(s.Cores) / tr.ServiceEst // tasks per cycle
+	perTenant := totalRate / float64(s.Tenants)
+
+	for t := 0; t < s.Tenants; t++ {
+		// Independent streams per tenant and per purpose, so changing one
+		// knob never reshuffles unrelated draws.
+		aRng := newRng(seed*0x9e3779b9 + uint64(t)*2654435761 + 1)
+		cRng := newRng(seed*0x85ebca6b + uint64(t)*2246822519 + 2)
+
+		on := churnWindows(s, t, cRng, tr)
+		genArrivals(s, t, perTenant, aRng, on, tr, pickKernel)
+	}
+
+	sort.SliceStable(tr.Arrivals, func(i, j int) bool {
+		a, b := tr.Arrivals[i], tr.Arrivals[j]
+		if a.Cycle != b.Cycle {
+			return a.Cycle < b.Cycle
+		}
+		return a.Tenant < b.Tenant
+	})
+	sort.SliceStable(tr.Churn, func(i, j int) bool {
+		a, b := tr.Churn[i], tr.Churn[j]
+		if a.Cycle != b.Cycle {
+			return a.Tenant < b.Tenant
+		}
+		return a.Cycle < b.Cycle
+	})
+	if len(tr.Arrivals) > s.MaxTasks {
+		tr.Truncated = len(tr.Arrivals) - s.MaxTasks
+		tr.Arrivals = tr.Arrivals[:s.MaxTasks]
+	}
+	return tr
+}
+
+// window is a half-open [start, end) interval during which a tenant is
+// present.
+type window struct{ start, end uint64 }
+
+// churnWindows generates tenant t's ON windows and the matching churn
+// events. Tenant 0 is churn-exempt so every scenario keeps one stable
+// resident (the fairness-floor reference point).
+func churnWindows(s *Spec, t int, r *rng, tr *Trace) []window {
+	if s.ChurnOn == 0 || t == 0 {
+		return []window{{0, s.Horizon}}
+	}
+	var wins []window
+	now := uint64(0)
+	for now < s.Horizon {
+		onLen := uint64(r.exp(float64(s.ChurnOn))) + 1
+		end := now + onLen
+		if end > s.Horizon {
+			end = s.Horizon
+		}
+		wins = append(wins, window{now, end})
+		if end >= s.Horizon {
+			break
+		}
+		tr.Churn = append(tr.Churn, ChurnEvent{Cycle: end, Tenant: int32(t), On: false})
+		offLen := uint64(r.exp(float64(s.ChurnOff))) + 1
+		now = end + offLen
+		if now >= s.Horizon {
+			break
+		}
+		tr.Churn = append(tr.Churn, ChurnEvent{Cycle: now, Tenant: int32(t), On: true})
+	}
+	return wins
+}
+
+// genArrivals draws tenant t's arrivals inside its ON windows according to
+// the spec's process, appending to tr.Arrivals.
+func genArrivals(s *Spec, t int, rate float64, r *rng, on []window, tr *Trace, pickKernel func(*rng) int32) {
+	emit := func(cycle uint64) {
+		jitter := jitterLo + (jitterHi-jitterLo)*r.float() // mean 1.0, deterministic per arrival
+		elems := int32(float64(s.Elems) * jitter)
+		if elems < 64 {
+			elems = 64
+		}
+		tr.Arrivals = append(tr.Arrivals, Arrival{
+			Cycle: cycle, Tenant: int32(t),
+			Kernel: pickKernel(r), Elems: elems, Repeats: int32(s.Repeats),
+		})
+	}
+	inOn := func(c uint64) bool {
+		for _, w := range on {
+			if c >= w.start && c < w.end {
+				return true
+			}
+		}
+		return false
+	}
+
+	switch s.Process {
+	case Poisson:
+		now := 0.0
+		for {
+			now += r.exp(1 / rate)
+			c := uint64(now)
+			if c >= s.Horizon {
+				return
+			}
+			if inOn(c) {
+				emit(c)
+			}
+		}
+	case Bursty:
+		// Two-state MMPP with long-run mean rate preserved: high state at
+		// burst-weighted rate, low state at the complementary rate, equal
+		// expected dwell times.
+		rateHigh := rate * 2 * s.Burst / (1 + s.Burst)
+		rateLow := rate * 2 / (1 + s.Burst)
+		dwell := float64(s.Horizon) / 12
+		high := r.float() < 0.5
+		now, stateEnd := 0.0, r.exp(dwell)
+		for {
+			cur := rateLow
+			if high {
+				cur = rateHigh
+			}
+			next := now + r.exp(1/cur)
+			if next > stateEnd {
+				// No arrival before the regime switch: jump to the
+				// switch point and redraw (exponentials are memoryless).
+				now = stateEnd
+				if now >= float64(s.Horizon) {
+					return
+				}
+				high = !high
+				stateEnd = now + r.exp(dwell)
+				continue
+			}
+			now = next
+			c := uint64(now)
+			if c >= s.Horizon {
+				return
+			}
+			if inOn(c) {
+				emit(c)
+			}
+		}
+	case Diurnal:
+		// Thinned Poisson at the 2x peak rate, accepted with probability
+		// proportional to the mean-preserving sinusoidal profile.
+		peak := 2 * rate
+		now := 0.0
+		for {
+			now += r.exp(1 / peak)
+			c := uint64(now)
+			if c >= s.Horizon {
+				return
+			}
+			frac := (1 + math.Sin(2*math.Pi*now/float64(s.Period))) / 2
+			if r.float() < frac && inOn(c) {
+				emit(c)
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package traffic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SLOThresholdsX are the SLO-attainment curve points, as multiples of the
+// estimated mean service time: "completed within k× its own service
+// demand". The curve reads as a latency CDF sampled at operationally
+// meaningful points.
+var SLOThresholdsX = []float64{1, 2, 4, 8, 16, 32}
+
+// TenantSLO is one tenant's (or the aggregate's) service-level outcome.
+type TenantSLO struct {
+	Tenant     int // -1 for the aggregate
+	Arrivals   int
+	Admitted   int
+	Completed  int
+	Canceled   int
+	Incomplete int // still queued/running/suspended at stop
+
+	// Sojourn is arrival→completion latency over completed tasks;
+	// AdmitWait is arrival→first-dispatch over admitted tasks. Cycles.
+	SojournP50, SojournP99 uint64
+	AdmitP50, AdmitP99     uint64
+
+	// Attainment[i] is the fraction of all arrivals (canceled and
+	// incomplete count as misses — the honest open-loop view) completed
+	// within SLOThresholdsX[i] × ServiceEst cycles.
+	Attainment []float64
+}
+
+// Report is the per-tenant SLO outcome of one traffic run.
+type Report struct {
+	Arch       string
+	Spec       Spec
+	Cycles     uint64 // engine cycle at stop
+	Switches   uint64
+	ServiceEst float64
+	Truncated  int
+	Verified   int
+
+	Tenants []TenantSLO
+	Total   TenantSLO
+
+	// Digest is the Source's FNV-64a outcome digest (determinism suite).
+	Digest uint64
+}
+
+// BuildReport assembles the SLO report from the finished scenario's
+// records. Report-time allocation is fine; only the tick path is bound by
+// the zero-alloc contract.
+func (sc *Scenario) BuildReport() *Report {
+	src, tr := sc.Src, sc.Trace
+	r := &Report{
+		Arch:       sc.Kind.String(),
+		Spec:       sc.Spec,
+		Cycles:     sc.Sys.Engine.Cycle(),
+		Switches:   sc.Sched.Switches,
+		ServiceEst: tr.ServiceEst,
+		Truncated:  tr.Truncated,
+		Digest:     src.Digest(),
+	}
+	arrived := src.ai // arrivals actually injected before stop
+	perTenant := make([][]int, sc.Spec.Tenants)
+	for i := 0; i < arrived; i++ {
+		t := int(src.tenantOf[i])
+		perTenant[t] = append(perTenant[t], i)
+	}
+	all := make([]int, arrived)
+	for i := range all {
+		all[i] = i
+	}
+	r.Total = sc.slo(-1, all)
+	for t := 0; t < sc.Spec.Tenants; t++ {
+		r.Tenants = append(r.Tenants, sc.slo(t, perTenant[t]))
+	}
+	return r
+}
+
+func (sc *Scenario) slo(tenant int, ids []int) TenantSLO {
+	src, tr := sc.Src, sc.Trace
+	out := TenantSLO{Tenant: tenant, Arrivals: len(ids)}
+	var sojourns, waits []uint64
+	within := make([]int, len(SLOThresholdsX))
+	for _, i := range ids {
+		switch {
+		case src.completed[i]:
+			out.Completed++
+			d := src.completeCycle[i] - tr.Arrivals[i].Cycle
+			sojourns = append(sojourns, d)
+			for k, x := range SLOThresholdsX {
+				if float64(d) <= x*tr.ServiceEst {
+					within[k]++
+				}
+			}
+		case src.canceled[i]:
+			out.Canceled++
+		default:
+			out.Incomplete++
+		}
+		if src.admitted[i] {
+			out.Admitted++
+			waits = append(waits, src.admitCycle[i]-tr.Arrivals[i].Cycle)
+		}
+	}
+	out.SojournP50, out.SojournP99 = pctl(sojourns, 0.50), pctl(sojourns, 0.99)
+	out.AdmitP50, out.AdmitP99 = pctl(waits, 0.50), pctl(waits, 0.99)
+	out.Attainment = make([]float64, len(SLOThresholdsX))
+	if len(ids) > 0 {
+		for k := range within {
+			out.Attainment[k] = float64(within[k]) / float64(len(ids))
+		}
+	}
+	return out
+}
+
+// ReportVerified verifies every completed task's functional results and
+// returns the report with the verified count filled in.
+func (sc *Scenario) ReportVerified(tol float64) (*Report, error) {
+	n, err := sc.VerifyCompleted(tol)
+	if err != nil {
+		return nil, err
+	}
+	rep := sc.BuildReport()
+	rep.Verified = n
+	return rep, nil
+}
+
+// pctl is the exact nearest-rank percentile of xs (sorted in place on a
+// copy); 0 when empty.
+func pctl(xs []uint64, q float64) uint64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]uint64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+// Conservation checks the SLO report's accounting invariants: every arrival
+// is exactly one of completed/canceled/incomplete, ordering holds per task
+// (arrive ≤ admit ≤ complete), counters match flags, and histogram mass
+// matches counters. A violation means the engine lost or double-counted a
+// task — the CI traffic smoke job exits nonzero on it.
+func (r *Report) Conservation() error {
+	t := r.Total
+	if t.Completed+t.Canceled+t.Incomplete != t.Arrivals {
+		return fmt.Errorf("traffic: conservation: %d completed + %d canceled + %d incomplete != %d arrivals",
+			t.Completed, t.Canceled, t.Incomplete, t.Arrivals)
+	}
+	if t.Completed > t.Admitted {
+		return fmt.Errorf("traffic: conservation: completed %d > admitted %d", t.Completed, t.Admitted)
+	}
+	if t.Admitted > t.Arrivals {
+		return fmt.Errorf("traffic: conservation: admitted %d > arrivals %d", t.Admitted, t.Arrivals)
+	}
+	var sumA, sumC, sumX, sumAd int
+	for _, ten := range r.Tenants {
+		sumA += ten.Arrivals
+		sumC += ten.Completed
+		sumX += ten.Canceled
+		sumAd += ten.Admitted
+	}
+	if sumA != t.Arrivals || sumC != t.Completed || sumX != t.Canceled || sumAd != t.Admitted {
+		return fmt.Errorf("traffic: conservation: tenant sums (%d/%d/%d/%d) != totals (%d/%d/%d/%d)",
+			sumA, sumC, sumX, sumAd, t.Arrivals, t.Completed, t.Canceled, t.Admitted)
+	}
+	return nil
+}
+
+// ConservationDeep re-derives the per-task invariants from the raw records
+// (used by tests; Conservation covers the aggregated report).
+func (sc *Scenario) ConservationDeep() error {
+	src, tr := sc.Src, sc.Trace
+	for i := 0; i < src.ai; i++ {
+		if src.completed[i] && src.canceled[i] {
+			return fmt.Errorf("traffic: task %d both completed and canceled", i)
+		}
+		if src.completed[i] && !src.admitted[i] {
+			return fmt.Errorf("traffic: task %d completed without admission", i)
+		}
+		if src.admitted[i] && src.admitCycle[i] < tr.Arrivals[i].Cycle {
+			return fmt.Errorf("traffic: task %d admitted at %d before arrival %d", i, src.admitCycle[i], tr.Arrivals[i].Cycle)
+		}
+		if src.completed[i] && src.completeCycle[i] < src.admitCycle[i] {
+			return fmt.Errorf("traffic: task %d completed at %d before admission %d", i, src.completeCycle[i], src.admitCycle[i])
+		}
+	}
+	var bins, abins uint64
+	for _, c := range src.sojournBins {
+		bins += c
+	}
+	for _, c := range src.admitBins {
+		abins += c
+	}
+	if bins != src.nCompleted {
+		return fmt.Errorf("traffic: sojourn histogram mass %d != completed %d", bins, src.nCompleted)
+	}
+	if abins != src.nAdmitted {
+		return fmt.Errorf("traffic: admit histogram mass %d != admitted %d", abins, src.nAdmitted)
+	}
+	return nil
+}
+
+// Starved returns the tenants that had a fair chance — at least one
+// never-canceled arrival in the first half of the horizon — but completed
+// nothing. An empty slice means the fairness floor held.
+func (r *Report) Starved() []int {
+	var out []int
+	for _, ten := range r.Tenants {
+		if ten.Completed == 0 && ten.Arrivals > 0 && ten.Arrivals > ten.Canceled {
+			out = append(out, ten.Tenant)
+		}
+	}
+	return out
+}
+
+// Summary renders the per-tenant SLO table.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traffic %s on %s: load %.2gx, %d tenants, %d cores, %d cycles, %d switches\n",
+		r.Spec.Process, r.Arch, r.Spec.Load, r.Spec.Tenants, r.Spec.Cores, r.Cycles, r.Switches)
+	fmt.Fprintf(&b, "service est %.0f cycles/task; %d arrivals (%d truncated), %d verified OK\n",
+		r.ServiceEst, r.Total.Arrivals, r.Truncated, r.Verified)
+	fmt.Fprintf(&b, "%-7s %8s %8s %8s %8s %10s %10s %10s %10s %s\n",
+		"tenant", "arrive", "done", "cancel", "incompl", "p50", "p99", "admit p50", "admit p99", "SLO@2x/8x/32x")
+	row := func(s TenantSLO, name string) {
+		att := "-"
+		if len(s.Attainment) >= 6 {
+			att = fmt.Sprintf("%.2f/%.2f/%.2f", s.Attainment[1], s.Attainment[3], s.Attainment[5])
+		}
+		fmt.Fprintf(&b, "%-7s %8d %8d %8d %8d %10d %10d %10d %10d %s\n",
+			name, s.Arrivals, s.Completed, s.Canceled, s.Incomplete,
+			s.SojournP50, s.SojournP99, s.AdmitP50, s.AdmitP99, att)
+	}
+	for _, ten := range r.Tenants {
+		row(ten, fmt.Sprintf("t%d", ten.Tenant))
+	}
+	row(r.Total, "all")
+	return b.String()
+}

@@ -1,0 +1,411 @@
+// Package traffic is the open-loop scenario layer: it turns a compact,
+// seeded traffic spec into a deterministic stream of task arrivals, tenant
+// churn and per-tenant SLO reports, scheduled onto any of the four sharing
+// architectures through the osched preemptive scheduler.
+//
+// Everything downstream of a (Spec, seed) pair is a pure function: the
+// arrival trace is pregenerated at build time into preallocated rings, so
+// the running engine allocates nothing, skips quiescent gaps between
+// arrivals, and reproduces bit-identically across skip-ahead, parallelism
+// and checkpoint forking (DESIGN.md §12).
+package traffic
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"occamy/internal/workload"
+)
+
+// Process selects the arrival process family.
+type Process uint8
+
+const (
+	// Poisson arrivals: exponential inter-arrival times at constant rate.
+	Poisson Process = iota
+	// Bursty arrivals: a two-state Markov-modulated Poisson process that
+	// alternates between a high-rate and a low-rate regime with the same
+	// long-run mean as Poisson.
+	Bursty
+	// Diurnal arrivals: a sinusoidally modulated rate (mean-preserving),
+	// the classic day/night load shape compressed to simulated cycles.
+	Diurnal
+)
+
+var processNames = map[Process]string{Poisson: "poisson", Bursty: "bursty", Diurnal: "diurnal"}
+
+func (p Process) String() string {
+	if n, ok := processNames[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("process(%d)", p)
+}
+
+// MixEntry is one kernel in a tenant mix with its relative weight.
+type MixEntry struct {
+	Kernel string
+	Weight int
+}
+
+// Spec describes an open-loop traffic scenario. The zero value is not
+// runnable; use ParseSpec or DefaultSpec, or fill fields and call
+// ApplyDefaults + Validate.
+type Spec struct {
+	Process Process
+	// Load is the offered load relative to system capacity: 1.0 means
+	// arrivals carry exactly as much work as the cores can serve.
+	Load    float64
+	Tenants int
+	Cores   int
+	// Horizon is the arrival-generation window in cycles; no task arrives
+	// at or after Horizon.
+	Horizon uint64
+	// Seed overrides the run seed when non-zero.
+	Seed uint64
+	// Slice is the scheduler preemption quantum in cycles.
+	Slice uint64
+	// Mix is the kernel mix tasks are drawn from (Table-3 registry names).
+	Mix []MixEntry
+	// Elems/Repeats size each task's kernel; per-task lifetimes jitter
+	// Elems by a deterministic ±40%.
+	Elems   int
+	Repeats int
+	// ChurnOff/ChurnOn are the mean OFF and ON period lengths of tenant
+	// exit/re-entry churn (both zero disables churn; tenant 0 never
+	// churns so the scenario always has a stable resident).
+	ChurnOff uint64
+	ChurnOn  uint64
+	// Burst is the high/low rate ratio of the bursty process.
+	Burst float64
+	// Period is the diurnal period in cycles (0 = Horizon/2).
+	Period uint64
+	// Drain runs past Horizon until every admitted task completes;
+	// otherwise the run stops at Horizon + Horizon/4 and unfinished tasks
+	// are reported as incomplete.
+	Drain bool
+	// MaxTasks caps the generated arrival count; truncation is reported,
+	// never silent.
+	MaxTasks int
+}
+
+// DefaultSpec returns the canonical scenario: Poisson arrivals at 1.0x load,
+// 4 tenants over 4 cores with a mixed compute/memory kernel blend.
+func DefaultSpec() Spec {
+	s := Spec{}
+	s.ApplyDefaults()
+	return s
+}
+
+// ApplyDefaults fills every unset field with its default.
+func (s *Spec) ApplyDefaults() {
+	if s.Load == 0 {
+		s.Load = 1.0
+	}
+	if s.Tenants == 0 {
+		s.Tenants = 4
+	}
+	if s.Cores == 0 {
+		s.Cores = 4
+	}
+	if s.Horizon == 0 {
+		s.Horizon = 120_000
+	}
+	if s.Slice == 0 {
+		s.Slice = 1500
+	}
+	if len(s.Mix) == 0 {
+		s.Mix = []MixEntry{{"dotProd", 2}, {"wsm51", 1}, {"rho_eos4", 1}}
+	}
+	if s.Elems == 0 {
+		s.Elems = 640
+	}
+	if s.Repeats == 0 {
+		s.Repeats = 2
+	}
+	if s.Burst == 0 {
+		s.Burst = 8
+	}
+	if s.Period == 0 {
+		s.Period = s.Horizon / 2
+	}
+	if s.MaxTasks == 0 {
+		s.MaxTasks = 1024
+	}
+}
+
+// Validate checks the spec against the Table-3 registry and structural
+// limits. It does not mutate the spec; call ApplyDefaults first when
+// accepting partial specs.
+func (s *Spec) Validate() error {
+	if _, ok := processNames[s.Process]; !ok {
+		return fmt.Errorf("traffic: unknown process %d", s.Process)
+	}
+	if s.Load <= 0 || s.Load > 16 {
+		return fmt.Errorf("traffic: load %g out of range (0, 16]", s.Load)
+	}
+	if s.Tenants < 1 || s.Tenants > 256 {
+		return fmt.Errorf("traffic: tenants %d out of range [1, 256]", s.Tenants)
+	}
+	if s.Cores < 1 || s.Cores > 256 {
+		return fmt.Errorf("traffic: cores %d out of range [1, 256]", s.Cores)
+	}
+	if s.Horizon < 1000 || s.Horizon > 1<<40 {
+		return fmt.Errorf("traffic: horizon %d out of range [1000, 2^40]", s.Horizon)
+	}
+	if s.Slice < 100 {
+		return fmt.Errorf("traffic: slice %d below minimum 100", s.Slice)
+	}
+	if len(s.Mix) == 0 {
+		return fmt.Errorf("traffic: empty kernel mix")
+	}
+	known := knownKernels()
+	for _, m := range s.Mix {
+		if !known[m.Kernel] {
+			return fmt.Errorf("traffic: unknown kernel %q in mix", m.Kernel)
+		}
+		if m.Weight < 1 {
+			return fmt.Errorf("traffic: kernel %q weight %d must be >= 1", m.Kernel, m.Weight)
+		}
+	}
+	if s.Elems < 64 || s.Elems > 1<<20 {
+		return fmt.Errorf("traffic: elems %d out of range [64, 2^20]", s.Elems)
+	}
+	if s.Repeats < 1 || s.Repeats > 1<<16 {
+		return fmt.Errorf("traffic: repeats %d out of range [1, 65536]", s.Repeats)
+	}
+	if (s.ChurnOff == 0) != (s.ChurnOn == 0) {
+		return fmt.Errorf("traffic: churn needs both off and on periods (got %d/%d)", s.ChurnOff, s.ChurnOn)
+	}
+	if s.ChurnOn > 0 && (s.ChurnOn < 500 || s.ChurnOff < 500) {
+		return fmt.Errorf("traffic: churn periods below minimum 500 cycles")
+	}
+	if s.Burst < 1 || s.Burst > 1000 {
+		return fmt.Errorf("traffic: burst %g out of range [1, 1000]", s.Burst)
+	}
+	if s.Period < 100 {
+		return fmt.Errorf("traffic: period %d below minimum 100", s.Period)
+	}
+	if s.MaxTasks < 1 || s.MaxTasks > 65536 {
+		return fmt.Errorf("traffic: maxtasks %d out of range [1, 65536]", s.MaxTasks)
+	}
+	return nil
+}
+
+var kernelSet map[string]bool
+
+func knownKernels() map[string]bool {
+	if kernelSet == nil {
+		set := map[string]bool{}
+		for _, n := range workload.NewRegistry().KernelNames() {
+			set[n] = true
+		}
+		kernelSet = set
+	}
+	return kernelSet
+}
+
+// String renders the spec in canonical parseable form: every field is
+// emitted, in fixed order, so ParseSpec(s.String()) round-trips exactly.
+func (s *Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:load=%g,tenants=%d,cores=%d,horizon=%d,slice=%d",
+		s.Process, s.Load, s.Tenants, s.Cores, s.Horizon, s.Slice)
+	b.WriteString(",mix=")
+	for i, m := range s.Mix {
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "%s:%d", m.Kernel, m.Weight)
+	}
+	fmt.Fprintf(&b, ",elems=%d,repeats=%d", s.Elems, s.Repeats)
+	if s.ChurnOn > 0 {
+		fmt.Fprintf(&b, ",churn=%d:%d", s.ChurnOff, s.ChurnOn)
+	}
+	if s.Process == Bursty {
+		fmt.Fprintf(&b, ",burst=%g", s.Burst)
+	}
+	if s.Process == Diurnal {
+		fmt.Fprintf(&b, ",period=%d", s.Period)
+	}
+	if s.Seed != 0 {
+		fmt.Fprintf(&b, ",seed=%d", s.Seed)
+	}
+	if s.MaxTasks != 1024 {
+		fmt.Fprintf(&b, ",maxtasks=%d", s.MaxTasks)
+	}
+	if s.Drain {
+		b.WriteString(",drain")
+	}
+	return b.String()
+}
+
+// ParseSpec parses the compact traffic-spec syntax:
+//
+//	process[:key=value,...][,drain]
+//
+// e.g. "poisson:load=2,tenants=6,cores=4,mix=dotProd:2+wsm51:1,churn=8000:20000,drain".
+// Defaults are applied and the result validated.
+func ParseSpec(in string) (Spec, error) {
+	var s Spec
+	head, rest, _ := strings.Cut(strings.TrimSpace(in), ":")
+	switch head {
+	case "poisson":
+		s.Process = Poisson
+	case "bursty":
+		s.Process = Bursty
+	case "diurnal":
+		s.Process = Diurnal
+	default:
+		return s, fmt.Errorf("traffic: unknown process %q", head)
+	}
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			key, val, hasVal := strings.Cut(kv, "=")
+			key = strings.TrimSpace(key)
+			if !hasVal {
+				switch key {
+				case "drain":
+					s.Drain = true
+					continue
+				case "":
+					continue
+				default:
+					return s, fmt.Errorf("traffic: bare key %q (only \"drain\" is a flag)", key)
+				}
+			}
+			if err := s.setField(key, strings.TrimSpace(val)); err != nil {
+				return s, err
+			}
+		}
+	}
+	s.ApplyDefaults()
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+func (s *Spec) setField(key, val string) error {
+	// Zero means "unset, take the default" throughout Spec, so an explicit
+	// zero would be silently replaced by ApplyDefaults — reject it instead
+	// (seed is the exception: 0 legitimately means "no override").
+	pUint := func(dst *uint64) error {
+		v, err := strconv.ParseUint(val, 10, 62)
+		if err != nil {
+			return fmt.Errorf("traffic: %s=%q: %v", key, val, err)
+		}
+		if v == 0 && key != "seed" {
+			return fmt.Errorf("traffic: %s=0 is not a valid setting", key)
+		}
+		*dst = v
+		return nil
+	}
+	pInt := func(dst *int) error {
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("traffic: %s=%q: %v", key, val, err)
+		}
+		if v == 0 {
+			return fmt.Errorf("traffic: %s=0 is not a valid setting", key)
+		}
+		*dst = v
+		return nil
+	}
+	switch key {
+	case "load":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("traffic: load=%q: %v", val, err)
+		}
+		if v == 0 {
+			return fmt.Errorf("traffic: load=0 is not a valid setting")
+		}
+		s.Load = v
+	case "burst":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("traffic: burst=%q: %v", val, err)
+		}
+		if v == 0 {
+			return fmt.Errorf("traffic: burst=0 is not a valid setting")
+		}
+		s.Burst = v
+	case "tenants":
+		return pInt(&s.Tenants)
+	case "cores":
+		return pInt(&s.Cores)
+	case "elems":
+		return pInt(&s.Elems)
+	case "repeats":
+		return pInt(&s.Repeats)
+	case "maxtasks":
+		return pInt(&s.MaxTasks)
+	case "horizon":
+		return pUint(&s.Horizon)
+	case "slice":
+		return pUint(&s.Slice)
+	case "seed":
+		return pUint(&s.Seed)
+	case "period":
+		return pUint(&s.Period)
+	case "churn":
+		off, on, ok := strings.Cut(val, ":")
+		if !ok {
+			return fmt.Errorf("traffic: churn=%q wants off:on", val)
+		}
+		offV, err1 := strconv.ParseUint(off, 10, 62)
+		onV, err2 := strconv.ParseUint(on, 10, 62)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("traffic: churn=%q: bad cycle counts", val)
+		}
+		s.ChurnOff, s.ChurnOn = offV, onV
+	case "mix":
+		s.Mix = nil
+		for _, ent := range strings.Split(val, "+") {
+			name, w, ok := strings.Cut(ent, ":")
+			if !ok {
+				return fmt.Errorf("traffic: mix entry %q wants kernel:weight", ent)
+			}
+			wv, err := strconv.Atoi(w)
+			if err != nil {
+				return fmt.Errorf("traffic: mix weight %q: %v", w, err)
+			}
+			s.Mix = append(s.Mix, MixEntry{Kernel: name, Weight: wv})
+		}
+	default:
+		return fmt.Errorf("traffic: unknown key %q", key)
+	}
+	return nil
+}
+
+// StopCycle returns the pinned simulation stop for non-drain runs (drain
+// runs stop when the last task completes).
+func (s *Spec) StopCycle() uint64 { return s.Horizon + s.Horizon/4 }
+
+// Equal reports semantic equality (the round-trip property tested by
+// FuzzTrafficSpec).
+func (s *Spec) Equal(o *Spec) bool {
+	if s.Process != o.Process || s.Load != o.Load || s.Tenants != o.Tenants ||
+		s.Cores != o.Cores || s.Horizon != o.Horizon || s.Seed != o.Seed ||
+		s.Slice != o.Slice || s.Elems != o.Elems || s.Repeats != o.Repeats ||
+		s.ChurnOff != o.ChurnOff || s.ChurnOn != o.ChurnOn ||
+		s.Burst != o.Burst || s.Period != o.Period || s.Drain != o.Drain ||
+		s.MaxTasks != o.MaxTasks || len(s.Mix) != len(o.Mix) {
+		return false
+	}
+	for i := range s.Mix {
+		if s.Mix[i] != o.Mix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedMix returns the mix sorted by kernel name (stable reporting order).
+func (s *Spec) SortedMix() []MixEntry {
+	out := append([]MixEntry(nil), s.Mix...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Kernel < out[j].Kernel })
+	return out
+}

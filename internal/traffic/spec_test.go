@@ -1,0 +1,116 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpecRoundTrip: String() emits canonical form and ParseSpec inverts it.
+func TestSpecRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"poisson",
+		"poisson:load=2.5,tenants=6,cores=4,drain",
+		"bursty:burst=20,load=0.5,seed=42",
+		"diurnal:period=30000,horizon=90000",
+		"poisson:mix=dotProd:3+normL2:1,elems=128,repeats=4",
+		"poisson:churn=8000:20000,maxtasks=99",
+	} {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		s2, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", s.String(), err)
+		}
+		if !s.Equal(&s2) {
+			t.Fatalf("round trip changed spec:\n in: %s\nout: %s", s.String(), s2.String())
+		}
+	}
+}
+
+// TestSpecDefaults: bare process names get the documented defaults.
+func TestSpecDefaults(t *testing.T) {
+	s, err := ParseSpec("poisson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DefaultSpec()
+	if !s.Equal(&d) {
+		t.Fatalf("ParseSpec(\"poisson\") != DefaultSpec:\n%s\n%s", s.String(), d.String())
+	}
+	if s.Load != 1.0 || s.Tenants != 4 || s.Cores != 4 || s.MaxTasks != 1024 {
+		t.Fatalf("unexpected defaults: %+v", s)
+	}
+}
+
+// TestSpecRejections: every malformed spec must fail with a diagnostic, not
+// build a scenario (occamy.Config.Validate surfaces these verbatim).
+func TestSpecRejections(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"sinusoid", "unknown process"},
+		{"poisson:load=0", "load"},
+		{"poisson:load=17", "load"},
+		{"poisson:load=abc", "load"},
+		{"poisson:tenants=0", "tenants"},
+		{"poisson:tenants=300", "tenants"},
+		{"poisson:cores=0", "cores"},
+		{"poisson:horizon=10", "horizon"},
+		{"poisson:slice=5", "slice"},
+		{"poisson:elems=1", "elems"},
+		{"poisson:repeats=0", "repeats"},
+		{"poisson:mix=noSuchKernel:1", "unknown kernel"},
+		{"poisson:mix=dotProd:0", "weight"},
+		{"poisson:mix=dotProd", "kernel:weight"},
+		{"poisson:churn=5000", "off:on"},
+		{"poisson:churn=100:100", "churn periods"},
+		{"bursty:burst=0.5", "burst"},
+		{"diurnal:period=10", "period"},
+		{"poisson:maxtasks=0", "maxtasks"},
+		{"poisson:maxtasks=9999999", "maxtasks"},
+		{"poisson:frobnicate=1", "unknown key"},
+		{"poisson:verbose", "bare key"},
+	}
+	for _, c := range cases {
+		if _, err := ParseSpec(c.in); err == nil {
+			t.Errorf("%q: accepted, want error containing %q", c.in, c.want)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not mention %q", c.in, err, c.want)
+		}
+	}
+}
+
+// FuzzTrafficSpec is the parser's robustness + canonicalization property:
+// ParseSpec must never panic, and any accepted spec must round-trip through
+// String() to a semantically equal spec.
+func FuzzTrafficSpec(f *testing.F) {
+	f.Add("poisson")
+	f.Add("poisson:load=2,tenants=6,cores=4,horizon=50000,slice=1500,drain")
+	f.Add("bursty:burst=8,load=0.5,churn=8000:20000")
+	f.Add("diurnal:period=30000,mix=dotProd:2+wsm51:1,seed=7")
+	f.Add("poisson:maxtasks=1,elems=64,repeats=1")
+	f.Add("poisson:mix=rho_eos4:9+rgb2hsv:1,churn=500:500")
+	f.Add(":::")
+	f.Add("poisson:load=-1")
+	f.Add("poisson:,,,,")
+	f.Add("poisson:mix=+++")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSpec(in)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		canon := s.String()
+		s2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted %q rejected: %v", canon, in, err)
+		}
+		if !s.Equal(&s2) {
+			t.Fatalf("round trip changed spec:\n  in: %q\n  canon: %q\n  recanon: %q", in, canon, s2.String())
+		}
+		if got := s2.String(); got != canon {
+			t.Fatalf("String not idempotent: %q vs %q", got, canon)
+		}
+	})
+}

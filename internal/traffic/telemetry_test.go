@@ -1,0 +1,124 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+
+	"occamy/internal/arch"
+	"occamy/internal/telemetry"
+)
+
+func telemetryScenario(t *testing.T, kind arch.Kind, seed uint64) *Scenario {
+	t.Helper()
+	spec, err := ParseSpec("poisson:load=6,tenants=3,cores=2,horizon=12000,slice=400,elems=96,repeats=1,churn=800:1200,maxtasks=2048")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Build(kind, spec, arch.Options{
+		Seed:      seed,
+		Telemetry: &telemetry.Config{Window: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestTelemetryTrafficWindows: a traffic run with telemetry enabled produces
+// windows whose traffic slices conserve flow (per-window deltas sum to the
+// cumulative counters) and whose quantiles are sane.
+func TestTelemetryTrafficWindows(t *testing.T) {
+	sc := telemetryScenario(t, arch.Occamy, 101)
+	if err := sc.Run(sc.DefaultBudget()); err != nil {
+		t.Fatal(err)
+	}
+	sc.Sys.Tele.Flush(sc.Sys.Engine.Cycle())
+
+	v := sc.Sys.Tele.View()
+	if !v.HasTraffic {
+		t.Fatal("traffic scenario with telemetry: View.HasTraffic false")
+	}
+	if v.TrafficArrived == 0 || v.TrafficCompleted == 0 {
+		t.Fatalf("no flow reached telemetry: %+v", v)
+	}
+	if v.TrafficArrived > sc.Src.Arrived() {
+		t.Fatalf("cumulative arrived %d exceeds source %d", v.TrafficArrived, sc.Src.Arrived())
+	}
+
+	var sumArr, sumCom, sojourns uint64
+	var w telemetry.Window
+	for i := 0; i < sc.Sys.Tele.Retained(); i++ {
+		if !sc.Sys.Tele.CopyWindow(i, &w) {
+			continue
+		}
+		if !w.HasTraffic {
+			t.Fatalf("window %d missing traffic slice", i)
+		}
+		sumArr += w.Traffic.Arrived
+		sumCom += w.Traffic.Completed
+		sojourns += w.Traffic.SojournCount
+		if w.Traffic.SojournCount > 0 && w.Traffic.SojournP99 < w.Traffic.SojournP50 {
+			t.Fatalf("window %d: p99 %g < p50 %g", i, w.Traffic.SojournP99, w.Traffic.SojournP50)
+		}
+	}
+	if sumArr != v.TrafficArrived || sumCom != v.TrafficCompleted {
+		t.Fatalf("window deltas don't conserve: arrived %d/%d completed %d/%d",
+			sumArr, v.TrafficArrived, sumCom, v.TrafficCompleted)
+	}
+	if sojourns == 0 {
+		t.Fatal("no sojourn samples in any window")
+	}
+}
+
+// TestTelemetryTrafficOpenMetrics: the traffic families render, carry
+// samples, and the output still satisfies the OpenMetrics contract.
+func TestTelemetryTrafficOpenMetrics(t *testing.T) {
+	sc := telemetryScenario(t, arch.VLS, 202)
+	if err := sc.Run(sc.DefaultBudget()); err != nil {
+		t.Fatal(err)
+	}
+	sc.Sys.Tele.Flush(sc.Sys.Engine.Cycle())
+
+	var sb strings.Builder
+	if err := sc.Sys.Tele.WriteOpenMetrics(&sb, "traffic-test"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE occamy_traffic_arrived counter",
+		"occamy_traffic_arrived_total{run=\"traffic-test\"}",
+		"occamy_traffic_admitted_total{run=\"traffic-test\"}",
+		"occamy_traffic_completed_total{run=\"traffic-test\"}",
+		"occamy_traffic_sojourn_cycles{run=\"traffic-test\",quantile=\"0.99\"}",
+		"occamy_traffic_admit_wait_cycles{run=\"traffic-test\",quantile=\"0.5\"}",
+		"occamy_traffic_queued{run=\"traffic-test\"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OpenMetrics output missing %q", want)
+		}
+	}
+	if err := telemetry.ValidateOpenMetrics(strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetryTrafficDigestDeterminism: two identical traffic+telemetry
+// runs hash identically, and a different seed hashes differently — the
+// traffic slice is inside the digest, deterministically.
+func TestTelemetryTrafficDigestDeterminism(t *testing.T) {
+	digest := func(seed uint64) uint64 {
+		sc := telemetryScenario(t, arch.Occamy, seed)
+		if err := sc.Run(sc.DefaultBudget()); err != nil {
+			t.Fatal(err)
+		}
+		sc.Sys.Tele.Flush(sc.Sys.Engine.Cycle())
+		return sc.Sys.Tele.Digest()
+	}
+	a, b := digest(77), digest(77)
+	if a != b {
+		t.Fatalf("same seed, different digests: %x vs %x", a, b)
+	}
+	if c := digest(78); c == a {
+		t.Fatalf("different seed produced identical digest %x", c)
+	}
+}

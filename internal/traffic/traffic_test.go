@@ -1,0 +1,164 @@
+package traffic
+
+import (
+	"testing"
+
+	"occamy/internal/arch"
+)
+
+// smallSpec is a fast scenario used across the package's tests.
+func smallSpec(extra string) Spec {
+	base := "poisson:load=1.2,tenants=3,cores=2,horizon=40000,slice=1200,elems=256,repeats=1,drain"
+	if extra != "" {
+		base += "," + extra
+	}
+	s, err := ParseSpec(base)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func runScenario(t *testing.T, kind arch.Kind, spec Spec, opts arch.Options) *Scenario {
+	t.Helper()
+	sc, err := Build(kind, spec, opts)
+	if err != nil {
+		t.Fatalf("build %v: %v", kind, err)
+	}
+	if err := sc.Run(sc.DefaultBudget()); err != nil {
+		t.Fatalf("run %v: %v", kind, err)
+	}
+	return sc
+}
+
+// TestScenarioAllArchs drives the same Poisson scenario through every
+// architecture: all admitted work must finish (drain mode), results must
+// verify, and the SLO report must conserve tasks.
+func TestScenarioAllArchs(t *testing.T) {
+	spec := smallSpec("")
+	for _, kind := range arch.Kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			sc := runScenario(t, kind, spec, arch.Options{Seed: 11})
+			rep := sc.BuildReport()
+			if rep.Total.Arrivals == 0 {
+				t.Fatal("no arrivals generated")
+			}
+			if rep.Total.Completed == 0 {
+				t.Fatal("nothing completed")
+			}
+			if rep.Total.Incomplete != 0 {
+				t.Fatalf("drain run left %d incomplete", rep.Total.Incomplete)
+			}
+			if err := rep.Conservation(); err != nil {
+				t.Fatal(err)
+			}
+			if err := sc.ConservationDeep(); err != nil {
+				t.Fatal(err)
+			}
+			n, err := sc.VerifyCompleted(2e-3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != rep.Total.Completed {
+				t.Fatalf("verified %d != completed %d", n, rep.Total.Completed)
+			}
+		})
+	}
+}
+
+// TestScenarioProcessesAndChurn exercises the bursty and diurnal processes
+// plus tenant churn on the elastic architecture.
+func TestScenarioProcessesAndChurn(t *testing.T) {
+	for _, proc := range []string{
+		"bursty:load=1.5,tenants=3,cores=2,horizon=40000,slice=1200,elems=256,repeats=1,burst=10,drain",
+		"diurnal:load=1.5,tenants=3,cores=2,horizon=40000,slice=1200,elems=256,repeats=1,period=10000,drain",
+		"poisson:load=1.5,tenants=3,cores=2,horizon=60000,slice=1200,elems=256,repeats=1,churn=6000:9000,drain",
+	} {
+		spec, err := ParseSpec(proc)
+		if err != nil {
+			t.Fatalf("%s: %v", proc, err)
+		}
+		sc := runScenario(t, arch.Occamy, spec, arch.Options{Seed: 5})
+		rep := sc.BuildReport()
+		if rep.Total.Completed == 0 {
+			t.Fatalf("%s: nothing completed", proc)
+		}
+		if err := rep.Conservation(); err != nil {
+			t.Fatalf("%s: %v", proc, err)
+		}
+		if err := sc.ConservationDeep(); err != nil {
+			t.Fatalf("%s: %v", proc, err)
+		}
+		if _, err := sc.VerifyCompleted(2e-3); err != nil {
+			t.Fatalf("%s: %v", proc, err)
+		}
+	}
+}
+
+// TestScenarioOverloadTruncates checks the non-drain stop: under heavy
+// overload the run must stop at the pinned cycle with incomplete tasks
+// reported, never lost.
+func TestScenarioOverloadTruncates(t *testing.T) {
+	spec, err := ParseSpec("poisson:load=4,tenants=4,cores=2,horizon=30000,slice=1200,elems=256,repeats=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := runScenario(t, arch.Occamy, spec, arch.Options{Seed: 3})
+	rep := sc.BuildReport()
+	if got, want := rep.Cycles, spec.StopCycle(); got > want {
+		t.Fatalf("ran to %d, want stop at %d", got, want)
+	}
+	if rep.Total.Incomplete == 0 {
+		t.Fatal("4x overload should leave incomplete tasks at the horizon stop")
+	}
+	if err := rep.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.VerifyCompleted(2e-3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceGeneration sanity-checks the pregenerated trace: sorted,
+// in-horizon, load-scaled.
+func TestTraceGeneration(t *testing.T) {
+	spec := smallSpec("")
+	tr := Generate(&spec, 7)
+	if len(tr.Arrivals) == 0 {
+		t.Fatal("no arrivals")
+	}
+	last := uint64(0)
+	for _, a := range tr.Arrivals {
+		if a.Cycle < last {
+			t.Fatal("arrivals unsorted")
+		}
+		last = a.Cycle
+		if a.Cycle >= spec.Horizon {
+			t.Fatalf("arrival at %d beyond horizon %d", a.Cycle, spec.Horizon)
+		}
+		if a.Elems < 64 {
+			t.Fatalf("task elems %d below floor", a.Elems)
+		}
+	}
+	// Doubling load should roughly double arrivals (within loose bounds —
+	// it's a random process, but a deterministic one).
+	spec2 := spec
+	spec2.Load = 2 * spec.Load
+	tr2 := Generate(&spec2, 7)
+	lo, hi := len(tr.Arrivals)*3/2, len(tr.Arrivals)*3
+	if len(tr2.Arrivals) < lo || len(tr2.Arrivals) > hi {
+		t.Fatalf("2x load: %d arrivals vs %d at 1x (want within [%d, %d])",
+			len(tr2.Arrivals), len(tr.Arrivals), lo, hi)
+	}
+	// Same seed regenerates bit-identically.
+	tr3 := Generate(&spec, 7)
+	if len(tr3.Arrivals) != len(tr.Arrivals) {
+		t.Fatal("same seed, different arrival count")
+	}
+	for i := range tr.Arrivals {
+		if tr.Arrivals[i] != tr3.Arrivals[i] {
+			t.Fatalf("arrival %d differs across regenerations", i)
+		}
+	}
+}

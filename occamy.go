@@ -34,6 +34,7 @@ import (
 	"occamy/internal/roofline"
 	"occamy/internal/telemetry"
 	"occamy/internal/trace"
+	"occamy/internal/traffic"
 	"occamy/internal/workload"
 )
 
@@ -136,6 +137,12 @@ type Config struct {
 	// CPU→coproc fabric. Nil keeps the flat single-co-processor machine; a
 	// 1-cluster topology with zero hop latency is bit-identical to nil.
 	Topology *Topology
+	// Traffic selects open-loop traffic-driven simulation instead of a fixed
+	// co-schedule: a seeded arrival-process spec
+	// "process:key=value,..." (process = poisson|bursty|diurnal; e.g.
+	// "poisson:load=2,tenants=6,churn=8000:20000"). Used by RunTraffic;
+	// Run ignores it. See internal/traffic for the full syntax.
+	Traffic string
 }
 
 // Topology describes a clustered machine for Config.Topology: N co-processor
@@ -191,6 +198,11 @@ func (c Config) Validate() error {
 	for _, f := range faults {
 		if f.Cluster != fault.AnyCluster && f.Cluster >= clusters {
 			return fmt.Errorf("occamy: fault %q targets cluster %d but the topology has %d cluster(s)", f.String(), f.Cluster, clusters)
+		}
+	}
+	if c.Traffic != "" {
+		if _, err := traffic.ParseSpec(c.Traffic); err != nil {
+			return fmt.Errorf("occamy: %w", err)
 		}
 	}
 	return nil

@@ -1,0 +1,57 @@
+package occamy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigValidateTrafficSpec(t *testing.T) {
+	good := DefaultConfig(Elastic)
+	good.Traffic = "poisson:load=2,tenants=3"
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid traffic spec rejected: %v", err)
+	}
+	for name, spec := range map[string]string{
+		"unknown process": "laplace:load=2",
+		"bad key":         "poisson:frobnicate=3",
+		"bad value":       "poisson:load=banana",
+		"zero tenants":    "poisson:tenants=0",
+		"zero cores":      "poisson:cores=0",
+		"bad churn":       "poisson:churn=5000",
+		"stray field":     "poisson:load=2,=7",
+	} {
+		cfg := good
+		cfg.Traffic = spec
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted Traffic=%q", name, spec)
+		}
+	}
+}
+
+func TestRunTrafficRequiresSpec(t *testing.T) {
+	if _, err := RunTraffic(DefaultConfig(Elastic)); err == nil {
+		t.Fatal("RunTraffic accepted an empty Config.Traffic")
+	}
+}
+
+func TestRunTrafficSmoke(t *testing.T) {
+	cfg := DefaultConfig(Elastic)
+	cfg.MaxCycles = 0 // horizon-sized budget
+	cfg.Traffic = "poisson:load=2,tenants=3,cores=2,horizon=10000,slice=400,elems=384,repeats=1,churn=900:1300"
+	rep, err := RunTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Arrivals == 0 || rep.Total.Completed == 0 {
+		t.Fatalf("empty run: %d arrivals, %d completed", rep.Total.Arrivals, rep.Total.Completed)
+	}
+	if len(rep.Tenants) == 0 {
+		t.Fatal("report carries no tenants")
+	}
+	s := rep.Summary()
+	for _, want := range []string{"tenant", "admit p99", "SLO@"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
