@@ -204,6 +204,51 @@ func TestSchedulerResumeAfterFaultRevocation(t *testing.T) {
 	verifyAll(t, sys, ws, compiled)
 }
 
+// TestSchedulerNoSpuriousSwitchOnStaleQueue: canceling the only queued
+// competitor must also cancel the pending preemption. The ready ring counts
+// runnable entries only (stale entries are removed eagerly), so a slice
+// expiry with nothing to dispatch must not park the core for a full context
+// save/restore that re-installs the same task.
+func TestSchedulerNoSpuriousSwitchOnStaleQueue(t *testing.T) {
+	ws := []*workload.Workload{
+		longTask(t, "dotProd", 20000, 2), // long-running resident
+		longTask(t, "wsm51", 2000, 2),    // queued, then canceled
+	}
+	sys, err := BuildHost(arch.Occamy, 1, arch.Options{Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(sys, 500) // slice far shorter than task 0's runtime
+	for i, w := range ws {
+		comp, err := CompileTask(sys, w, i, 29)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched.AddTask(w.Name, cpu.NewState(comp.Program))
+	}
+	sys.Engine.Register(sched)
+	ParkCores(sys)
+
+	sched.EnqueueReady(0)
+	sched.EnqueueReady(1)
+	if _, err := sys.Engine.RunUntil(func() bool { return sched.TaskStarted(0) }, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	sched.Cancel(1)
+	if n := sched.QueueLen(); n != 0 {
+		t.Fatalf("ready ring holds %d entries after canceling the only queued task", n)
+	}
+	if _, err := sys.Engine.RunUntil(func() bool { return sched.Done() }, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !sched.TaskDone(0) {
+		t.Fatal("resident task did not complete")
+	}
+	if sched.Switches != 0 {
+		t.Fatalf("%d spurious context switches with an empty ready ring", sched.Switches)
+	}
+}
+
 // TestSchedulerCancelQueuedAndRunning covers reneging: canceling a queued
 // task discards it without ever dispatching; canceling a running task
 // drains it off its core and frees the core for the next arrival.

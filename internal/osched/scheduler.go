@@ -47,8 +47,11 @@ type Scheduler struct {
 	pendingIn   []int // task id being switched in (during restore)
 
 	// queue is the FIFO ready ring (circular buffer, presized at AddTask so
-	// steady-state admission never allocates). Stale entries — tasks
-	// canceled or suspended while queued — are skipped lazily at pop.
+	// steady-state admission never allocates). Tasks canceled or suspended
+	// while queued are removed eagerly (removeQueued), so qlen counts
+	// runnable entries only — the preemption trigger and NextWake key off
+	// it, and a stale count would park cores for switches that dispatch
+	// nothing.
 	queue []int32
 	qhead int
 	qlen  int
@@ -166,8 +169,30 @@ func (s *Scheduler) enqueue(id int) {
 	t.enqueued = true
 }
 
-// popReady returns the next runnable task from the ring, lazily discarding
-// stale entries (canceled, or suspended while queued), or -1.
+// removeQueued deletes task id's ring entry (if any), preserving the FIFO
+// order of the remaining entries. Alloc-free: entries are compacted within
+// the existing buffer.
+func (s *Scheduler) removeQueued(id int) {
+	t := s.tasks[id]
+	if !t.enqueued {
+		return
+	}
+	n := len(s.queue)
+	w := 0
+	for i := 0; i < s.qlen; i++ {
+		v := s.queue[(s.qhead+i)%n]
+		if int(v) == id {
+			continue
+		}
+		s.queue[(s.qhead+w)%n] = v
+		w++
+	}
+	s.qlen = w
+	t.enqueued = false
+}
+
+// popReady returns the next runnable task from the ring, or -1. The stale
+// check is defensive: eager removal keeps the ring runnable-only.
 func (s *Scheduler) popReady() int {
 	for s.qlen > 0 {
 		id := int(s.queue[s.qhead])
@@ -211,6 +236,7 @@ func (s *Scheduler) Suspend(id int) {
 		}
 		return
 	}
+	s.removeQueued(id)
 	t.suspended = true
 }
 
@@ -239,7 +265,9 @@ func (s *Scheduler) Cancel(id int) {
 			s.sys.Cores[c].Park()
 			s.switchState[c] = draining
 		}
+		return
 	}
+	s.removeQueued(id)
 }
 
 func (s *Scheduler) coreOf(id int) int {
@@ -520,8 +548,8 @@ func (s *Scheduler) TaskSuspendedNow(id int) bool { return s.tasks[id].suspended
 // (executing or mid-switch).
 func (s *Scheduler) TaskRunningNow(id int) bool { return s.coreOf(id) >= 0 }
 
-// QueueLen returns the current ready-ring occupancy (including entries that
-// will be lazily discarded as stale).
+// QueueLen returns the current ready-ring occupancy. Every counted entry is
+// runnable: canceled/suspended tasks are removed from the ring eagerly.
 func (s *Scheduler) QueueLen() int { return s.qlen }
 
 // RunningOn returns the task id executing on core c, or -1.

@@ -168,9 +168,9 @@ func Generate(s *Spec, seed uint64) *Trace {
 	sort.SliceStable(tr.Churn, func(i, j int) bool {
 		a, b := tr.Churn[i], tr.Churn[j]
 		if a.Cycle != b.Cycle {
-			return a.Tenant < b.Tenant
+			return a.Cycle < b.Cycle
 		}
-		return a.Cycle < b.Cycle
+		return a.Tenant < b.Tenant
 	})
 	if len(tr.Arrivals) > s.MaxTasks {
 		tr.Truncated = len(tr.Arrivals) - s.MaxTasks

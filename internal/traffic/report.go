@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -30,6 +31,12 @@ type TenantSLO struct {
 	// incomplete count as misses — the honest open-loop view) completed
 	// within SLOThresholdsX[i] × ServiceEst cycles.
 	Attainment []float64
+
+	// FairChance counts never-canceled arrivals in the first half of the
+	// horizon — the evidence Starved requires before calling a tenant
+	// starved, so late-arriving work cut off by a non-drain stop is not
+	// mistaken for starvation.
+	FairChance int
 }
 
 // Report is the per-tenant SLO outcome of one traffic run.
@@ -86,6 +93,9 @@ func (sc *Scenario) slo(tenant int, ids []int) TenantSLO {
 	var sojourns, waits []uint64
 	within := make([]int, len(SLOThresholdsX))
 	for _, i := range ids {
+		if tr.Arrivals[i].Cycle < sc.Spec.Horizon/2 && !src.canceled[i] {
+			out.FairChance++
+		}
 		switch {
 		case src.completed[i]:
 			out.Completed++
@@ -129,15 +139,22 @@ func (sc *Scenario) ReportVerified(tol float64) (*Report, error) {
 	return rep, nil
 }
 
-// pctl is the exact nearest-rank percentile of xs (sorted in place on a
-// copy); 0 when empty.
+// pctl is the exact nearest-rank percentile of xs (computed on a sorted
+// copy): the smallest sample with at least ⌈q·n⌉ samples at or below it;
+// 0 when empty.
 func pctl(xs []uint64, q float64) uint64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	s := append([]uint64(nil), xs...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(q * float64(len(s)-1))
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
 	return s[idx]
 }
 
@@ -207,12 +224,13 @@ func (sc *Scenario) ConservationDeep() error {
 }
 
 // Starved returns the tenants that had a fair chance — at least one
-// never-canceled arrival in the first half of the horizon — but completed
-// nothing. An empty slice means the fairness floor held.
+// never-canceled arrival in the first half of the horizon (TenantSLO.
+// FairChance > 0) — but completed nothing. An empty slice means the
+// fairness floor held.
 func (r *Report) Starved() []int {
 	var out []int
 	for _, ten := range r.Tenants {
-		if ten.Completed == 0 && ten.Arrivals > 0 && ten.Arrivals > ten.Canceled {
+		if ten.Completed == 0 && ten.FairChance > 0 {
 			out = append(out, ten.Tenant)
 		}
 	}

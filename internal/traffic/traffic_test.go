@@ -141,6 +141,24 @@ func TestTraceGeneration(t *testing.T) {
 			t.Fatalf("task elems %d below floor", a.Elems)
 		}
 	}
+	// Churn events must be nondecreasing in cycle: Source.Tick and
+	// Source.NextWake walk Trace.Churn with a sequential cursor, so any
+	// out-of-order event would be applied late (or pin NextWake in the
+	// past). Use a spec with 2+ churning tenants — a per-tenant grouping
+	// would violate the ordering there — and require churn to actually be
+	// present so the check cannot pass vacuously.
+	cspec := smallSpec("churn=2000:5000")
+	ctr := Generate(&cspec, 7)
+	if len(ctr.Churn) < 2 {
+		t.Fatalf("churned spec should generate 2+ churn events, got %d", len(ctr.Churn))
+	}
+	lastChurn := uint64(0)
+	for i, ev := range ctr.Churn {
+		if ev.Cycle < lastChurn {
+			t.Fatalf("churn event %d at cycle %d before predecessor at %d", i, ev.Cycle, lastChurn)
+		}
+		lastChurn = ev.Cycle
+	}
 	// Doubling load should roughly double arrivals (within loose bounds —
 	// it's a random process, but a deterministic one).
 	spec2 := spec
