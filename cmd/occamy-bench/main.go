@@ -10,14 +10,17 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"occamy/internal/area"
 	"occamy/internal/experiments"
 	"occamy/internal/profiling"
+	"occamy/internal/sim"
 	"occamy/internal/telemetry"
 )
 
@@ -47,8 +50,30 @@ func main() {
 	cfg.LegacyTick = *leg
 	cfg.NoSnapshot = *nosnap
 
+	// SIGINT cancels outstanding simulations cooperatively: every engine
+	// stops at its next poll point, the section in flight reports the
+	// cancellation, and the campaign exits with a clear marker — sections
+	// already printed above it are complete and trustworthy.
+	interrupt := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "occamy-bench: SIGINT: canceling outstanding runs...")
+		close(interrupt)
+		signal.Stop(sigCh) // a second ^C kills the process the normal way
+	}()
+	cfg.Interrupt = interrupt
+
 	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
 	fail := func(err error) {
+		var cerr *sim.CanceledError
+		if errors.As(err, &cerr) {
+			fmt.Println("\nINTERRUPTED — campaign canceled by SIGINT.")
+			fmt.Println("Sections printed above completed before the interrupt; the")
+			fmt.Println("section in flight was canceled and is not reported.")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "occamy-bench:", err)
 		os.Exit(1)
 	}

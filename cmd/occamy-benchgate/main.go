@@ -16,8 +16,8 @@
 // Usage:
 //
 //	go test -run xxx -bench SteadyStateTick -benchmem -count 3 . |
-//	    occamy-benchgate -baseline BENCH_PR8.json            # gate
-//	go test ... | occamy-benchgate -baseline BENCH_PR8.json -update
+//	    occamy-benchgate -baseline BENCH_PR9.json            # gate
+//	go test ... | occamy-benchgate -baseline BENCH_PR9.json -update
 package main
 
 import (
@@ -112,7 +112,7 @@ func sortedNames(m map[string]BenchLine) []string {
 
 func main() {
 	var (
-		basePath  = flag.String("baseline", "BENCH_PR8.json", "committed baseline JSON")
+		basePath  = flag.String("baseline", "BENCH_PR9.json", "committed baseline JSON")
 		update    = flag.Bool("update", false, "rewrite the baseline from stdin instead of gating")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed relative ns/op drift vs baseline")
 		zeroalloc = flag.String("zeroalloc", ".", "regexp of benchmarks whose allocs/op must be exactly 0")

@@ -1,0 +1,101 @@
+// Command occamy-serve runs the simulation job service: an HTTP/JSON API
+// that accepts pair runs, fault campaigns and traffic scenarios, executes
+// them on a bounded worker pool with admission control, per-tenant quotas,
+// per-job timeouts and retry with exponential backoff, serves results and
+// OpenMetrics, and drains gracefully on SIGTERM/SIGINT.
+//
+//	occamy-serve -addr 127.0.0.1:9470 -workers 4 -journal jobs.jsonl
+//
+// Submit:
+//
+//	curl -s localhost:9470/jobs -d '{"tenant":"t1","kind":"pair",
+//	  "arch":"elastic","workloads":["spec/WL20","spec/WL17"],"scale":0.05}'
+//
+// Poll GET /jobs/{id}, fetch GET /jobs/{id}/result, watch GET /metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"occamy/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9470", "listen address")
+	workers := flag.Int("workers", 2, "worker pool size (concurrent simulations)")
+	queueCap := flag.Int("queue", 16, "admission queue capacity")
+	quota := flag.Int("tenant-quota", 4, "max in-flight jobs per tenant (<0 disables)")
+	attempts := flag.Int("max-attempts", 3, "attempt budget per job")
+	timeout := flag.Duration("timeout", 120*time.Second, "default per-attempt deadline")
+	backoffBase := flag.Duration("backoff-base", 100*time.Millisecond, "first retry delay")
+	backoffCap := flag.Duration("backoff-cap", 5*time.Second, "retry delay ceiling")
+	grace := flag.Duration("drain-grace", 10*time.Second, "drain grace before in-flight work is parked")
+	cacheCap := flag.Int("cache", 8, "warm-up checkpoint cache capacity (snapshots)")
+	journal := flag.String("journal", "", "job journal path (JSONL); empty disables crash recovery")
+	inject := flag.Bool("allow-injection", false, "enable test-only fault hooks (never in production)")
+	flag.Parse()
+
+	srv, err := serve.New(serve.Options{
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		TenantQuota:    *quota,
+		MaxAttempts:    *attempts,
+		DefaultTimeout: *timeout,
+		BackoffBase:    *backoffBase,
+		BackoffCap:     *backoffCap,
+		DrainGrace:     *grace,
+		CacheCap:       *cacheCap,
+		JournalPath:    *journal,
+		AllowInjection: *inject,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occamy-serve:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occamy-serve:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("occamy-serve listening on %s (workers=%d queue=%d journal=%q)\n",
+		ln.Addr(), *workers, *queueCap, *journal)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("occamy-serve: %v: draining (grace %s)\n", sig, *grace)
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "occamy-serve:", err)
+		os.Exit(1)
+	}
+
+	// Stop admitting and let in-flight work finish or park, then close the
+	// listener. Exit 0 on a clean drain: the journal holds everything that
+	// was accepted but not finished.
+	if err := srv.Drain(); err != nil {
+		fmt.Fprintln(os.Stderr, "occamy-serve: drain:", err)
+		os.Exit(1)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "occamy-serve: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Println("occamy-serve: drained cleanly")
+}

@@ -63,6 +63,12 @@ type SystemState struct {
 	ctl     *ctlState
 	inj     fault.InjectorState
 	tele    *telemetry.SamplerState
+
+	// digest is the FNV-64a content digest over every other field, stamped
+	// at Checkpoint time and re-verified by RestoreCheckpoint (see
+	// digest.go). It is what makes a snapshot safe to hold in a cache: a
+	// corrupted or tampered snapshot is refused, never silently restored.
+	digest uint64
 }
 
 // Cycle returns the cycle the checkpoint was taken at.
@@ -85,6 +91,7 @@ func (s *System) Checkpoint() *SystemState {
 	for _, core := range s.Cores {
 		st.cores = append(st.cores, core.Checkpoint())
 	}
+	st.digest = st.computeDigest()
 	s.Tele.EmitMeta(s.Engine.Cycle(), telemetry.EvCheckpoint, "")
 	return st
 }
@@ -92,7 +99,15 @@ func (s *System) Checkpoint() *SystemState {
 // RestoreCheckpoint rewinds the system to a Checkpoint. The fault schedule is
 // restored as-is (cursors rewound on the same schedule); fork a different
 // sweep point by calling SetFaultSchedule afterwards.
-func (s *System) RestoreCheckpoint(st *SystemState) {
+//
+// Before touching any component it re-verifies the snapshot's content digest;
+// a snapshot that was corrupted since capture is refused with a
+// *CorruptCheckpointError and the system is left exactly as it was — the
+// caller can evict the snapshot and fall back to a cold run.
+func (s *System) RestoreCheckpoint(st *SystemState) error {
+	if err := st.Verify(); err != nil {
+		return err
+	}
 	s.Engine.Restore(st.engine)
 	s.Hier.Restore(st.hier)
 	for k, cp := range s.Clusters {
@@ -107,7 +122,15 @@ func (s *System) RestoreCheckpoint(st *SystemState) {
 	s.inj.Restore(st.inj)
 	s.Tele.Restore(st.tele)
 	s.Tele.EmitMeta(s.Engine.Cycle(), telemetry.EvRestore, "")
+	return nil
 }
+
+// SetInterrupt installs a cooperative cancellation signal on the engine:
+// when done becomes ready (usually a context's Done channel), the run stops
+// at the next cycle-aligned poll point with a sim.CanceledError (wrapped in
+// the usual DiagError with a machine dump). An interrupt that never fires
+// leaves results bit-identical to a run without one.
+func (s *System) SetInterrupt(done <-chan struct{}) { s.Engine.SetInterrupt(done) }
 
 // RunTo simulates until the clock reaches cycle (a no-op when already
 // there), the natural way to advance to a sweep's checkpoint cycle. Unlike

@@ -93,7 +93,9 @@ func TestCheckpointForkBitIdentical(t *testing.T) {
 				}
 				want := fingerprint(straight, mustRun(t, straight))
 
-				forked.RestoreCheckpoint(snap)
+				if err := forked.RestoreCheckpoint(snap); err != nil {
+					t.Fatal(err)
+				}
 				if got := forked.Engine.Cycle(); got != warm {
 					t.Fatalf("schedule %d: restore left clock at %d, want %d", i, got, warm)
 				}
@@ -138,7 +140,9 @@ func TestCheckpointMidFaultWindow(t *testing.T) {
 			}
 			snap := forked.Checkpoint()
 			for rerun := 0; rerun < 2; rerun++ {
-				forked.RestoreCheckpoint(snap)
+				if err := forked.RestoreCheckpoint(snap); err != nil {
+					t.Fatal(err)
+				}
 				if got := fingerprint(forked, mustRun(t, forked)); got != want {
 					t.Errorf("rerun %d: mid-window fork diverges\nstraight:\n%s\nforked:\n%s", rerun, want, got)
 				}
@@ -184,7 +188,9 @@ func TestCheckpointMidSkipWindow(t *testing.T) {
 			}
 			snap := forked.Checkpoint()
 			for rerun := 0; rerun < 2; rerun++ {
-				forked.RestoreCheckpoint(snap)
+				if err := forked.RestoreCheckpoint(snap); err != nil {
+					t.Fatal(err)
+				}
 				if got := fingerprint(forked, mustRun(t, forked)); got != want {
 					t.Errorf("rerun %d: mid-skip fork diverges\nstraight:\n%s\nforked:\n%s", rerun, want, got)
 				}
@@ -219,7 +225,9 @@ func TestCheckpointStatsCellStability(t *testing.T) {
 	if final == 0 {
 		t.Fatal("vec.hit never moved; pick a hotter counter")
 	}
-	sys.RestoreCheckpoint(snap)
+	if err := sys.RestoreCheckpoint(snap); err != nil {
+		t.Fatal(err)
+	}
 	if got := sys.Stats.Get("vec.hit"); got != *cell {
 		t.Fatalf("restored registry (%d) disagrees with pre-checkpoint cell (%d)", got, *cell)
 	}

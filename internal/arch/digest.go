@@ -1,0 +1,288 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+)
+
+// This file gives SystemState a content digest: a word-wise FNV-64a hash
+// over a deterministic serialization of the entire reachable snapshot — struct
+// fields in declaration order, slices and arrays in index order, maps in
+// sorted-key order, pointers followed once (cycle-safe). Checkpoint stamps
+// the digest at capture time and RestoreCheckpoint recomputes and compares it
+// before touching any component, so a snapshot that was corrupted while
+// cached or parked (Elzar's silent-state-corruption frame: a bit flip must
+// never become a wrong answer) is rejected with a typed error and the target
+// system is left exactly as it was — free to fall back to a cold run.
+//
+// The walk is reflection-based rather than hand-written per component so it
+// is complete by construction: a state field added to any component's
+// checkpoint is hashed automatically, with no way to silently forget one.
+// Reading unexported fields through reflect is legal for every kind the
+// checkpoints contain (only Interface() and mutation are restricted), and
+// []byte payloads — the memory image dominates a snapshot's size — hash
+// through Value.Bytes at slice speed.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// CorruptCheckpointError is the typed error RestoreCheckpoint returns when a
+// snapshot's recomputed content digest does not match the digest stamped at
+// Checkpoint time. The restore is refused in full: no component state was
+// modified. Callers holding a cache treat this as "evict and run cold" —
+// degraded, never wrong.
+type CorruptCheckpointError struct {
+	// Cycle is the cycle the snapshot claims to have been taken at.
+	Cycle uint64
+	// Want is the digest stamped at Checkpoint time; Got is the digest of
+	// the snapshot as presented for restore.
+	Want, Got uint64
+}
+
+func (e *CorruptCheckpointError) Error() string {
+	return fmt.Sprintf("arch: checkpoint integrity failure: snapshot at cycle %d digests to %016x, stamped %016x (refusing to restore)",
+		e.Cycle, e.Got, e.Want)
+}
+
+// digestState is one digest computation: the running hash plus a visited set
+// so pointer cycles (none exist today, but the walker must not depend on
+// that) terminate.
+//
+// The mixing is FNV-1a lifted to 64-bit words: one xor-multiply per word
+// instead of one per byte. Byte images fold 8 bytes into a word first, so
+// the memory image — the bulk of every snapshot — hashes at one multiply per
+// 8 bytes. The digest only ever lives next to the snapshot it stamps (the
+// in-process checkpoint cache, a parked job), so the exact function is free
+// to favor speed: restore-time verification is paid on every cache load and
+// every sweep-point fork, and at byte-serial FNV speed it was eating the
+// checkpoint fork's wall-clock win.
+type digestState struct {
+	h       uint64
+	visited map[visitKey]struct{}
+}
+
+type visitKey struct {
+	ptr uintptr
+	typ reflect.Type
+}
+
+func (d *digestState) byte(b byte) {
+	d.h = (d.h ^ uint64(b)) * fnvPrime64
+}
+
+func (d *digestState) u64(v uint64) {
+	d.h = (d.h ^ v) * fnvPrime64
+}
+
+func (d *digestState) bytes(b []byte) {
+	for len(b) >= 8 {
+		d.u64(uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56)
+		b = b[8:]
+	}
+	for _, c := range b {
+		d.byte(c)
+	}
+}
+
+func (d *digestState) str(s string) {
+	d.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		d.byte(s[i])
+	}
+}
+
+// kind tags keep distinct shapes from colliding (nil vs empty, 0 vs absent).
+const (
+	tagNil byte = iota
+	tagPtr
+	tagBool
+	tagInt
+	tagUint
+	tagFloat
+	tagComplex
+	tagString
+	tagSeq
+	tagMap
+	tagStruct
+	tagIface
+	tagOpaque // func/chan/unsafe.Pointer: nil-ness only
+)
+
+func (d *digestState) walk(v reflect.Value) {
+	if !v.IsValid() {
+		d.byte(tagNil)
+		return
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		d.byte(tagBool)
+		if v.Bool() {
+			d.byte(1)
+		} else {
+			d.byte(0)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		d.byte(tagInt)
+		d.u64(uint64(v.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		d.byte(tagUint)
+		d.u64(v.Uint())
+	case reflect.Float32, reflect.Float64:
+		d.byte(tagFloat)
+		d.u64(math.Float64bits(v.Float()))
+	case reflect.Complex64, reflect.Complex128:
+		c := v.Complex()
+		d.byte(tagComplex)
+		d.u64(math.Float64bits(real(c)))
+		d.u64(math.Float64bits(imag(c)))
+	case reflect.String:
+		d.byte(tagString)
+		d.str(v.String())
+	case reflect.Slice:
+		if v.IsNil() {
+			d.byte(tagNil)
+			return
+		}
+		d.walkSeq(v)
+	case reflect.Array:
+		d.walkSeq(v)
+	case reflect.Map:
+		if v.IsNil() {
+			d.byte(tagNil)
+			return
+		}
+		d.walkMap(v)
+	case reflect.Pointer:
+		if v.IsNil() {
+			d.byte(tagNil)
+			return
+		}
+		d.byte(tagPtr)
+		key := visitKey{ptr: v.Pointer(), typ: v.Type()}
+		if _, seen := d.visited[key]; seen {
+			return // already hashed this object
+		}
+		d.visited[key] = struct{}{}
+		d.walk(v.Elem())
+	case reflect.Interface:
+		if v.IsNil() {
+			d.byte(tagNil)
+			return
+		}
+		d.byte(tagIface)
+		d.str(v.Elem().Type().String())
+		d.walk(v.Elem())
+	case reflect.Struct:
+		d.byte(tagStruct)
+		n := v.NumField()
+		d.u64(uint64(n))
+		for i := 0; i < n; i++ {
+			d.walk(v.Field(i))
+		}
+	case reflect.Func, reflect.Chan, reflect.UnsafePointer:
+		// Not data: hash presence only. Checkpoint states are plain data
+		// today; if one ever carries a closure, its identity is
+		// configuration, not state.
+		d.byte(tagOpaque)
+		if v.IsNil() {
+			d.byte(0)
+		} else {
+			d.byte(1)
+		}
+	default:
+		panic(fmt.Sprintf("arch: snapshot digest: unhashable kind %v", v.Kind()))
+	}
+}
+
+// walkSeq hashes a slice or array. Byte slices — the simulated memory image,
+// the bulk of every snapshot — go through Value.Bytes (readable even on
+// unexported fields) instead of a per-element reflect loop.
+func (d *digestState) walkSeq(v reflect.Value) {
+	n := v.Len()
+	d.byte(tagSeq)
+	d.u64(uint64(n))
+	if v.Kind() == reflect.Slice && v.Type().Elem().Kind() == reflect.Uint8 {
+		d.bytes(v.Bytes())
+		return
+	}
+	switch v.Type().Elem().Kind() {
+	case reflect.Uint64: // stats rings, release lists: skip per-element tags
+		for i := 0; i < n; i++ {
+			d.u64(v.Index(i).Uint())
+		}
+	case reflect.Float64:
+		for i := 0; i < n; i++ {
+			d.u64(math.Float64bits(v.Index(i).Float()))
+		}
+	default:
+		for i := 0; i < n; i++ {
+			d.walk(v.Index(i))
+		}
+	}
+}
+
+// walkMap hashes a map in deterministic order: entries are sorted by the
+// digest of their key (lexical for the common string and integer keys would
+// do, but key-digest order covers every key type uniformly).
+func (d *digestState) walkMap(v reflect.Value) {
+	keys := v.MapKeys()
+	type entry struct {
+		kd  uint64
+		key reflect.Value
+	}
+	entries := make([]entry, len(keys))
+	for i, k := range keys {
+		sub := digestState{h: fnvOffset64, visited: d.visited}
+		sub.walk(k)
+		entries[i] = entry{kd: sub.h, key: k}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].kd < entries[j].kd })
+	d.byte(tagMap)
+	d.u64(uint64(len(entries)))
+	for _, e := range entries {
+		d.u64(e.kd)
+		d.walk(v.MapIndex(e.key))
+	}
+}
+
+// computeDigest hashes every field of the snapshot except the digest stamp
+// itself.
+func (st *SystemState) computeDigest() uint64 {
+	d := digestState{h: fnvOffset64, visited: make(map[visitKey]struct{})}
+	v := reflect.ValueOf(st).Elem()
+	t := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		if t.Field(i).Name == "digest" {
+			continue
+		}
+		d.walk(v.Field(i))
+	}
+	return d.h
+}
+
+// Digest returns the content digest stamped when the snapshot was captured.
+// It is content-addressed: two snapshots of identical machine state digest
+// identically, regardless of which (identically built) System captured them.
+func (st *SystemState) Digest() uint64 { return st.digest }
+
+// Verify recomputes the snapshot's content digest and compares it with the
+// stamp, returning a *CorruptCheckpointError on mismatch. RestoreCheckpoint
+// calls this before touching any component; callers that hold snapshots in a
+// cache can also verify eagerly (e.g. on insert) without a target system.
+func (st *SystemState) Verify() error {
+	if got := st.computeDigest(); got != st.digest {
+		return &CorruptCheckpointError{Cycle: st.engine.Cycle(), Want: st.digest, Got: got}
+	}
+	return nil
+}
+
+// Tamper flips one bit of the snapshot's payload — deterministic simulated
+// memory corruption for integrity tests and the serve layer's
+// fault-injection endpoints. A tampered snapshot fails Verify and is refused
+// by RestoreCheckpoint.
+func (st *SystemState) Tamper() { st.engine.Corrupt() }

@@ -89,7 +89,9 @@ func TestTelemetryCheckpointForkBitIdentical(t *testing.T) {
 				mustRun(t, straight)
 				want := teleDigest(straight)
 
-				forked.RestoreCheckpoint(snap)
+				if err := forked.RestoreCheckpoint(snap); err != nil {
+					t.Fatal(err)
+				}
 				forked.SetFaultSchedule(faults)
 				mustRun(t, forked)
 				if got := teleDigest(forked); got != want {

@@ -102,7 +102,9 @@ func TestTopologySingleClusterCheckpointIdentical(t *testing.T) {
 					t.Fatal(err)
 				}
 				first := sys.Engine.Cycle()
-				sys.RestoreCheckpoint(st)
+				if err := sys.RestoreCheckpoint(st); err != nil {
+					t.Fatal(err)
+				}
 				if _, err := sys.Run(400_000_000); err != nil {
 					t.Fatal(err)
 				}
@@ -342,7 +344,9 @@ func TestTopologyCheckpointFork(t *testing.T) {
 			}
 			cycles, digest := sys.Engine.Cycle(), sys.Tele.Digest()
 			stats := sys.Stats.Snapshot()
-			sys.RestoreCheckpoint(st)
+			if err := sys.RestoreCheckpoint(st); err != nil {
+				t.Fatal(err)
+			}
 			if _, err := sys.Run(400_000_000); err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"occamy/internal/arch"
 	"occamy/internal/fault"
 	"occamy/internal/metrics"
+	"occamy/internal/sim"
 	"occamy/internal/workload"
 )
 
@@ -246,18 +248,24 @@ func (c Config) degradationForked(kind arch.Kind, pair workload.CoSchedule, unit
 	if err != nil {
 		return fmt.Errorf("degradation %s: %w", kind, err)
 	}
+	sys.SetInterrupt(c.Interrupt)
 	if err := sys.RunTo(degFaultAt); err != nil {
 		return fmt.Errorf("degradation %s: warm-up: %w", kind, err)
 	}
 	snap := sys.Checkpoint()
 	for f := 0; f < units; f++ {
-		sys.RestoreCheckpoint(snap)
+		if err := sys.RestoreCheckpoint(snap); err != nil {
+			return fmt.Errorf("degradation %s f=%d: %w", kind, f, err)
+		}
 		if f > 0 {
 			sys.SetFaultSchedule([]fault.Fault{{Kind: fault.ExeBU, Count: f, At: degFaultAt}})
 		} else {
 			sys.SetFaultSchedule(nil)
 		}
 		res, rerr := sys.Run(c.MaxCycles)
+		if canceled(rerr) {
+			return fmt.Errorf("degradation %s f=%d: %w", kind, f, rerr)
+		}
 		pts[f] = degPointFrom(f, res, rerr)
 	}
 	return nil
@@ -273,8 +281,19 @@ func (c Config) degradationPoint(kind arch.Kind, pair workload.CoSchedule, f int
 	if err != nil {
 		return DegPoint{}, err
 	}
+	sys.SetInterrupt(c.Interrupt)
 	res, rerr := sys.Run(c.MaxCycles)
+	if canceled(rerr) {
+		return DegPoint{}, rerr
+	}
 	return degPointFrom(f, res, rerr), nil
+}
+
+// canceled reports whether err is a cooperative interruption (SIGINT): those
+// must abort the sweep rather than masquerade as DNF data points.
+func canceled(err error) bool {
+	var cerr *sim.CanceledError
+	return errors.As(err, &cerr)
 }
 
 // degPointFrom folds a run's outcome into a sweep point. A watchdog stall or

@@ -51,6 +51,12 @@ type Config struct {
 	// TelemetryWindow is the sampling window in cycles (0 = default 4096);
 	// only meaningful with Telemetry set.
 	TelemetryWindow uint64
+	// Interrupt, when non-nil, cancels every experiment run cooperatively
+	// when the channel closes (occamy-bench wires SIGINT here): in-flight
+	// simulations stop at the engine's next poll point with a
+	// sim.CanceledError. A channel that never closes leaves all results
+	// bit-identical.
+	Interrupt <-chan struct{}
 }
 
 // Default returns the full-size configuration.
@@ -81,6 +87,7 @@ func (c Config) runOne(kind arch.Kind, s workload.CoSchedule, opts arch.Options)
 	if err != nil {
 		return nil, nil, err
 	}
+	sys.SetInterrupt(c.Interrupt)
 	c.Telemetry.Attach(s.Name+"-"+kind.String(), sys.Tele)
 	res, err := sys.Run(c.MaxCycles)
 	sys.Tele.Flush(sys.Engine.Cycle())

@@ -126,6 +126,7 @@ func (c Config) trafficPoint(kind arch.Kind, base traffic.Spec, load float64, fa
 	if err != nil {
 		return nil, err
 	}
+	sc.Sys.SetInterrupt(c.Interrupt)
 	label := fmt.Sprintf("traffic-%s-%gx", kind, load)
 	if faulted {
 		label += "-faulted"

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"sync"
+
+	"occamy/internal/arch"
+	"occamy/internal/telemetry"
+)
+
+// Cache is the content-addressed warm-up checkpoint cache: campaign jobs key
+// their warm-up snapshot by WarmKey (architecture, machine, topology,
+// workload prefix, seed, scale, lanes, warm-up length), so a second campaign
+// over the same prefix restores instead of re-simulating the warm-up.
+//
+// Fills are singleflighted: the first requester runs the warm-up while
+// identical concurrent requesters wait for its snapshot. Entries carry the
+// snapshot's content digest (stamped by arch.Checkpoint); the consumer
+// verifies on restore and reports corruption back via Evict, so a corrupted
+// entry costs one cold run and an eviction, never a wrong answer.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	seq   uint64
+	m     map[uint64]*cacheEntry
+	stats *telemetry.ServiceStats
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed once snap/err are set
+	snap  *arch.SystemState
+	err   error
+	seq   uint64 // last-touch tick for LRU eviction
+}
+
+// NewCache returns a cache holding at most capacity snapshots (min 1).
+// stats may be nil.
+func NewCache(capacity int, stats *telemetry.ServiceStats) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity, m: make(map[uint64]*cacheEntry), stats: stats}
+}
+
+// GetOrFill returns the snapshot for key, running fill to produce it on a
+// miss. hit reports whether a warm-up run was avoided (a waiter on an
+// in-flight fill counts as a hit: it never simulated the warm-up). A failed
+// fill is not cached; every waiter receives the error and the next caller
+// refills.
+func (c *Cache) GetOrFill(key uint64, fill func() (*arch.SystemState, error)) (snap *arch.SystemState, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.seq++
+		e.seq = c.seq
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, false, e.err
+		}
+		if c.stats != nil {
+			c.stats.CacheHit()
+		}
+		return e.snap, true, nil
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.seq++
+	e.seq = c.seq
+	c.m[key] = e
+	c.mu.Unlock()
+
+	if c.stats != nil {
+		c.stats.CacheMiss()
+	}
+	e.snap, e.err = fill()
+	close(e.ready)
+
+	c.mu.Lock()
+	if e.err != nil {
+		// Only remove our own failed entry; a concurrent Evict+refill may
+		// have replaced it already.
+		if c.m[key] == e {
+			delete(c.m, key)
+		}
+	} else {
+		c.evictOverCapLocked(key)
+	}
+	c.mu.Unlock()
+	return e.snap, false, e.err
+}
+
+// Put installs a known-good snapshot (the cold-fallback path after a corrupt
+// entry was evicted).
+func (c *Cache) Put(key uint64, snap *arch.SystemState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := &cacheEntry{ready: make(chan struct{}), snap: snap}
+	close(e.ready)
+	c.seq++
+	e.seq = c.seq
+	c.m[key] = e
+	c.evictOverCapLocked(key)
+}
+
+// evictOverCapLocked drops least-recently-touched completed entries until the
+// cache fits, never evicting keep or an in-flight fill.
+func (c *Cache) evictOverCapLocked(keep uint64) {
+	for len(c.m) > c.cap {
+		var victim uint64
+		var oldest uint64
+		found := false
+		for k, e := range c.m {
+			if k == keep {
+				continue
+			}
+			select {
+			case <-e.ready:
+			default:
+				continue // in-flight fill
+			}
+			if !found || e.seq < oldest {
+				victim, oldest, found = k, e.seq, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(c.m, victim)
+		if c.stats != nil {
+			c.stats.CacheEvicted()
+		}
+	}
+}
+
+// Evict removes key (the corrupt-entry path). Counted as an eviction.
+func (c *Cache) Evict(key uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; ok {
+		delete(c.m, key)
+		if c.stats != nil {
+			c.stats.CacheEvicted()
+		}
+	}
+}
+
+// Len returns the number of cached entries (including in-flight fills).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// TamperAll flips one bit in every completed cached snapshot — the
+// fault-injection hook behind POST /inject/corrupt-cache (AllowInjection
+// only). Returns how many entries were tampered.
+func (c *Cache) TamperAll() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.m {
+		select {
+		case <-e.ready:
+		default:
+			continue
+		}
+		if e.snap != nil {
+			e.snap.Tamper()
+			n++
+		}
+	}
+	return n
+}

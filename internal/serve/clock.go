@@ -1,0 +1,26 @@
+// Package serve is the simulation-as-a-service layer: an HTTP/JSON job
+// service that runs pair sweeps, fault campaigns and traffic scenarios on a
+// bounded worker pool, with admission control, per-tenant quotas, retry with
+// exponential backoff, per-job timeouts, a content-addressed checkpoint cache
+// with integrity verification, a crash-safe job journal, and graceful drain.
+package serve
+
+import "time"
+
+// Clock abstracts time for the service so the retry/backoff and timeout
+// machinery is testable with a deterministic fake: production uses realClock;
+// tests inject a manual clock and advance it explicitly, making the backoff
+// schedule and timeout firings exact rather than sleep-and-hope.
+type Clock interface {
+	Now() time.Time
+	// After returns a channel that receives once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// RealClock is the production clock.
+func RealClock() Clock { return realClock{} }

@@ -1,0 +1,48 @@
+package sim
+
+import "fmt"
+
+// CanceledError reports that RunUntil stopped because the installed interrupt
+// channel (SetInterrupt) became ready — a cooperative cancellation, not a
+// model failure. The simulation state is left exactly as of Cycle: every
+// component has seen a whole number of ticks, so the run can be diagnosed,
+// checkpointed or resumed.
+type CanceledError struct {
+	// Cycle is the cycle at which the cancellation was observed.
+	Cycle uint64
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: run canceled at cycle %d", e.Cycle)
+}
+
+// interruptPollMask spaces the cancellation polls: the interrupt channel is
+// checked once every interruptPollMask+1 loop iterations of RunUntil. Polls
+// are host-side only — a non-blocking channel read touches no simulation
+// state — so a run with an armed-but-silent interrupt stays bit-identical to
+// one without (enforced by TestRunUntilInterruptBitIdentical). The mask keeps
+// the hot loop's overhead to a counter increment and a predictable branch.
+const interruptPollMask = 1023
+
+// SetInterrupt installs a cooperative cancellation signal: when done becomes
+// ready (usually a context's Done channel), RunUntil returns a
+// *CanceledError at the next poll point instead of ticking on. nil disarms.
+// Cancellation is cooperative and cycle-aligned — the engine never stops a
+// component mid-tick — and polling is side-effect-free, so an interrupt that
+// never fires leaves results bit-identical to a run without one.
+func (e *Engine) SetInterrupt(done <-chan struct{}) { e.interrupt = done }
+
+// pollInterrupt checks the interrupt channel every interruptPollMask+1 calls.
+// Reported true means the channel is ready and the run should stop.
+func (e *Engine) pollInterrupt() bool {
+	e.pollCtr++
+	if e.pollCtr&interruptPollMask != 0 {
+		return false
+	}
+	select {
+	case <-e.interrupt:
+		return true
+	default:
+		return false
+	}
+}

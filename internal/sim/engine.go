@@ -89,6 +89,12 @@ type Engine struct {
 	probeAt      uint64
 	probeBackoff uint64
 
+	// interrupt is the cooperative cancellation signal (see cancel.go);
+	// nil when disarmed. pollCtr spaces the channel polls — host-side
+	// bookkeeping only, never snapshotted.
+	interrupt <-chan struct{}
+	pollCtr   uint64
+
 	// wdThreshold arms the forward-progress watchdog (see watchdog.go);
 	// 0 keeps it disarmed. wd is the engine-owned detector, created lazily
 	// on the first armed RunUntil and persistent across calls, so stall
@@ -208,6 +214,13 @@ type EngineState struct {
 // Cycle returns the cycle the snapshot was taken at.
 func (st EngineState) Cycle() uint64 { return st.cycle }
 
+// Corrupt flips one bit of the snapshot's skip bookkeeping — a minimal
+// stand-in for silent in-memory corruption of a stored checkpoint, used by
+// the integrity tests and the serve layer's fault-injection hooks. Callers
+// hold the only reference paths into a snapshot, so this never races with a
+// restore.
+func (st *EngineState) Corrupt() { st.skippedTicks ^= 1 }
+
 // Snapshot captures the engine's clock and counters.
 func (e *Engine) Snapshot() EngineState {
 	st := EngineState{
@@ -271,6 +284,9 @@ func (e *Engine) RunUntil(done func() bool, maxCycles uint64) (uint64, error) {
 	for !done() {
 		if e.cycle-start >= maxCycles {
 			return e.cycle - start, &BudgetError{Budget: maxCycles, Start: start}
+		}
+		if e.interrupt != nil && e.pollInterrupt() {
+			return e.cycle - start, &CanceledError{Cycle: e.cycle}
 		}
 		if wd != nil && e.cycle >= wd.nextCheck {
 			if serr := wd.check(e.cycle); serr != nil {

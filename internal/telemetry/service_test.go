@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestServiceStatsOpenMetricsValid: the service families render in the
+// dialect ValidateOpenMetrics enforces, and moved counters show up with their
+// values.
+func TestServiceStatsOpenMetricsValid(t *testing.T) {
+	var s ServiceStats
+	s.Admitted()
+	s.Admitted()
+	s.QueueAdd(3)
+	s.RunningAdd(1)
+	s.SetDraining(true)
+	s.CacheHit()
+	s.CacheMiss()
+	s.CacheCorrupt()
+	s.Retried()
+	s.RejectedFull()
+
+	var buf bytes.Buffer
+	if err := s.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := ValidateOpenMetrics(strings.NewReader(text)); err != nil {
+		t.Fatalf("service metrics fail validation: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"occamy_serve_admitted_total 2",
+		"occamy_serve_queue_depth 3",
+		"occamy_serve_running 1",
+		"occamy_serve_draining 1",
+		"occamy_serve_cache_hits_total 1",
+		"occamy_serve_cache_misses_total 1",
+		"occamy_serve_cache_corrupt_total 1",
+		"occamy_serve_retries_total 1",
+		"occamy_serve_rejected_queue_full_total 1",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("missing sample %q in:\n%s", want, text)
+		}
+	}
+}

@@ -116,7 +116,9 @@ func TestTrafficCheckpointForkBitIdentical(t *testing.T) {
 				t.Fatal(err)
 			}
 			first := outcomeDigest(sc)
-			sc.RestoreSnapshot(cp)
+			if err := sc.RestoreSnapshot(cp); err != nil {
+				t.Fatal(err)
+			}
 			if err := sc.Run(sc.DefaultBudget()); err != nil {
 				t.Fatal(err)
 			}

@@ -121,9 +121,14 @@ func (sc *Scenario) Snapshot() *Checkpoint {
 	return &Checkpoint{Sys: *sc.Sys.Checkpoint(), Sched: sc.Sched.Snapshot(), Src: sc.Src.Snapshot()}
 }
 
-// RestoreSnapshot reinstalls a checkpoint taken on this scenario.
-func (sc *Scenario) RestoreSnapshot(cp *Checkpoint) {
-	sc.Sys.RestoreCheckpoint(&cp.Sys)
+// RestoreSnapshot reinstalls a checkpoint taken on this scenario. The system
+// snapshot's content digest is verified first (see arch.RestoreCheckpoint);
+// on an integrity failure nothing — system, scheduler or source — is touched.
+func (sc *Scenario) RestoreSnapshot(cp *Checkpoint) error {
+	if err := sc.Sys.RestoreCheckpoint(&cp.Sys); err != nil {
+		return err
+	}
 	sc.Sched.Restore(cp.Sched)
 	sc.Src.Restore(cp.Src)
+	return nil
 }

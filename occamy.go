@@ -19,6 +19,7 @@
 package occamy
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -426,6 +427,17 @@ type TelemetrySampler = telemetry.Sampler
 
 // Run simulates sched on cfg.Arch until every core completes.
 func Run(cfg Config, sched Schedule) (*Report, error) {
+	return RunContext(context.Background(), cfg, sched)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is canceled (or
+// its deadline passes) the engine stops at the next cycle-aligned poll point
+// and the error chain carries ctx's cause (context.Canceled or
+// context.DeadlineExceeded) together with the usual DiagnosticError machine
+// dump, so a killed run can still be diagnosed. Cancellation is purely
+// cooperative and side-effect-free: a context that never fires leaves results
+// bit-identical to Run.
+func RunContext(ctx context.Context, cfg Config, sched Schedule) (*Report, error) {
 	var sink *obs.Perfetto
 	if cfg.PerfettoPath != "" {
 		sink = obs.NewPerfetto(0)
@@ -439,6 +451,9 @@ func Run(cfg Config, sched Schedule) (*Report, error) {
 	}
 	if cfg.Telemetry != nil {
 		cfg.Telemetry.Attach(sanitize(sched.inner.Name)+"-"+cfg.Arch.String(), sys.Tele)
+	}
+	if ctx != nil && ctx.Done() != nil {
+		sys.SetInterrupt(ctx.Done())
 	}
 	maxCycles := cfg.MaxCycles
 	if maxCycles == 0 {

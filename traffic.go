@@ -1,6 +1,7 @@
 package occamy
 
 import (
+	"context"
 	"fmt"
 
 	"occamy/internal/arch"
@@ -31,6 +32,14 @@ type TenantSLO = traffic.TenantSLO
 // conservation invariants are always checked; a violation is an engine bug
 // and returns an error.
 func RunTraffic(cfg Config) (*TrafficReport, error) {
+	return RunTrafficContext(context.Background(), cfg)
+}
+
+// RunTrafficContext is RunTraffic with cooperative cancellation, mirroring
+// RunContext: a canceled ctx kills the run at the engine's next poll point
+// with a DiagnosticError wrapping sim.CanceledError; a context that never
+// fires leaves the report bit-identical to RunTraffic.
+func RunTrafficContext(ctx context.Context, cfg Config) (*TrafficReport, error) {
 	if cfg.Traffic == "" {
 		return nil, fmt.Errorf("occamy: RunTraffic requires Config.Traffic (an arrival-process spec like \"poisson:load=2\")")
 	}
@@ -70,6 +79,9 @@ func RunTraffic(cfg Config) (*TrafficReport, error) {
 	}
 	if cfg.Telemetry != nil {
 		cfg.Telemetry.Attach("traffic-"+cfg.Arch.String(), sc.Sys.Tele)
+	}
+	if ctx != nil && ctx.Done() != nil {
+		sc.Sys.SetInterrupt(ctx.Done())
 	}
 	budget := cfg.MaxCycles
 	if budget == 0 {
