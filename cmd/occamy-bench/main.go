@@ -16,6 +16,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"occamy/internal/area"
 	"occamy/internal/experiments"
@@ -33,6 +34,7 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "workload data seed")
 		html   = flag.String("html", "", "write a self-contained HTML report (SVG charts) to this file and exit")
 		par    = flag.Int("j", 0, "max concurrent simulations in sweeps (0 = one per CPU)")
+		batch  = flag.Int("batch", 0, "lockstep-batch up to N sweep points per worker (0 or 1 = sequential; results are bit-identical)")
 		leg    = flag.Bool("legacy-tick", false, "force the every-cycle engine path (disable skip-ahead; results are bit-identical)")
 		nosnap = flag.Bool("nosnapshot", false, "run every sweep point independently from cycle zero instead of forking shared warm-up from a checkpoint (A/B validation; results are bit-identical)")
 		teleA  = flag.String("telemetry", "", "serve live telemetry for the campaign's runs on this address: GET /metrics (OpenMetrics), /events (JSONL), /stream (SSE)")
@@ -49,6 +51,7 @@ func main() {
 	cfg.Parallel = *par
 	cfg.LegacyTick = *leg
 	cfg.NoSnapshot = *nosnap
+	cfg.Batch = *batch
 
 	// SIGINT cancels outstanding simulations cooperatively: every engine
 	// stops at its next poll point, the section in flight reports the
@@ -114,6 +117,17 @@ func main() {
 		return
 	}
 	section := func(s string) { fmt.Printf("\n%s\n%s\n\n", s, strings.Repeat("=", len(s))) }
+	// aggregate reports a sweep section's simulator throughput: total
+	// simulated cycles (skip-ahead included — elided cycles are simulated
+	// cycles) over the section's wall clock.
+	aggregate := func(cycles uint64, start time.Time) {
+		s := time.Since(start).Seconds()
+		if cycles == 0 || s <= 0 {
+			return
+		}
+		fmt.Printf("aggregate: %.2fM sim-cycles/s (%d simulated cycles in %.2fs)\n",
+			float64(cycles)/s/1e6, cycles, s)
+	}
 
 	if want("table3") {
 		section("Table 3 — workloads")
@@ -126,16 +140,19 @@ func main() {
 
 	if want("fig2") {
 		section("Figure 2 — motivating example")
+		t0 := time.Now()
 		f, err := cfg.Figure2()
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(f.Render())
+		aggregate(f.TotalCycles(), t0)
 	}
 
 	needSweep := want("fig10") || want("fig11") || want("fig13") || want("fig15")
 	if needSweep {
 		section("Figures 10/11/13/15 — 25-pair sweep (4 architectures, verified)")
+		t0 := time.Now()
 		sw, err := cfg.Sweep(true)
 		if err != nil {
 			fail(err)
@@ -152,6 +169,7 @@ func main() {
 		if want("fig15") {
 			fmt.Println(experiments.RenderFigure15(sw))
 		}
+		aggregate(sw.Totals.Counters["sim.cycles"], t0)
 	}
 
 	if want("fig12") {
@@ -223,20 +241,24 @@ func main() {
 
 	if want("degradation") {
 		section("Degradation — throughput retention under failed ExeBUs")
+		t0 := time.Now()
 		d, err := cfg.Degradation()
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(d.Render())
+		aggregate(d.TotalCycles(), t0)
 	}
 
 	if want("traffic") {
 		section("Traffic — open-loop overload sweep with per-tenant SLOs")
+		t0 := time.Now()
 		tr, err := cfg.Traffic(*tspec, *tfault)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(tr.Render())
+		aggregate(tr.TotalCycles(), t0)
 	}
 
 	// The hierarchical sweep (4→64 cores × 1→4 clusters × 4 architectures =
@@ -244,10 +266,12 @@ func main() {
 	// reproducing a figure, and at full scale it dominates the campaign.
 	if strings.EqualFold(*exp, "scale") {
 		section("Scalability — hierarchical lane management, 4→64 cores")
+		t0 := time.Now()
 		s, err := cfg.Scalability(nil, nil)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(s.Render())
+		aggregate(s.TotalCycles(), t0)
 	}
 }

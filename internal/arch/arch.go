@@ -505,9 +505,11 @@ func Build(kind Kind, sched workload.CoSchedule, opts Options) (*System, error) 
 		engine.SetWatchdog(opts.StallCycles)
 	}
 	// Skip-ahead elides quiescent cycles; a Perfetto sink wants the real
-	// per-cycle counter samples, and the fault injector must observe every
-	// cycle, so those runs keep the legacy path.
-	engine.SetSkipAhead(!opts.LegacyTick && opts.Obs.Sink == nil && len(opts.Faults) == 0 && !opts.WireInjector)
+	// per-cycle counter samples, so trace runs keep the legacy path. Faulted
+	// runs skip like fault-free ones: the injector is a Sleeper that wakes
+	// the engine at every scheduled event and pins it live while a recovery
+	// is in flight (see fault.Injector.NextWake).
+	engine.SetSkipAhead(!opts.LegacyTick && opts.Obs.Sink == nil)
 	return sys, nil
 }
 
@@ -571,7 +573,17 @@ func (s *System) Done() bool {
 // callers that only check err keep their old behaviour, callers that care can
 // errors.As the dump out.
 func (s *System) Run(maxCycles uint64) (*Result, error) {
-	if _, err := s.Engine.RunUntil(s.Done, maxCycles); err != nil {
+	_, err := s.Engine.RunUntil(s.Done, maxCycles)
+	return s.FinishRun(err)
+}
+
+// FinishRun folds a run's terminal engine error (nil for a clean finish) into
+// Run's result shape: the Result plus, for aborted runs, the same *DiagError
+// Run would have returned. Sliced drivers — sim.Batch tasks that step the
+// engine through Engine.RunSlice themselves — use it so results and error
+// text stay bit-identical to an unsliced Run.
+func (s *System) FinishRun(err error) (*Result, error) {
+	if err != nil {
 		werr := fmt.Errorf("arch: %s on %s: %w (pcs: %s)", s.Sched.Name, s.Kind, err, s.pcDump())
 		return s.collect(), &DiagError{Dump: s.Diagnose(err), Err: werr}
 	}

@@ -108,6 +108,21 @@ func (s *System) RestoreCheckpoint(st *SystemState) error {
 	if err := st.Verify(); err != nil {
 		return err
 	}
+	s.restore(st)
+	return nil
+}
+
+// RestoreCheckpointTrusted rewinds the system to a Checkpoint without
+// re-verifying its content digest. The integrity check exists for snapshots
+// that sat somewhere — an in-process cache, a parked job, a file — between
+// capture and restore; a sweep fork loop that restores the same snapshot it
+// just captured (or one it verified on the first fork) pays the full
+// reflective walk over the memory image on every point for no added safety.
+// Callers own the trust decision: verify the first restore, trust the rest,
+// and keep using RestoreCheckpoint for anything that crossed a cache.
+func (s *System) RestoreCheckpointTrusted(st *SystemState) { s.restore(st) }
+
+func (s *System) restore(st *SystemState) {
 	s.Engine.Restore(st.engine)
 	s.Hier.Restore(st.hier)
 	for k, cp := range s.Clusters {
@@ -122,7 +137,6 @@ func (s *System) RestoreCheckpoint(st *SystemState) error {
 	s.inj.Restore(st.inj)
 	s.Tele.Restore(st.tele)
 	s.Tele.EmitMeta(s.Engine.Cycle(), telemetry.EvRestore, "")
-	return nil
 }
 
 // SetInterrupt installs a cooperative cancellation signal on the engine:

@@ -245,6 +245,13 @@ func (ctl *faultCtl) Poll(now uint64) {
 	ctl.closeRecoveries(now)
 }
 
+// PollQuiescent implements fault.SleepHandler: with no recovery in flight,
+// closeRecoveries returns immediately and Poll is a pure no-op, so the
+// injector may declare quiescence between scheduled events. Recoveries only
+// open inside Apply (a ticked cycle) and only close inside Poll (also a
+// ticked cycle: an open recovery keeps the injector live every cycle).
+func (ctl *faultCtl) PollQuiescent() bool { return len(ctl.open) == 0 }
+
 // closeRecoveries marks open lane-repartition recoveries done once the lane
 // plan has settled onto the survivors.
 func (ctl *faultCtl) closeRecoveries(now uint64) {

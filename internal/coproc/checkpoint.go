@@ -23,8 +23,7 @@ type ckCore struct {
 	z          []float32 // flat [reg*lanes] copy
 	seqCounter uint64
 	lastWriter [isa.NumZRegs]uint64
-	doneSeqs   []uint64
-	doneDones  []uint64
+	done       []doneEntry
 
 	inflight   []uint64
 	lhq        []uint64
@@ -69,6 +68,7 @@ type CheckpointState struct {
 	events          []LaneEvent
 	flt             *ckFault
 	progress        uint64
+	acctUpTo        uint64
 }
 
 // Checkpoint captures the co-processor's full simulation state at any cycle.
@@ -81,17 +81,18 @@ func (cp *Coproc) Checkpoint() CheckpointState {
 		cycles:          cp.cycles,
 		events:          append([]LaneEvent(nil), cp.events...),
 		progress:        cp.progress,
+		acctUpTo:        cp.acctUpTo,
 	}
 	for _, c := range cp.cores {
+		c.flushAcct(cp.acctUpTo) // settle owed accounting before snapshotting
 		ck := ckCore{
-			queue:          append([]XInst(nil), c.queue...),
+			queue:          append([]XInst(nil), c.queue[:]...),
 			head:           c.head,
 			tail:           c.tail,
 			renamed:        c.renamed,
 			seqCounter:     c.seqCounter,
 			lastWriter:     c.lastWriter,
-			doneSeqs:       append([]uint64(nil), c.done.seqs...),
-			doneDones:      append([]uint64(nil), c.done.dones...),
+			done:           append([]doneEntry(nil), c.done.entries...),
 			inflight:       append([]uint64(nil), c.inflight.releases...),
 			lhq:            append([]uint64(nil), c.lhq.releases...),
 			stq:            append([]uint64(nil), c.stq.releases...),
@@ -142,22 +143,22 @@ func (cp *Coproc) RestoreCheckpoint(st CheckpointState) {
 	cp.cycles = st.cycles
 	cp.events = append(cp.events[:0], st.events...)
 	cp.progress = st.progress
+	cp.acctUpTo = st.acctUpTo
 	lanes := cp.cfg.Lanes()
 	for i, c := range cp.cores {
 		ck := &st.cores[i]
-		copy(c.queue, ck.queue)
+		copy(c.queue[:], ck.queue)
 		c.head = ck.head
 		c.tail = ck.tail
 		c.renamed = ck.renamed
 		c.seqCounter = ck.seqCounter
 		c.lastWriter = ck.lastWriter
-		copy(c.done.seqs, ck.doneSeqs)
-		copy(c.done.dones, ck.doneDones)
-		c.inflight.releases = append(c.inflight.releases[:0], ck.inflight...)
-		c.lhq.releases = append(c.lhq.releases[:0], ck.lhq...)
-		c.stq.releases = append(c.stq.releases[:0], ck.stq...)
+		copy(c.done.entries, ck.done)
+		c.inflight.restore(ck.inflight)
+		c.lhq.restore(ck.lhq)
+		c.stq.restore(ck.stq)
 		c.pool.queued = ck.poolQueued
-		c.pool.issued.releases = append(c.pool.issued.releases[:0], ck.poolIssued...)
+		c.pool.issued.restore(ck.poolIssued)
 		c.computeIssued = ck.computeIssued
 		c.memIssued = ck.memIssued
 		c.computeByPhase = append(c.computeByPhase[:0], ck.computeByPhase...)
@@ -169,6 +170,7 @@ func (cp *Coproc) RestoreCheckpoint(st CheckpointState) {
 		c.lastReject = ck.lastReject
 		c.lastActive = ck.lastActive
 		c.busyLaneAccum = ck.busyLaneAccum
+		c.acct = st.acctUpTo // the checkpoint was taken fully flushed
 		c.busyTimeline.Restore(ck.timeline)
 		for r := range c.z {
 			copy(c.z[r], ck.z[r*lanes:(r+1)*lanes])
@@ -198,6 +200,7 @@ func (cp *Coproc) RestoreCheckpoint(st CheckpointState) {
 	}
 	for c := range cp.renameStallNow {
 		cp.renameStallNow[c] = false
+		cp.acctNow[c] = false
 	}
 	cp.sleepOK = false
 	cp.sleepStamp = 0

@@ -47,6 +47,10 @@ type XInst struct {
 	seq              uint64
 	dep1, dep2, dep3 uint64
 	issued           bool
+	// kind caches the opcode's issue class at transmit time: the issue
+	// scan runs over the window every cycle, and the opcode-table lookups
+	// behind Op.IsEMSIMD/IsVectorMem are hot enough to show up.
+	kind issueKind
 	// notBefore is the cycle the instruction arrives at its cluster after
 	// crossing the CPU→coproc fabric (Complex.Transmit stamps it); zero (or
 	// any past cycle) means the instruction is already resident. The renamer
@@ -60,6 +64,16 @@ type XInst struct {
 	// is architecturally determined at transmit; timing at issue).
 	respVal uint64
 }
+
+// issueKind is the cached issue-stage classification of an XInst.
+type issueKind uint8
+
+const (
+	kindCompute issueKind = iota
+	kindMem               // vector load
+	kindStore             // vector store
+	kindEMSIMD
+)
 
 // ScalarResponder receives scalar results flowing back from the co-processor
 // (MRS reads and VMOVX0 lane transfers): Figure 5's "2 Scalar Results/Cycle"
@@ -85,8 +99,9 @@ type coreState struct {
 	// position to its slot. Occupancy (tail-head) is bounded by queueCap <
 	// queueRing, so a live entry is never overwritten and — unlike the old
 	// grow-and-compact slice — steady-state operation neither allocates nor
-	// re-copies the backlog.
-	queue []XInst
+	// re-copies the backlog. A fixed-size array (not a slice) so the masked
+	// index in at() is provably in bounds — the issue scan hits it hard.
+	queue [queueRing]XInst
 	head  int
 	tail  int
 	// renamed is the position one past the last renamed instruction: the
@@ -138,13 +153,46 @@ type coreState struct {
 	// co-processor finishes its backlog).
 	lastActive uint64
 
-	busyTimeline *sim.Timeline // average busy lanes per 1000 cycles
+	busyTimeline sim.Timeline // average busy lanes per 1000 cycles (by value: the
+	// per-cycle Record touches the same cache lines as the queue cursors)
 
 	// busyLaneAccum is the cumulative busy-lane count for this core alone
 	// (the per-core counterpart of Coproc.busyLaneCycles); the telemetry
 	// sampler diffs it at window boundaries into per-core occupancy. The
 	// sleep mirror needs no update: quiescent windows have zero busy lanes.
 	busyLaneAccum float64
+
+	// acct is the first cycle whose per-cycle accounting (the timeline's
+	// zero sample and the lastActive check) has not been materialized yet.
+	// Tick only visits cores whose pool was non-empty (everything else is
+	// bit-identical to recording a zero), so a core idling for a million
+	// cycles costs nothing per cycle; flushAcct backfills the owed window
+	// before anything reads or snapshots the derived state.
+	acct uint64
+}
+
+// flushAcct materializes the accounting for st's unaccounted cycles
+// [st.acct, upTo): each recorded zero busy lanes (exact — RecordRun with
+// v == 0 is bit-identical to per-cycle zero Records), and lastActive
+// advances to the last cycle in the window that still had in-flight work.
+// maxRel bounds that exactly: entries are only added at issue (a visited
+// instant < st.acct), so within the window the in-flight population only
+// expires, and the last cycle with work is min(upTo-1, maxRel-1).
+func (st *coreState) flushAcct(upTo uint64) {
+	if st.acct >= upTo {
+		return
+	}
+	st.busyTimeline.RecordRun(st.acct, upTo-st.acct, 0)
+	if r := st.inflight.maxRel; r > st.acct {
+		last := upTo - 1
+		if r-1 < last {
+			last = r - 1
+		}
+		if last > st.lastActive {
+			st.lastActive = last
+		}
+	}
+	st.acct = upTo
 }
 
 // at returns the pool slot of stream position i (valid for head <= i < tail).
@@ -180,6 +228,13 @@ type Coproc struct {
 	stats    *sim.Stats
 	cores    []*coreState
 
+	// Hot-path counter cells, resolved once at construction (Stats.Counter
+	// pointers are stable across Restore) so per-cycle bumps skip the
+	// string-keyed map lookup.
+	renameStallsCell *uint64
+	mshrRetriesCell  *uint64
+	drainWaitCell    *uint64
+
 	// Sleep-scan memo: NextWake(now) caches each core's per-cycle effects
 	// so a SkipTicks(from==now, n) that immediately follows (the only way
 	// the engine calls it) reuses them instead of re-running the scan.
@@ -200,7 +255,21 @@ type Coproc struct {
 	busyLaneCycles float64
 	cycles         uint64
 
+	// rotStart/rotLast cache the priority-rotation origin (now % Cores) so
+	// consecutive ticks increment it instead of dividing. Invariant:
+	// rotStart == rotLast % Cores, which stays true across restores, so no
+	// checkpointing is needed.
+	rotStart int
+	rotLast  uint64
+
 	cycleBusyLanes []float64 // per-core busy lanes this cycle
+	// acctNow marks the cores Tick visited this cycle (non-empty pool): the
+	// accounting loop only settles those, so a mostly idle many-core machine
+	// pays one sequential byte test per idle core instead of four scattered
+	// cache-line touches. acctUpTo is one past the last cycle Tick/SkipTicks
+	// covered — the bound flushAcct backfills to on reads and snapshots.
+	acctNow  []bool
+	acctUpTo uint64
 
 	// events is the lane-management log (bounded; see laneEventCap).
 	// decArena backs the events' Decisions slices in chunks, so logging
@@ -296,11 +365,15 @@ func New(cfg Config, vecPort mem.SharedPort, data *mem.Memory, model roofline.Mo
 		stats:          stats,
 		renameStallNow: make([]bool, cfg.Cores),
 		cycleBusyLanes: make([]float64, cfg.Cores),
+		acctNow:        make([]bool, cfg.Cores),
 		sleepFxs:       make([]sleepFx, cfg.Cores),
 	}
+	cp.renameStallsCell = stats.Counter("coproc.rename.stalls")
+	cp.mshrRetriesCell = stats.Counter("coproc.lsu.mshr_retries")
+	cp.drainWaitCell = stats.Counter("coproc.drain_wait_cycles")
 	lanes := cfg.Lanes()
 	for c := 0; c < cfg.Cores; c++ {
-		st := &coreState{busyTimeline: sim.NewTimeline(1000), queue: make([]XInst, queueRing), lastReject: -1}
+		st := &coreState{busyTimeline: *sim.NewTimeline(1000), lastReject: -1}
 		st.done.init()
 		// Pre-size the hold trackers to their architectural bounds so
 		// steady-state Add never grows a backing array: LHQ/STQ are hard
@@ -412,7 +485,17 @@ func (cp *Coproc) Transmit(x XInst) TransmitStatus {
 	x.enq = cp.cycles
 	st.seqCounter++
 	x.seq = st.seqCounter
-	if !x.Op.IsEMSIMD() {
+	switch {
+	case x.Op.IsEMSIMD():
+		x.kind = kindEMSIMD
+	case x.Op == isa.OpVStore:
+		x.kind = kindStore
+	case x.Op.IsVectorMem():
+		x.kind = kindMem
+	default:
+		x.kind = kindCompute
+	}
+	if x.kind != kindEMSIMD {
 		cp.renameAndApply(&x, st)
 	}
 	*st.at(st.tail) = x
@@ -596,53 +679,92 @@ func (cp *Coproc) Name() string { return cp.name }
 func (cp *Coproc) SetName(name string) { cp.name = name }
 
 // Tick implements sim.Component: one cycle of the co-processor.
+// cycleBusyLanes enters every Tick all-zero: the accounting loop at the
+// bottom re-zeroes each slot after consuming it.
 func (cp *Coproc) Tick(now uint64) {
 	em := 2 // EM-SIMD data path: 2 insts/cycle (Figure 5)
-	for c := range cp.cores {
-		cp.cycleBusyLanes[c] = 0
-	}
 	// Rotate core priority every cycle so one core cannot monopolize
 	// shared structures (MSHRs, cache ports) through tick ordering.
+	// rotStart tracks now%n incrementally (rotStart == rotLast%n always,
+	// so a stale pair after a checkpoint restore or a skip jump still
+	// yields the correct start); the divide only runs on discontinuities.
 	n := cp.cfg.Cores
-	start := int(now) % n
+	var start int
+	if now == cp.rotLast+1 {
+		start = cp.rotStart + 1
+		if start >= n {
+			start = 0
+		}
+	} else {
+		start = int(now % uint64(n))
+	}
+	cp.rotStart, cp.rotLast = start, now
 	if cp.cfg.SharedIssue {
 		budget := issueBudget{compute: cp.cfg.ComputeIssue, mem: cp.cfg.MemIssue, emsimd: &em}
 		for i := 0; i < n; i++ {
-			cp.tickCore((start+i)%n, now, &budget)
+			c := start + i
+			if c >= n {
+				c -= n
+			}
+			if st := cp.cores[c]; st.head == st.tail && st.renamed == st.tail {
+				continue // empty pool: tickCore would be a pure no-op
+			}
+			cp.acctNow[c] = true
+			cp.tickCore(c, now, &budget)
 		}
 	} else {
 		for i := 0; i < n; i++ {
+			c := start + i
+			if c >= n {
+				c -= n
+			}
+			if st := cp.cores[c]; st.head == st.tail && st.renamed == st.tail {
+				continue
+			}
+			cp.acctNow[c] = true
 			budget := issueBudget{compute: cp.cfg.ComputeIssue, mem: cp.cfg.MemIssue, emsimd: &em}
-			cp.tickCore((start+i)%n, now, &budget)
+			cp.tickCore(c, now, &budget)
 		}
 	}
 	lanes := float64(cp.cfg.Lanes())
 	totalBusy := 0.0
-	for c, st := range cp.cores {
-		if st.head < st.tail || st.inflight.Count(now) > 0 {
-			st.lastActive = now
-		}
-		st.busyTimeline.Record(now, cp.cycleBusyLanes[c])
-		st.busyLaneAccum += cp.cycleBusyLanes[c]
-		totalBusy += cp.cycleBusyLanes[c]
-		if cp.renameStallNow[c] {
-			cp.probe.Signal(c, obs.SigRenameStall)
-			st.renameStalls++
-			cp.stats.Inc("coproc.rename.stalls")
-			cp.renameStallNow[c] = false
-		}
-	}
-	cp.busyLaneCycles += totalBusy / lanes
-	cp.cycles++
 	// Sample per-core counter tracks into the trace at a coarse period;
 	// every-cycle samples would dwarf the slice events without adding
 	// visible resolution at trace zoom levels.
-	if s := cp.probe.Sink(); s != nil && now&1023 == 0 {
-		for c := range cp.cores {
-			s.EmitCounter(c, "coproc.busy_lanes", "lanes", now, cp.cycleBusyLanes[c])
+	s := cp.probe.Sink()
+	emit := s != nil && now&1023 == 0
+	for c, st := range cp.cores {
+		if !cp.acctNow[c] && !emit {
+			// Not ticked this cycle (empty pool): the only accounting
+			// effect is a zero timeline sample and a possible in-flight
+			// lastActive bump, both owed lazily via flushAcct.
+			continue
+		}
+		cp.acctNow[c] = false
+		v := cp.cycleBusyLanes[c]
+		cp.cycleBusyLanes[c] = 0
+		st.flushAcct(now)
+		if st.head < st.tail || st.inflight.Count(now) > 0 {
+			st.lastActive = now
+		}
+		st.busyTimeline.Record(now, v)
+		st.acct = now + 1
+		st.busyLaneAccum += v
+		totalBusy += v
+		if cp.renameStallNow[c] {
+			cp.probe.Signal(c, obs.SigRenameStall)
+			st.renameStalls++
+			*cp.renameStallsCell++
+			cp.renameStallNow[c] = false
+		}
+		if emit {
+			s.EmitCounter(c, "coproc.busy_lanes", "lanes", now, v)
 			s.EmitCounter(c, "coproc.vl", "granules", now, float64(cp.VL(c)))
 		}
 	}
+	cp.busyLaneCycles += totalBusy / lanes
+	cp.acctUpTo = now + 1
+	cp.cycles++
 }
 
 // addPhaseCompute bumps the per-phase compute-issue counter (phase -1 maps
@@ -706,8 +828,8 @@ func (cp *Coproc) tickCore(c int, now uint64, budget *issueBudget) {
 		if budget.compute == 0 && budget.mem == 0 && *budget.emsimd == 0 {
 			return
 		}
-		switch {
-		case x.Op.IsEMSIMD():
+		switch x.kind {
+		case kindEMSIMD:
 			// The EM-SIMD path is in-order and fences the window:
 			// nothing younger issues past an unexecuted EM-SIMD
 			// instruction.
@@ -721,11 +843,11 @@ func (cp *Coproc) tickCore(c int, now uint64, budget *issueBudget) {
 			x.issued = true
 			cp.progress++
 			st.head++
-		case x.Op.IsVectorMem():
+		case kindMem, kindStore:
 			if memBlocked || budget.mem == 0 {
 				continue
 			}
-			if x.Op == isa.OpVStore && storeBlocked {
+			if x.kind == kindStore && storeBlocked {
 				continue
 			}
 			switch cp.issueMem(c, x, now) {
@@ -736,7 +858,7 @@ func (cp *Coproc) tickCore(c int, now uint64, budget *issueBudget) {
 			case issueStructural:
 				memBlocked = true
 			case issueDataWait:
-				if x.Op == isa.OpVStore {
+				if x.kind == kindStore {
 					storeBlocked = true
 				}
 			case issueRenameStall:
@@ -845,7 +967,7 @@ func (cp *Coproc) issueMem(c int, x *XInst, now uint64) issueStatus {
 		if !accepted {
 			cp.probe.Signal(c, obs.SigMemBW)
 			st.mshrRetries++
-			cp.stats.Inc("coproc.lsu.mshr_retries")
+			*cp.mshrRetriesCell++
 			return issueStructural
 		}
 		cp.issuePhys(c, done)
@@ -868,7 +990,7 @@ func (cp *Coproc) issueMem(c int, x *XInst, now uint64) issueStatus {
 		if !accepted {
 			cp.probe.Signal(c, obs.SigMemBW)
 			st.mshrRetries++
-			cp.stats.Inc("coproc.lsu.mshr_retries")
+			*cp.mshrRetriesCell++
 			return issueStructural
 		}
 		st.done.set(x.seq, done)
@@ -960,13 +1082,19 @@ func (cp *Coproc) Quiescent(c int, now uint64) bool {
 }
 
 // LastActive returns the latest cycle core c had queued or in-flight work.
-func (cp *Coproc) LastActive(c int) uint64 { return cp.cores[c].lastActive }
+func (cp *Coproc) LastActive(c int) uint64 {
+	cp.cores[c].flushAcct(cp.acctUpTo)
+	return cp.cores[c].lastActive
+}
 
 // Z returns the functional value of lane i of register r on core c (tests).
 func (cp *Coproc) Z(c int, r isa.Reg, i int) float32 { return cp.cores[c].z[r][i] }
 
 // BusyTimeline returns core c's busy-lane timeline (Figures 2 and 14(b)).
-func (cp *Coproc) BusyTimeline(c int) *sim.Timeline { return cp.cores[c].busyTimeline }
+func (cp *Coproc) BusyTimeline(c int) *sim.Timeline {
+	cp.cores[c].flushAcct(cp.acctUpTo)
+	return &cp.cores[c].busyTimeline
+}
 
 // ComputeIssued returns the number of SIMD compute instructions core c has
 // issued (the numerator of the paper's SIMD issue rate).

@@ -11,20 +11,23 @@ const (
 	ringMask = ringSize - 1
 )
 
+// doneEntry pairs a slot's occupant with its completion cycle so a lookup
+// touches one cache line, not one per array.
+type doneEntry struct {
+	seq  uint64
+	done uint64
+}
+
 type doneRing struct {
-	seqs  []uint64
-	dones []uint64
+	entries []doneEntry
 }
 
 func (r *doneRing) init() {
-	r.seqs = make([]uint64, ringSize)
-	r.dones = make([]uint64, ringSize)
+	r.entries = make([]doneEntry, ringSize)
 }
 
 func (r *doneRing) set(seq, done uint64) {
-	slot := seq & ringMask
-	r.seqs[slot] = seq
-	r.dones[slot] = done
+	r.entries[seq&ringMask] = doneEntry{seq: seq, done: done}
 }
 
 // Lookup outcomes.
@@ -35,11 +38,11 @@ const (
 )
 
 func (r *doneRing) get(seq uint64) (done uint64, state int) {
-	slot := seq & ringMask
+	e := &r.entries[seq&ringMask]
 	switch {
-	case r.seqs[slot] == seq:
-		return r.dones[slot], ringHit
-	case r.seqs[slot] > seq:
+	case e.seq == seq:
+		return e.done, ringHit
+	case e.seq > seq:
 		return 0, ringOlder
 	default:
 		return 0, ringMiss

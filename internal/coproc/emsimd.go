@@ -58,7 +58,7 @@ func (cp *Coproc) execEMSIMD(c int, x *XInst, now uint64) bool {
 					st.drainStart = now
 				}
 				st.drainWait++
-				cp.stats.Inc("coproc.drain_wait_cycles")
+				*cp.drainWaitCell++
 				return false
 			}
 			// The drain window (possibly empty) closes this cycle:

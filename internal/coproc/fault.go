@@ -180,6 +180,30 @@ func (f *faultState) issueAllowed(c int, now uint64) bool {
 	return true
 }
 
+// gateWake bounds a gated core's quiescent window: the next cycle at which
+// a closed issue gate could reopen (the next multiple of the tightest active
+// periodic gate), or deadGate — which equals sim.NeverWake — when a dead gate
+// blocks the core for good. Interior cycles are off-cycles for the bounding
+// gate, so each repeats the gated tick's accounting exactly; at the wake the
+// engine re-probes, and a still-closed companion gate just opens the next
+// window.
+func (f *faultState) gateWake(c int, now uint64) uint64 {
+	g := f.issueGate[c]
+	if f.sharedGate == deadGate || g == deadGate {
+		return deadGate
+	}
+	wake := uint64(deadGate)
+	if f.sharedGate > 1 {
+		wake = now + f.sharedGate - now%f.sharedGate
+	}
+	if g > 1 {
+		if w := now + g - now%g; w < wake {
+			wake = w
+		}
+	}
+	return wake
+}
+
 // linkAccept decides whether core c's transmission at cycle now makes it
 // across a faulted link; called only when faults are active.
 func (f *faultState) linkAccept(c int, now uint64) bool {
@@ -230,6 +254,7 @@ type PipeSnapshot struct {
 // PipelineSnapshot captures core c's pipeline state at cycle now.
 func (cp *Coproc) PipelineSnapshot(c int, now uint64) PipeSnapshot {
 	st := cp.cores[c]
+	st.flushAcct(cp.acctUpTo)
 	ps := PipeSnapshot{
 		QueueLen:   st.tail - st.head,
 		Renamed:    st.renamed - st.head,

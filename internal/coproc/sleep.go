@@ -34,6 +34,14 @@ import (
 // rotation (see SkipTicks); within one cycle each core's retry is still the
 // same cycle-invariant line walk.
 
+// minGateSleep is the shortest fault-gate window worth eliding: below it the
+// quiescence probe plus accounting replay cost more than the handful of
+// cheap gated ticks they replace, while the heavily-throttled gates (a
+// Private victim on one survivor, FTS past half its units dead) stretch a
+// run 10-20x with blocked cycles and win big. A dead gate's window
+// (sim.NeverWake) always clears the bar.
+const minGateSleep = 8
+
 // probeOf extracts a port's optional skip-ahead capability.
 func probeOf(p mem.SharedPort) mem.RetryProber {
 	probe, _ := p.(mem.RetryProber)
@@ -81,6 +89,29 @@ func (cp *Coproc) coreSleep(c int, now uint64) (fx sleepFx, wake uint64, ok bool
 			fx.sig |= obs.SigRenameStall
 			fx.renameStall = true
 		}
+	}
+	// Fault-injected issue gates close the whole issue stage on off cycles:
+	// the real tick signals the backlog wait and returns before its scan
+	// (see tickCore). Every gated cycle repeats exactly that accounting, so
+	// the window is quiescent until the earliest cycle a gate could reopen —
+	// a dead-gated victim sleeps forever, which is what converts a DNF sweep
+	// point from 25k real ticks into a handful of watchdog-grid jumps.
+	if cp.flt != nil && !cp.flt.issueAllowed(c, now) {
+		w := cp.flt.gateWake(c, now)
+		if w-now < minGateSleep {
+			// Periodic gates reopen within a few cycles (gatePeriod is
+			// ceil(2w/(w-f))): a window that short costs more in probe and
+			// replay machinery than the ticks it elides. Ticking for real is
+			// always sound, so thrash-prone windows just decline to sleep.
+			return fx, 0, false
+		}
+		if st.head < st.tail {
+			fx.sig |= obs.SigExeBUWait
+		}
+		if w < wake {
+			wake = w
+		}
+		return fx, wake, true
 	}
 	memBlocked := false
 	storeBlocked := false
@@ -216,15 +247,15 @@ func (cp *Coproc) SkipTicks(from, n uint64) {
 		}
 		if fx.drainWait {
 			st.drainWait += n
-			cp.stats.Add("coproc.drain_wait_cycles", n)
+			*cp.drainWaitCell += n
 		}
 		if fx.renameStall {
 			st.renameStalls += n
-			cp.stats.Add("coproc.rename.stalls", n)
+			*cp.renameStallsCell += n
 		}
 		if fx.mshrRetry {
 			st.mshrRetries += n
-			cp.stats.Add("coproc.lsu.mshr_retries", n)
+			*cp.mshrRetriesCell += n
 			if storms == 1 {
 				// Sole storming core: one bulk replay covers the window.
 				cp.vecProbe.ReplayRetries(from, n, fx.retryAddr, fx.retrySize, fx.retryWrite, c)
@@ -241,9 +272,9 @@ func (cp *Coproc) SkipTicks(from, n uint64) {
 			}
 			st.lastActive = last
 		}
-		// Every elided cycle records zero busy lanes, exactly as the
-		// real stalled ticks would (exact for v == 0; see RecordRun).
-		st.busyTimeline.RecordRun(from, n, 0)
+		// Every elided cycle records zero busy lanes, exactly as the real
+		// stalled ticks would: that zero run stays owed on st.acct until
+		// flushAcct backfills it (exact for v == 0; see RecordRun).
 	}
 	if storms > 1 {
 		// Concurrent storms interleave their bandwidth-meter updates in
@@ -264,5 +295,6 @@ func (cp *Coproc) SkipTicks(from, n uint64) {
 	}
 	// busyLaneCycles accumulates 0.0/lanes per stalled cycle — an exact
 	// float64 no-op, so there is nothing to add here.
+	cp.acctUpTo = from + n
 	cp.cycles += n
 }

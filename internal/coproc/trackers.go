@@ -8,16 +8,33 @@ import "math"
 // pipeline-drain check.
 type holdTracker struct {
 	releases []uint64
+	// nextRel lower-bounds every entry: drain is a no-op while now is below
+	// it, which turns the per-cycle Count calls on busy trackers into a
+	// compare instead of an O(entries) scan. Zero (the conservative value)
+	// just forces the next drain to scan; restore resets it to zero.
+	nextRel uint64
+	// maxRel is the latest release ever added (entries expire out of
+	// releases, this does not decay): lazy lastActive accounting needs the
+	// last cycle the tracker held anything, even after drain dropped it.
+	maxRel uint64
 }
 
 func (t *holdTracker) drain(now uint64) {
+	if now < t.nextRel {
+		return // every entry releases after now: nothing to expire
+	}
 	live := t.releases[:0]
+	next := uint64(math.MaxUint64)
 	for _, r := range t.releases {
 		if r > now {
 			live = append(live, r)
+			if r < next {
+				next = r
+			}
 		}
 	}
 	t.releases = live
+	t.nextRel = next
 }
 
 // Count returns the number of entries still held at cycle now.
@@ -29,6 +46,28 @@ func (t *holdTracker) Count(now uint64) int {
 // Add records a resource held until cycle release.
 func (t *holdTracker) Add(release uint64) {
 	t.releases = append(t.releases, release)
+	if release < t.nextRel {
+		t.nextRel = release
+	}
+	if release > t.maxRel {
+		t.maxRel = release
+	}
+}
+
+// restore replaces the entries from a checkpoint and invalidates the drain
+// bound (the restored entries may release earlier than the current ones).
+// maxRel is recomputed from the surviving entries: history that expired
+// before the checkpoint can only matter to windows the checkpoint already
+// flushed, so the maximum over live entries is behaviourally identical.
+func (t *holdTracker) restore(rs []uint64) {
+	t.releases = append(t.releases[:0], rs...)
+	t.nextRel = 0
+	t.maxRel = 0
+	for _, r := range rs {
+		if r > t.maxRel {
+			t.maxRel = r
+		}
+	}
 }
 
 // next returns the earliest release strictly after now, or sim.NeverWake

@@ -96,18 +96,20 @@ type Core struct {
 	// full vector length.
 	tailActive int
 
-	// phase tracks the current compiler phase for attribution.
+	// phase tracks the current compiler phase for attribution. The counter
+	// cells are resolved once (Stats.Counter pointers are stable across
+	// Restore) so the per-cycle bumps are a pointer add, not a map lookup —
+	// the string-keyed form showed up as ~16% of sweep time in profiles.
 	phase             int
-	phaseCycleNames   []string
-	phaseEnteredNames []string
-	phaseCyclePool    []string
-	phaseEnteredPool  []string
-	poolFullName      string
-	mobStallName      string
-	renameBlockName   string
-	haltCycleName     string
-	reconfigName      string
-	monitorName       string
+	phaseCycleCells   []*uint64
+	phaseEnteredCells []*uint64
+	phaseCyclePool    []*uint64
+	phaseEnteredPool  []*uint64
+	poolFullCell      *uint64
+	mobStallCell      *uint64
+	haltCycleCell     *uint64
+	reconfigCell      *uint64
+	monitorCell       *uint64
 	haltCycle         uint64
 
 	// probe is the observability hook; nil when the run is not observed
@@ -136,52 +138,44 @@ func New(id int, cfg Config, prog *isa.Program, cp CoprocPort, l1 mem.Port, data
 		id: id, cfg: cfg, prog: prog, cp: cp, l1: l1, data: data, stats: stats,
 		tailActive: -1, phase: -1,
 	}
-	// Pre-build every counter name the execute path can touch: the tick
-	// path must stay allocation-free, so no fmt.Sprintf after construction.
-	c.buildPhaseNames(prog)
-	c.poolFullName = fmt.Sprintf("cpu%d.pool_full_stall", id)
-	c.mobStallName = fmt.Sprintf("cpu%d.mob_stall", id)
-	c.renameBlockName = fmt.Sprintf("cpu%d.rename_block_stall", id)
-	c.haltCycleName = fmt.Sprintf("cpu%d.halt_cycle", id)
-	c.reconfigName = fmt.Sprintf("cpu%d.reconfig_insts", id)
-	c.monitorName = fmt.Sprintf("cpu%d.monitor_insts", id)
-	// Materialize the counters too, not just their names: Stats creates a
-	// counter on first touch, and on a large machine a core's first
-	// pool-full stall can land arbitrarily deep into the run — inside a
+	// Resolve every counter cell the execute path can touch: the tick path
+	// must stay allocation-free, so no fmt.Sprintf after construction, and
+	// Stats creates a counter on first touch — on a large machine a core's
+	// first pool-full stall can land arbitrarily deep into the run, inside a
 	// window the zero-allocation contract measures.
-	for _, n := range []string{c.poolFullName, c.mobStallName,
-		c.renameBlockName, c.haltCycleName, c.reconfigName, c.monitorName} {
-		stats.Counter(n)
-	}
+	c.buildPhaseNames(prog)
+	c.poolFullCell = stats.Counter(fmt.Sprintf("cpu%d.pool_full_stall", id))
+	c.mobStallCell = stats.Counter(fmt.Sprintf("cpu%d.mob_stall", id))
+	stats.Counter(fmt.Sprintf("cpu%d.rename_block_stall", id))
+	c.haltCycleCell = stats.Counter(fmt.Sprintf("cpu%d.halt_cycle", id))
+	c.reconfigCell = stats.Counter(fmt.Sprintf("cpu%d.reconfig_insts", id))
+	c.monitorCell = stats.Counter(fmt.Sprintf("cpu%d.monitor_insts", id))
 	return c
 }
 
-// buildPhaseNames (re)installs the per-phase counter names for prog; indexed
-// by phase+1 so the pre-phase prologue (phase -1) has a slot. The names depend
+// buildPhaseNames (re)installs the per-phase counter cells for prog; indexed
+// by phase+1 so the pre-phase prologue (phase -1) has a slot. The cells depend
 // only on the core id and the phase index, so they live in a grown-once pool:
 // swapping in a program no larger than any already seen — a context switch
 // between an OS scheduler's tasks — allocates nothing.
 func (c *Core) buildPhaseNames(prog *isa.Program) {
 	n := prog.NumPhases + 1
 	c.PrewarmPhases(prog.NumPhases)
-	c.phaseCycleNames = c.phaseCyclePool[:n]
-	c.phaseEnteredNames = c.phaseEnteredPool[:n]
+	c.phaseCycleCells = c.phaseCyclePool[:n]
+	c.phaseEnteredCells = c.phaseEnteredPool[:n]
 }
 
-// PrewarmPhases extends the phase counter-name pool (and materializes the
-// counters) up to numPhases. Schedulers that swap precompiled tasks onto the
-// core call this at registration time so no dispatch on the tick path ever
-// builds a name.
+// PrewarmPhases extends the phase counter-cell pool up to numPhases.
+// Schedulers that swap precompiled tasks onto the core call this at
+// registration time so no dispatch on the tick path ever builds a name.
 func (c *Core) PrewarmPhases(numPhases int) {
 	for p := len(c.phaseCyclePool); p <= numPhases; p++ {
-		cn := fmt.Sprintf("cpu%d.phase%d.cycles", c.id, p-1)
-		en := fmt.Sprintf("cpu%d.phase%d.entered_cycle", c.id, p-1)
-		c.phaseCyclePool = append(c.phaseCyclePool, cn)
-		c.phaseEnteredPool = append(c.phaseEnteredPool, en)
 		// Materialized eagerly: a late phase is first entered mid-run,
 		// and creating its counter then would allocate on the tick path.
-		c.stats.Counter(cn)
-		c.stats.Counter(en)
+		cn := c.stats.Counter(fmt.Sprintf("cpu%d.phase%d.cycles", c.id, p-1))
+		en := c.stats.Counter(fmt.Sprintf("cpu%d.phase%d.entered_cycle", c.id, p-1))
+		c.phaseCyclePool = append(c.phaseCyclePool, cn)
+		c.phaseEnteredPool = append(c.phaseEnteredPool, en)
 	}
 }
 
@@ -218,19 +212,19 @@ func (c *Core) Tick(now uint64) {
 	if c.halted || c.parked {
 		return
 	}
-	c.stats.Inc(c.phaseCycleNames[c.phase+1])
+	*c.phaseCycleCells[c.phase+1]++
 	// A live core's fallback explanation for this cycle is scalar work;
 	// more specific signals raised below take priority in the classifier.
 	c.probe.Signal(c.id, obs.SigScalar)
 	for slot := 0; slot < c.cfg.Width && !c.halted; slot++ {
-		in := c.prog.At(c.pc)
+		in := c.prog.AtPtr(c.pc)
 		if in.Phase != c.phase {
 			c.closePhaseSlice(now)
 			c.phase = in.Phase
 			c.phaseStart = now
-			c.stats.Set(c.phaseEnteredNames[c.phase+1], now)
+			*c.phaseEnteredCells[c.phase+1] = now
 		}
-		if !c.execute(&in, now) {
+		if !c.execute(in, now) {
 			return
 		}
 		c.insts++
@@ -304,7 +298,7 @@ func (c *Core) execute(in *isa.Inst, now uint64) bool {
 		c.halted = true
 		c.haltCycle = now
 		c.closePhaseSlice(now)
-		c.stats.Set(c.haltCycleName, now)
+		*c.haltCycleCell = now
 		return true
 	case isa.OpMovI:
 		c.xw(in.Dst, in.Imm, now+c.cfg.IntLat)
@@ -475,7 +469,7 @@ func (c *Core) execScalarMem(in *isa.Inst, now uint64) bool {
 	// MOB: wait for vector memory quiescence (Table 2).
 	if c.cp.MemInFlight(c.id, now) > 0 {
 		c.probe.Signal(c.id, obs.SigLSUWait)
-		c.stats.Inc(c.mobStallName)
+		*c.mobStallCell++
 		return false
 	}
 	addr := uint64(c.xr(in.Src1)) + uint64(in.Imm)
@@ -544,7 +538,7 @@ func (c *Core) execEMSIMD(in *isa.Inst, now uint64) bool {
 			}
 			c.xReady[in.Dst] = notReady // response will unblock
 			c.probe.Signal(c.id, obs.SigDrain)
-			c.stats.Inc(c.reconfigName)
+			*c.reconfigCell++
 			c.pc++
 			return true
 		}
@@ -552,7 +546,7 @@ func (c *Core) execEMSIMD(in *isa.Inst, now uint64) bool {
 		c.xw(in.Dst, int64(c.cp.ReadSysNow(c.id, in.Sys)), now+c.cfg.EMSIMDLat)
 		if in.Sys == isa.SysDecision {
 			c.probe.Signal(c.id, obs.SigMonitor)
-			c.stats.Inc(c.monitorName)
+			*c.monitorCell++
 		}
 		c.pc++
 		return true
@@ -573,7 +567,7 @@ func (c *Core) execEMSIMD(in *isa.Inst, now uint64) bool {
 	switch in.Sys {
 	case isa.SysVL:
 		c.probe.Signal(c.id, obs.SigDrain)
-		c.stats.Inc(c.reconfigName)
+		*c.reconfigCell++
 	case isa.SysOI:
 		c.probe.Signal(c.id, obs.SigMonitor)
 	}
@@ -626,7 +620,7 @@ func (c *Core) transmitVector(in *isa.Inst, now uint64) bool {
 func (c *Core) transmit(x coproc.XInst) bool {
 	if c.cp.Transmit(x) != coproc.TransmitOK {
 		c.probe.Signal(c.id, obs.SigDispatchFull)
-		c.stats.Inc(c.poolFullName)
+		*c.poolFullCell++
 		return false
 	}
 	return true

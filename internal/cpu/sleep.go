@@ -27,7 +27,7 @@ import (
 // stallGate classifies the first gate the instruction at pc fails at cycle
 // now. ok=false means the instruction would make progress (or reach a
 // side-effecting stage) and the tick must run for real.
-func (c *Core) stallGate(in *isa.Inst, now uint64) (wake uint64, sig obs.Sig, counter string, ok bool) {
+func (c *Core) stallGate(in *isa.Inst, now uint64) (wake uint64, sig obs.Sig, counter *uint64, ok bool) {
 	// firstX/firstF return the first not-ready register's ready timestamp,
 	// honouring the gate evaluation order of execute().
 	firstX := func(regs ...isa.Reg) (uint64, bool) {
@@ -48,11 +48,11 @@ func (c *Core) stallGate(in *isa.Inst, now uint64) (wake uint64, sig obs.Sig, co
 	}
 	// poolGate is the shared Transmit stage: a full pool is a quiescent
 	// stall, a free slot means the instruction transmits (progress).
-	poolGate := func() (uint64, obs.Sig, string, bool) {
+	poolGate := func() (uint64, obs.Sig, *uint64, bool) {
 		if c.cp.PoolFull(c.id) {
-			return sim.NeverWake, obs.SigDispatchFull, c.poolFullName, true
+			return sim.NeverWake, obs.SigDispatchFull, c.poolFullCell, true
 		}
-		return 0, 0, "", false
+		return 0, 0, nil, false
 	}
 
 	op := in.Op
@@ -61,11 +61,11 @@ func (c *Core) stallGate(in *isa.Inst, now uint64) (wake uint64, sig obs.Sig, co
 		switch op {
 		case isa.OpVLoad, isa.OpVStore:
 			if w, bad := firstX(in.Src1, in.Src2); bad {
-				return w, 0, "", true
+				return w, 0, nil, true
 			}
 		case isa.OpVDupX, isa.OpVInsX0:
 			if w, bad := firstX(in.Src1); bad {
-				return w, 0, "", true
+				return w, 0, nil, true
 			}
 		}
 		return poolGate()
@@ -74,12 +74,12 @@ func (c *Core) stallGate(in *isa.Inst, now uint64) (wake uint64, sig obs.Sig, co
 			if in.Sys == isa.SysStatus {
 				return poolGate()
 			}
-			return 0, 0, "", false // speculative read: executes
+			return 0, 0, nil, false // speculative read: executes
 		}
 		// MSR: resolve the value, then transmit.
 		if in.Src1 != isa.RegNone {
 			if w, bad := firstX(in.Src1); bad {
-				return w, 0, "", true
+				return w, 0, nil, true
 			}
 		}
 		return poolGate()
@@ -88,50 +88,50 @@ func (c *Core) stallGate(in *isa.Inst, now uint64) (wake uint64, sig obs.Sig, co
 	switch op {
 	case isa.OpMov, isa.OpAddI, isa.OpSubI, isa.OpMulI, isa.OpIncVL, isa.OpBEQI, isa.OpBNEI:
 		if w, bad := firstX(in.Src1); bad {
-			return w, 0, "", true
+			return w, 0, nil, true
 		}
 	case isa.OpAdd, isa.OpSub, isa.OpBLT, isa.OpBGE, isa.OpBEQ, isa.OpBNE:
 		if w, bad := firstX(in.Src1, in.Src2); bad {
-			return w, 0, "", true
+			return w, 0, nil, true
 		}
 	case isa.OpVWhile:
 		if in.Imm != 1 {
 			if w, bad := firstX(in.Src1, in.Src2); bad {
-				return w, 0, "", true
+				return w, 0, nil, true
 			}
 		}
 	case isa.OpSLoadF, isa.OpSStoreF:
 		if w, bad := firstX(in.Src1); bad {
-			return w, 0, "", true
+			return w, 0, nil, true
 		}
 		if c.cp.MemInFlight(c.id, now) > 0 {
-			return sim.NeverWake, obs.SigLSUWait, c.mobStallName, true
+			return sim.NeverWake, obs.SigLSUWait, c.mobStallCell, true
 		}
 		if op == isa.OpSStoreF {
 			if w, bad := firstF(in.Dst); bad {
-				return w, 0, "", true
+				return w, 0, nil, true
 			}
 		}
-		return 0, 0, "", false // would access the L1 (mutates even on reject)
+		return 0, 0, nil, false // would access the L1 (mutates even on reject)
 	case isa.OpSFAdd, isa.OpSFSub, isa.OpSFMul, isa.OpSFDiv, isa.OpSFMax, isa.OpSFMin:
 		if w, bad := firstF(in.Src1, in.Src2); bad {
-			return w, 0, "", true
+			return w, 0, nil, true
 		}
 	case isa.OpSFMla:
 		if w, bad := firstF(in.Src1, in.Src2, in.Dst); bad {
-			return w, 0, "", true
+			return w, 0, nil, true
 		}
 	case isa.OpSIAdd, isa.OpSISub, isa.OpSIMul, isa.OpSIAnd, isa.OpSIOr, isa.OpSIXor,
 		isa.OpSIShl, isa.OpSIShr, isa.OpSIMax, isa.OpSIMin:
 		if w, bad := firstF(in.Src1, in.Src2); bad {
-			return w, 0, "", true
+			return w, 0, nil, true
 		}
 	case isa.OpSFAbs, isa.OpSFNeg, isa.OpSFSqrt:
 		if w, bad := firstF(in.Src1); bad {
-			return w, 0, "", true
+			return w, 0, nil, true
 		}
 	}
-	return 0, 0, "", false // the instruction executes this cycle
+	return 0, 0, nil, false // the instruction executes this cycle
 }
 
 // NextWake implements sim.Sleeper. A halted or parked core ticks with no
@@ -143,11 +143,11 @@ func (c *Core) NextWake(now uint64) (uint64, bool) {
 	if c.halted || c.parked {
 		return sim.NeverWake, true
 	}
-	in := c.prog.At(c.pc)
+	in := c.prog.AtPtr(c.pc)
 	if in.Phase != c.phase {
 		return 0, false // phase entry updates stats/trace once
 	}
-	wake, _, _, ok := c.stallGate(&in, now)
+	wake, _, _, ok := c.stallGate(in, now)
 	return wake, ok
 }
 
@@ -158,14 +158,14 @@ func (c *Core) SkipTicks(from, n uint64) {
 	if c.halted || c.parked {
 		return
 	}
-	c.stats.Add(c.phaseCycleNames[c.phase+1], n)
+	*c.phaseCycleCells[c.phase+1] += n
 	c.probe.Signal(c.id, obs.SigScalar)
-	in := c.prog.At(c.pc)
-	_, sig, counter, _ := c.stallGate(&in, from)
+	in := c.prog.AtPtr(c.pc)
+	_, sig, counter, _ := c.stallGate(in, from)
 	if sig != 0 {
 		c.probe.Signal(c.id, sig)
 	}
-	if counter != "" {
-		c.stats.Add(counter, n)
+	if counter != nil {
+		*counter += n
 	}
 }

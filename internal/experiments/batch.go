@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime/pprof"
+	"sync"
+
+	"occamy/internal/arch"
+	"occamy/internal/fault"
+	"occamy/internal/sim"
+	"occamy/internal/workload"
+)
+
+// This file is the sweep side of lockstep batching (sim.Batch): sweeps carve
+// their points into sim.Tasks, runBatches deals up to Config.Batch of them to
+// each -j worker, and every worker steps its batch round-robin through one
+// fused slice loop. Results are bit-identical to the sequential shape —
+// slicing only moves engine-local skip-window boundaries, never model state
+// (TestBatchBitIdentical) — so batching is purely an execution strategy, like
+// skip-ahead itself.
+
+// batched reports whether sweeps should use the lockstep shape.
+func (c Config) batched() bool { return c.Batch > 1 }
+
+// simJob adapts one build-then-run simulation to sim.Task: build constructs
+// the system lazily (inside the batch worker, so construction is attributed
+// to its pprof labels) and returns the run's engine, done predicate and
+// budget; finish consumes the terminal engine error and folds the result
+// into the sweep.
+type simJob struct {
+	label  string
+	build  func() (*sim.Engine, func() bool, uint64, error)
+	finish func(prev error) error
+	eng    *sim.Engine
+}
+
+func (t *simJob) Engine() *sim.Engine { return t.eng }
+func (t *simJob) Label() string       { return t.label }
+func (t *simJob) Begin(prev error) (func() bool, uint64, error) {
+	if t.eng == nil {
+		eng, done, budget, err := t.build()
+		if err != nil {
+			return nil, 0, err
+		}
+		t.eng = eng
+		return done, budget, nil
+	}
+	return nil, 0, t.finish(prev)
+}
+
+// runTask wraps one runOne-shaped point (build, Run to completion, collect)
+// as a sim.Task. finish receives exactly what runOne's callers see: the
+// collected Result and the *arch.DiagError of an aborted run (nil otherwise).
+func (c Config) runTask(label string, kind arch.Kind, s workload.CoSchedule, opts arch.Options, finish func(*arch.Result, error) error) sim.Task {
+	var sys *arch.System
+	return &simJob{
+		label: label,
+		build: func() (*sim.Engine, func() bool, uint64, error) {
+			var err error
+			sys, err = c.buildOne(kind, s, opts)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			return sys.Engine, sys.Done, c.MaxCycles, nil
+		},
+		finish: func(prev error) error {
+			res, rerr := sys.FinishRun(prev)
+			sys.Tele.Flush(sys.Engine.Cycle())
+			return finish(res, rerr)
+		},
+	}
+}
+
+// runBatches deals tasks into groups of up to Config.Batch, one lockstep
+// batch per worker, bounded by the same -j limit as sequential sweeps. The
+// deal is contiguous in task order, so a sweep's points stay grouped the way
+// its tables read. The first error (a point's build/verify failure, or a
+// cancellation) aborts the sweep.
+func (c Config) runBatches(id string, tasks []sim.Task) error {
+	groups := make([][]sim.Task, 0, (len(tasks)+c.Batch-1)/c.Batch)
+	for len(tasks) > 0 {
+		n := c.Batch
+		if n > len(tasks) {
+			n = len(tasks)
+		}
+		groups = append(groups, tasks[:n])
+		tasks = tasks[n:]
+	}
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.maxParallel())
+	for g, grp := range groups {
+		wg.Add(1)
+		go func(g int, grp []sim.Task) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			bid := fmt.Sprintf("%s/%d", id, g)
+			pprof.Do(context.Background(), pprof.Labels("sweep", id, "batch", bid), func(ctx context.Context) {
+				b := sim.NewBatch(ctx, bid)
+				for _, t := range grp {
+					if errs[g] = b.Add(t); errs[g] != nil {
+						return
+					}
+				}
+				errs[g] = b.Run(0)
+			})
+		}(g, grp)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runAllArchsBatched is runAllArchs' lockstep shape: the four architectures
+// step through one batch instead of running back-to-back.
+func (c Config) runAllArchsBatched(s workload.CoSchedule, opts arch.Options) (map[arch.Kind]*arch.Result, map[arch.Kind]*arch.System, error) {
+	results := make(map[arch.Kind]*arch.Result, 4)
+	systems := make(map[arch.Kind]*arch.System, 4)
+	tasks := make([]sim.Task, 0, len(arch.Kinds))
+	for _, kind := range arch.Kinds {
+		kind := kind
+		var sys *arch.System
+		tasks = append(tasks, &simJob{
+			label: s.Name + "/" + kind.String(),
+			build: func() (*sim.Engine, func() bool, uint64, error) {
+				var err error
+				sys, err = c.buildOne(kind, s, opts)
+				if err != nil {
+					return nil, nil, 0, fmt.Errorf("%s on %s: %w", s.Name, kind, err)
+				}
+				return sys.Engine, sys.Done, c.MaxCycles, nil
+			},
+			finish: func(prev error) error {
+				res, rerr := sys.FinishRun(prev)
+				sys.Tele.Flush(sys.Engine.Cycle())
+				if rerr != nil {
+					return fmt.Errorf("%s on %s: %w", s.Name, kind, rerr)
+				}
+				results[kind] = res
+				systems[kind] = sys
+				return nil
+			},
+		})
+	}
+	if err := c.runBatches(s.Name, tasks); err != nil {
+		return nil, nil, err
+	}
+	return results, systems, nil
+}
+
+// degColumnTask is one architecture's degradation column as a multi-segment
+// sim.Task: the shared fault-free warm-up to the injection cycle, then one
+// segment per failure count forked from the warm checkpoint — the same
+// sequence degradationForked runs, sliced.
+type degColumnTask struct {
+	c     Config
+	kind  arch.Kind
+	pair  workload.CoSchedule
+	units int
+	pts   []DegPoint
+
+	sys  *arch.System
+	snap *arch.SystemState
+	f    int // next failure count; -1 while the warm-up is in flight
+}
+
+func (t *degColumnTask) Engine() *sim.Engine { return t.sys.Engine }
+func (t *degColumnTask) Label() string       { return "degradation/" + t.kind.String() }
+
+func (t *degColumnTask) Begin(prev error) (func() bool, uint64, error) {
+	switch {
+	case t.sys == nil: // admission: build and start the warm-up
+		sys, err := arch.Build(t.kind, t.pair, arch.Options{
+			Seed: t.c.Seed, LegacyTick: t.c.LegacyTick, StallCycles: degStall, WireInjector: true,
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("degradation %s: %w", t.kind, err)
+		}
+		sys.SetInterrupt(t.c.Interrupt)
+		t.sys, t.f = sys, -1
+		eng := sys.Engine
+		return func() bool { return eng.Cycle() >= degFaultAt }, degFaultAt, nil
+	case t.f < 0: // warm-up finished: checkpoint, fork f=0
+		if prev != nil {
+			return nil, 0, fmt.Errorf("degradation %s: warm-up: %w", t.kind, prev)
+		}
+		t.snap = t.sys.Checkpoint()
+		t.f = 0
+	default: // point t.f finished
+		if canceled(prev) {
+			return nil, 0, fmt.Errorf("degradation %s f=%d: %w", t.kind, t.f, prev)
+		}
+		res, rerr := t.sys.FinishRun(prev)
+		t.pts[t.f] = degPointFrom(t.f, res, rerr)
+		t.f++
+		if t.f >= t.units {
+			return nil, 0, nil
+		}
+	}
+	if t.f == 0 {
+		// Verify the snapshot digest on the first fork, as the sequential
+		// path does; the remaining forks trust the in-process snapshot.
+		if err := t.sys.RestoreCheckpoint(t.snap); err != nil {
+			return nil, 0, fmt.Errorf("degradation %s f=%d: %w", t.kind, t.f, err)
+		}
+		t.sys.SetFaultSchedule(nil)
+	} else {
+		t.sys.RestoreCheckpointTrusted(t.snap)
+		t.sys.SetFaultSchedule([]fault.Fault{{Kind: fault.ExeBU, Count: t.f, At: degFaultAt}})
+	}
+	return t.sys.Done, t.c.MaxCycles, nil
+}

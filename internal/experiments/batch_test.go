@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"occamy/internal/arch"
+	"occamy/internal/telemetry"
+	"occamy/internal/workload"
+)
+
+// TestBatchBitIdentical is the batching differential test the lockstep
+// engine's determinism claim rests on: every sweep, run through sim.Batch,
+// must agree with its sequential shape on every point of every architecture —
+// cycles, element counts, per-core attribution, DNF verdicts and recovery
+// times. The degradation sweep is the hard case: faulted points, checkpoint
+// forks from the mid-run snapshot, and skip-ahead all active while the batch
+// slices every segment.
+func TestBatchBitIdentical(t *testing.T) {
+	t.Run("degradation", func(t *testing.T) {
+		seq := degSweep(t) // the shared sweep uses the sequential shape
+		cfg := Quick()
+		cfg.Batch = 4
+		bat, err := cfg.Degradation()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range arch.Kinds {
+			a := fmt.Sprintf("%+v", seq.Points[kind])
+			b := fmt.Sprintf("%+v", bat.Points[kind])
+			if a != b {
+				t.Errorf("%s: batched sweep diverges from sequential\nsequential: %s\nbatched:    %s", kind, a, b)
+			}
+		}
+	})
+
+	t.Run("figure2-telemetry", func(t *testing.T) {
+		// The motivating pair on all four architectures, telemetry sampling
+		// active: results and per-run telemetry views must match. The view's
+		// host-throughput gauge is the one legitimately wall-clock-dependent
+		// field; everything else is simulated state.
+		run := func(batch int) (map[arch.Kind]string, map[arch.Kind]string) {
+			cfg := Quick()
+			cfg.Batch = batch
+			cfg.Telemetry = telemetry.NewServer()
+			pair := workload.MotivatingPair(reg)
+			results, systems, err := cfg.runAllArchs(pair, arch.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := make(map[arch.Kind]string, len(results))
+			tele := make(map[arch.Kind]string, len(systems))
+			for kind, r := range results {
+				// Flatten the per-core attribution behind its pointer so the
+				// comparison covers its contents, not its address.
+				cp := *r
+				cp.Cores = append([]arch.CoreResult(nil), r.Cores...)
+				attrs := make([]string, len(cp.Cores))
+				for i := range cp.Cores {
+					if a := cp.Cores[i].Attribution; a != nil {
+						attrs[i] = fmt.Sprintf("%+v", *a)
+					}
+					cp.Cores[i].Attribution = nil
+				}
+				res[kind] = fmt.Sprintf("%+v attribution=%v", cp, attrs)
+			}
+			for kind, sys := range systems {
+				v := sys.Tele.View()
+				v.CyclesPerSec = 0
+				tele[kind] = fmt.Sprintf("%+v", v)
+			}
+			return res, tele
+		}
+		seqRes, seqTele := run(0)
+		batRes, batTele := run(4)
+		for _, kind := range arch.Kinds {
+			if seqRes[kind] != batRes[kind] {
+				t.Errorf("%s: batched result diverges\nsequential: %s\nbatched:    %s", kind, seqRes[kind], batRes[kind])
+			}
+			if seqTele[kind] != batTele[kind] {
+				t.Errorf("%s: batched telemetry view diverges\nsequential: %s\nbatched:    %s", kind, seqTele[kind], batTele[kind])
+			}
+		}
+	})
+
+	t.Run("scale", func(t *testing.T) {
+		seq, err := Quick().Scalability([]int{4, 8}, []int{1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Quick()
+		cfg.Batch = 8
+		bat, err := cfg.Scalability([]int{4, 8}, []int{1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := fmt.Sprintf("%+v", seq.Points), fmt.Sprintf("%+v", bat.Points); a != b {
+			t.Errorf("batched scalability sweep diverges\nsequential: %s\nbatched:    %s", a, b)
+		}
+	})
+
+	t.Run("traffic", func(t *testing.T) {
+		const spec = "poisson:tenants=2,cores=2,horizon=6000,slice=400,elems=256,repeats=1,churn=900:1300"
+		seq, err := Quick().Traffic(spec, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Quick()
+		cfg.Batch = 8
+		bat, err := cfg.Traffic(spec, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		render := func(pts []TrafficPoint) []string {
+			out := make([]string, len(pts))
+			for i, p := range pts {
+				out[i] = fmt.Sprintf("load=%g faulted=%v %+v", p.Load, p.Faulted, *p.Report)
+			}
+			return out
+		}
+		for _, kind := range arch.Kinds {
+			a, b := render(seq.Points[kind]), render(bat.Points[kind])
+			for i := range a {
+				if a[i] != b[i] {
+					t.Errorf("%s point %d: batched traffic sweep diverges\nsequential: %s\nbatched:    %s", kind, i, a[i], b[i])
+				}
+			}
+		}
+	})
+}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -197,12 +199,15 @@ func (c Config) degradationPoints(pair workload.CoSchedule, units int, out *Degr
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				p, err := c.degradationPoint(j.kind, pair, j.f)
-				if err != nil {
-					errs[i] = fmt.Errorf("degradation %s f=%d: %w", j.kind, j.f, err)
-					return
-				}
-				out.Points[j.kind][j.f] = p
+				labels := pprof.Labels("sweep", "degradation", "point", fmt.Sprintf("%s/f%d", j.kind, j.f))
+				pprof.Do(context.Background(), labels, func(context.Context) {
+					p, err := c.degradationPoint(j.kind, pair, j.f)
+					if err != nil {
+						errs[i] = fmt.Errorf("degradation %s f=%d: %w", j.kind, j.f, err)
+						return
+					}
+					out.Points[j.kind][j.f] = p
+				})
 			}(i, j)
 		}
 		wg.Wait()
@@ -214,6 +219,14 @@ func (c Config) degradationPoints(pair workload.CoSchedule, units int, out *Degr
 		return nil
 	}
 
+	if c.batched() {
+		tasks := make([]sim.Task, 0, len(arch.Kinds))
+		for _, kind := range arch.Kinds {
+			tasks = append(tasks, &degColumnTask{c: c, kind: kind, pair: pair, units: units, pts: out.Points[kind]})
+		}
+		return c.runBatches("degradation", tasks)
+	}
+
 	errs := make([]error, len(arch.Kinds))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, c.maxParallel())
@@ -223,7 +236,10 @@ func (c Config) degradationPoints(pair workload.CoSchedule, units int, out *Degr
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			errs[i] = c.degradationForked(kind, pair, units, out.Points[kind])
+			labels := pprof.Labels("sweep", "degradation", "point", kind.String())
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				errs[i] = c.degradationForked(kind, pair, units, out.Points[kind])
+			})
 		}(i, kind)
 	}
 	wg.Wait()
@@ -254,8 +270,14 @@ func (c Config) degradationForked(kind arch.Kind, pair workload.CoSchedule, unit
 	}
 	snap := sys.Checkpoint()
 	for f := 0; f < units; f++ {
-		if err := sys.RestoreCheckpoint(snap); err != nil {
-			return fmt.Errorf("degradation %s f=%d: %w", kind, f, err)
+		if f == 0 {
+			// Verify the snapshot's digest once; the remaining forks restore
+			// the same in-process snapshot and skip the reflective walk.
+			if err := sys.RestoreCheckpoint(snap); err != nil {
+				return fmt.Errorf("degradation %s f=%d: %w", kind, f, err)
+			}
+		} else {
+			sys.RestoreCheckpointTrusted(snap)
 		}
 		if f > 0 {
 			sys.SetFaultSchedule([]fault.Fault{{Kind: fault.ExeBU, Count: f, At: degFaultAt}})
@@ -318,6 +340,18 @@ func degPointFrom(f int, res *arch.Result, rerr error) DegPoint {
 	}
 	p.Completed = true
 	return p
+}
+
+// TotalCycles sums the simulated cycles across every sweep point (DNF points
+// contribute the cycles they did run).
+func (d *Degradation) TotalCycles() uint64 {
+	var n uint64
+	for _, pts := range d.Points {
+		for _, p := range pts {
+			n += p.Cycles
+		}
+	}
+	return n
 }
 
 // TTRStats summarizes one architecture's completed time-to-repartition

@@ -11,8 +11,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"occamy/internal/arch"
@@ -57,6 +59,12 @@ type Config struct {
 	// sim.CanceledError. A channel that never closes leaves all results
 	// bit-identical.
 	Interrupt <-chan struct{}
+	// Batch groups up to this many sweep points per worker into one
+	// lockstep sim.Batch (occamy-bench -batch): each worker steps its
+	// batch's systems round-robin through a fused slice loop instead of
+	// running them one at a time. 0 or 1 selects the sequential shape.
+	// Results are bit-identical either way (TestBatchBitIdentical).
+	Batch int
 }
 
 // Default returns the full-size configuration.
@@ -76,8 +84,10 @@ func (c Config) sched(s workload.CoSchedule) workload.CoSchedule {
 	return s
 }
 
-// runOne builds and runs one (architecture, schedule) combination.
-func (c Config) runOne(kind arch.Kind, s workload.CoSchedule, opts arch.Options) (*arch.System, *arch.Result, error) {
+// buildOne constructs one (architecture, schedule) system the way every
+// sweep point does: scaled schedule, shared seed/tick options, interrupt and
+// telemetry wiring. runOne and the sim.Batch tasks share it.
+func (c Config) buildOne(kind arch.Kind, s workload.CoSchedule, opts arch.Options) (*arch.System, error) {
 	opts.Seed = c.Seed
 	opts.LegacyTick = c.LegacyTick
 	if c.Telemetry != nil && opts.Telemetry == nil {
@@ -85,10 +95,19 @@ func (c Config) runOne(kind arch.Kind, s workload.CoSchedule, opts arch.Options)
 	}
 	sys, err := arch.Build(kind, c.sched(s), opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	sys.SetInterrupt(c.Interrupt)
 	c.Telemetry.Attach(s.Name+"-"+kind.String(), sys.Tele)
+	return sys, nil
+}
+
+// runOne builds and runs one (architecture, schedule) combination.
+func (c Config) runOne(kind arch.Kind, s workload.CoSchedule, opts arch.Options) (*arch.System, *arch.Result, error) {
+	sys, err := c.buildOne(kind, s, opts)
+	if err != nil {
+		return nil, nil, err
+	}
 	res, err := sys.Run(c.MaxCycles)
 	sys.Tele.Flush(sys.Engine.Cycle())
 	if err != nil {
@@ -97,8 +116,12 @@ func (c Config) runOne(kind arch.Kind, s workload.CoSchedule, opts arch.Options)
 	return sys, res, nil
 }
 
-// runAllArchs runs a schedule on all four architectures.
+// runAllArchs runs a schedule on all four architectures — back-to-back, or
+// through one lockstep batch when Config.Batch asks for it.
 func (c Config) runAllArchs(s workload.CoSchedule, opts arch.Options) (map[arch.Kind]*arch.Result, map[arch.Kind]*arch.System, error) {
+	if c.batched() {
+		return c.runAllArchsBatched(s, opts)
+	}
 	results := make(map[arch.Kind]*arch.Result, 4)
 	systems := make(map[arch.Kind]*arch.System, 4)
 	for _, kind := range arch.Kinds {
@@ -135,29 +158,31 @@ func (c Config) Sweep(verify bool) (*metrics.Sweep, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results, systems, err := c.runAllArchs(p, arch.Options{})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			if verify {
-				for kind, sys := range systems {
-					if err := sys.CheckResults(2e-3); err != nil {
-						errs[i] = fmt.Errorf("%s on %s: %w", p.Name, kind, err)
-						return
+			pprof.Do(context.Background(), pprof.Labels("sweep", "pairs", "point", p.Name), func(context.Context) {
+				results, systems, err := c.runAllArchs(p, arch.Options{})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if verify {
+					for kind, sys := range systems {
+						if err := sys.CheckResults(2e-3); err != nil {
+							errs[i] = fmt.Errorf("%s on %s: %w", p.Name, kind, err)
+							return
+						}
 					}
 				}
-			}
-			// Each worker merges a private registry: counter totals are
-			// order-independent, so -j N matches a serial sweep exactly.
-			vol := metrics.NewRegistry()
-			for _, res := range results {
-				vol.Count("sims", 1)
-				vol.Count("sim.cycles", res.Cycles)
-				vol.Count("sim.elems", res.Elems)
-			}
-			totals.Merge(vol)
-			rows[i] = metrics.PairRow{Name: p.Name, Results: results}
+				// Each worker merges a private registry: counter totals are
+				// order-independent, so -j N matches a serial sweep exactly.
+				vol := metrics.NewRegistry()
+				for _, res := range results {
+					vol.Count("sims", 1)
+					vol.Count("sim.cycles", res.Cycles)
+					vol.Count("sim.elems", res.Elems)
+				}
+				totals.Merge(vol)
+				rows[i] = metrics.PairRow{Name: p.Name, Results: results}
+			})
 		}(i, p)
 	}
 	wg.Wait()

@@ -35,6 +35,16 @@ func (c Config) Figure2() (*Fig2, error) {
 	return out, nil
 }
 
+// TotalCycles sums the simulated cycles across the four runs — the numerator
+// of the campaign's aggregate sim-cycles/s.
+func (f *Fig2) TotalCycles() uint64 {
+	var n uint64
+	for _, r := range f.Results {
+		n += r.Cycles
+	}
+	return n
+}
+
 // Render produces the Figure 2(f)-style statistics table plus ASCII
 // timelines for the four architectures.
 func (f *Fig2) Render() string {

@@ -16,6 +16,16 @@ type Handler interface {
 	Poll(now uint64)
 }
 
+// SleepHandler is the optional capability through which a Handler joins the
+// skip-ahead contract: PollQuiescent reports that every Poll call is a
+// guaranteed no-op until the handler itself changes that (which only happens
+// inside Apply/Revert/Poll — all of which run on ticked cycles). A handler
+// without the capability pins the injector permanently live, which forces
+// the engine onto the legacy every-cycle path.
+type SleepHandler interface {
+	PollQuiescent() bool
+}
+
 // event is one scheduled transition: a fault being applied or reverted.
 type event struct {
 	cycle  uint64
@@ -26,9 +36,10 @@ type event struct {
 // Injector is the sim.Component that fires a fault schedule. It resolves
 // seed-derived victims once at construction, expands each transient fault
 // into an apply and a revert event, and walks the sorted schedule as the
-// clock advances. With an empty schedule it is inert (but its presence still
-// forces the legacy every-cycle engine path, since fault effects are not
-// modeled by the skip-ahead sleep mirrors).
+// clock advances. It is also a sim.Sleeper: between scheduled events, and
+// while the handler has no recovery in flight, every Tick is a pure no-op,
+// so a faulted run skips ahead exactly like a fault-free one — the injector
+// wakes the engine at each event cycle to fire it for real.
 type Injector struct {
 	handler Handler
 	events  []event
@@ -97,6 +108,32 @@ func (inj *Injector) Tick(now uint64) {
 	}
 	inj.handler.Poll(now)
 }
+
+// NextWake implements sim.Sleeper. The injector is quiescent when no event
+// is due and the handler's per-cycle Poll is a declared no-op; its wake is
+// the next scheduled event (NeverWake once the schedule is exhausted — the
+// injector alone never needs the clock again).
+func (inj *Injector) NextWake(now uint64) (uint64, bool) {
+	sh, ok := inj.handler.(SleepHandler)
+	if !ok || !sh.PollQuiescent() {
+		return 0, false
+	}
+	if inj.next < len(inj.events) {
+		if ev := inj.events[inj.next].cycle; ev > now {
+			return ev, true
+		}
+		return 0, false // an event is due: the next Tick fires it
+	}
+	return NeverWakeCycle, true
+}
+
+// NeverWakeCycle mirrors sim.NeverWake without importing sim (which would
+// cycle: sim is dependency-free by design).
+const NeverWakeCycle = ^uint64(0)
+
+// SkipTicks implements sim.Sleeper. Elided ticks would only have run a
+// no-op Poll: there is no accounting to replay.
+func (inj *Injector) SkipTicks(from, n uint64) {}
 
 // InjectorState is the injector's checkpoint: the schedule cursors. The
 // event list itself is configuration (fully resolved at construction) and is

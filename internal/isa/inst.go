@@ -55,6 +55,13 @@ func (p *Program) At(pc int) Inst {
 	return p.Insts[pc]
 }
 
+// AtPtr returns the instruction at pc without copying. Callers must treat
+// the result as read-only: it aliases the program, which is shared across
+// cores and runs.
+func (p *Program) AtPtr(pc int) *Inst {
+	return &p.Insts[pc]
+}
+
 // Len returns the instruction count.
 func (p *Program) Len() int { return len(p.Insts) }
 

@@ -431,6 +431,7 @@ func (c *Cache) Restore(st CacheState) {
 	c.bw.bytesPerCycle = st.bytesPerCycle
 	c.bw.nextFree = st.nextFree
 	c.miss.pending = append(c.miss.pending[:0], st.pending...)
+	c.miss.recompute()
 }
 
 func popcount(x uint64) uint {

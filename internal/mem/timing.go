@@ -64,6 +64,10 @@ type missTracker struct {
 	slots   int
 	quota   int // max per requestor; 0 = no quota
 	pending []missEntry
+	// earliest is the soonest pending release. retire is a pure no-op
+	// before that cycle, which spares the hot access path the compaction
+	// scan on the (common) cycles where nothing can complete.
+	earliest uint64
 }
 
 type missEntry struct {
@@ -72,13 +76,32 @@ type missEntry struct {
 }
 
 func (t *missTracker) retire(now uint64) {
+	if now < t.earliest {
+		return
+	}
 	live := t.pending[:0]
+	min := ^uint64(0)
 	for _, e := range t.pending {
 		if e.release > now {
 			live = append(live, e)
+			if e.release < min {
+				min = e.release
+			}
 		}
 	}
 	t.pending = live
+	t.earliest = min
+}
+
+// recompute rebuilds the retirement watermark after pending was replaced
+// wholesale (checkpoint restore).
+func (t *missTracker) recompute() {
+	t.earliest = ^uint64(0)
+	for _, e := range t.pending {
+		if e.release < t.earliest {
+			t.earliest = e.release
+		}
+	}
 }
 
 // hasSlot retires completed misses and reports whether requestor who may
@@ -106,6 +129,9 @@ func (t *missTracker) hasSlot(now uint64, who int) bool {
 
 // reserve records a miss completing at done; call only after hasSlot.
 func (t *missTracker) reserve(done uint64, who int) {
+	if len(t.pending) == 0 || done < t.earliest {
+		t.earliest = done
+	}
 	t.pending = append(t.pending, missEntry{release: done, who: who})
 }
 

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime/pprof"
+)
+
+// This file implements lockstep multi-run batching: one goroutine stepping N
+// independent engines through a fused loop in bounded time slices, so a
+// sweep's worth of configurations shares the instruction cache and branch
+// predictor state instead of thrashing them one run at a time. The batch
+// layers under run-parallelism (-j): each worker owns one batch.
+//
+// Determinism is structural. Each task's engine advances only inside its own
+// RunSlice calls, and RunSlice is RunUntil's resumable core: the same cycles
+// tick in the same order no matter where slice boundaries fall, and a skip
+// window split across slices replays its accounting chunk-linearly (every
+// per-cycle effect scales by the chunk length, so chunks sum to the unsplit
+// window). Batched results are therefore bit-identical to running every task
+// sequentially — the differential tests in the experiments package enforce
+// this across all four architectures with faults and skip-ahead active.
+
+// Task is one independent simulation a Batch steps in lockstep. A task is a
+// sequence of segments — (done predicate, cycle budget) pairs the batch runs
+// through Engine.RunSlice — separated by whatever inter-segment work the task
+// performs inside Begin (collecting results, restoring a checkpoint, swapping
+// a fault schedule).
+type Task interface {
+	// Engine returns the engine the batch steps. It is first called after
+	// the first Begin, so a task may construct its system lazily there.
+	Engine() *Engine
+	// Label names the task for pprof attribution and diagnostics.
+	Label() string
+	// Begin starts the next segment. It is called once at admission with
+	// prev == nil, then again each time a segment finishes, with that
+	// segment's terminal engine error — nil when the done predicate was
+	// met, or the engine's error (*BudgetError, *StallError, ...) when the
+	// engine stopped the segment; tasks running sweep points usually fold
+	// those into DNF results rather than failing.
+	//
+	// Begin returns the next segment's done predicate and cycle budget, or
+	// done == nil to retire the task from the batch. A non-nil error aborts
+	// the entire batch.
+	Begin(prev error) (done func() bool, maxCycles uint64, err error)
+}
+
+// DefaultQuantum is the slice length Batch.Run uses when given 0: long
+// enough that per-slice bookkeeping (label swaps, loop rotation) vanishes
+// against thousands of ticks, short enough that a handful of runs still
+// interleave through the caches many times per simulated millisecond.
+const DefaultQuantum = 4096
+
+// Batch steps admitted tasks round-robin in slices of a fixed cycle quantum.
+// Hot per-task state lives in parallel arrays (structure-of-arrays): the
+// scheduling loop touches contiguous cursors, not N scattered object graphs.
+// Tasks retire in place via copy-down compaction, preserving admission order
+// for the survivors.
+type Batch struct {
+	id     string
+	parent context.Context
+
+	// Structure-of-arrays per-task hot state, indexed together.
+	tasks   []Task
+	engines []*Engine
+	dones   []func() bool
+	starts  []uint64          // segment start cycle (RunSlice's budget origin)
+	limits  []uint64          // segment cycle budget
+	ctxs    []context.Context // precomputed pprof label contexts
+
+	cycles uint64 // aggregate cycles stepped across all tasks
+}
+
+// NewBatch creates an empty batch. ctx carries the caller's pprof labels
+// (e.g. the -j worker's); every task's label set is layered on top of it and
+// the caller's labels are restored when Run returns.
+func NewBatch(ctx context.Context, id string) *Batch {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Batch{id: id, parent: ctx}
+}
+
+// Add admits a task: its first segment starts via Begin(nil). A task that
+// immediately retires (done == nil) is not admitted; its Begin side effects
+// stand.
+func (b *Batch) Add(t Task) error {
+	done, limit, err := t.Begin(nil)
+	if err != nil {
+		return fmt.Errorf("sim: batch %s: admit %s: %w", b.id, t.Label(), err)
+	}
+	if done == nil {
+		return nil
+	}
+	eng := t.Engine()
+	b.tasks = append(b.tasks, t)
+	b.engines = append(b.engines, eng)
+	b.dones = append(b.dones, done)
+	b.starts = append(b.starts, eng.cycle)
+	b.limits = append(b.limits, limit)
+	b.ctxs = append(b.ctxs, pprof.WithLabels(b.parent,
+		pprof.Labels("batch", b.id, "batch_task", t.Label())))
+	return nil
+}
+
+// Len reports the number of admitted, unretired tasks.
+func (b *Batch) Len() int { return len(b.tasks) }
+
+// Cycles reports the aggregate simulated cycles stepped so far, summed over
+// every task — the numerator of the batch's sim-cycles/s throughput.
+func (b *Batch) Cycles() uint64 { return b.cycles }
+
+// Run steps every task round-robin, quantum cycles per turn (0 selects
+// DefaultQuantum), until all tasks retire. A Begin error aborts the batch
+// immediately with that error; engine errors are the task's to interpret
+// (see Task.Begin). On return the caller's pprof labels are restored.
+func (b *Batch) Run(quantum uint64) error {
+	if quantum == 0 {
+		quantum = DefaultQuantum
+	}
+	defer pprof.SetGoroutineLabels(b.parent)
+	for len(b.tasks) > 0 {
+		w := 0 // compaction write cursor: surviving tasks slide down in order
+		for i := range b.tasks {
+			pprof.SetGoroutineLabels(b.ctxs[i])
+			retired, err := b.turn(i, quantum)
+			if err != nil {
+				return err
+			}
+			if retired {
+				continue
+			}
+			if w != i {
+				b.tasks[w], b.engines[w], b.dones[w] = b.tasks[i], b.engines[i], b.dones[i]
+				b.starts[w], b.limits[w], b.ctxs[w] = b.starts[i], b.limits[i], b.ctxs[i]
+			}
+			w++
+		}
+		for i := w; i < len(b.tasks); i++ {
+			b.tasks[i], b.engines[i], b.dones[i], b.ctxs[i] = nil, nil, nil, nil
+		}
+		b.tasks, b.engines, b.dones = b.tasks[:w], b.engines[:w], b.dones[:w]
+		b.starts, b.limits, b.ctxs = b.starts[:w], b.limits[:w], b.ctxs[:w]
+	}
+	return nil
+}
+
+// turn gives task i one quantum. Segments that finish inside the quantum
+// roll straight into their successor (Begin) with the remainder of the
+// quantum, so short segments — a sweep point retiring early, a warm-up
+// ending — don't stall the task for a whole round.
+func (b *Batch) turn(i int, quantum uint64) (retired bool, err error) {
+	eng := b.engines[i]
+	remaining := quantum
+	for {
+		c0 := eng.cycle
+		finished, serr := eng.RunSlice(b.dones[i], b.starts[i], b.limits[i], c0+remaining)
+		adv := eng.cycle - c0
+		b.cycles += adv
+		remaining -= adv
+		if !finished {
+			return false, nil // quantum expired mid-segment
+		}
+		done, limit, berr := b.tasks[i].Begin(serr)
+		if berr != nil {
+			return false, fmt.Errorf("sim: batch %s: %s: %w", b.id, b.tasks[i].Label(), berr)
+		}
+		if done == nil {
+			return true, nil
+		}
+		// Begin may have rewound the engine (checkpoint fork): the new
+		// segment's budget starts at the restored cycle.
+		b.dones[i], b.starts[i], b.limits[i] = done, eng.cycle, limit
+		if remaining == 0 {
+			return false, nil
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// tickCounter is a trivial component whose only state is how many ticks it
+// received, with an optional quiescent stretch so batch tests cover split
+// skip windows.
+type tickCounter struct {
+	ticks   uint64
+	skipped uint64
+	// sleepFrom/sleepTo declare one quiescent window (0,0 = never sleeps).
+	sleepFrom, sleepTo uint64
+}
+
+func (c *tickCounter) Name() string      { return "ctr" }
+func (c *tickCounter) Tick(cycle uint64) { c.ticks++ }
+func (c *tickCounter) NextWake(now uint64) (uint64, bool) {
+	if now >= c.sleepFrom && now < c.sleepTo {
+		return c.sleepTo, true
+	}
+	return 0, false
+}
+func (c *tickCounter) SkipTicks(from, n uint64) { c.skipped += n }
+
+// segTask runs a scripted sequence of segments on one engine: each segment
+// advances the clock to an absolute target cycle. It records the terminal
+// error of every finished segment.
+type segTask struct {
+	label    string
+	eng      *Engine
+	ctr      *tickCounter
+	targets  []uint64
+	budgets  []uint64 // parallel to targets (0 = generous default)
+	next     int
+	prevs    []error
+	begun    int
+	beginErr error // returned by Begin once next == failAt
+	failAt   int
+}
+
+func newSegTask(label string, targets ...uint64) *segTask {
+	t := &segTask{label: label, eng: NewEngine(), ctr: &tickCounter{}, targets: targets, failAt: -1}
+	t.eng.Register(t.ctr)
+	return t
+}
+
+func (t *segTask) Engine() *Engine { return t.eng }
+func (t *segTask) Label() string   { return t.label }
+func (t *segTask) Begin(prev error) (func() bool, uint64, error) {
+	t.begun++
+	if t.begun > 1 {
+		t.prevs = append(t.prevs, prev)
+	}
+	if t.next == t.failAt && t.beginErr != nil {
+		return nil, 0, t.beginErr
+	}
+	if t.next >= len(t.targets) {
+		return nil, 0, nil
+	}
+	target := t.targets[t.next]
+	budget := uint64(1_000_000)
+	if t.budgets != nil && t.budgets[t.next] != 0 {
+		budget = t.budgets[t.next]
+	}
+	t.next++
+	return func() bool { return t.eng.Cycle() >= target }, budget, nil
+}
+
+func TestBatchLockstepMatchesSequential(t *testing.T) {
+	// The same scripted tasks run once sequentially (plain RunUntil per
+	// segment) and once batched with a quantum far smaller than the
+	// segments, so every task is sliced many times.
+	mk := func() []*segTask {
+		a := newSegTask("a", 1000, 2500, 9000)
+		a.ctr.sleepFrom, a.ctr.sleepTo = 3000, 8000 // skip window split by slicing
+		b := newSegTask("b", 400)
+		c := newSegTask("c", 7000, 7001)
+		return []*segTask{a, b, c}
+	}
+
+	seq := mk()
+	for _, task := range seq {
+		done, budget, err := task.Begin(nil)
+		for done != nil {
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, serr := task.eng.RunUntil(done, budget)
+			done, budget, err = task.Begin(serr)
+		}
+	}
+
+	bat := mk()
+	batch := NewBatch(context.Background(), "t")
+	for _, task := range bat {
+		if err := batch.Add(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if batch.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", batch.Len())
+	}
+	if err := batch.Run(128); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Len() != 0 {
+		t.Fatalf("Len after Run = %d, want 0", batch.Len())
+	}
+
+	var want uint64
+	for i := range seq {
+		s, b := seq[i], bat[i]
+		if s.eng.Cycle() != b.eng.Cycle() {
+			t.Fatalf("task %s: batched cycle %d != sequential %d", s.label, b.eng.Cycle(), s.eng.Cycle())
+		}
+		if s.ctr.ticks != b.ctr.ticks || s.ctr.skipped != b.ctr.skipped {
+			t.Fatalf("task %s: batched ticks/skipped %d/%d != sequential %d/%d",
+				s.label, b.ctr.ticks, b.ctr.skipped, s.ctr.ticks, s.ctr.skipped)
+		}
+		if len(s.prevs) != len(b.prevs) {
+			t.Fatalf("task %s: %d batched segment results != %d sequential", s.label, len(b.prevs), len(s.prevs))
+		}
+		want += s.eng.Cycle()
+	}
+	if batch.Cycles() != want {
+		t.Fatalf("aggregate Cycles = %d, want %d", batch.Cycles(), want)
+	}
+}
+
+func TestBatchSegmentErrorFlowsToBegin(t *testing.T) {
+	// A segment that exhausts its budget hands the *BudgetError to Begin,
+	// which may roll into another segment rather than abort the batch.
+	task := newSegTask("budget", 10_000, 50)
+	task.budgets = []uint64{100, 0} // first segment can't reach 10k in 100 cycles
+	batch := NewBatch(nil, "t")
+	if err := batch.Add(task); err != nil {
+		t.Fatal(err)
+	}
+	if err := batch.Run(64); err != nil {
+		t.Fatal(err)
+	}
+	if len(task.prevs) != 2 {
+		t.Fatalf("%d segment results, want 2", len(task.prevs))
+	}
+	var berr *BudgetError
+	if !errors.As(task.prevs[0], &berr) {
+		t.Fatalf("first segment error = %v, want *BudgetError", task.prevs[0])
+	}
+	if task.prevs[1] != nil {
+		t.Fatalf("second segment error = %v, want nil", task.prevs[1])
+	}
+	// The second segment's target (50) is below the first segment's end
+	// (100): its done predicate held immediately, without rewinding.
+	if got := task.eng.Cycle(); got != 100 {
+		t.Fatalf("final cycle = %d, want 100", got)
+	}
+}
+
+func TestBatchBeginErrorAborts(t *testing.T) {
+	ok := newSegTask("ok", 5000)
+	bad := newSegTask("bad", 200, 9000)
+	bad.failAt, bad.beginErr = 1, fmt.Errorf("boom")
+	batch := NewBatch(nil, "t")
+	for _, task := range []*segTask{ok, bad} {
+		if err := batch.Add(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := batch.Run(100)
+	if err == nil || !errors.Is(err, bad.beginErr) {
+		t.Fatalf("Run error = %v, want wrapped boom", err)
+	}
+	if got := err.Error(); got != "sim: batch t: bad: boom" {
+		t.Fatalf("error text = %q", got)
+	}
+}
+
+func TestBatchImmediateRetireNotAdmitted(t *testing.T) {
+	done := newSegTask("empty") // no targets: Begin(nil) retires at once
+	batch := NewBatch(nil, "t")
+	if err := batch.Add(done); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", batch.Len())
+	}
+	if err := batch.Run(100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchCompactionPreservesOrder(t *testing.T) {
+	// Tasks with staggered lengths retire at different rounds; survivors
+	// must keep stepping in admission order (observable through the strict
+	// round-robin: with quantum q, after every full round the still-live
+	// engines are within q cycles of each other).
+	short := newSegTask("short", 150)
+	long := newSegTask("long", 10_000)
+	mid := newSegTask("mid", 5_000)
+	batch := NewBatch(nil, "t")
+	for _, task := range []*segTask{short, long, mid} {
+		if err := batch.Add(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batch.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range []*segTask{short, long, mid} {
+		if got, want := task.eng.Cycle(), task.targets[0]; got != want {
+			t.Fatalf("%s: cycle %d, want %d", task.label, got, want)
+		}
+	}
+	if batch.Cycles() != 150+10_000+5_000 {
+		t.Fatalf("aggregate = %d", batch.Cycles())
+	}
+}

@@ -103,6 +103,14 @@ type Engine struct {
 	// same cycle an unsplit run does.
 	wdThreshold uint64
 	wd          *watchdog
+	// wdQuietUntil suppresses watchdog firing while the clock is inside a
+	// quiescent window with a declared finite wake: the system is healthily
+	// asleep until a known event, which is progress in waiting, not a stall.
+	// A window with no self-scheduled event (NeverWake) clears it — nothing
+	// can ever happen again, and the watchdog must fire exactly where the
+	// legacy path would. Execution-strategy state, never snapshotted: any
+	// jump re-establishes it from the same declared wake.
+	wdQuietUntil uint64
 }
 
 // maxProbeBackoff caps the probe interval during live stretches. The cap
@@ -249,6 +257,7 @@ func (e *Engine) Restore(st EngineState) {
 	e.probeAt = st.probeAt
 	e.probeBackoff = st.probeBackoff
 	e.stats.Restore(st.stats)
+	e.wdQuietUntil = 0
 	if !st.wdArmed {
 		e.wd = nil
 		return
@@ -274,6 +283,31 @@ func (e *Engine) Restore(st EngineState) {
 // degrades to normal ticking rather than stalling the clock.
 func (e *Engine) RunUntil(done func() bool, maxCycles uint64) (uint64, error) {
 	start := e.cycle
+	_, err := e.RunSlice(done, start, maxCycles, NeverWake)
+	return e.cycle - start, err
+}
+
+// RunSlice is RunUntil's resumable core: it advances the clock toward done()
+// under the run's overall budget (maxCycles counted from start, which may be
+// earlier than the current cycle when resuming), but yields once the clock
+// reaches sliceEnd. It returns (false, nil) when the slice expired with the
+// run still in flight; any other return is terminal — done() held (true, nil)
+// or the run failed (budget, stall or cancellation). The batch engine
+// time-slices many runs through this: because a skip jump is also clamped to
+// sliceEnd, and split skip windows replay their accounting chunk-linearly, a
+// sliced run's cycle counts, statistics, attribution and telemetry are
+// bit-identical to an unsliced one (only the engine-local skip/jump tallies,
+// deliberately outside Stats, can differ).
+//
+// The forward-progress watchdog samples on its own fixed grid: jumps clamp
+// to the next sample cycle instead of leaping it, so a skipping run examines
+// the same progress counters at the same cycles a legacy run would and its
+// detector state stays bit-identical. A sample taken inside a quiescent
+// window with a declared finite wake never fires (the sleep is healthy by
+// construction — see wdQuietUntil); once no component has a self-scheduled
+// event left, nothing can ever make progress again, and the watchdog fires
+// at exactly the cycle the legacy path detects the stall.
+func (e *Engine) RunSlice(done func() bool, start, maxCycles, sliceEnd uint64) (bool, error) {
 	var wd *watchdog
 	if e.wdThreshold > 0 {
 		if e.wd == nil {
@@ -283,28 +317,43 @@ func (e *Engine) RunUntil(done func() bool, maxCycles uint64) (uint64, error) {
 	}
 	for !done() {
 		if e.cycle-start >= maxCycles {
-			return e.cycle - start, &BudgetError{Budget: maxCycles, Start: start}
+			return true, &BudgetError{Budget: maxCycles, Start: start}
+		}
+		if e.cycle >= sliceEnd {
+			return false, nil
 		}
 		if e.interrupt != nil && e.pollInterrupt() {
-			return e.cycle - start, &CanceledError{Cycle: e.cycle}
+			return true, &CanceledError{Cycle: e.cycle}
 		}
 		if wd != nil && e.cycle >= wd.nextCheck {
-			if serr := wd.check(e.cycle); serr != nil {
-				return e.cycle - start, serr
+			if serr := wd.check(e.cycle); serr != nil && e.cycle >= e.wdQuietUntil {
+				return true, serr
 			}
 		}
 		if e.skip && e.probeAt <= e.cycle {
 			wake, ok := e.nextWake()
 			if ok && wake > e.cycle {
+				if wake == NeverWake {
+					e.wdQuietUntil = 0
+				} else {
+					e.wdQuietUntil = wake
+				}
+				// Every clamp below is strictly above e.cycle: the budget and
+				// slice checks guaranteed start+maxCycles > cycle and
+				// sliceEnd > cycle, and a just-run check set nextCheck past
+				// now — so the jump always moves the clock.
 				if limit := start + maxCycles; wake > limit {
 					wake = limit
+				}
+				if wake > sliceEnd {
+					wake = sliceEnd
+				}
+				if wd != nil && wake > wd.nextCheck {
+					wake = wd.nextCheck
 				}
 				e.skipTo(wake)
 				e.probeBackoff = 0
 				e.probeAt = e.cycle
-				if wd != nil {
-					wd.reset(e.cycle)
-				}
 				continue
 			}
 			// Live (or a wake declared in the past): back off before the
@@ -318,5 +367,5 @@ func (e *Engine) RunUntil(done func() bool, maxCycles uint64) (uint64, error) {
 		}
 		e.Step()
 	}
-	return e.cycle - start, nil
+	return true, nil
 }

@@ -9,7 +9,20 @@ type Timeline struct {
 	sums    []float64
 	counts  []uint64
 	current uint64 // index of the bucket being filled
+	// Current-bucket cursor: curLo is the first cycle of the bucket being
+	// filled and curSum/curCnt point at its cells, so the per-core-per-cycle
+	// Record fast path is one compare and two pointer bumps — no divide, no
+	// bounds checks. curLo holds invalidWindow whenever the cursor does not
+	// point into the live slices (fresh timeline, pre-restore).
+	curLo  uint64
+	curSum *float64
+	curCnt *uint64
 }
+
+// invalidWindow is a curLo sentinel no reachable cycle can fall inside:
+// cycle-invalidWindow wraps to at least 2^62 for any cycle below 2^63, far
+// beyond any bucket width.
+const invalidWindow = uint64(1) << 63
 
 // NewTimeline returns a timeline with the given bucket width in cycles.
 // A width of zero defaults to 1000, the paper's plotting granularity.
@@ -17,11 +30,38 @@ func NewTimeline(bucketCycles uint64) *Timeline {
 	if bucketCycles == 0 {
 		bucketCycles = 1000
 	}
-	return &Timeline{bucket: bucketCycles}
+	return &Timeline{bucket: bucketCycles, curLo: invalidWindow}
 }
 
-// Record adds value v for the given cycle.
+// setCurrent moves the current-bucket cursor; idx must index the live
+// slices. Growth and restore re-call it because append may move the backing
+// arrays out from under the cached cell pointers.
+func (t *Timeline) setCurrent(idx uint64) {
+	t.current = idx
+	t.curLo = idx * t.bucket
+	t.curSum = &t.sums[idx]
+	t.curCnt = &t.counts[idx]
+}
+
+// Record adds value v for the given cycle. The body is split so the
+// common case — another sample into the bucket being filled — inlines into
+// the per-core-per-cycle call sites as a compare and two adds; cycle-t.curLo
+// wraps past bucket for cycles before the window, so one compare covers both
+// bounds.
 func (t *Timeline) Record(cycle uint64, v float64) {
+	if cycle-t.curLo < t.bucket {
+		*t.curSum += v
+		*t.curCnt++
+		return
+	}
+	t.recordSlow(cycle, v)
+}
+
+// recordSlow opens (growing if needed) the bucket for cycle and records v.
+// Kept out of line so Record's fast path fits the inlining budget.
+//
+//go:noinline
+func (t *Timeline) recordSlow(cycle uint64, v float64) {
 	idx := cycle / t.bucket
 	for uint64(len(t.sums)) <= idx {
 		t.sums = append(t.sums, 0)
@@ -29,7 +69,7 @@ func (t *Timeline) Record(cycle uint64, v float64) {
 	}
 	t.sums[idx] += v
 	t.counts[idx]++
-	t.current = idx
+	t.setCurrent(idx)
 }
 
 // RecordRun adds value v for each of the n consecutive cycles starting at
@@ -51,7 +91,7 @@ func (t *Timeline) RecordRun(from, n uint64, v float64) {
 		}
 		t.sums[idx] += v * float64(span)
 		t.counts[idx] += span
-		t.current = idx
+		t.setCurrent(idx)
 		from += span
 		n -= span
 	}
@@ -97,8 +137,8 @@ func SumTimelines(ts []*Timeline) *Timeline {
 				out.counts[i] = t.counts[i]
 			}
 		}
-		if t.current > out.current {
-			out.current = t.current
+		if t.current > out.current && t.current < uint64(len(out.sums)) {
+			out.setCurrent(t.current)
 		}
 	}
 	return out
@@ -125,5 +165,10 @@ func (t *Timeline) Snapshot() TimelineState {
 func (t *Timeline) Restore(st TimelineState) {
 	t.sums = append(t.sums[:0], st.sums...)
 	t.counts = append(t.counts[:0], st.counts...)
-	t.current = st.current
+	if st.current < uint64(len(t.sums)) {
+		t.setCurrent(st.current)
+	} else {
+		t.current = st.current
+		t.curLo = invalidWindow
+	}
 }

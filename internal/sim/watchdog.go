@@ -51,9 +51,16 @@ func (e *BudgetError) Error() string {
 // ProgressReporter's counter moves for threshold cycles, RunUntil returns a
 // *StallError naming the stalled components instead of ticking on until the
 // cycle budget runs out. Zero disarms. The watchdog is skip-ahead
-// compatible — a skipped window is progress by construction (every component
-// declared quiescence-until-wake), so each jump resets the stall clock.
-func (e *Engine) SetWatchdog(threshold uint64) { e.wdThreshold = threshold; e.wd = nil }
+// compatible — skip jumps clamp to the sampling schedule (see RunSlice), so
+// a skipping run examines the same progress counters at the same cycles a
+// legacy run would and detects a genuine dead stall at the identical cycle;
+// quiescent windows with a declared finite wake are healthy sleeps and never
+// fire, however long.
+func (e *Engine) SetWatchdog(threshold uint64) {
+	e.wdThreshold = threshold
+	e.wd = nil
+	e.wdQuietUntil = 0
+}
 
 // Watchdog returns the armed stall threshold (0 = disarmed).
 func (e *Engine) Watchdog() uint64 { return e.wdThreshold }
@@ -95,16 +102,6 @@ func (e *Engine) newWatchdog(now uint64) *watchdog {
 	}
 	w.nextCheck = now + w.interval
 	return w
-}
-
-// reset marks now as a progress point for every reporter (called after a
-// skip-ahead jump: the jump itself is progress by construction).
-func (w *watchdog) reset(now uint64) {
-	for i, r := range w.reporters {
-		w.last[i] = r.Progress()
-		w.lastChange[i] = now
-	}
-	w.nextCheck = now + w.interval
 }
 
 // check samples the reporters at cycle now and returns a *StallError if none
